@@ -1,0 +1,65 @@
+//! One bench per paper exhibit: each measures the end-to-end regeneration
+//! of a table/figure at a reduced trace size, so `cargo bench` exercises
+//! every experiment. The full-size numbers are produced by the binaries
+//! (`cargo run --release -p charlie-bench --bin all_experiments`).
+
+use charlie::{experiments, Lab, RunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BENCH_REFS: usize = 4_000;
+
+fn bench_cfg() -> RunConfig {
+    RunConfig { procs: 8, refs_per_proc: BENCH_REFS, seed: 0xC0FFEE, ..RunConfig::default() }
+}
+
+macro_rules! exhibit_bench {
+    ($fn_name:ident, $exhibit:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut group = c.benchmark_group("exhibits");
+            group.sample_size(10);
+            group.bench_function(stringify!($exhibit), |b| {
+                b.iter(|| {
+                    let mut lab = Lab::new(bench_cfg());
+                    black_box(experiments::$exhibit(&mut lab))
+                })
+            });
+            group.finish();
+        }
+    };
+}
+
+exhibit_bench!(bench_table1, table1);
+exhibit_bench!(bench_figure1, figure1);
+exhibit_bench!(bench_table2, table2);
+exhibit_bench!(bench_figure3, figure3);
+exhibit_bench!(bench_table3, table3);
+exhibit_bench!(bench_table4, table4);
+exhibit_bench!(bench_table5, table5);
+exhibit_bench!(bench_proc_util, processor_utilization);
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhibits");
+    group.sample_size(10);
+    group.bench_function("figure2", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(bench_cfg());
+            black_box(experiments::figure2(&mut lab))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figure1,
+    bench_table2,
+    bench_figure2,
+    bench_figure3,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_proc_util
+);
+criterion_main!(benches);

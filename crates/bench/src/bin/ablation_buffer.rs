@@ -1,0 +1,44 @@
+//! Prefetch-buffer-depth ablation.
+//!
+//! The paper simulates "a 16-deep prefetch instruction buffer, which was
+//! sufficiently large to almost always prevent the processor from stalling
+//! because the buffer was full" (§3.3). This sweep shows how shallow buffers
+//! throttle the prefetching strategies.
+
+use charlie::cache::CacheGeometry;
+use charlie::prefetch::{apply, Strategy};
+use charlie::sim::{simulate, SimConfig};
+use charlie::workloads::{generate, Workload, WorkloadConfig};
+use charlie::Table;
+
+fn main() {
+    let lab = charlie_bench::lab_from_env();
+    let cfg = *lab.config();
+    drop(lab);
+
+    let mut t = Table::new(
+        "Prefetch-buffer-depth ablation (Mp3d, PWS, 8-cycle transfer)",
+        vec!["Depth", "rel. time", "buffer stalls", "prefetch fills"],
+    );
+    let wcfg = WorkloadConfig {
+        procs: cfg.procs,
+        refs_per_proc: cfg.refs_per_proc,
+        seed: cfg.seed,
+        ..WorkloadConfig::default()
+    };
+    let raw = generate(Workload::Mp3d, &wcfg);
+    let prepared = apply(Strategy::Pws, &raw, CacheGeometry::paper_default());
+    let base = SimConfig::paper(cfg.procs, 8);
+    let np = simulate(&base, &raw).expect("NP simulates").cycles as f64;
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let sim_cfg = SimConfig { prefetch_buffer_depth: depth, ..base };
+        let r = simulate(&sim_cfg, &prepared).expect("simulates");
+        t.row(vec![
+            format!("{depth}"),
+            format!("{:.3}", r.cycles as f64 / np),
+            format!("{}", r.prefetch.buffer_stalls),
+            format!("{}", r.prefetch.fills),
+        ]);
+    }
+    charlie_bench::emit(&t);
+}

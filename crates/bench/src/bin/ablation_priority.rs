@@ -1,0 +1,47 @@
+//! Arbitration-priority ablation.
+//!
+//! The paper's bus "favors blocking loads over prefetches" (§3.3). This
+//! binary measures what that design choice is worth by letting prefetches
+//! compete at demand priority: near saturation, prefetch traffic then delays
+//! the loads processors are stalled on.
+
+use charlie::cache::CacheGeometry;
+use charlie::prefetch::{apply, Strategy};
+use charlie::sim::{simulate, SimConfig};
+use charlie::workloads::{generate, Workload, WorkloadConfig};
+use charlie::Table;
+
+fn main() {
+    let lab = charlie_bench::lab_from_env();
+    let cfg = *lab.config();
+    drop(lab);
+
+    let mut t = Table::new(
+        "Arbitration ablation (PWS discipline): demand-over-prefetch priority vs flat priority",
+        vec!["Workload", "Transfer", "rel. time (paper arb)", "rel. time (flat arb)"],
+    );
+    for w in [Workload::Mp3d, Workload::Pverify] {
+        let wcfg = WorkloadConfig {
+            procs: cfg.procs,
+            refs_per_proc: cfg.refs_per_proc,
+            seed: cfg.seed,
+            ..WorkloadConfig::default()
+        };
+        let raw = generate(w, &wcfg);
+        let prepared = apply(Strategy::Pws, &raw, CacheGeometry::paper_default());
+        for lat in [8u64, 16, 32] {
+            let base = SimConfig::paper(cfg.procs, lat);
+            let np = simulate(&base, &raw).expect("NP simulates").cycles as f64;
+            let paper_arb = simulate(&base, &prepared).expect("simulates").cycles as f64;
+            let flat = SimConfig { prefetch_demand_priority: true, ..base };
+            let flat_arb = simulate(&flat, &prepared).expect("simulates").cycles as f64;
+            t.row(vec![
+                w.name().to_owned(),
+                format!("{lat} cycles"),
+                format!("{:.3}", paper_arb / np),
+                format!("{:.3}", flat_arb / np),
+            ]);
+        }
+    }
+    charlie_bench::emit(&t);
+}

@@ -1,0 +1,35 @@
+//! Regenerates every table and figure of the paper in one run, sharing
+//! simulations across exhibits through the lab's memoization.
+//!
+//! ```text
+//! CHARLIE_REFS=160000 cargo run --release -p charlie-bench --bin all_experiments
+//! ```
+
+use charlie::experiments;
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "all experiments");
+
+    charlie_bench::emit(&experiments::table1(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::figure1(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::table2(&mut lab));
+    println!();
+    for panel in experiments::figure2(&mut lab) {
+        charlie_bench::emit(&panel);
+        println!();
+    }
+    charlie_bench::emit(&experiments::figure3(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::table3(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::table4(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::table5(&mut lab));
+    println!();
+    charlie_bench::emit(&experiments::processor_utilization(&mut lab));
+
+    eprintln!("\n{} distinct simulations run.", lab.runs_completed());
+}

@@ -1,0 +1,52 @@
+//! Calibration report: prints each workload's NP baseline next to the
+//! paper's published anchors (Table 2 bus utilizations, §4.2 processor
+//! utilizations) so generator parameters can be tuned.
+
+use charlie::{Experiment, Strategy, Workload};
+
+/// (workload, paper bus util @4/8/16/32, paper proc util fast/slow)
+const ANCHORS: [(Workload, [f64; 4], (f64, f64)); 5] = [
+    (Workload::Topopt, [0.18, 0.27, 0.45, 0.76], (0.65, 0.59)),
+    (Workload::Mp3d, [0.48, 0.65, 0.90, 1.00], (0.39, 0.22)),
+    (Workload::LocusRoute, [0.21, 0.33, 0.56, 0.89], (0.64, 0.54)),
+    (Workload::Pverify, [0.42, 0.63, 0.92, 1.00], (0.41, 0.18)),
+    (Workload::Water, [0.10, 0.14, 0.22, 0.38], (0.82, 0.81)),
+];
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "NP calibration vs paper anchors");
+    println!(
+        "{:<11} {:>22} {:>22} {:>17} {:>17}  {:>8}",
+        "workload", "bus util (ours)", "bus util (paper)", "proc util (ours)", "proc util (paper)", "CPU MR"
+    );
+    for (w, bus_paper, (pu_fast, pu_slow)) in ANCHORS {
+        let mut ours = Vec::new();
+        for lat in [4u64, 8, 16, 32] {
+            let r = &lab.run(Experiment::paper(w, Strategy::NoPrefetch, lat)).report;
+            ours.push(r.bus_utilization());
+        }
+        let fast = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 4)).report.clone();
+        let slow = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 32)).report.clone();
+        println!(
+            "{:<11} {:>22} {:>22} {:>17} {:>17}  {:>7.2}%",
+            w.name(),
+            fmt4(&ours),
+            fmt4(&bus_paper),
+            format!("{:.2}/{:.2}", fast.avg_processor_utilization(), slow.avg_processor_utilization()),
+            format!("{pu_fast:.2}/{pu_slow:.2}"),
+            100.0 * fast.cpu_miss_rate(),
+        );
+        println!(
+            "{:<11}   inval MR {:.2}%  FS MR {:.2}%  non-shr MR {:.2}%  (at 8cy)",
+            "",
+            100.0 * lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.invalidation_miss_rate(),
+            100.0 * lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.false_sharing_miss_rate(),
+            100.0 * lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.non_sharing_miss_rate(),
+        );
+    }
+}
+
+fn fmt4(v: &[f64]) -> String {
+    v.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>().join("/")
+}

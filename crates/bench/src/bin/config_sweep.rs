@@ -1,0 +1,69 @@
+//! The paper's §3.3 configuration sensitivity claims, reproduced:
+//!
+//! > "with larger caches, non-sharing misses were reduced, making
+//! > invalidation miss effects much more dominant; larger block sizes
+//! > increased false sharing and thus the total number of invalidation
+//! > misses."
+//!
+//! Sweeps cache size (NP, 8-cycle bus) and block size and prints the miss
+//! decomposition for the sharing-heavy workloads.
+
+use charlie::cache::CacheGeometry;
+use charlie::{Experiment, Lab, RunConfig, Strategy, Table, Workload};
+
+fn main() {
+    let base = charlie_bench::lab_from_env();
+    let base_cfg = *base.config();
+    drop(base);
+
+    let mut cache_table = Table::new(
+        "Cache-size sweep (NP, 8-cycle transfer): larger caches leave invalidation misses dominant",
+        vec!["Workload", "Cache", "non-shr MR", "inval MR", "inval share"],
+    );
+    for w in [Workload::Pverify, Workload::Topopt, Workload::Mp3d] {
+        for kb in [16u64, 32, 64, 128] {
+            let geometry = CacheGeometry::new(kb * 1024, 32, 1).expect("valid geometry");
+            let mut lab = Lab::new(RunConfig { geometry, ..base_cfg });
+            let r = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone();
+            let share = if r.cpu_miss_rate() > 0.0 {
+                r.invalidation_miss_rate() / r.cpu_miss_rate()
+            } else {
+                0.0
+            };
+            cache_table.row(vec![
+                w.name().to_owned(),
+                format!("{kb} KB"),
+                format!("{:.2}%", 100.0 * r.non_sharing_miss_rate()),
+                format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
+                format!("{:.0}%", 100.0 * share),
+            ]);
+        }
+    }
+    charlie_bench::emit(&cache_table);
+    println!();
+
+    let mut block_table = Table::new(
+        "Block-size sweep (NP, 8-cycle transfer): larger blocks increase false sharing",
+        vec!["Workload", "Block", "inval MR", "FS MR", "FS share"],
+    );
+    for w in [Workload::Pverify, Workload::Topopt] {
+        for block in [16u64, 32, 64] {
+            let geometry = CacheGeometry::new(32 * 1024, block, 1).expect("valid geometry");
+            let mut lab = Lab::new(RunConfig { geometry, ..base_cfg });
+            let r = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone();
+            let share = if r.invalidation_miss_rate() > 0.0 {
+                r.false_sharing_miss_rate() / r.invalidation_miss_rate()
+            } else {
+                0.0
+            };
+            block_table.row(vec![
+                w.name().to_owned(),
+                format!("{block} B"),
+                format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
+                format!("{:.2}%", 100.0 * r.false_sharing_miss_rate()),
+                format!("{:.0}%", 100.0 * share),
+            ]);
+        }
+    }
+    charlie_bench::emit(&block_table);
+}

@@ -1,0 +1,32 @@
+//! Evaluates the paper's §4.3 suggestion it left unexplored: exclusive
+//! prefetching of read-modify-write idioms ("a compiler might recognize when
+//! a read is followed immediately by a write and make more effective use of
+//! the exclusive prefetch feature"). EXCL-RMW should save upgrade bus
+//! transactions relative to both PREF and plain EXCL on write-sharing
+//! workloads, at no CPU-miss cost.
+
+use charlie::{Experiment, Strategy, Table, Workload};
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "EXCL-RMW extension (8-cycle transfer)");
+    let mut t = Table::new(
+        "Exclusive prefetching of read-modify-write idioms",
+        vec!["Workload", "Strategy", "rel. time", "upgrades", "inval bus ops", "CPU MR"],
+    );
+    for w in [Workload::Topopt, Workload::Pverify, Workload::Mp3d] {
+        for s in [Strategy::Pref, Strategy::Excl, Strategy::ExclRmw] {
+            let rel = lab.relative_time(Experiment::paper(w, s, 8));
+            let r = &lab.run(Experiment::paper(w, s, 8)).report;
+            t.row(vec![
+                w.name().to_owned(),
+                s.name().to_owned(),
+                format!("{rel:.3}"),
+                format!("{}", r.bus.upgrades),
+                format!("{}", r.bus.invalidating_ops()),
+                format!("{:.2}%", 100.0 * r.cpu_miss_rate()),
+            ]);
+        }
+    }
+    charlie_bench::emit(&t);
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Figure 2: execution time relative to NP as a
+//! function of the data-bus transfer latency, one panel per workload.
+//! This is the most expensive exhibit (5 workloads × 5 strategies × 5
+//! latencies = 125 simulations); shrink `CHARLIE_REFS` for a quick pass.
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "figure2");
+    for panel in charlie::experiments::figure2(&mut lab) {
+        charlie_bench::emit(&panel);
+        if !charlie_bench::csv_requested() {
+            println!();
+        }
+    }
+    if !charlie_bench::csv_requested() {
+        for w in charlie::Workload::ALL {
+            println!("{}", charlie::experiments::figure2_chart(&mut lab, w));
+        }
+    }
+    // CHARLIE_SVG_DIR=<dir> additionally writes one SVG panel per workload.
+    if let Some(dir) = std::env::var_os("CHARLIE_SVG_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create SVG output directory");
+        for w in charlie::Workload::ALL {
+            let svg = charlie::experiments::figure2_chart(&mut lab, w).to_svg();
+            let path = dir.join(format!("figure2_{}.svg", w.name().to_lowercase()));
+            std::fs::write(&path, svg).expect("write SVG panel");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's figure3. See DESIGN.md's experiment index.
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "figure3");
+    charlie_bench::emit(&charlie::experiments::figure3(&mut lab));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's §4.2 processor-utilization observations (the
+//! headroom argument: the best any latency-hiding technique can do is bring
+//! utilization to 1).
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "processor utilization");
+    charlie_bench::emit(&charlie::experiments::processor_utilization(&mut lab));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table5. See DESIGN.md's experiment index.
+
+fn main() {
+    let mut lab = charlie_bench::lab_from_env();
+    charlie_bench::header(&lab, "table5");
+    charlie_bench::emit(&charlie::experiments::table5(&mut lab));
+}

@@ -1,0 +1,59 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one exhibit of the paper (see `DESIGN.md`'s
+//! experiment index) using the [`charlie::Lab`]. Output size is controlled
+//! by `CHARLIE_REFS` (references per processor, default 160 000) and
+//! `CHARLIE_PROCS` (default 8); pass `--csv` to any binary for
+//! machine-readable output.
+
+use charlie::{Lab, RunConfig, Table};
+
+/// Builds the lab from the environment (`CHARLIE_REFS`, `CHARLIE_PROCS`,
+/// `CHARLIE_SEED`).
+pub fn lab_from_env() -> Lab {
+    let mut cfg = RunConfig::default();
+    if let Some(procs) = std::env::var("CHARLIE_PROCS").ok().and_then(|v| v.parse().ok()) {
+        cfg.procs = procs;
+    }
+    if let Some(seed) = std::env::var("CHARLIE_SEED").ok().and_then(|v| v.parse().ok()) {
+        cfg.seed = seed;
+    }
+    Lab::new(cfg)
+}
+
+/// `true` when the binary was invoked with `--csv`.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Prints a table in the requested format.
+pub fn emit(table: &Table) {
+    if csv_requested() {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+/// Prints the standard run header (skipped in CSV mode).
+pub fn header(lab: &Lab, exhibit: &str) {
+    if !csv_requested() {
+        let c = lab.config();
+        println!(
+            "== {exhibit} — {} procs, {} refs/proc, seed {:#x} ==\n",
+            c.procs, c.refs_per_proc, c.seed
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_from_env_respects_defaults() {
+        let lab = lab_from_env();
+        assert!(lab.config().procs >= 1);
+        assert!(lab.config().refs_per_proc >= 1);
+    }
+}

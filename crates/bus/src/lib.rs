@@ -1,0 +1,27 @@
+//! Split-transaction bus model for the `charlie` multiprocessor simulator.
+//!
+//! The paper (§3.3) models the memory subsystem as a 100-cycle latency split
+//! into two components: an *uncontended* portion (address transmission and
+//! memory lookup, assumed conflict-free thanks to interleaved banks) and a
+//! *contended* portion — the data-bus transfer — of 4 to 32 cycles, for which
+//! all processors compete. This crate implements that contended resource:
+//!
+//! * each data-carrying transaction occupies the bus for
+//!   [`BusConfig::transfer_cycles`];
+//! * invalidation-only upgrades occupy a short address slot;
+//! * arbitration is round-robin and strictly favours *blocking* (demand)
+//!   requests over prefetches, exactly as the paper specifies;
+//! * fills become eligible for arbitration only after their uncontended
+//!   `100 − T` cycles have elapsed.
+//!
+//! The [`Bus`] is a passive component driven by the simulator's event loop:
+//! `submit` enqueues, [`Bus::try_grant`] hands the next transaction to the
+//! caller together with its completion time.
+
+mod config;
+mod model;
+mod request;
+
+pub use config::BusConfig;
+pub use model::{Bus, BusStats, GrantOutcome};
+pub use request::{BusRequest, Priority, TxnId};

@@ -1,0 +1,396 @@
+//! The contended-bus state machine: queues, arbitration, occupancy.
+
+use crate::config::BusConfig;
+use crate::request::{BusRequest, Priority, TxnId};
+use charlie_cache::protocol::BusOp;
+use charlie_trace::{LineAddr, ProcId};
+use std::collections::VecDeque;
+
+/// Counters the bus accumulates; the paper's Table 2 (bus utilization) is
+/// `busy_cycles / total simulated cycles`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct BusStats {
+    /// Cycles the contended resource was occupied.
+    pub busy_cycles: u64,
+    /// Shared-mode fills granted.
+    pub reads: u64,
+    /// Exclusive-mode fills granted.
+    pub read_exclusives: u64,
+    /// Invalidation-only upgrades granted.
+    pub upgrades: u64,
+    /// Dirty-victim write-backs granted.
+    pub writebacks: u64,
+    /// Grants that came from the prefetch class.
+    pub prefetch_grants: u64,
+    /// Total cycles requests spent queued past their `ready_at` (arbitration
+    /// plus bus-busy delay), summed over grants.
+    pub queueing_cycles: u64,
+}
+
+impl BusStats {
+    /// Total transactions granted.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.read_exclusives + self.upgrades + self.writebacks
+    }
+
+    /// Transactions that invalidate remote copies (the paper reports the
+    /// effect of EXCL through the decline of these).
+    pub fn invalidating_ops(&self) -> u64 {
+        self.read_exclusives + self.upgrades
+    }
+
+    /// Bus utilization over `total_cycles` of simulation, in `[0, 1]`.
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// Result of [`Bus::try_grant`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum GrantOutcome {
+    /// A transaction was granted; it occupies the bus until `completes_at`.
+    Granted {
+        /// The granted request.
+        request: BusRequest,
+        /// Time the transfer finishes (fill data available / invalidation
+        /// globally performed).
+        completes_at: u64,
+    },
+    /// The bus is occupied; retry at the given time.
+    BusyUntil(u64),
+    /// The bus is free but the earliest queued request is not yet eligible;
+    /// retry at the given time.
+    WaitingUntil(u64),
+    /// No transactions are queued.
+    Idle,
+}
+
+/// The shared, contended data-bus resource with two-class round-robin
+/// arbitration (demand over prefetch), per the paper.
+///
+/// The bus is passive: the simulation engine calls [`Bus::submit`] when a
+/// processor issues a transaction and [`Bus::try_grant`] whenever the bus
+/// might be able to start one (after a submit or a completion).
+#[derive(Clone, Debug)]
+pub struct Bus {
+    config: BusConfig,
+    next_id: u64,
+    demand: Vec<VecDeque<BusRequest>>,
+    prefetch: Vec<VecDeque<BusRequest>>,
+    rr_demand: usize,
+    rr_prefetch: usize,
+    busy_until: u64,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Creates an idle bus serving `num_procs` processors.
+    pub fn new(config: BusConfig, num_procs: usize) -> Self {
+        Bus {
+            config,
+            next_id: 0,
+            demand: vec![VecDeque::new(); num_procs],
+            prefetch: vec![VecDeque::new(); num_procs],
+            rr_demand: 0,
+            rr_prefetch: 0,
+            busy_until: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// The bus timing configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Submits a transaction at time `now`.
+    ///
+    /// Fills ([`BusOp::Read`], [`BusOp::ReadExclusive`]) become eligible for
+    /// arbitration after the uncontended latency portion; upgrades and
+    /// write-backs are eligible immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn submit(
+        &mut self,
+        now: u64,
+        proc: ProcId,
+        line: LineAddr,
+        op: BusOp,
+        priority: Priority,
+    ) -> TxnId {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        let ready_at = match op {
+            BusOp::Read | BusOp::ReadExclusive => now + self.config.uncontended_cycles(),
+            BusOp::Upgrade | BusOp::WriteBack => now,
+        };
+        let req = BusRequest { id, proc, line, op, priority, ready_at };
+        match priority {
+            Priority::Demand => self.demand[proc.index()].push_back(req),
+            Priority::Prefetch => self.prefetch[proc.index()].push_back(req),
+        }
+        id
+    }
+
+    /// Moves a queued prefetch into the demand class (the CPU is now stalled
+    /// on it). Returns `false` if the transaction is no longer queued (it was
+    /// already granted or never existed).
+    pub fn promote(&mut self, id: TxnId) -> bool {
+        for proc_q in self.prefetch.iter_mut() {
+            if let Some(pos) = proc_q.iter().position(|r| r.id == id) {
+                let mut req = proc_q.remove(pos).expect("position valid");
+                req.priority = Priority::Demand;
+                self.demand[req.proc.index()].push_back(req);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Attempts to start the next transaction at time `now`.
+    pub fn try_grant(&mut self, now: u64) -> GrantOutcome {
+        if self.busy_until > now {
+            return GrantOutcome::BusyUntil(self.busy_until);
+        }
+        if let Some(req) = Self::pick(&mut self.demand, &mut self.rr_demand, now)
+            .or_else(|| Self::pick(&mut self.prefetch, &mut self.rr_prefetch, now))
+        {
+            let occupancy = if req.transfers_data() {
+                self.config.transfer_cycles
+            } else {
+                self.config.invalidate_cycles
+            };
+            let completes_at = now + occupancy;
+            self.busy_until = completes_at;
+            self.stats.busy_cycles += occupancy;
+            self.stats.queueing_cycles += now - req.ready_at;
+            match req.op {
+                BusOp::Read => self.stats.reads += 1,
+                BusOp::ReadExclusive => self.stats.read_exclusives += 1,
+                BusOp::Upgrade => self.stats.upgrades += 1,
+                BusOp::WriteBack => self.stats.writebacks += 1,
+            }
+            if req.priority == Priority::Prefetch {
+                self.stats.prefetch_grants += 1;
+            }
+            return GrantOutcome::Granted { request: req, completes_at };
+        }
+        match self.earliest_ready() {
+            Some(t) => GrantOutcome::WaitingUntil(t.max(now + 1)),
+            None => GrantOutcome::Idle,
+        }
+    }
+
+    /// Round-robin pick within one class: scan processors starting after the
+    /// last-granted one; a processor's front request is eligible when
+    /// `ready_at <= now`.
+    fn pick(queues: &mut [VecDeque<BusRequest>], cursor: &mut usize, now: u64) -> Option<BusRequest> {
+        let n = queues.len();
+        if n == 0 {
+            return None;
+        }
+        for i in 0..n {
+            let p = (*cursor + 1 + i) % n;
+            if let Some(front) = queues[p].front() {
+                if front.ready_at <= now {
+                    *cursor = p;
+                    return queues[p].pop_front();
+                }
+            }
+        }
+        None
+    }
+
+    fn earliest_ready(&self) -> Option<u64> {
+        self.demand
+            .iter()
+            .chain(self.prefetch.iter())
+            .filter_map(|q| q.front().map(|r| r.ready_at))
+            .min()
+    }
+
+    /// Time the current transfer finishes (0 when never used).
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Number of queued (not yet granted) transactions.
+    pub fn pending(&self) -> usize {
+        self.demand.iter().chain(self.prefetch.iter()).map(VecDeque::len).sum()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Zeroes the accumulated statistics (warm-up windowing); queues and
+    /// timing state are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_raw(n)
+    }
+
+    fn bus() -> Bus {
+        Bus::new(BusConfig::paper(8), 4)
+    }
+
+    #[test]
+    fn idle_bus_reports_idle() {
+        let mut b = bus();
+        assert_eq!(b.try_grant(0), GrantOutcome::Idle);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn fill_waits_uncontended_portion() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::Read, Priority::Demand);
+        // Not eligible until cycle 92.
+        assert_eq!(b.try_grant(0), GrantOutcome::WaitingUntil(92));
+        match b.try_grant(92) {
+            GrantOutcome::Granted { request, completes_at } => {
+                assert_eq!(request.op, BusOp::Read);
+                assert_eq!(completes_at, 100, "unloaded fill completes at total latency");
+            }
+            o => panic!("expected grant, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn upgrade_is_immediate_and_short() {
+        let mut b = bus();
+        b.submit(10, ProcId(1), line(2), BusOp::Upgrade, Priority::Demand);
+        match b.try_grant(10) {
+            GrantOutcome::Granted { completes_at, .. } => assert_eq!(completes_at, 12),
+            o => panic!("expected grant, got {o:?}"),
+        }
+        assert_eq!(b.stats().upgrades, 1);
+        assert_eq!(b.stats().busy_cycles, 2);
+    }
+
+    #[test]
+    fn busy_bus_defers() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        let first = b.try_grant(0);
+        assert!(matches!(first, GrantOutcome::Granted { completes_at: 8, .. }));
+        b.submit(1, ProcId(1), line(2), BusOp::WriteBack, Priority::Demand);
+        assert_eq!(b.try_grant(1), GrantOutcome::BusyUntil(8));
+        assert!(matches!(b.try_grant(8), GrantOutcome::Granted { completes_at: 16, .. }));
+    }
+
+    #[test]
+    fn demand_beats_prefetch() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::Read, Priority::Prefetch);
+        b.submit(0, ProcId(1), line(2), BusOp::Read, Priority::Demand);
+        match b.try_grant(92) {
+            GrantOutcome::Granted { request, .. } => {
+                assert_eq!(request.proc, ProcId(1), "demand request must win");
+                assert_eq!(request.priority, Priority::Demand);
+            }
+            o => panic!("expected grant, got {o:?}"),
+        }
+        match b.try_grant(100) {
+            GrantOutcome::Granted { request, .. } => {
+                assert_eq!(request.proc, ProcId(0));
+                assert_eq!(request.priority, Priority::Prefetch);
+            }
+            o => panic!("expected grant, got {o:?}"),
+        }
+        assert_eq!(b.stats().prefetch_grants, 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_across_procs() {
+        let mut b = bus();
+        for p in 0..4u8 {
+            b.submit(0, ProcId(p), line(u64::from(p)), BusOp::WriteBack, Priority::Demand);
+        }
+        let mut order = Vec::new();
+        let mut t = 0;
+        for _ in 0..4 {
+            match b.try_grant(t) {
+                GrantOutcome::Granted { request, completes_at } => {
+                    order.push(request.proc.0);
+                    t = completes_at;
+                }
+                o => panic!("expected grant, got {o:?}"),
+            }
+        }
+        assert_eq!(order, vec![1, 2, 3, 0], "round-robin starts after cursor and wraps");
+    }
+
+    #[test]
+    fn promote_moves_prefetch_to_demand() {
+        let mut b = bus();
+        let pf = b.submit(0, ProcId(0), line(1), BusOp::Read, Priority::Prefetch);
+        b.submit(0, ProcId(1), line(2), BusOp::Read, Priority::Prefetch);
+        assert!(b.promote(pf));
+        match b.try_grant(92) {
+            GrantOutcome::Granted { request, .. } => {
+                assert_eq!(request.id, pf);
+                assert_eq!(request.priority, Priority::Demand);
+            }
+            o => panic!("expected grant, got {o:?}"),
+        }
+        // Promoting an already-granted txn fails.
+        assert!(!b.promote(pf));
+    }
+
+    #[test]
+    fn queueing_cycles_accumulate_under_contention() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        b.submit(0, ProcId(1), line(2), BusOp::WriteBack, Priority::Demand);
+        let _ = b.try_grant(0); // grant P0 at 0, busy until 8
+        let _ = b.try_grant(8); // P1 waited 8 cycles
+        assert_eq!(b.stats().queueing_cycles, 8);
+        assert_eq!(b.stats().writebacks, 2);
+        assert_eq!(b.stats().busy_cycles, 16);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let s = BusStats { busy_cycles: 25, ..BusStats::default() };
+        assert!((s.utilization(100) - 0.25).abs() < 1e-12);
+        assert_eq!(s.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn per_proc_fifo_order_within_class() {
+        let mut b = bus();
+        let a = b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        let c = b.submit(0, ProcId(0), line(2), BusOp::WriteBack, Priority::Demand);
+        match b.try_grant(0) {
+            GrantOutcome::Granted { request, .. } => assert_eq!(request.id, a),
+            o => panic!("{o:?}"),
+        }
+        match b.try_grant(8) {
+            GrantOutcome::Granted { request, .. } => assert_eq!(request.id, c),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidating_ops_counts_rdx_and_upgrades() {
+        let s = BusStats { read_exclusives: 3, upgrades: 2, reads: 10, ..BusStats::default() };
+        assert_eq!(s.invalidating_ops(), 5);
+        assert_eq!(s.total_ops(), 15);
+    }
+}

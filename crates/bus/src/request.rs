@@ -1,0 +1,77 @@
+//! Bus transaction requests and identifiers.
+
+use charlie_cache::protocol::BusOp;
+use charlie_trace::{LineAddr, ProcId};
+use std::fmt;
+
+/// Opaque identifier of a submitted bus transaction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId(pub(crate) u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Arbitration class. The paper's arbiter "favors blocking loads over
+/// prefetches": [`Priority::Demand`] always wins over [`Priority::Prefetch`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Priority {
+    /// A request the processor is stalled on (demand fills, upgrades) or
+    /// that must drain promptly (write-backs).
+    Demand,
+    /// A background prefetch fill.
+    Prefetch,
+}
+
+/// A transaction queued at the bus.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BusRequest {
+    /// Identifier assigned at submission.
+    pub id: TxnId,
+    /// Requesting processor.
+    pub proc: ProcId,
+    /// Line the transaction concerns.
+    pub line: LineAddr,
+    /// Coherence kind.
+    pub op: BusOp,
+    /// Arbitration class.
+    pub priority: Priority,
+    /// Simulated time at which the request becomes eligible for arbitration
+    /// (submission time plus the uncontended latency portion for fills).
+    pub ready_at: u64,
+}
+
+impl BusRequest {
+    /// `true` when `op` moves a full block and therefore occupies the bus for
+    /// the full transfer latency.
+    pub fn transfers_data(&self) -> bool {
+        self.op.transfers_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_display() {
+        assert_eq!(TxnId(7).to_string(), "txn#7");
+    }
+
+    #[test]
+    fn transfers_data_delegates_to_op() {
+        let mk = |op| BusRequest {
+            id: TxnId(0),
+            proc: ProcId(0),
+            line: LineAddr::from_raw(1),
+            op,
+            priority: Priority::Demand,
+            ready_at: 0,
+        };
+        assert!(mk(BusOp::Read).transfers_data());
+        assert!(mk(BusOp::WriteBack).transfers_data());
+        assert!(!mk(BusOp::Upgrade).transfers_data());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the bus: every submitted transaction is eventually
+//! granted, demand strictly beats prefetch, and occupancy accounting closes.
+
+use charlie_bus::{Bus, BusConfig, GrantOutcome, Priority};
+use charlie_cache::protocol::BusOp;
+use charlie_trace::{LineAddr, ProcId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Req {
+    proc: u8,
+    op: u8,
+    prefetch: bool,
+    delay: u8,
+}
+
+fn arb_reqs() -> impl proptest::strategy::Strategy<Value = Vec<Req>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..4, any::<bool>(), 0u8..20)
+            .prop_map(|(proc, op, prefetch, delay)| Req { proc, op, prefetch, delay }),
+        1..80,
+    )
+}
+
+fn op_of(code: u8) -> BusOp {
+    match code {
+        0 => BusOp::Read,
+        1 => BusOp::ReadExclusive,
+        2 => BusOp::Upgrade,
+        _ => BusOp::WriteBack,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drain-to-completion: everything submitted is granted exactly once and
+    /// the busy-cycle ledger matches the per-op occupancy.
+    #[test]
+    fn all_requests_drain(reqs in arb_reqs(), transfer in 2u64..33) {
+        let cfg = BusConfig::paper(transfer);
+        let mut bus = Bus::new(cfg, 4);
+        let mut t = 0u64;
+        let mut expected_busy = 0u64;
+        for (i, r) in reqs.iter().enumerate() {
+            t += u64::from(r.delay);
+            let prio = if r.prefetch { Priority::Prefetch } else { Priority::Demand };
+            bus.submit(t, ProcId(r.proc), LineAddr::from_raw(i as u64), op_of(r.op), prio);
+            expected_busy += if op_of(r.op).transfers_data() {
+                cfg.transfer_cycles
+            } else {
+                cfg.invalidate_cycles
+            };
+        }
+        let mut grants = 0usize;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 100_000, "bus must not livelock");
+            match bus.try_grant(t) {
+                GrantOutcome::Granted { completes_at, .. } => {
+                    prop_assert!(completes_at > t);
+                    grants += 1;
+                    t = completes_at;
+                }
+                GrantOutcome::BusyUntil(next) | GrantOutcome::WaitingUntil(next) => {
+                    prop_assert!(next > t, "retry time must advance");
+                    t = next;
+                }
+                GrantOutcome::Idle => break,
+            }
+        }
+        prop_assert_eq!(grants, reqs.len());
+        prop_assert_eq!(bus.pending(), 0);
+        prop_assert_eq!(bus.stats().busy_cycles, expected_busy);
+        prop_assert_eq!(bus.stats().total_ops() as usize, reqs.len());
+    }
+
+    /// Strict priority: while any demand request is eligible, no prefetch is
+    /// granted.
+    #[test]
+    fn demand_always_beats_prefetch(n_demand in 1usize..8, n_prefetch in 1usize..8) {
+        let mut bus = Bus::new(BusConfig::paper(8), 4);
+        for i in 0..n_prefetch {
+            bus.submit(0, ProcId((i % 4) as u8), LineAddr::from_raw(i as u64),
+                BusOp::WriteBack, Priority::Prefetch);
+        }
+        for i in 0..n_demand {
+            bus.submit(0, ProcId((i % 4) as u8), LineAddr::from_raw(100 + i as u64),
+                BusOp::WriteBack, Priority::Demand);
+        }
+        let mut t = 0;
+        for k in 0..(n_demand + n_prefetch) {
+            match bus.try_grant(t) {
+                GrantOutcome::Granted { request, completes_at } => {
+                    if k < n_demand {
+                        prop_assert_eq!(request.priority, Priority::Demand,
+                            "grant {} must be demand", k);
+                    } else {
+                        prop_assert_eq!(request.priority, Priority::Prefetch);
+                    }
+                    t = completes_at;
+                }
+                other => prop_assert!(false, "expected grant, got {:?}", other),
+            }
+        }
+    }
+
+    /// Round-robin fairness: with one queued request per processor, each
+    /// processor is granted exactly once before any second grant.
+    #[test]
+    fn round_robin_serves_everyone(procs in 2usize..5) {
+        let mut bus = Bus::new(BusConfig::paper(4), procs);
+        for p in 0..procs {
+            bus.submit(0, ProcId(p as u8), LineAddr::from_raw(p as u64),
+                BusOp::WriteBack, Priority::Demand);
+        }
+        let mut served = std::collections::HashSet::new();
+        let mut t = 0;
+        for _ in 0..procs {
+            match bus.try_grant(t) {
+                GrantOutcome::Granted { request, completes_at } => {
+                    prop_assert!(served.insert(request.proc), "no proc served twice first");
+                    t = completes_at;
+                }
+                other => prop_assert!(false, "expected grant, got {:?}", other),
+            }
+        }
+        prop_assert_eq!(served.len(), procs);
+    }
+}

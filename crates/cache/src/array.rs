@@ -1,0 +1,513 @@
+//! Set-associative cache array with LRU replacement.
+//!
+//! The array stores [`CacheLine`] metadata only. Coherence *decisions* are
+//! made by [`crate::protocol`]; the array provides the mechanics: probing,
+//! filling with victim selection, snoop-driven state changes.
+
+use crate::geometry::CacheGeometry;
+use crate::line::CacheLine;
+use crate::state::LineState;
+use crate::victim::{VictimBuffer, VictimEntry};
+use charlie_trace::LineAddr;
+
+/// Result of probing the array for a line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Probe {
+    /// Valid copy present.
+    Hit {
+        /// Way within the set.
+        way: u32,
+        /// Current coherence state.
+        state: LineState,
+    },
+    /// The frame still holds the tag but the line was invalidated: the
+    /// paper's *invalidation miss* ("the tags match, but the state has been
+    /// marked invalid").
+    InvalidatedMatch {
+        /// Way within the set.
+        way: u32,
+    },
+    /// No frame in the set matches the tag: a *non-sharing* miss (first use,
+    /// or the line was replaced).
+    Miss,
+}
+
+impl Probe {
+    /// `true` for [`Probe::Hit`].
+    pub const fn is_hit(self) -> bool {
+        matches!(self, Probe::Hit { .. })
+    }
+}
+
+/// A valid line displaced by a fill, reported so the caller can issue a
+/// write-back and record prefetch-waste statistics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EvictedLine {
+    /// Address of the displaced line.
+    pub line: LineAddr,
+    /// Its state at eviction (dirty ⇒ write-back required).
+    pub state: LineState,
+    /// The displaced line had been brought in by a prefetch and never used by
+    /// a demand access.
+    pub prefetched_unused: bool,
+}
+
+#[derive(Clone, Debug)]
+struct CacheSet {
+    ways: Vec<CacheLine>,
+    /// Way indices, most-recently-used first.
+    lru: Vec<u32>,
+}
+
+impl CacheSet {
+    fn new(associativity: u32) -> Self {
+        CacheSet {
+            ways: vec![CacheLine::new(); associativity as usize],
+            lru: (0..associativity).collect(),
+        }
+    }
+
+    fn touch(&mut self, way: u32) {
+        let pos = self.lru.iter().position(|&w| w == way).expect("way in lru list");
+        self.lru.remove(pos);
+        self.lru.insert(0, way);
+    }
+
+    fn find(&self, tag: u64) -> Option<u32> {
+        self.ways.iter().position(|l| l.matches(tag)).map(|w| w as u32)
+    }
+
+    /// Victim selection: reuse the matching-tag frame if any (refill after
+    /// invalidation), else any invalid frame (least recently used first),
+    /// else the LRU valid frame.
+    fn victim(&self, tag: u64) -> u32 {
+        if let Some(w) = self.find(tag) {
+            return w;
+        }
+        for &w in self.lru.iter().rev() {
+            if !self.ways[w as usize].state().is_valid() {
+                return w;
+            }
+        }
+        *self.lru.last().expect("non-empty lru list")
+    }
+}
+
+/// A single processor's cache: tags, Illinois states, LRU, and the per-line
+/// bookkeeping the paper's miss taxonomy requires.
+///
+/// See the crate-level example for typical use.
+#[derive(Clone, Debug)]
+pub struct CacheArray {
+    geom: CacheGeometry,
+    sets: Vec<CacheSet>,
+    victim: VictimBuffer,
+}
+
+impl CacheArray {
+    /// Creates an empty cache with the given geometry (no victim buffer).
+    pub fn new(geom: CacheGeometry) -> Self {
+        CacheArray::with_victim(geom, 0)
+    }
+
+    /// Creates an empty cache backed by a fully-associative victim buffer of
+    /// `victim_entries` lines (a small fully-associative Jouppi buffer; 0 disables it).
+    pub fn with_victim(geom: CacheGeometry, victim_entries: usize) -> Self {
+        let sets = (0..geom.num_sets()).map(|_| CacheSet::new(geom.associativity())).collect();
+        CacheArray { geom, sets, victim: VictimBuffer::new(victim_entries) }
+    }
+
+    /// Capacity of the victim buffer (0 = disabled).
+    pub fn victim_capacity(&self) -> usize {
+        self.victim.capacity()
+    }
+
+    /// Whether the victim buffer holds a valid copy of `line`.
+    pub fn probe_victim(&self, line: LineAddr) -> bool {
+        self.victim.contains(line)
+    }
+
+    /// Swaps `line` back from the victim buffer into the main array,
+    /// preserving its state and bookkeeping. Returns the line that leaves
+    /// the hierarchy (the displaced line's castout), if any.
+    ///
+    /// Returns `None` without effect when the line is not buffered — check
+    /// [`CacheArray::probe_victim`] first if the distinction matters (a
+    /// castout also yields `None`, so use the probe, not this return value,
+    /// to detect victim hits).
+    pub fn recall_from_victim(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let entry = self.victim.take(line)?;
+        self.install_frame(entry)
+    }
+
+    /// Installs a preserved frame into the main array, spilling any
+    /// displaced valid line into the victim buffer. Returns the castout
+    /// leaving the hierarchy, if any.
+    fn install_frame(&mut self, entry: VictimEntry) -> Option<EvictedLine> {
+        let line = entry.line;
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        let way = self.sets[set_idx].victim(tag);
+        let displaced = {
+            let frame = &self.sets[set_idx].ways[way as usize];
+            if frame.state().is_valid() && !frame.matches(tag) {
+                Some(VictimEntry {
+                    line: self.geom.line_from_parts(frame.tag(), set_idx as u64),
+                    frame: *frame,
+                })
+            } else {
+                None
+            }
+        };
+        self.sets[set_idx].ways[way as usize] = entry.frame;
+        self.sets[set_idx].touch(way);
+        let castout = displaced.and_then(|d| self.spill(d));
+        castout.map(|c| EvictedLine {
+            line: c.line,
+            state: c.frame.state(),
+            prefetched_unused: c.frame.filled_by_prefetch() && !c.frame.used_since_fill(),
+        })
+    }
+
+    /// Routes an evicted valid line through the victim buffer; returns the
+    /// entry that actually leaves the hierarchy.
+    fn spill(&mut self, entry: VictimEntry) -> Option<VictimEntry> {
+        if self.victim.capacity() == 0 {
+            Some(entry)
+        } else {
+            self.victim.insert(entry)
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        self.geom.set_index(line) as usize
+    }
+
+    /// Probes for `line` without modifying any state (not even LRU).
+    pub fn probe_line(&self, line: LineAddr) -> Probe {
+        let tag = self.geom.tag(line);
+        let set = &self.sets[self.set_of(line)];
+        match set.find(tag) {
+            None => Probe::Miss,
+            Some(way) => {
+                let l = &set.ways[way as usize];
+                if l.state().is_valid() {
+                    Probe::Hit { way, state: l.state() }
+                } else {
+                    Probe::InvalidatedMatch { way }
+                }
+            }
+        }
+    }
+
+    /// Probes for the line containing byte address `addr`.
+    pub fn probe(&self, addr: charlie_trace::Addr) -> Probe {
+        self.probe_line(self.geom.line(addr))
+    }
+
+    /// Immutable view of a frame found by a probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range for the set of `line`.
+    pub fn frame(&self, line: LineAddr, way: u32) -> &CacheLine {
+        &self.sets[self.set_of(line)].ways[way as usize]
+    }
+
+    /// Mutable view of a frame found by a probe; also freshens LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range for the set of `line`.
+    pub fn frame_mut(&mut self, line: LineAddr, way: u32) -> &mut CacheLine {
+        let set_idx = self.set_of(line);
+        self.sets[set_idx].touch(way);
+        &mut self.sets[set_idx].ways[way as usize]
+    }
+
+    /// Installs `line` in state `state`, evicting if necessary.
+    ///
+    /// Returns the displaced valid line, if any, so the caller can issue a
+    /// write-back (dirty victim) and account for wasted prefetches.
+    pub fn fill(&mut self, line: LineAddr, state: LineState, by_prefetch: bool) -> Option<EvictedLine> {
+        // A stale buffered copy (e.g. the fill was issued before the victim
+        // copy was noticed) must not linger.
+        let _ = self.victim.take(line);
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        let way = self.sets[set_idx].victim(tag);
+        let displaced = {
+            let frame = &self.sets[set_idx].ways[way as usize];
+            if frame.state().is_valid() && !frame.matches(tag) {
+                Some(VictimEntry {
+                    line: self.geom.line_from_parts(frame.tag(), set_idx as u64),
+                    frame: *frame,
+                })
+            } else {
+                None
+            }
+        };
+        let set = &mut self.sets[set_idx];
+        set.ways[way as usize].fill(tag, state, by_prefetch);
+        set.touch(way);
+        let castout = displaced.and_then(|d| self.spill(d));
+        castout.map(|c| EvictedLine {
+            line: c.line,
+            state: c.frame.state(),
+            prefetched_unused: c.frame.filled_by_prefetch() && !c.frame.used_since_fill(),
+        })
+    }
+
+    /// Comprehensive invalidation snoop covering the main array *and* the
+    /// victim buffer. Returns the pre-invalidation state and whether the
+    /// killed copy was a never-used prefetch.
+    pub fn snoop_invalidate(&mut self, line: LineAddr, word: u32) -> Option<(LineState, bool)> {
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        if let Some(way) = self.sets[set_idx].find(tag) {
+            let frame = &mut self.sets[set_idx].ways[way as usize];
+            if frame.state().is_valid() {
+                let prev = frame.state();
+                let unused = frame.filled_by_prefetch() && !frame.used_since_fill();
+                frame.invalidate_by_remote_write(word);
+                return Some((prev, unused));
+            }
+            return None;
+        }
+        self.victim.take(line).map(|e| {
+            (e.frame.state(), e.frame.filled_by_prefetch() && !e.frame.used_since_fill())
+        })
+    }
+
+    /// Comprehensive remote-read downgrade snoop covering the main array and
+    /// the victim buffer; returns the pre-snoop state of a valid copy.
+    pub fn snoop_downgrade(&mut self, line: LineAddr) -> Option<LineState> {
+        if let Some(prev) = self.downgrade_remote(line) {
+            return Some(prev);
+        }
+        self.victim.downgrade(line)
+    }
+
+    /// Applies a remote invalidation (read-exclusive or upgrade snoop) for
+    /// `line`, where the remote write targets word `word`.
+    ///
+    /// Returns the frame's pre-invalidation state if a valid copy was
+    /// present (so the caller can tell whether data had to be supplied and
+    /// whether a prefetched-unused line was killed), or `None` otherwise.
+    pub fn invalidate_remote(&mut self, line: LineAddr, word: u32) -> Option<LineState> {
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(tag)?;
+        let frame = &mut set.ways[way as usize];
+        if !frame.state().is_valid() {
+            return None;
+        }
+        let prev = frame.state();
+        frame.invalidate_by_remote_write(word);
+        Some(prev)
+    }
+
+    /// Applies a remote-read downgrade snoop for `line` (valid copy becomes
+    /// shared). Returns the pre-snoop state if a valid copy was present.
+    pub fn downgrade_remote(&mut self, line: LineAddr) -> Option<LineState> {
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(tag)?;
+        let frame = &mut set.ways[way as usize];
+        if !frame.state().is_valid() {
+            return None;
+        }
+        let prev = frame.state();
+        frame.downgrade(LineState::Shared);
+        Some(prev)
+    }
+
+    /// Current state of `line` if a valid copy is resident in the main
+    /// array or the victim buffer.
+    pub fn state_of(&self, line: LineAddr) -> Option<LineState> {
+        match self.probe_line(line) {
+            Probe::Hit { state, .. } => Some(state),
+            _ => self.victim.iter().find(|(l, _)| *l == line).map(|(_, s)| s),
+        }
+    }
+
+    /// Iterates over all valid resident lines (main array, then victim
+    /// buffer) as `(LineAddr, LineState)`.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.ways.iter().filter(|l| l.state().is_valid()).map(move |l| {
+                    (self.geom.line_from_parts(l.tag(), set_idx as u64), l.state())
+                })
+            })
+            .chain(self.victim.iter())
+    }
+
+    /// Number of valid resident lines (including the victim buffer).
+    pub fn num_valid(&self) -> usize {
+        self.sets.iter().map(|s| s.ways.iter().filter(|l| l.state().is_valid()).count()).sum::<usize>()
+            + self.victim.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlie_trace::Addr;
+
+    fn dm_cache() -> CacheArray {
+        CacheArray::new(CacheGeometry::paper_default())
+    }
+
+    #[test]
+    fn empty_cache_misses() {
+        let c = dm_cache();
+        assert_eq!(c.probe(Addr::new(0x1234)), Probe::Miss);
+        assert_eq!(c.num_valid(), 0);
+    }
+
+    #[test]
+    fn fill_hit_roundtrip() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x1234).line(32);
+        assert_eq!(c.fill(line, LineState::Shared, false), None);
+        match c.probe(Addr::new(0x1220)) {
+            Probe::Hit { state, .. } => assert_eq!(state, LineState::Shared),
+            p => panic!("expected hit, got {p:?}"),
+        }
+        assert_eq!(c.num_valid(), 1);
+        assert_eq!(c.state_of(line), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_cache();
+        let a = Addr::new(0x0000).line(32);
+        let b = Addr::new(0x8000).line(32); // same set, different tag
+        c.fill(a, LineState::PrivateDirty, false);
+        let evicted = c.fill(b, LineState::Shared, false).expect("conflict eviction");
+        assert_eq!(evicted.line, a);
+        assert_eq!(evicted.state, LineState::PrivateDirty);
+        assert!(!evicted.prefetched_unused);
+        assert_eq!(c.probe_line(a), Probe::Miss);
+        assert!(c.probe_line(b).is_hit());
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch() {
+        let mut c = dm_cache();
+        let a = Addr::new(0x0000).line(32);
+        let b = Addr::new(0x8000).line(32);
+        c.fill(a, LineState::PrivateClean, true); // prefetched, never used
+        let evicted = c.fill(b, LineState::Shared, false).unwrap();
+        assert!(evicted.prefetched_unused);
+    }
+
+    #[test]
+    fn invalidation_match_probe() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::Shared, false);
+        assert_eq!(c.invalidate_remote(line, 3), Some(LineState::Shared));
+        match c.probe_line(line) {
+            Probe::InvalidatedMatch { way } => {
+                assert_eq!(c.frame(line, way).inval_word(), Some(3));
+            }
+            p => panic!("expected invalidated match, got {p:?}"),
+        }
+        // Second invalidation is a no-op.
+        assert_eq!(c.invalidate_remote(line, 4), None);
+    }
+
+    #[test]
+    fn refill_after_invalidation_reuses_frame() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::Shared, false);
+        c.invalidate_remote(line, 0);
+        assert_eq!(c.fill(line, LineState::Shared, false), None);
+        assert!(c.probe_line(line).is_hit());
+    }
+
+    #[test]
+    fn downgrade_remote_shares() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::PrivateDirty, false);
+        assert_eq!(c.downgrade_remote(line), Some(LineState::PrivateDirty));
+        assert_eq!(c.state_of(line), Some(LineState::Shared));
+        // Missing line: no-op.
+        assert_eq!(c.downgrade_remote(Addr::new(0x9000).line(32)), None);
+    }
+
+    #[test]
+    fn lru_in_two_way_set() {
+        let geom = CacheGeometry::new(64 * 32 * 2, 32, 2).unwrap(); // 64 sets, 2-way
+        let mut c = CacheArray::new(geom);
+        // Three lines mapping to set 0.
+        let stride = 64 * 32; // set stride
+        let a = Addr::new(0).line(32);
+        let b = Addr::new(stride).line(32);
+        let d = Addr::new(2 * stride).line(32);
+        c.fill(a, LineState::Shared, false);
+        c.fill(b, LineState::Shared, false);
+        // Touch `a` so `b` becomes LRU.
+        if let Probe::Hit { way, .. } = c.probe_line(a) {
+            c.frame_mut(a, way).record_access(0, LineState::Shared);
+        } else {
+            panic!("a resident");
+        }
+        let evicted = c.fill(d, LineState::Shared, false).unwrap();
+        assert_eq!(evicted.line, b, "LRU way must be evicted");
+        assert!(c.probe_line(a).is_hit());
+        assert!(c.probe_line(d).is_hit());
+    }
+
+    #[test]
+    fn invalid_frame_preferred_over_eviction() {
+        let geom = CacheGeometry::new(64 * 32 * 2, 32, 2).unwrap();
+        let mut c = CacheArray::new(geom);
+        let stride = 64 * 32;
+        let a = Addr::new(0).line(32);
+        let b = Addr::new(stride).line(32);
+        let d = Addr::new(2 * stride).line(32);
+        c.fill(a, LineState::Shared, false);
+        c.fill(b, LineState::Shared, false);
+        c.invalidate_remote(a, 0); // a's frame is now invalid (ghost)
+        // Filling d should reuse a's frame, not evict b.
+        assert_eq!(c.fill(d, LineState::Shared, false), None);
+        assert!(c.probe_line(b).is_hit());
+        assert!(c.probe_line(d).is_hit());
+        assert_eq!(c.probe_line(a), Probe::Miss, "ghost frame overwritten");
+    }
+
+    #[test]
+    fn iter_valid_lists_resident_lines() {
+        let mut c = dm_cache();
+        let l1 = Addr::new(0x40).line(32);
+        let l2 = Addr::new(0x80).line(32);
+        c.fill(l1, LineState::Shared, false);
+        c.fill(l2, LineState::PrivateDirty, false);
+        let mut lines: Vec<_> = c.iter_valid().collect();
+        lines.sort();
+        assert_eq!(lines, vec![(l1, LineState::Shared), (l2, LineState::PrivateDirty)]);
+    }
+
+    #[test]
+    fn refill_same_tag_is_not_eviction() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::Shared, false);
+        assert_eq!(c.fill(line, LineState::PrivateClean, false), None);
+        assert_eq!(c.state_of(line), Some(LineState::PrivateClean));
+    }
+}

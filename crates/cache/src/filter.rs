@@ -1,0 +1,145 @@
+//! Filter caches: simple uniprocessor caches used off-line.
+//!
+//! The paper's prefetch-insertion pipeline runs each processor's address
+//! stream through a *filter cache* of the same configuration as the real
+//! cache to predict non-sharing misses (§3.1), and PWS runs write-shared
+//! references through a 16-line fully-associative filter to approximate
+//! temporal locality (§4.1). [`FilterCache`] serves both.
+
+use crate::array::{CacheArray, Probe};
+use crate::geometry::CacheGeometry;
+use crate::state::LineState;
+use charlie_trace::Addr;
+
+/// A uniprocessor cache that answers only "would this access hit?", filling
+/// on every miss.
+///
+/// # Example
+///
+/// ```
+/// use charlie_cache::{CacheGeometry, FilterCache};
+/// use charlie_trace::Addr;
+///
+/// let mut f = FilterCache::new(CacheGeometry::paper_default());
+/// assert!(!f.access(Addr::new(0x100))); // cold miss
+/// assert!(f.access(Addr::new(0x104))); // same line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct FilterCache {
+    array: CacheArray,
+    accesses: u64,
+    misses: u64,
+}
+
+impl FilterCache {
+    /// Creates an empty filter with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        FilterCache { array: CacheArray::new(geom), accesses: 0, misses: 0 }
+    }
+
+    /// The paper's PWS filter: 16 lines, fully associative, 32-byte blocks.
+    pub fn pws_default() -> Self {
+        let geom = CacheGeometry::new(16 * 32, 32, 16).expect("valid PWS filter geometry");
+        FilterCache::new(geom)
+    }
+
+    /// Simulates one access; returns `true` on a hit. Misses allocate.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.accesses += 1;
+        let line = self.array.geometry().line(addr);
+        match self.array.probe_line(line) {
+            Probe::Hit { way, .. } => {
+                // Freshen LRU.
+                let word = self.array.geometry().word_index(addr);
+                self.array.frame_mut(line, way).record_access(word, LineState::PrivateClean);
+                true
+            }
+            Probe::InvalidatedMatch { .. } | Probe::Miss => {
+                self.misses += 1;
+                self.array.fill(line, LineState::PrivateClean, false);
+                false
+            }
+        }
+    }
+
+    /// Accesses simulated so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; 0 when no accesses were simulated.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// The filter's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.array.geometry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_hot() {
+        let mut f = FilterCache::new(CacheGeometry::paper_default());
+        assert!(!f.access(Addr::new(0x0)));
+        assert!(f.access(Addr::new(0x4)));
+        assert!(f.access(Addr::new(0x1c)));
+        assert!(!f.access(Addr::new(0x20))); // next line
+        assert_eq!(f.accesses(), 4);
+        assert_eq!(f.misses(), 2);
+        assert!((f.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_in_direct_mapped_filter() {
+        let mut f = FilterCache::new(CacheGeometry::paper_default());
+        assert!(!f.access(Addr::new(0x0000)));
+        assert!(!f.access(Addr::new(0x8000))); // conflicts, evicts
+        assert!(!f.access(Addr::new(0x0000))); // conflict miss
+    }
+
+    #[test]
+    fn pws_filter_is_16_line_fully_associative() {
+        let f = FilterCache::pws_default();
+        assert_eq!(f.geometry().num_sets(), 1);
+        assert_eq!(f.geometry().associativity(), 16);
+        assert_eq!(f.geometry().block_bytes(), 32);
+    }
+
+    #[test]
+    fn pws_filter_lru_depth() {
+        let mut f = FilterCache::pws_default();
+        // Fill 16 distinct lines.
+        for i in 0..16u64 {
+            assert!(!f.access(Addr::new(i * 32)));
+        }
+        // All 16 hit.
+        for i in 0..16u64 {
+            assert!(f.access(Addr::new(i * 32)), "line {i} should still be resident");
+        }
+        // A 17th line evicts the LRU, which is line 0 (touched earliest in
+        // the second loop). Line 15 stays resident.
+        assert!(!f.access(Addr::new(16 * 32)));
+        assert!(f.access(Addr::new(15 * 32)));
+        assert!(!f.access(Addr::new(0)));
+    }
+
+    #[test]
+    fn empty_filter_miss_rate_zero() {
+        let f = FilterCache::pws_default();
+        assert_eq!(f.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cache geometry: size, block size, associativity, and the derived address
+//! decomposition.
+
+use charlie_trace::{Addr, LineAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Shape of a cache: total size, block (line) size, and associativity.
+///
+/// The paper's configuration is 32 KB, 32-byte blocks, direct-mapped:
+/// `CacheGeometry::new(32 * 1024, 32, 1)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    block_bytes: u64,
+    associativity: u32,
+    num_sets: u64,
+}
+
+/// Error constructing a [`CacheGeometry`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum GeometryError {
+    /// Size, block size, or the implied set count is not a power of two, or a
+    /// parameter is zero.
+    NotPowerOfTwo,
+    /// `size < block * associativity` (fewer than one set).
+    TooSmall,
+    /// Block size implies more than 64 words per line (unsupported by the
+    /// per-word access masks).
+    BlockTooLarge,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo => {
+                f.write_str("cache size, block size and set count must be nonzero powers of two")
+            }
+            GeometryError::TooSmall => {
+                f.write_str("cache must hold at least one set (size >= block * associativity)")
+            }
+            GeometryError::BlockTooLarge => {
+                f.write_str("block size must not exceed 256 bytes (64 words)")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is zero or not a power of
+    /// two, if the implied number of sets is not a power of two, if the cache
+    /// cannot hold one full set, or if the block exceeds 64 words.
+    pub fn new(size_bytes: u64, block_bytes: u64, associativity: u32) -> Result<Self, GeometryError> {
+        if size_bytes == 0
+            || block_bytes == 0
+            || associativity == 0
+            || !size_bytes.is_power_of_two()
+            || !block_bytes.is_power_of_two()
+        {
+            return Err(GeometryError::NotPowerOfTwo);
+        }
+        if block_bytes > 256 {
+            return Err(GeometryError::BlockTooLarge);
+        }
+        let frame_bytes = block_bytes * u64::from(associativity);
+        if size_bytes < frame_bytes {
+            return Err(GeometryError::TooSmall);
+        }
+        let num_sets = size_bytes / frame_bytes;
+        if !num_sets.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo);
+        }
+        Ok(CacheGeometry { size_bytes, block_bytes, associativity, num_sets })
+    }
+
+    /// The paper's cache: 32 KB, 32-byte blocks, direct-mapped.
+    pub fn paper_default() -> Self {
+        CacheGeometry::new(32 * 1024, 32, 1).expect("paper geometry is valid")
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Block (line) size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Number of 4-byte words per block.
+    pub fn words_per_block(&self) -> u32 {
+        (self.block_bytes / 4) as u32
+    }
+
+    /// The line address containing `addr`.
+    pub fn line(&self, addr: Addr) -> LineAddr {
+        addr.line(self.block_bytes)
+    }
+
+    /// The set index of a line.
+    pub fn set_index(&self, line: LineAddr) -> u64 {
+        line.raw() & (self.num_sets - 1)
+    }
+
+    /// The tag of a line (the part of the line address above the set index).
+    pub fn tag(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.num_sets.trailing_zeros()
+    }
+
+    /// Reassembles a line address from a tag and a set index (inverse of
+    /// [`CacheGeometry::tag`]/[`CacheGeometry::set_index`]).
+    pub fn line_from_parts(&self, tag: u64, set: u64) -> LineAddr {
+        LineAddr::from_raw((tag << self.num_sets.trailing_zeros()) | set)
+    }
+
+    /// The word index of `addr` within its block.
+    pub fn word_index(&self, addr: Addr) -> u32 {
+        addr.word_in_line(self.block_bytes)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {}-byte blocks, {}-way",
+            self.size_bytes / 1024,
+            self.block_bytes,
+            self.associativity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let g = CacheGeometry::paper_default();
+        assert_eq!(g.size_bytes(), 32 * 1024);
+        assert_eq!(g.block_bytes(), 32);
+        assert_eq!(g.associativity(), 1);
+        assert_eq!(g.num_sets(), 1024);
+        assert_eq!(g.words_per_block(), 8);
+        assert_eq!(g.to_string(), "32 KB, 32-byte blocks, 1-way");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(CacheGeometry::new(0, 32, 1), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(CacheGeometry::new(1024, 0, 1), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(CacheGeometry::new(1024, 32, 0), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(CacheGeometry::new(1000, 32, 1), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(CacheGeometry::new(1024, 48, 1), Err(GeometryError::NotPowerOfTwo));
+        assert_eq!(CacheGeometry::new(32, 64, 1), Err(GeometryError::TooSmall));
+        assert_eq!(CacheGeometry::new(4096, 512, 1), Err(GeometryError::BlockTooLarge));
+        // 16-way 1024B cache with 32B lines: 2 sets, fine.
+        assert!(CacheGeometry::new(1024, 32, 16).is_ok());
+    }
+
+    #[test]
+    fn fully_associative_is_one_set() {
+        let g = CacheGeometry::new(16 * 32, 32, 16).unwrap();
+        assert_eq!(g.num_sets(), 1);
+        let l1 = Addr::new(0x0).line(32);
+        let l2 = Addr::new(0x12340).line(32);
+        assert_eq!(g.set_index(l1), 0);
+        assert_eq!(g.set_index(l2), 0);
+        assert_ne!(g.tag(l1), g.tag(l2));
+    }
+
+    #[test]
+    fn tag_set_round_trip() {
+        let g = CacheGeometry::paper_default();
+        for raw in [0u64, 0x1234, 0xdead_beef, 0xffff_ffff] {
+            let line = Addr::new(raw).line(32);
+            let rebuilt = g.line_from_parts(g.tag(line), g.set_index(line));
+            assert_eq!(rebuilt, line);
+        }
+    }
+
+    #[test]
+    fn conflicting_addresses_map_to_same_set() {
+        let g = CacheGeometry::paper_default();
+        // Addresses 32 KB apart conflict in a direct-mapped 32 KB cache.
+        let a = Addr::new(0x0000);
+        let b = Addr::new(0x8000);
+        assert_eq!(g.set_index(g.line(a)), g.set_index(g.line(b)));
+        assert_ne!(g.tag(g.line(a)), g.tag(g.line(b)));
+    }
+}

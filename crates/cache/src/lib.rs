@@ -1,0 +1,45 @@
+//! Cache substrate for the `charlie` multiprocessor simulator.
+//!
+//! Provides the building blocks the simulator composes:
+//!
+//! * [`CacheGeometry`] — parametric size/block/associativity address math;
+//! * [`LineState`] and the [`protocol`] module — the Illinois write-invalidate
+//!   coherence protocol (MESI with a private-clean fill on unshared reads),
+//!   after Papamarcos & Patel (ISCA 1984), as used in the paper;
+//! * [`CacheArray`] — a set-associative (or direct-mapped) cache of
+//!   [`CacheLine`] metadata with LRU replacement, per-word access bitmaps for
+//!   false-sharing classification, and prefetch-provenance tracking;
+//! * [`FilterCache`] — the simple uniprocessor cache the off-line "oracle"
+//!   prefetcher and the PWS write-shared filter are built from.
+//!
+//! The arrays model *metadata only* (tags and states); no data values are
+//! stored, since trace-driven simulation never needs them.
+//!
+//! # Example
+//!
+//! ```
+//! use charlie_cache::{CacheArray, CacheGeometry, LineState};
+//! use charlie_trace::{AccessKind, Addr};
+//!
+//! let geom = CacheGeometry::new(32 * 1024, 32, 1)?; // the paper's cache
+//! let mut cache = CacheArray::new(geom);
+//! let addr = Addr::new(0x1234);
+//! assert!(!cache.probe(addr).is_hit());
+//! cache.fill(addr.line(32), LineState::PrivateClean, false);
+//! assert!(cache.probe(addr).is_hit());
+//! # Ok::<(), charlie_cache::GeometryError>(())
+//! ```
+
+mod array;
+mod filter;
+mod geometry;
+mod line;
+pub mod protocol;
+mod state;
+mod victim;
+
+pub use array::{CacheArray, EvictedLine, Probe};
+pub use filter::FilterCache;
+pub use geometry::{CacheGeometry, GeometryError};
+pub use line::{CacheLine, WordMask};
+pub use state::LineState;

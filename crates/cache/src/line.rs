@@ -1,0 +1,276 @@
+//! Per-line metadata: coherence state plus the bookkeeping the paper's miss
+//! taxonomy needs (per-word access masks, prefetch provenance, invalidation
+//! cause).
+
+use crate::state::LineState;
+use std::fmt;
+
+/// A set of word indices within one cache block (up to 64 words).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct WordMask(u64);
+
+impl WordMask {
+    /// The empty mask.
+    pub const EMPTY: WordMask = WordMask(0);
+
+    /// Adds word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= 64`.
+    pub fn insert(&mut self, w: u32) {
+        assert!(w < 64, "word index out of range");
+        self.0 |= 1 << w;
+    }
+
+    /// Returns `true` if word `w` is in the mask.
+    pub fn contains(self, w: u32) -> bool {
+        w < 64 && self.0 & (1 << w) != 0
+    }
+
+    /// Number of words in the mask.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if the mask is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for WordMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WordMask({:#b})", self.0)
+    }
+}
+
+/// Metadata for one cache frame.
+///
+/// Besides tag and coherence state, a line carries what the paper's CPU-miss
+/// component analysis (Figure 3) and false-sharing classification (Table 3)
+/// require:
+///
+/// * which words the local processor touched while the line was resident
+///   (frozen when the line is invalidated, so a later miss can be classified
+///   as true or false sharing);
+/// * whether the current (or, after invalidation, the last) fill was brought
+///   in by a prefetch, and whether any demand access used it since;
+/// * the word whose remote write invalidated the line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheLine {
+    tag: u64,
+    state: LineState,
+    ever_filled: bool,
+    accessed: WordMask,
+    inval_word: Option<u32>,
+    filled_by_prefetch: bool,
+    used_since_fill: bool,
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine {
+            tag: 0,
+            state: LineState::Invalid,
+            ever_filled: false,
+            accessed: WordMask::EMPTY,
+            inval_word: None,
+            filled_by_prefetch: false,
+            used_since_fill: false,
+        }
+    }
+}
+
+impl CacheLine {
+    /// An empty (never filled) frame.
+    pub fn new() -> Self {
+        CacheLine::default()
+    }
+
+    /// Current coherence state.
+    pub fn state(&self) -> LineState {
+        self.state
+    }
+
+    /// Tag of the resident (or last-resident) line. Meaningless until the
+    /// frame has been filled once; see [`CacheLine::matches`].
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `true` when the frame has ever held a line with tag `tag` (including a
+    /// now-invalidated one).
+    pub fn matches(&self, tag: u64) -> bool {
+        self.ever_filled && self.tag == tag
+    }
+
+    /// `true` when the frame holds a *valid* line with tag `tag`.
+    pub fn hit(&self, tag: u64) -> bool {
+        self.matches(tag) && self.state.is_valid()
+    }
+
+    /// Words the local processor accessed while the line was resident. After
+    /// an invalidation this stays frozen so the next miss can be classified.
+    pub fn accessed_words(&self) -> WordMask {
+        self.accessed
+    }
+
+    /// The word whose remote write invalidated this line, if the frame's
+    /// current tag was invalidated (rather than never filled or replaced).
+    pub fn inval_word(&self) -> Option<u32> {
+        self.inval_word
+    }
+
+    /// `true` if the resident line was brought in by a prefetch.
+    pub fn filled_by_prefetch(&self) -> bool {
+        self.filled_by_prefetch
+    }
+
+    /// `true` if any demand access touched the line since its last fill.
+    pub fn used_since_fill(&self) -> bool {
+        self.used_since_fill
+    }
+
+    /// Installs a new line in the frame, resetting all bookkeeping.
+    pub fn fill(&mut self, tag: u64, state: LineState, by_prefetch: bool) {
+        debug_assert!(state.is_valid(), "cannot fill into Invalid state");
+        self.tag = tag;
+        self.state = state;
+        self.ever_filled = true;
+        self.accessed = WordMask::EMPTY;
+        self.inval_word = None;
+        self.filled_by_prefetch = by_prefetch;
+        self.used_since_fill = false;
+    }
+
+    /// Records a demand access to word `w` (hit path) and applies the state
+    /// transition `new_state` computed by the protocol.
+    pub fn record_access(&mut self, w: u32, new_state: LineState) {
+        debug_assert!(self.state.is_valid(), "demand access recorded on invalid line");
+        self.accessed.insert(w);
+        self.used_since_fill = true;
+        self.state = new_state;
+    }
+
+    /// Applies a snoop-induced state change that keeps the line valid
+    /// (e.g. private → shared on a remote read).
+    pub fn downgrade(&mut self, new_state: LineState) {
+        debug_assert!(new_state.is_valid());
+        self.state = new_state;
+    }
+
+    /// Invalidates the line because a remote processor wrote word `w`
+    /// (read-exclusive or upgrade snoop). The access mask freezes so the next
+    /// local miss on this tag can be classified as true or false sharing.
+    pub fn invalidate_by_remote_write(&mut self, w: u32) {
+        self.state = LineState::Invalid;
+        self.inval_word = Some(w);
+    }
+
+    /// Marks the private-clean → private-dirty silent upgrade or completes an
+    /// upgrade transaction: the local write of word `w` retires.
+    pub fn record_write_retire(&mut self, w: u32) {
+        debug_assert!(self.state.is_valid());
+        self.accessed.insert(w);
+        self.used_since_fill = true;
+        self.state = LineState::PrivateDirty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_mask_ops() {
+        let mut m = WordMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(0);
+        m.insert(7);
+        assert!(m.contains(0));
+        assert!(m.contains(7));
+        assert!(!m.contains(3));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_mask_rejects_large_index() {
+        let mut m = WordMask::EMPTY;
+        m.insert(64);
+    }
+
+    #[test]
+    fn fresh_frame_misses_everything() {
+        let l = CacheLine::new();
+        assert!(!l.matches(0));
+        assert!(!l.hit(0));
+        assert_eq!(l.state(), LineState::Invalid);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut l = CacheLine::new();
+        l.fill(0x42, LineState::Shared, false);
+        assert!(l.hit(0x42));
+        assert!(!l.hit(0x43));
+        assert!(!l.filled_by_prefetch());
+        assert!(!l.used_since_fill());
+    }
+
+    #[test]
+    fn invalidation_keeps_tag_and_freezes_mask() {
+        let mut l = CacheLine::new();
+        l.fill(0x42, LineState::Shared, false);
+        l.record_access(3, LineState::Shared);
+        l.invalidate_by_remote_write(5);
+        assert!(!l.hit(0x42));
+        assert!(l.matches(0x42)); // invalidation miss: tags match, state invalid
+        assert_eq!(l.inval_word(), Some(5));
+        assert!(l.accessed_words().contains(3));
+        assert!(!l.accessed_words().contains(5)); // => false sharing
+    }
+
+    #[test]
+    fn refill_resets_bookkeeping() {
+        let mut l = CacheLine::new();
+        l.fill(0x42, LineState::Shared, true);
+        l.record_access(1, LineState::Shared);
+        l.invalidate_by_remote_write(1);
+        l.fill(0x99, LineState::PrivateClean, false);
+        assert!(l.hit(0x99));
+        assert_eq!(l.inval_word(), None);
+        assert!(l.accessed_words().is_empty());
+        assert!(!l.used_since_fill());
+        assert!(!l.filled_by_prefetch());
+    }
+
+    #[test]
+    fn prefetch_provenance_tracked() {
+        let mut l = CacheLine::new();
+        l.fill(0x10, LineState::PrivateClean, true);
+        assert!(l.filled_by_prefetch());
+        assert!(!l.used_since_fill());
+        l.record_access(0, LineState::PrivateClean);
+        assert!(l.used_since_fill());
+    }
+
+    #[test]
+    fn write_retire_dirties() {
+        let mut l = CacheLine::new();
+        l.fill(0x10, LineState::PrivateClean, false);
+        l.record_write_retire(2);
+        assert_eq!(l.state(), LineState::PrivateDirty);
+        assert!(l.accessed_words().contains(2));
+    }
+
+    #[test]
+    fn downgrade_keeps_validity() {
+        let mut l = CacheLine::new();
+        l.fill(0x10, LineState::PrivateDirty, false);
+        l.downgrade(LineState::Shared);
+        assert_eq!(l.state(), LineState::Shared);
+        assert!(l.hit(0x10));
+    }
+}

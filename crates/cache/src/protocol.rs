@@ -1,0 +1,228 @@
+//! The Illinois coherence protocol as pure transition functions.
+//!
+//! The simulator composes these with [`crate::CacheArray`] and the bus model;
+//! keeping the transitions side-effect-free makes the protocol independently
+//! testable (including by property tests over random access interleavings).
+//!
+//! Transactions observed on the bus, from the point of view of coherence:
+//!
+//! * [`BusOp::Read`] — read-miss fill; other caches downgrade to shared, a
+//!   dirty owner supplies the data and writes back.
+//! * [`BusOp::ReadExclusive`] — write-miss or exclusive-prefetch fill; other
+//!   caches invalidate.
+//! * [`BusOp::Upgrade`] — invalidation-only transaction for a write hit on a
+//!   shared line; no data transfer.
+//! * [`BusOp::WriteBack`] — dirty-victim copy-back; no coherence action.
+
+use crate::state::LineState;
+
+/// Bus transaction kinds that participate in coherence.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BusOp {
+    /// Shared-mode fill (read miss or shared-mode prefetch).
+    Read,
+    /// Exclusive-mode fill (write miss or exclusive prefetch).
+    ReadExclusive,
+    /// Invalidation-only upgrade (write hit on a shared line).
+    Upgrade,
+    /// Dirty-victim copy-back.
+    WriteBack,
+}
+
+impl BusOp {
+    /// `true` for transactions that move a full cache block over the bus.
+    pub const fn transfers_data(self) -> bool {
+        matches!(self, BusOp::Read | BusOp::ReadExclusive | BusOp::WriteBack)
+    }
+
+    /// `true` for transactions that invalidate remote copies.
+    pub const fn invalidates_others(self) -> bool {
+        matches!(self, BusOp::ReadExclusive | BusOp::Upgrade)
+    }
+}
+
+/// What a local access requires of the memory system, given the current line
+/// state.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LocalAction {
+    /// Access completes in-cache, no bus operation, new state given.
+    Hit(LineState),
+    /// Line is valid but a write needs an invalidation-only [`BusOp::Upgrade`]
+    /// before the store can retire (shared → private-dirty).
+    HitNeedsUpgrade,
+    /// Access misses; the given fill transaction must be issued.
+    Miss(BusOp),
+}
+
+/// Computes the consequence of a local read or write against a line in
+/// `state`. `state == Invalid` covers both "not present" and "invalidated".
+pub fn local_access(state: LineState, is_write: bool) -> LocalAction {
+    match (state, is_write) {
+        (LineState::Invalid, false) => LocalAction::Miss(BusOp::Read),
+        (LineState::Invalid, true) => LocalAction::Miss(BusOp::ReadExclusive),
+        (s, false) => LocalAction::Hit(s),
+        (LineState::Shared, true) => LocalAction::HitNeedsUpgrade,
+        (LineState::PrivateClean, true) | (LineState::PrivateDirty, true) => {
+            // Illinois: silent upgrade to dirty, no bus operation.
+            LocalAction::Hit(LineState::PrivateDirty)
+        }
+    }
+}
+
+/// State a line fills into when transaction `op` completes, given whether any
+/// other cache holds a copy at that moment (the Illinois "sharing" wire).
+///
+/// Exclusive fills land *clean*: an exclusive prefetch has not written yet;
+/// the demand write that follows upgrades silently. `others_have_copy` is
+/// irrelevant for exclusive fills because they invalidate every other copy.
+///
+/// # Panics
+///
+/// Panics if called with [`BusOp::Upgrade`] or [`BusOp::WriteBack`], which do
+/// not fill lines.
+pub fn fill_state(op: BusOp, others_have_copy: bool) -> LineState {
+    match op {
+        BusOp::Read => {
+            if others_have_copy {
+                LineState::Shared
+            } else {
+                LineState::PrivateClean
+            }
+        }
+        BusOp::ReadExclusive => LineState::PrivateClean,
+        BusOp::Upgrade | BusOp::WriteBack => {
+            panic!("{op:?} does not fill a line")
+        }
+    }
+}
+
+/// Effect of snooping transaction `op` on a *remote* cache's valid copy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SnoopEffect {
+    /// State the remote copy transitions to.
+    pub new_state: LineState,
+    /// The remote cache had the dirty copy and must supply it (memory is
+    /// updated in the same transaction under Illinois; no separate
+    /// write-back transaction is generated).
+    pub supplies_data: bool,
+    /// The remote copy is invalidated by this snoop.
+    pub invalidated: bool,
+}
+
+/// Computes the effect of snooping `op` on a remote copy in `state`.
+///
+/// Returns `None` when `state` is invalid (nothing to do) or when the
+/// transaction carries no coherence action ([`BusOp::WriteBack`]).
+pub fn snoop(state: LineState, op: BusOp) -> Option<SnoopEffect> {
+    if !state.is_valid() || op == BusOp::WriteBack {
+        return None;
+    }
+    match op {
+        BusOp::Read => Some(SnoopEffect {
+            new_state: LineState::Shared,
+            supplies_data: state.is_dirty(),
+            invalidated: false,
+        }),
+        BusOp::ReadExclusive | BusOp::Upgrade => Some(SnoopEffect {
+            new_state: LineState::Invalid,
+            supplies_data: state.is_dirty(),
+            invalidated: true,
+        }),
+        BusOp::WriteBack => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn read_miss_issues_bus_read() {
+        assert_eq!(local_access(Invalid, false), LocalAction::Miss(BusOp::Read));
+    }
+
+    #[test]
+    fn write_miss_issues_read_exclusive() {
+        assert_eq!(local_access(Invalid, true), LocalAction::Miss(BusOp::ReadExclusive));
+    }
+
+    #[test]
+    fn read_hits_preserve_state() {
+        for s in [Shared, PrivateClean, PrivateDirty] {
+            assert_eq!(local_access(s, false), LocalAction::Hit(s));
+        }
+    }
+
+    #[test]
+    fn write_hit_on_shared_needs_upgrade() {
+        assert_eq!(local_access(Shared, true), LocalAction::HitNeedsUpgrade);
+    }
+
+    #[test]
+    fn illinois_silent_upgrade_from_private_clean() {
+        assert_eq!(local_access(PrivateClean, true), LocalAction::Hit(PrivateDirty));
+        assert_eq!(local_access(PrivateDirty, true), LocalAction::Hit(PrivateDirty));
+    }
+
+    #[test]
+    fn fill_states() {
+        assert_eq!(fill_state(BusOp::Read, false), PrivateClean);
+        assert_eq!(fill_state(BusOp::Read, true), Shared);
+        assert_eq!(fill_state(BusOp::ReadExclusive, false), PrivateClean);
+        assert_eq!(fill_state(BusOp::ReadExclusive, true), PrivateClean);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fill")]
+    fn upgrade_cannot_fill() {
+        let _ = fill_state(BusOp::Upgrade, false);
+    }
+
+    #[test]
+    fn snoop_read_downgrades_and_dirty_supplies() {
+        let e = snoop(PrivateDirty, BusOp::Read).unwrap();
+        assert_eq!(e.new_state, Shared);
+        assert!(e.supplies_data);
+        assert!(!e.invalidated);
+
+        let e = snoop(PrivateClean, BusOp::Read).unwrap();
+        assert_eq!(e.new_state, Shared);
+        assert!(!e.supplies_data);
+
+        let e = snoop(Shared, BusOp::Read).unwrap();
+        assert_eq!(e.new_state, Shared);
+        assert!(!e.supplies_data);
+    }
+
+    #[test]
+    fn snoop_invalidating_ops() {
+        for op in [BusOp::ReadExclusive, BusOp::Upgrade] {
+            for s in [Shared, PrivateClean, PrivateDirty] {
+                let e = snoop(s, op).unwrap();
+                assert_eq!(e.new_state, Invalid);
+                assert!(e.invalidated);
+                assert_eq!(e.supplies_data, s == PrivateDirty);
+            }
+        }
+    }
+
+    #[test]
+    fn snoop_nothing_to_do() {
+        assert_eq!(snoop(Invalid, BusOp::Read), None);
+        assert_eq!(snoop(Shared, BusOp::WriteBack), None);
+        assert_eq!(snoop(PrivateDirty, BusOp::WriteBack), None);
+    }
+
+    #[test]
+    fn bus_op_classification() {
+        assert!(BusOp::Read.transfers_data());
+        assert!(BusOp::ReadExclusive.transfers_data());
+        assert!(BusOp::WriteBack.transfers_data());
+        assert!(!BusOp::Upgrade.transfers_data());
+        assert!(BusOp::ReadExclusive.invalidates_others());
+        assert!(BusOp::Upgrade.invalidates_others());
+        assert!(!BusOp::Read.invalidates_others());
+        assert!(!BusOp::WriteBack.invalidates_others());
+    }
+}

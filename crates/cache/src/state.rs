@@ -1,0 +1,95 @@
+//! Coherence states of the Illinois protocol.
+
+use std::fmt;
+
+/// State of a cache line under the Illinois write-invalidate protocol
+/// (Papamarcos & Patel, ISCA 1984).
+///
+/// Illinois is MESI with the feature the paper highlights (§3.3): a read miss
+/// fills in the *private-clean* (exclusive) state when no other cache holds
+/// the line, so later writes need no bus operation. Exclusive prefetches also
+/// land in [`LineState::PrivateClean`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum LineState {
+    /// No valid copy (or invalidated by a remote write).
+    #[default]
+    Invalid,
+    /// Valid, clean, possibly also cached elsewhere.
+    Shared,
+    /// Valid, clean, guaranteed not cached elsewhere ("E" in MESI terms).
+    PrivateClean,
+    /// Valid, modified, guaranteed not cached elsewhere ("M"); memory stale.
+    PrivateDirty,
+}
+
+impl LineState {
+    /// `true` for any state other than [`LineState::Invalid`].
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// `true` when a local write can proceed without a bus operation
+    /// (private-clean upgrades silently to private-dirty under Illinois).
+    pub const fn can_write_silently(self) -> bool {
+        matches!(self, LineState::PrivateClean | LineState::PrivateDirty)
+    }
+
+    /// `true` when this cache must supply/flush data on a snoop hit
+    /// (memory's copy is stale).
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, LineState::PrivateDirty)
+    }
+
+    /// `true` when no other cache may hold the line.
+    pub const fn is_exclusive(self) -> bool {
+        matches!(self, LineState::PrivateClean | LineState::PrivateDirty)
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LineState::Invalid => "I",
+            LineState::Shared => "S",
+            LineState::PrivateClean => "PC",
+            LineState::PrivateDirty => "PD",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!LineState::Invalid.is_valid());
+        assert!(LineState::Shared.is_valid());
+        assert!(LineState::PrivateClean.is_valid());
+        assert!(LineState::PrivateDirty.is_valid());
+
+        assert!(!LineState::Invalid.can_write_silently());
+        assert!(!LineState::Shared.can_write_silently());
+        assert!(LineState::PrivateClean.can_write_silently());
+        assert!(LineState::PrivateDirty.can_write_silently());
+
+        assert!(LineState::PrivateDirty.is_dirty());
+        assert!(!LineState::PrivateClean.is_dirty());
+
+        assert!(LineState::PrivateClean.is_exclusive());
+        assert!(LineState::PrivateDirty.is_exclusive());
+        assert!(!LineState::Shared.is_exclusive());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(LineState::Invalid.to_string(), "I");
+        assert_eq!(LineState::PrivateDirty.to_string(), "PD");
+    }
+}

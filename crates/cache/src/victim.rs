@@ -1,0 +1,147 @@
+//! A small fully-associative victim buffer (Jouppi, ISCA 1990).
+//!
+//! The paper's §4.3 notes that the conflicts prefetching introduces "would
+//! likely be reduced by a victim cache or a set-associative cache". The
+//! buffer holds the last few *valid* lines evicted from the main array; a
+//! miss that hits the buffer swaps the line back at small cost instead of
+//! paying a memory fetch.
+//!
+//! Coherence simplification (documented, the feature is off by default):
+//! a remote invalidation *drops* the victim entry rather than leaving an
+//! invalid ghost, so a subsequent local miss on that line classifies as
+//! non-sharing. The main array's invalidation-miss taxonomy is unaffected.
+
+use crate::line::CacheLine;
+use crate::state::LineState;
+use charlie_trace::LineAddr;
+
+/// One preserved evicted line.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct VictimEntry {
+    pub line: LineAddr,
+    pub frame: CacheLine,
+}
+
+/// Fully-associative LRU buffer of evicted lines.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VictimBuffer {
+    capacity: usize,
+    /// Most recently inserted last.
+    entries: Vec<VictimEntry>,
+}
+
+impl VictimBuffer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        VictimBuffer { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an evicted line, returning the LRU castout if full (with a
+    /// zero-capacity buffer the inserted entry itself bounces straight out).
+    pub(crate) fn insert(&mut self, entry: VictimEntry) -> Option<VictimEntry> {
+        debug_assert!(entry.frame.state().is_valid(), "victims are valid lines");
+        debug_assert!(
+            !self.entries.iter().any(|e| e.line == entry.line),
+            "line cannot be in the victim buffer twice"
+        );
+        if self.capacity == 0 {
+            return Some(entry);
+        }
+        let castout =
+            if self.entries.len() == self.capacity { Some(self.entries.remove(0)) } else { None };
+        self.entries.push(entry);
+        castout
+    }
+
+    /// Removes and returns the entry for `line`, if present.
+    pub(crate) fn take(&mut self, line: LineAddr) -> Option<VictimEntry> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Whether a valid copy of `line` is buffered.
+    pub(crate) fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Applies a remote-read downgrade in place; returns the prior state.
+    pub(crate) fn downgrade(&mut self, line: LineAddr) -> Option<LineState> {
+        let entry = self.entries.iter_mut().find(|e| e.line == line)?;
+        let prev = entry.frame.state();
+        entry.frame.downgrade(LineState::Shared);
+        Some(prev)
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
+        self.entries.iter().map(|e| (e.line, e.frame.state()))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64, state: LineState) -> VictimEntry {
+        let mut frame = CacheLine::new();
+        frame.fill(n, state, false);
+        VictimEntry { line: LineAddr::from_raw(n), frame }
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut v = VictimBuffer::new(2);
+        assert!(v.insert(entry(1, LineState::Shared)).is_none());
+        assert!(v.contains(LineAddr::from_raw(1)));
+        let e = v.take(LineAddr::from_raw(1)).unwrap();
+        assert_eq!(e.frame.state(), LineState::Shared);
+        assert!(!v.contains(LineAddr::from_raw(1)));
+    }
+
+    #[test]
+    fn lru_castout_when_full() {
+        let mut v = VictimBuffer::new(2);
+        v.insert(entry(1, LineState::Shared));
+        v.insert(entry(2, LineState::PrivateDirty));
+        let castout = v.insert(entry(3, LineState::Shared)).expect("buffer full");
+        assert_eq!(castout.line, LineAddr::from_raw(1), "oldest entry cast out");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn take_acts_as_invalidation() {
+        let mut v = VictimBuffer::new(2);
+        v.insert(entry(1, LineState::PrivateDirty));
+        assert_eq!(
+            v.take(LineAddr::from_raw(1)).map(|e| e.frame.state()),
+            Some(LineState::PrivateDirty)
+        );
+        assert!(!v.contains(LineAddr::from_raw(1)));
+        assert!(v.take(LineAddr::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn downgrade_in_place() {
+        let mut v = VictimBuffer::new(2);
+        v.insert(entry(1, LineState::PrivateDirty));
+        assert_eq!(v.downgrade(LineAddr::from_raw(1)), Some(LineState::PrivateDirty));
+        let (line, state) = v.iter().next().unwrap();
+        assert_eq!(line, LineAddr::from_raw(1));
+        assert_eq!(state, LineState::Shared);
+    }
+
+    #[test]
+    fn zero_capacity_casts_out_immediately() {
+        let mut v = VictimBuffer::new(0);
+        let e = entry(1, LineState::Shared);
+        let castout = v.insert(e).expect("bounces straight out");
+        assert_eq!(castout.line, LineAddr::from_raw(1));
+        assert_eq!(v.len(), 0);
+    }
+}

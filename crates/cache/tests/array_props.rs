@@ -1,0 +1,126 @@
+//! Property tests for the cache array: random operation sequences must
+//! preserve structural invariants, with and without a victim buffer.
+
+use charlie_cache::{CacheArray, CacheGeometry, LineState, Probe};
+use charlie_trace::Addr;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Fill { line: u64, state: u8, by_prefetch: bool },
+    Invalidate { line: u64, word: u8 },
+    Downgrade { line: u64 },
+    Recall { line: u64 },
+}
+
+fn arb_ops() -> impl proptest::strategy::Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u64..96, 0u8..3, any::<bool>())
+            .prop_map(|(line, state, by_prefetch)| Op::Fill { line, state, by_prefetch }),
+        (0u64..96, 0u8..8).prop_map(|(line, word)| Op::Invalidate { line, word }),
+        (0u64..96).prop_map(|line| Op::Downgrade { line }),
+        (0u64..96).prop_map(|line| Op::Recall { line }),
+    ];
+    proptest::collection::vec(op, 1..300)
+}
+
+fn state_of(code: u8) -> LineState {
+    match code {
+        0 => LineState::Shared,
+        1 => LineState::PrivateClean,
+        _ => LineState::PrivateDirty,
+    }
+}
+
+/// A tiny cache (8 sets, direct-mapped) so conflicts are frequent.
+fn tiny(victim: usize) -> CacheArray {
+    CacheArray::with_victim(CacheGeometry::new(8 * 32, 32, 1).unwrap(), victim)
+}
+
+fn check_invariants(cache: &CacheArray, capacity: usize) {
+    // Never more valid lines than frames + victim entries.
+    assert!(cache.num_valid() <= 8 + cache.victim_capacity());
+    let _ = capacity;
+    // Every line listed by iter_valid must be found by state_of.
+    let mut seen = std::collections::HashSet::new();
+    for (line, state) in cache.iter_valid() {
+        assert!(state.is_valid());
+        assert!(seen.insert(line), "a line appears at most once in the hierarchy: {line}");
+        assert_eq!(cache.state_of(line), Some(state));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_ops_preserve_invariants(ops in arb_ops(), victim in 0usize..4) {
+        let mut cache = tiny(victim);
+        for op in &ops {
+            match *op {
+                Op::Fill { line, state, by_prefetch } => {
+                    let addr = Addr::new(line * 32);
+                    let evicted = cache.fill(addr.line(32), state_of(state), by_prefetch);
+                    if let Some(e) = evicted {
+                        prop_assert!(e.state.is_valid());
+                        // The evicted line is gone from the hierarchy.
+                        prop_assert_eq!(cache.state_of(e.line), None);
+                    }
+                    prop_assert!(cache.probe_line(addr.line(32)).is_hit());
+                }
+                Op::Invalidate { line, word } => {
+                    let l = Addr::new(line * 32).line(32);
+                    cache.snoop_invalidate(l, u32::from(word));
+                    prop_assert_eq!(cache.state_of(l), None, "invalidated line must be gone");
+                }
+                Op::Downgrade { line } => {
+                    let l = Addr::new(line * 32).line(32);
+                    if cache.snoop_downgrade(l).is_some() {
+                        prop_assert_eq!(cache.state_of(l), Some(LineState::Shared));
+                    }
+                }
+                Op::Recall { line } => {
+                    let l = Addr::new(line * 32).line(32);
+                    let was_buffered = cache.probe_victim(l);
+                    cache.recall_from_victim(l);
+                    if was_buffered {
+                        prop_assert!(cache.probe_line(l).is_hit(), "recalled into the main array");
+                        prop_assert!(!cache.probe_victim(l));
+                    }
+                }
+            }
+            check_invariants(&cache, victim);
+        }
+    }
+
+    /// Without coherence events, a fill is always observable until evicted,
+    /// and the number of valid lines never exceeds distinct lines filled.
+    #[test]
+    fn fills_are_observable(lines in proptest::collection::vec(0u64..64, 1..100)) {
+        let mut cache = tiny(2);
+        let mut distinct = std::collections::HashSet::new();
+        for &line in &lines {
+            let l = Addr::new(line * 32).line(32);
+            cache.fill(l, LineState::Shared, false);
+            distinct.insert(line);
+            prop_assert!(cache.probe_line(l).is_hit());
+            prop_assert!(cache.num_valid() <= distinct.len());
+        }
+    }
+
+    /// An invalidated main-array frame keeps its tag (the paper's
+    /// invalidation-miss classification) until something overwrites it.
+    #[test]
+    fn invalidation_leaves_a_ghost(line in 0u64..64, word in 0u32..8) {
+        let mut cache = tiny(0);
+        let l = Addr::new(line * 32).line(32);
+        cache.fill(l, LineState::Shared, false);
+        cache.snoop_invalidate(l, word);
+        match cache.probe_line(l) {
+            Probe::InvalidatedMatch { way } => {
+                prop_assert_eq!(cache.frame(l, way).inval_word(), Some(word));
+            }
+            other => prop_assert!(false, "expected ghost, got {:?}", other),
+        }
+    }
+}

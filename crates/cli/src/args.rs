@@ -1,0 +1,151 @@
+//! A dependency-free `--flag value` argument parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand, positional arguments and
+/// `--key value` / `--switch` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// First non-flag token.
+    pub command: Option<String>,
+    /// Remaining non-flag tokens.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Error produced while parsing or interpreting arguments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Known boolean switches (flags that take no value).
+const SWITCHES: &[&str] = &["json", "csv", "help"];
+
+impl Args {
+    /// Parses a raw token stream (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if a non-switch flag is missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgsError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    args.switches.push(name.to_owned());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgsError(format!("--{name} requires a value")))?;
+                    args.options.insert(name.to_owned(), value);
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// `true` when the boolean switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Errors on any option not in `allowed` (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] naming the unknown option.
+    pub fn expect_known(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgsError(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn command_options_and_switches() {
+        let a = parse(&["run", "--workload", "mp3d", "--json", "--transfer", "8"]);
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("workload"), Some("mp3d"));
+        assert_eq!(a.get_or("transfer", 4u64).unwrap(), 8);
+        assert!(a.switch("json"));
+        assert!(!a.switch("csv"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["run"]);
+        assert_eq!(a.get_or("transfer", 8u64).unwrap(), 8);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(vec!["run".into(), "--workload".into()]).unwrap_err();
+        assert!(err.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = parse(&["run", "--transfer", "eight"]);
+        assert!(a.get_or("transfer", 8u64).is_err());
+    }
+
+    #[test]
+    fn unknown_option_detected() {
+        let a = parse(&["run", "--wrokload", "mp3d"]);
+        let err = a.expect_known(&["workload"]).unwrap_err();
+        assert!(err.0.contains("--wrokload"));
+    }
+
+    #[test]
+    fn positionals_collected() {
+        let a = parse(&["experiments", "table2", "figure2"]);
+        assert_eq!(a.positional, vec!["table2", "figure2"]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The CLI subcommands.
+
+use crate::args::{Args, ArgsError};
+use crate::json::report_json;
+use charlie::bus::BusConfig;
+use charlie::cache::CacheGeometry;
+use charlie::prefetch::{apply, Strategy};
+use charlie::sim::{simulate, Protocol, SimConfig};
+use charlie::trace::{io as trace_io, Trace};
+use charlie::workloads::{generate, Layout, Workload, WorkloadConfig};
+use charlie::{experiments as exhibits, Experiment, Lab, RunConfig};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+fn parse_workload(name: &str) -> Result<Workload, ArgsError> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ArgsError(format!("unknown workload {name:?}")))
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, ArgsError> {
+    Strategy::EXTENDED
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ArgsError(format!(
+                "unknown strategy {name:?} (np, pref, excl, lpd, pws, excl-rmw)"
+            ))
+        })
+}
+
+fn parse_layout(name: &str) -> Result<Layout, ArgsError> {
+    match name.to_ascii_lowercase().as_str() {
+        "interleaved" | "original" => Ok(Layout::Interleaved),
+        "padded" | "restructured" => Ok(Layout::Padded),
+        other => Err(ArgsError(format!("unknown layout {other:?} (interleaved, padded)"))),
+    }
+}
+
+fn workload_config(args: &Args) -> Result<(WorkloadConfig, Workload), ArgsError> {
+    let workload = parse_workload(args.get("workload").unwrap_or("mp3d"))?;
+    let cfg = WorkloadConfig {
+        procs: args.get_or("procs", 8usize)?,
+        refs_per_proc: args.get_or("refs", 160_000usize)?,
+        seed: args.get_or("seed", 0xC0FFEEu64)?,
+        layout: parse_layout(args.get("layout").unwrap_or("interleaved"))?,
+    };
+    Ok((cfg, workload))
+}
+
+/// Machine knobs shared by `run` and `run-trace`.
+struct MachineOpts {
+    transfer: u64,
+    warmup: u64,
+    victim: usize,
+    protocol: Protocol,
+}
+
+impl MachineOpts {
+    fn from_args(args: &Args) -> Result<MachineOpts, ArgsError> {
+        let protocol = match args.get("protocol").unwrap_or("invalidate") {
+            p if p.eq_ignore_ascii_case("invalidate") => Protocol::WriteInvalidate,
+            p if p.eq_ignore_ascii_case("update") => Protocol::WriteUpdate,
+            other => {
+                return Err(ArgsError(format!(
+                    "unknown protocol {other:?} (invalidate, update)"
+                )))
+            }
+        };
+        Ok(MachineOpts {
+            transfer: args.get_or("transfer", 8u64)?,
+            warmup: args.get_or("warmup", 0u64)?,
+            victim: args.get_or("victim", 0usize)?,
+            protocol,
+        })
+    }
+}
+
+fn simulate_prepared<W: Write>(
+    label: &str,
+    raw: &Trace,
+    strategy: Strategy,
+    opts: &MachineOpts,
+    json: bool,
+    out: &mut W,
+) -> Result<(), ArgsError> {
+    let transfer = opts.transfer;
+    if !(1..=100).contains(&transfer) {
+        return Err(ArgsError(format!("--transfer {transfer} outside 1..=100")));
+    }
+    let prepared = apply(strategy, raw, CacheGeometry::paper_default());
+    let sim_cfg = SimConfig {
+        warmup_accesses: opts.warmup,
+        victim_entries: opts.victim,
+        protocol: opts.protocol,
+        ..SimConfig::paper(raw.num_procs(), transfer)
+    };
+    let report = simulate(&sim_cfg, &prepared).map_err(|e| ArgsError(e.to_string()))?;
+    let inserted = prepared.total_prefetches() as u64;
+    if json {
+        let _ = writeln!(out, "{}", report_json(label, &report, inserted));
+    } else {
+        let _ = writeln!(out, "{label}: {report}");
+    }
+    Ok(())
+}
+
+/// `charlie run`.
+pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
+        "victim", "protocol",
+    ])?;
+    let (cfg, workload) = workload_config(args)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("pref"))?;
+    let opts = MachineOpts::from_args(args)?;
+    let raw = generate(workload, &cfg);
+    let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
+    simulate_prepared(&label, &raw, strategy, &opts, args.switch("json"), out)
+}
+
+/// `charlie sweep`.
+pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&["workload", "procs", "refs", "seed", "layout"])?;
+    let (wcfg, workload) = workload_config(args)?;
+    let mut lab = Lab::new(RunConfig {
+        procs: wcfg.procs,
+        refs_per_proc: wcfg.refs_per_proc,
+        seed: wcfg.seed,
+        ..RunConfig::default()
+    });
+    if args.switch("json") {
+        let mut rows = Vec::new();
+        for s in Strategy::PREFETCHING {
+            for lat in BusConfig::PAPER_SWEEP {
+                let mut exp = Experiment::paper(workload, s, lat);
+                if wcfg.layout == Layout::Padded {
+                    exp = exp.restructured();
+                }
+                let rel = lab.relative_time(exp);
+                rows.push(format!(
+                    "{{\"strategy\":\"{}\",\"transfer\":{lat},\"relative_time\":{rel:.6}}}",
+                    s.name()
+                ));
+            }
+        }
+        let _ = writeln!(out, "[{}]", rows.join(","));
+    } else {
+        let table = exhibits::figure2_for(&mut lab, workload);
+        let _ = writeln!(out, "{table}");
+    }
+    Ok(())
+}
+
+/// `charlie export-trace`.
+pub fn export_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&["workload", "procs", "refs", "seed", "layout", "strategy", "out"])?;
+    let (cfg, workload) = workload_config(args)?;
+    let path = args.get("out").ok_or_else(|| ArgsError("--out FILE is required".into()))?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("np"))?;
+    let raw = generate(workload, &cfg);
+    let trace = apply(strategy, &raw, CacheGeometry::paper_default());
+    let file = File::create(path).map_err(|e| ArgsError(format!("creating {path}: {e}")))?;
+    trace_io::write_trace(&trace, BufWriter::new(file))
+        .map_err(|e| ArgsError(format!("writing {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "wrote {path}: {} procs, {} accesses, {} prefetches",
+        trace.num_procs(),
+        trace.total_accesses(),
+        trace.total_prefetches()
+    );
+    Ok(())
+}
+
+/// `charlie run-trace`.
+pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&["file", "transfer", "strategy", "warmup", "victim", "protocol"])?;
+    let path = args.get("file").ok_or_else(|| ArgsError("--file FILE is required".into()))?;
+    let file = File::open(path).map_err(|e| ArgsError(format!("opening {path}: {e}")))?;
+    let trace =
+        trace_io::read_trace(BufReader::new(file)).map_err(|e| ArgsError(format!("{path}: {e}")))?;
+    trace.validate().map_err(|e| ArgsError(format!("{path}: invalid trace: {e}")))?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("np"))?;
+    let opts = MachineOpts::from_args(args)?;
+    if strategy != Strategy::NoPrefetch && trace.total_prefetches() > 0 {
+        return Err(ArgsError(
+            "trace already contains prefetches; run it with --strategy np".into(),
+        ));
+    }
+    let label = format!("{path}/{strategy} @{}cy", opts.transfer);
+    simulate_prepared(&label, &trace, strategy, &opts, args.switch("json"), out)
+}
+
+/// `charlie experiments`.
+pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[])?;
+    let mut lab = Lab::new(RunConfig::default());
+    let names: Vec<String> = if args.positional.is_empty() {
+        vec!["all".to_owned()]
+    } else {
+        args.positional.clone()
+    };
+    let csv = args.switch("csv");
+    let emit = |out: &mut W, table: &charlie::Table| {
+        if csv {
+            let _ = write!(out, "{}", table.to_csv());
+        } else {
+            let _ = writeln!(out, "{table}");
+        }
+    };
+    for name in names {
+        match name.as_str() {
+            "table1" => emit(out, &exhibits::table1(&mut lab)),
+            "figure1" => emit(out, &exhibits::figure1(&mut lab)),
+            "table2" => emit(out, &exhibits::table2(&mut lab)),
+            "figure2" => {
+                for panel in exhibits::figure2(&mut lab) {
+                    emit(out, &panel);
+                }
+            }
+            "figure3" => emit(out, &exhibits::figure3(&mut lab)),
+            "table3" => emit(out, &exhibits::table3(&mut lab)),
+            "table4" => emit(out, &exhibits::table4(&mut lab)),
+            "table5" => emit(out, &exhibits::table5(&mut lab)),
+            "proc-util" => emit(out, &exhibits::processor_utilization(&mut lab)),
+            "all" => {
+                emit(out, &exhibits::table1(&mut lab));
+                emit(out, &exhibits::figure1(&mut lab));
+                emit(out, &exhibits::table2(&mut lab));
+                for panel in exhibits::figure2(&mut lab) {
+                    emit(out, &panel);
+                }
+                emit(out, &exhibits::figure3(&mut lab));
+                emit(out, &exhibits::table3(&mut lab));
+                emit(out, &exhibits::table4(&mut lab));
+                emit(out, &exhibits::table5(&mut lab));
+                emit(out, &exhibits::processor_utilization(&mut lab));
+            }
+            other => return Err(ArgsError(format!("unknown exhibit {other:?}"))),
+        }
+    }
+    Ok(())
+}

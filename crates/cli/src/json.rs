@@ -1,0 +1,164 @@
+//! Minimal JSON emission for simulation reports (no external dependencies).
+
+use charlie::SimReport;
+use std::fmt::Write as _;
+
+/// A tiny JSON object builder; values are written pre-formatted.
+#[derive(Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (6 significant decimals, `null` for non-finite).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() { format!("{value:.6}") } else { "null".to_owned() };
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.to_owned(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Adds a nested raw JSON value.
+    pub fn raw(&mut self, key: &str, value: String) -> &mut Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape(k));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a [`SimReport`] (plus run context) as a JSON object.
+pub fn report_json(label: &str, report: &SimReport, prefetches_inserted: u64) -> String {
+    let mut o = JsonObject::new();
+    o.string("experiment", label)
+        .num("cycles", report.cycles)
+        .num("measured_from", report.measured_from)
+        .num("demand_accesses", report.demand_accesses())
+        .num("reads", report.reads)
+        .num("writes", report.writes)
+        .float("total_miss_rate", report.total_miss_rate())
+        .float("cpu_miss_rate", report.cpu_miss_rate())
+        .float("adjusted_cpu_miss_rate", report.adjusted_cpu_miss_rate())
+        .float("invalidation_miss_rate", report.invalidation_miss_rate())
+        .float("false_sharing_miss_rate", report.false_sharing_miss_rate())
+        .float("non_sharing_miss_rate", report.non_sharing_miss_rate())
+        .float("bus_utilization", report.bus_utilization())
+        .float("processor_utilization", report.avg_processor_utilization())
+        .num("prefetches_inserted", prefetches_inserted);
+
+    let m = report.miss;
+    let mut miss = JsonObject::new();
+    miss.num("non_sharing_not_prefetched", m.non_sharing_not_prefetched)
+        .num("non_sharing_prefetched", m.non_sharing_prefetched)
+        .num("invalidation_not_prefetched", m.invalidation_not_prefetched)
+        .num("invalidation_prefetched", m.invalidation_prefetched)
+        .num("prefetch_in_progress", m.prefetch_in_progress);
+    o.raw("miss_breakdown", miss.finish());
+
+    let pf = report.prefetch;
+    let mut prefetch = JsonObject::new();
+    prefetch
+        .num("executed", pf.executed)
+        .num("hits", pf.hits)
+        .num("duplicates", pf.duplicates)
+        .num("fills", pf.fills)
+        .num("wasted_evicted", pf.wasted_evicted)
+        .num("wasted_invalidated", pf.wasted_invalidated)
+        .num("buffer_stalls", pf.buffer_stalls);
+    o.raw("prefetch", prefetch.finish());
+
+    let b = report.bus;
+    let mut bus = JsonObject::new();
+    bus.num("busy_cycles", b.busy_cycles)
+        .num("reads", b.reads)
+        .num("read_exclusives", b.read_exclusives)
+        .num("upgrades", b.upgrades)
+        .num("writebacks", b.writebacks)
+        .num("prefetch_grants", b.prefetch_grants)
+        .num("queueing_cycles", b.queueing_cycles);
+    o.raw("bus", bus.finish());
+
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_shape() {
+        let mut o = JsonObject::new();
+        o.num("n", 3).float("f", 0.5).string("s", "x\"y");
+        assert_eq!(o.finish(), "{\"n\":3,\"f\":0.500000,\"s\":\"x\\\"y\"}");
+    }
+
+    #[test]
+    fn report_json_is_parseable_shape() {
+        let r = SimReport::default();
+        let j = report_json("Water/NP @8cy", &r, 0);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"experiment\":\"Water/NP @8cy\""));
+        assert!(j.contains("\"miss_breakdown\":{"));
+        assert!(j.contains("\"bus\":{"));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObject::new();
+        o.float("x", f64::NAN);
+        assert_eq!(o.finish(), "{\"x\":null}");
+    }
+}

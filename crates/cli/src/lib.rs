@@ -1,0 +1,194 @@
+//! Implementation of the `charlie` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin shell around [`run_cli`], so every
+//! command is unit-testable. See [`HELP`] for the user-facing synopsis.
+
+pub mod args;
+pub mod commands;
+pub mod json;
+
+use args::{Args, ArgsError};
+use std::io::Write;
+
+/// The `charlie --help` text.
+pub const HELP: &str = "\
+charlie — bus-based multiprocessor cache-prefetching simulator
+(Tullsen & Eggers, ISCA 1993, reproduced in Rust)
+
+USAGE:
+  charlie <command> [options]
+
+COMMANDS:
+  run            simulate one workload/strategy/architecture cell
+                   --workload topopt|pverify|locusroute|mp3d|water (default mp3d)
+                   --strategy np|pref|excl|lpd|pws|excl-rmw        (default pref)
+                   --transfer 4..32      contended data-transfer cycles (default 8)
+                   --procs N             processors (default 8)
+                   --refs N              references per processor (default 160000)
+                   --seed N              workload seed
+                   --layout interleaved|padded   (§4.4 restructuring)
+                   --warmup N            exclude the first N accesses from stats
+                   --victim N            per-processor victim-buffer entries
+                   --protocol invalidate|update  coherence policy
+                   --json                machine-readable output
+  sweep          Figure-2 panel: relative execution time across latencies
+                   --workload …  [--json]
+  export-trace   generate a workload and write it as a text trace
+                   --workload …  --out FILE  [--refs N --procs N --seed N
+                   --strategy …  --layout …]
+  run-trace      simulate a text trace file
+                   --file FILE  [--transfer N --strategy np|pref|… --warmup N
+                   --victim N --protocol … --json]
+  experiments    regenerate paper exhibits
+                   positional: table1 figure1 table2 figure2 figure3 table3
+                               table4 table5 proc-util all   [--csv]
+  help           print this text
+
+ENVIRONMENT:
+  CHARLIE_REFS / CHARLIE_PROCS / CHARLIE_SEED set experiment-suite defaults.
+";
+
+/// Runs the CLI on `argv` (without the program name), writing to `out`.
+///
+/// Returns the process exit code.
+pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    if parsed.switch("help") || parsed.command.as_deref() == Some("help") {
+        let _ = write!(out, "{HELP}");
+        return 0;
+    }
+    let result: Result<(), ArgsError> = match parsed.command.as_deref() {
+        Some("run") => commands::run(&parsed, out),
+        Some("sweep") => commands::sweep(&parsed, out),
+        Some("export-trace") => commands::export_trace(&parsed, out),
+        Some("run-trace") => commands::run_trace(&parsed, out),
+        Some("experiments") => commands::experiments(&parsed, out),
+        Some(other) => Err(ArgsError(format!("unknown command {other:?}; try `charlie help`"))),
+        None => {
+            let _ = write!(out, "{HELP}");
+            return 0;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> (i32, String) {
+        let mut out = Vec::new();
+        let code = run_cli(tokens.iter().map(|s| s.to_string()).collect(), &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn no_command_prints_help() {
+        let (code, text) = run(&[]);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, text) = run(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn run_small_cell_text() {
+        let (code, text) =
+            run(&["run", "--workload", "water", "--refs", "1500", "--procs", "2"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("cycles"), "{text}");
+    }
+
+    #[test]
+    fn run_small_cell_json() {
+        let (code, text) = run(&[
+            "run", "--workload", "water", "--strategy", "pws", "--refs", "1200", "--procs", "2",
+            "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.trim().starts_with('{'), "{text}");
+        assert!(text.contains("\"cpu_miss_rate\""));
+    }
+
+    #[test]
+    fn run_rejects_bad_workload() {
+        let (code, text) = run(&["run", "--workload", "spice"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown workload"));
+    }
+
+    #[test]
+    fn run_rejects_unknown_option() {
+        let (code, text) = run(&["run", "--wrokload", "mp3d"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("--wrokload"));
+    }
+
+    #[test]
+    fn trace_round_trip_through_files() {
+        let dir = std::env::temp_dir().join(format!("charlie-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("water.trace");
+        let path_s = path.to_str().unwrap();
+
+        let (code, _) = run(&[
+            "export-trace", "--workload", "water", "--refs", "800", "--procs", "2", "--out",
+            path_s,
+        ]);
+        assert_eq!(code, 0);
+        assert!(path.exists());
+
+        let (code, text) = run(&["run-trace", "--file", path_s, "--strategy", "pref", "--json"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"prefetches_inserted\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_trace_missing_file_fails_cleanly() {
+        let (code, text) = run(&["run-trace", "--file", "/nonexistent/xyz.trace"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn run_with_victim_and_update_protocol() {
+        let (code, text) = run(&[
+            "run", "--workload", "topopt", "--refs", "1500", "--procs", "2", "--victim", "4",
+            "--protocol", "update", "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"invalidation_miss_rate\":0.000000"), "{text}");
+    }
+
+    #[test]
+    fn run_rejects_bad_protocol() {
+        let (code, text) = run(&["run", "--protocol", "dragonfly", "--refs", "100", "--procs", "1"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown protocol"));
+    }
+
+    #[test]
+    fn experiments_unknown_exhibit_fails() {
+        let (code, text) = run(&["experiments", "table99"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown exhibit"));
+    }
+}

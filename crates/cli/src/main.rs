@@ -1,0 +1,9 @@
+//! `charlie` — the command-line front end. All logic lives in the library
+//! (see [`charlie_cli::run_cli`]) so it can be unit-tested.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    std::process::exit(charlie_cli::run_cli(argv, &mut out));
+}

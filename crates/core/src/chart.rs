@@ -1,0 +1,256 @@
+//! A small ASCII line-chart renderer for experiment binaries.
+
+use std::fmt;
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// A multi-series ASCII chart: x/y points mapped onto a character grid,
+/// with a y-axis, an x-axis, and a legend.
+///
+/// # Example
+///
+/// ```
+/// use charlie::AsciiChart;
+///
+/// let mut c = AsciiChart::new("relative time", 40, 10);
+/// c.series("PREF", &[(4.0, 0.8), (16.0, 0.95), (32.0, 1.02)]);
+/// let drawn = c.to_string();
+/// assert!(drawn.contains("PREF"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart of `width`×`height` plot cells (clamped to a
+    /// sane minimum of 16×4).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        AsciiChart {
+            title: title.into(),
+            width: width.max(16),
+            height: height.max(4),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series; points need not be sorted.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((name.into(), points.to_vec()));
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|(_, p)| p.iter()).peekable();
+        pts.peek()?;
+        let mut it = self.series.iter().flat_map(|(_, p)| p.iter().copied());
+        let first = it.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for (x, y) in it {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        Some((x0, x1, y0, y1))
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            return writeln!(f, "{} (no data)", self.title);
+        };
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (idx, (_, points)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[idx % GLYPHS.len()];
+            for &(x, y) in points {
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx.min(self.width - 1)] = glyph;
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        for (i, row) in grid.iter().enumerate() {
+            let y = y1 - (y1 - y0) * i as f64 / (self.height - 1) as f64;
+            let line: String = row.iter().collect();
+            writeln!(f, "{y:>8.3} |{line}")?;
+        }
+        writeln!(f, "{:>8} +{}", "", "-".repeat(self.width))?;
+        writeln!(f, "{:>9}{x0:<8.0}{:>width$}", "", format!("{x1:.0}"), width = self.width - 8)?;
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+            .collect();
+        writeln!(f, "{:>10}{}", "", legend.join("   "))
+    }
+}
+
+impl AsciiChart {
+    /// Renders the same data as a standalone SVG document (line-connected
+    /// series, axes, legend) — handy for dropping Figure-2 panels into
+    /// papers or READMEs without any plotting dependency.
+    pub fn to_svg(&self) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 400.0;
+        const ML: f64 = 64.0; // margins
+        const MR: f64 = 16.0;
+        const MT: f64 = 40.0;
+        const MB: f64 = 48.0;
+        const COLORS: [&str; 6] =
+            ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\"              viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            W / 2.0,
+            xml_escape(&self.title)
+        ));
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            out.push_str("<text x=\"20\" y=\"60\">no data</text>\n</svg>\n");
+            return out;
+        };
+        let px = |x: f64| ML + (x - x0) / (x1 - x0) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+        // Axes.
+        out.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\"/>\n",
+            H - MB,
+            W - MR,
+            H - MB
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"black\"/>\n",
+            H - MB
+        ));
+        for i in 0..=4 {
+            let y = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{y:.3}</text>\n",
+                ML - 6.0,
+                py(y) + 4.0
+            ));
+        }
+        for i in 0..=4 {
+            let x = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{x:.0}</text>\n",
+                px(x),
+                H - MB + 18.0
+            ));
+        }
+
+        // Series.
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let mut sorted = points.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let path: Vec<String> =
+                sorted.iter().map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y))).collect();
+            if !path.is_empty() {
+                out.push_str(&format!(
+                    "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"                      points=\"{}\"/>\n",
+                    path.join(" ")
+                ));
+            }
+            for &(x, y) in &sorted {
+                out.push_str(&format!(
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                    px(x),
+                    py(y)
+                ));
+            }
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" fill=\"{color}\">{}</text>\n",
+                W - MR - 90.0,
+                MT + 16.0 * i as f64,
+                xml_escape(name)
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut c = AsciiChart::new("demo", 30, 8);
+        c.series("a", &[(0.0, 0.0), (10.0, 1.0)]).series("b", &[(5.0, 0.5)]);
+        let s = c.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+        assert!(s.contains('*'), "{s}");
+        assert!(s.contains('+'), "{s}");
+        // y-axis labels cover the data range
+        assert!(s.contains("1.000"));
+        assert!(s.contains("0.000"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = AsciiChart::new("empty", 20, 5);
+        assert!(c.to_string().contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let mut c = AsciiChart::new("flat", 20, 5);
+        c.series("s", &[(1.0, 2.0), (1.0, 2.0)]);
+        let s = c.to_string();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn svg_renders_well_formed_document() {
+        let mut c = AsciiChart::new("svg <demo>", 30, 8);
+        c.series("PREF", &[(4.0, 0.8), (32.0, 1.02)]);
+        let svg = c.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("svg &lt;demo&gt;"), "titles are XML-escaped");
+        assert!(svg.contains("PREF"));
+        // Tag balance (cheap well-formedness check).
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn svg_empty_chart() {
+        let c = AsciiChart::new("empty", 20, 5);
+        assert!(c.to_svg().contains("no data"));
+    }
+
+    #[test]
+    fn min_dimensions_enforced() {
+        let mut c = AsciiChart::new("tiny", 1, 1);
+        c.series("s", &[(0.0, 0.0), (1.0, 1.0)]);
+        let lines = c.to_string().lines().count();
+        assert!(lines >= 4 + 3, "clamped to at least 4 rows plus frame");
+    }
+}

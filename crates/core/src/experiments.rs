@@ -1,0 +1,353 @@
+//! Reproductions of every table and figure in the paper's evaluation
+//! (§4), one function per exhibit. Each takes a [`Lab`] so related exhibits
+//! share their underlying simulation runs, and returns a renderable
+//! [`Table`] (Figure 2 returns one per workload).
+//!
+//! | Function | Paper exhibit |
+//! |---|---|
+//! | [`table1`] | Table 1 — workload characteristics |
+//! | [`figure1`] | Figure 1 — total & CPU miss rates (8-cycle transfer) |
+//! | [`table2`] | Table 2 — bus utilizations |
+//! | [`figure2`] | Figure 2 — relative execution time vs. transfer latency |
+//! | [`figure3`] | Figure 3 — sources of CPU misses |
+//! | [`table3`] | Table 3 — invalidation & false-sharing miss rates |
+//! | [`table4`] | Table 4 — miss rates, restructured programs |
+//! | [`table5`] | Table 5 — execution times, restructured programs |
+//! | [`processor_utilization`] | §4.2 — NP processor utilizations |
+
+use crate::lab::{Experiment, Lab};
+use crate::report::{format_rate, Table};
+use charlie_bus::BusConfig;
+use charlie_prefetch::Strategy;
+use charlie_trace::TraceStats;
+use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
+
+/// The transfer latency Figures 1 and 3 and Tables 3 and 4 are reported at.
+pub const FIGURE_LATENCY: u64 = 8;
+
+/// The workloads Figure 3 details.
+pub const FIGURE3_WORKLOADS: [Workload; 3] = [Workload::Topopt, Workload::Pverify, Workload::Mp3d];
+
+/// The strategies Tables 4 and 5 report for restructured programs.
+pub const RESTRUCTURED_STRATEGIES: [Strategy; 3] =
+    [Strategy::NoPrefetch, Strategy::Pref, Strategy::Pws];
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Table 1: the workload suite. The paper lists data-set and shared-data
+/// sizes and process counts; we report the measured equivalents of our
+/// synthetic traces (footprint, shared footprint, references, processes).
+pub fn table1(lab: &mut Lab) -> Table {
+    let cfg = *lab.config();
+    let mut t = Table::new(
+        "Table 1: Workload used in experiments",
+        vec!["Program", "Data Set", "Shared Data", "Refs/proc", "Processes"],
+    );
+    for w in Workload::ALL {
+        let wcfg = WorkloadConfig {
+            procs: cfg.procs,
+            refs_per_proc: cfg.refs_per_proc,
+            seed: cfg.seed,
+            layout: Layout::Interleaved,
+        };
+        let trace = generate(w, &wcfg);
+        let stats = TraceStats::gather(&trace, 32);
+        let shared_kb =
+            (stats.read_shared_lines + stats.write_shared_lines) as u64 * 32 / 1024;
+        t.row(vec![
+            w.name().to_owned(),
+            format!("{} KB", stats.footprint_bytes() / 1024),
+            format!("{} KB", shared_kb),
+            format!("{}", cfg.refs_per_proc),
+            format!("{}", cfg.procs),
+        ]);
+    }
+    t
+}
+
+/// Figure 1: total, CPU and adjusted-CPU miss rates for the five workloads
+/// under each prefetching strategy, at the 8-cycle data-transfer latency.
+pub fn figure1(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 1: Total and CPU miss rates ({}-cycle data transfer)",
+            FIGURE_LATENCY
+        ),
+        vec!["Workload", "Strategy", "Total MR", "CPU MR", "Adj CPU MR"],
+    );
+    for w in Workload::ALL {
+        for s in Strategy::ALL {
+            let r = &lab.run(Experiment::paper(w, s, FIGURE_LATENCY)).report;
+            t.row(vec![
+                w.name().to_owned(),
+                s.name().to_owned(),
+                pct(r.total_miss_rate()),
+                pct(r.cpu_miss_rate()),
+                pct(r.adjusted_cpu_miss_rate()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 2: bus utilization for every workload × strategy at the
+/// {4, 8, 16, 32}-cycle transfer latencies.
+pub fn table2(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        "Table 2: Selected bus utilizations",
+        vec!["Workload", "Strategy", "4 cycles", "8 cycles", "16 cycles", "32 cycles"],
+    );
+    for w in Workload::ALL {
+        for s in Strategy::ALL {
+            let mut cells = vec![w.name().to_owned(), s.name().to_owned()];
+            for lat in BusConfig::TABLE2_SWEEP {
+                let util = lab.run(Experiment::paper(w, s, lat)).report.bus_utilization();
+                cells.push(format_rate(util.min(1.0)));
+            }
+            t.row(cells);
+        }
+    }
+    t
+}
+
+/// Figure 2: execution time relative to NP as a function of the data-bus
+/// transfer latency (4–32 cycles), one table per workload.
+pub fn figure2(lab: &mut Lab) -> Vec<Table> {
+    Workload::ALL.iter().map(|&w| figure2_for(lab, w)).collect()
+}
+
+/// One workload's Figure 2 panel as an ASCII chart (relative time vs.
+/// transfer latency, one glyph per strategy).
+pub fn figure2_chart(lab: &mut Lab, w: Workload) -> crate::AsciiChart {
+    let mut chart = crate::AsciiChart::new(
+        format!("{w}: execution time relative to NP vs data-transfer latency"),
+        56,
+        12,
+    );
+    for s in Strategy::PREFETCHING {
+        let points: Vec<(f64, f64)> = BusConfig::PAPER_SWEEP
+            .iter()
+            .map(|&lat| (lat as f64, lab.relative_time(Experiment::paper(w, s, lat))))
+            .collect();
+        chart.series(s.name(), &points);
+    }
+    chart
+}
+
+/// One workload's Figure 2 panel.
+pub fn figure2_for(lab: &mut Lab, w: Workload) -> Table {
+    let mut t = Table::new(
+        format!("Figure 2: execution time relative to NP — {w}"),
+        vec!["Strategy", "4", "8", "16", "24", "32"],
+    );
+    for s in Strategy::PREFETCHING {
+        let mut cells = vec![s.name().to_owned()];
+        for lat in BusConfig::PAPER_SWEEP {
+            let rel = lab.relative_time(Experiment::paper(w, s, lat));
+            cells.push(format!("{rel:.3}"));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Figure 3: sources of CPU misses (per-category miss rates) for Topopt,
+/// Pverify and Mp3d under every strategy, at the 8-cycle transfer latency.
+pub fn figure3(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        format!("Figure 3: Sources of CPU misses ({}-cycle data transfer)", FIGURE_LATENCY),
+        vec![
+            "Workload",
+            "Strategy",
+            "non-shr !pf",
+            "non-shr pf",
+            "inval !pf",
+            "inval pf",
+            "pf-in-prog",
+            "CPU MR",
+        ],
+    );
+    for w in FIGURE3_WORKLOADS {
+        for s in Strategy::ALL {
+            let r = &lab.run(Experiment::paper(w, s, FIGURE_LATENCY)).report;
+            let d = r.demand_accesses().max(1) as f64;
+            let m = r.miss;
+            t.row(vec![
+                w.name().to_owned(),
+                s.name().to_owned(),
+                pct(m.non_sharing_not_prefetched as f64 / d),
+                pct(m.non_sharing_prefetched as f64 / d),
+                pct(m.invalidation_not_prefetched as f64 / d),
+                pct(m.invalidation_prefetched as f64 / d),
+                pct(m.prefetch_in_progress as f64 / d),
+                pct(r.cpu_miss_rate()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3: total invalidation and false-sharing miss rates per workload
+/// (NP baseline, 8-cycle transfer).
+pub fn table3(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        "Table 3: Total Invalidation and False Sharing Miss Rates",
+        vec!["Workload", "Total Inval MR", "Total FS MR", "FS share of inval"],
+    );
+    for w in Workload::ALL {
+        let r = &lab.run(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY)).report;
+        let inval = r.invalidation_miss_rate();
+        let fs = r.false_sharing_miss_rate();
+        let share = if inval > 0.0 { fs / inval } else { 0.0 };
+        t.row(vec![
+            w.name().to_owned(),
+            pct(inval),
+            pct(fs),
+            format!("{:.0}%", 100.0 * share),
+        ]);
+    }
+    t
+}
+
+/// Table 4: miss rates for the restructured programs (Topopt and Pverify)
+/// at the 8-cycle transfer latency.
+pub fn table4(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        "Table 4: Miss rates for data transfer latency of 8 cycles, restructured programs",
+        vec!["Workload", "Strategy", "CPU MR", "Total MR", "Total Inval MR", "Total FS MR"],
+    );
+    for w in Workload::ALL.into_iter().filter(|w| w.restructurable()) {
+        for s in RESTRUCTURED_STRATEGIES {
+            let exp = Experiment::paper(w, s, FIGURE_LATENCY).restructured();
+            let r = &lab.run(exp).report;
+            t.row(vec![
+                format!("{w} (restr)"),
+                s.name().to_owned(),
+                pct(r.cpu_miss_rate()),
+                pct(r.total_miss_rate()),
+                pct(r.invalidation_miss_rate()),
+                pct(r.false_sharing_miss_rate()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 5: execution times of the restructured programs relative to the
+/// restructured NP baseline, across transfer latencies.
+pub fn table5(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        "Table 5: Relative execution times for restructured programs",
+        vec!["Workload", "Strategy", "4 cycles", "8 cycles", "16 cycles", "32 cycles"],
+    );
+    for w in Workload::ALL.into_iter().filter(|w| w.restructurable()) {
+        for s in RESTRUCTURED_STRATEGIES {
+            let mut cells = vec![format!("{w} (restr)"), s.name().to_owned()];
+            for lat in BusConfig::TABLE2_SWEEP {
+                let rel = lab.relative_time(Experiment::paper(w, s, lat).restructured());
+                cells.push(format!("{rel:.3}"));
+            }
+            t.row(cells);
+        }
+    }
+    t
+}
+
+/// §4.2's processor-utilization observations: NP utilization per workload at
+/// the fastest and slowest buses, plus the implied best-possible speedup
+/// (1 / utilization).
+pub fn processor_utilization(lab: &mut Lab) -> Table {
+    let mut t = Table::new(
+        "Processor utilization (NP) and the prefetching headroom it implies",
+        vec!["Workload", "util @4cy", "util @32cy", "max speedup @4cy", "max speedup @32cy"],
+    );
+    for w in Workload::ALL {
+        let fast =
+            lab.run(Experiment::paper(w, Strategy::NoPrefetch, 4)).report.avg_processor_utilization();
+        let slow = lab
+            .run(Experiment::paper(w, Strategy::NoPrefetch, 32))
+            .report
+            .avg_processor_utilization();
+        t.row(vec![
+            w.name().to_owned(),
+            format_rate(fast),
+            format_rate(slow),
+            format!("{:.1}", 1.0 / fast.max(1e-9)),
+            format!("{:.1}", 1.0 / slow.max(1e-9)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::RunConfig;
+
+    fn tiny_lab() -> Lab {
+        Lab::new(RunConfig { procs: 4, refs_per_proc: 1_500, seed: 3, ..RunConfig::default() })
+    }
+
+    #[test]
+    fn table1_has_five_rows() {
+        let t = table1(&mut tiny_lab());
+        assert_eq!(t.num_rows(), 5);
+        assert!(t.to_string().contains("Water"));
+    }
+
+    #[test]
+    fn figure1_covers_grid() {
+        let t = figure1(&mut tiny_lab());
+        assert_eq!(t.num_rows(), 25); // 5 workloads × 5 strategies
+    }
+
+    #[test]
+    fn table2_covers_grid() {
+        let mut lab = Lab::new(RunConfig { procs: 2, refs_per_proc: 800, seed: 3, ..RunConfig::default() });
+        let t = table2(&mut lab);
+        assert_eq!(t.num_rows(), 25);
+        // every utilization cell parses back as a rate ≤ 1
+        for r in 0..t.num_rows() {
+            for c in 2..6 {
+                let cell = t.cell(r, c).unwrap();
+                let v: f64 = format!("0{cell}").parse().unwrap();
+                assert!((0.0..=1.0).contains(&v), "{cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_one_panel_per_workload() {
+        let mut lab = Lab::new(RunConfig { procs: 2, refs_per_proc: 600, seed: 3, ..RunConfig::default() });
+        let panels = figure2(&mut lab);
+        assert_eq!(panels.len(), 5);
+        assert_eq!(panels[0].num_rows(), 4); // PREF/EXCL/LPD/PWS
+    }
+
+    #[test]
+    fn figure3_covers_three_workloads() {
+        let t = figure3(&mut tiny_lab());
+        assert_eq!(t.num_rows(), 15);
+    }
+
+    #[test]
+    fn table3_reports_all_workloads() {
+        let t = table3(&mut tiny_lab());
+        assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn tables_4_and_5_cover_restructured_programs() {
+        let mut lab = Lab::new(RunConfig { procs: 2, refs_per_proc: 600, seed: 3, ..RunConfig::default() });
+        assert_eq!(table4(&mut lab).num_rows(), 6); // 2 workloads × 3 strategies
+        assert_eq!(table5(&mut lab).num_rows(), 6);
+    }
+
+    #[test]
+    fn processor_utilization_sane() {
+        let t = processor_utilization(&mut tiny_lab());
+        assert_eq!(t.num_rows(), 5);
+    }
+}

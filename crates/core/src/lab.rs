@@ -1,0 +1,223 @@
+//! The experiment runner: one [`Experiment`] = workload × strategy × memory
+//! architecture × layout; a [`Lab`] memoizes runs so the table/figure
+//! reproductions can share them.
+
+use charlie_cache::CacheGeometry;
+use charlie_prefetch::Strategy;
+use charlie_sim::{simulate, SimConfig, SimReport};
+use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One cell of the paper's evaluation space.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Experiment {
+    /// Application.
+    pub workload: Workload,
+    /// Prefetching discipline.
+    pub strategy: Strategy,
+    /// Contended data-transfer latency (4–32 in the paper).
+    pub transfer_cycles: u64,
+    /// Original or restructured shared-data layout.
+    pub layout: Layout,
+}
+
+impl Experiment {
+    /// An experiment on the paper's default (interleaved) layout.
+    pub fn paper(workload: Workload, strategy: Strategy, transfer_cycles: u64) -> Self {
+        Experiment { workload, strategy, transfer_cycles, layout: Layout::Interleaved }
+    }
+
+    /// The same experiment on the restructured layout (§4.4).
+    pub fn restructured(self) -> Self {
+        Experiment { layout: Layout::Padded, ..self }
+    }
+
+    /// The NP baseline this experiment's execution time is reported against.
+    pub fn baseline(self) -> Self {
+        Experiment { strategy: Strategy::NoPrefetch, ..self }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} @{}cy{}",
+            self.workload,
+            self.strategy,
+            self.transfer_cycles,
+            if self.layout == Layout::Padded { " (restructured)" } else { "" }
+        )
+    }
+}
+
+/// Machine- and trace-size knobs shared by every experiment in a [`Lab`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RunConfig {
+    /// Processors (the paper's machines; we default to 8).
+    pub procs: usize,
+    /// Demand references per processor. Defaults to the `CHARLIE_REFS`
+    /// environment variable or 160 000 (the paper traced ~2 M; rates are
+    /// stable well below that).
+    pub refs_per_proc: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Per-processor cache geometry (the paper's experiments use
+    /// 32 KB direct-mapped with 32-byte blocks; §3.3 discusses other
+    /// configurations, reproduced by the `config_sweep` binary).
+    pub geometry: CacheGeometry,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        let refs = std::env::var("CHARLIE_REFS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(160_000);
+        RunConfig {
+            procs: 8,
+            refs_per_proc: refs,
+            seed: 0xC0FFEE,
+            geometry: CacheGeometry::paper_default(),
+        }
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunSummary {
+    /// The experiment that produced this.
+    pub experiment: Experiment,
+    /// Full simulator output.
+    pub report: SimReport,
+    /// Prefetch events the off-line pass inserted (the paper's prefetch
+    /// overhead measure).
+    pub prefetches_inserted: u64,
+}
+
+/// Memoizing experiment runner.
+///
+/// Traces are regenerated per run (generation is cheap and deterministic);
+/// completed [`RunSummary`]s are cached, so the table/figure reproductions
+/// can share the underlying runs.
+pub struct Lab {
+    cfg: RunConfig,
+    runs: HashMap<Experiment, RunSummary>,
+}
+
+impl Lab {
+    /// Creates an empty lab.
+    pub fn new(cfg: RunConfig) -> Self {
+        Lab { cfg, runs: HashMap::new() }
+    }
+
+    /// The lab's run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Runs (or returns the cached result of) `exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator rejects the generated trace — that indicates
+    /// a bug in the generators, not user error.
+    pub fn run(&mut self, exp: Experiment) -> &RunSummary {
+        if !self.runs.contains_key(&exp) {
+            let summary = self.run_uncached(exp);
+            self.runs.insert(exp, summary);
+        }
+        &self.runs[&exp]
+    }
+
+    fn run_uncached(&self, exp: Experiment) -> RunSummary {
+        let wcfg = WorkloadConfig {
+            procs: self.cfg.procs,
+            refs_per_proc: self.cfg.refs_per_proc,
+            seed: self.cfg.seed,
+            layout: exp.layout,
+        };
+        let raw = generate(exp.workload, &wcfg);
+        let prepared = charlie_prefetch::apply(exp.strategy, &raw, self.cfg.geometry);
+        let prefetches_inserted = prepared.total_prefetches() as u64;
+        let sim_cfg = SimConfig {
+            geometry: self.cfg.geometry,
+            ..SimConfig::paper(self.cfg.procs, exp.transfer_cycles)
+        };
+        let report = simulate(&sim_cfg, &prepared)
+            .unwrap_or_else(|e| panic!("simulating {exp}: {e}"));
+        RunSummary { experiment: exp, report, prefetches_inserted }
+    }
+
+    /// Execution time of `exp` relative to its NP baseline (the paper's
+    /// Figure 2 / Table 5 metric; < 1 means prefetching sped the program up).
+    pub fn relative_time(&mut self, exp: Experiment) -> f64 {
+        let base = self.run(exp.baseline()).report.cycles as f64;
+        let this = self.run(exp).report.cycles as f64;
+        this / base
+    }
+
+    /// Number of distinct experiments run so far.
+    pub fn runs_completed(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_lab() -> Lab {
+        Lab::new(RunConfig { procs: 4, refs_per_proc: 2_000, seed: 7, ..RunConfig::default() })
+    }
+
+    #[test]
+    fn run_is_memoized() {
+        let mut lab = tiny_lab();
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let first = lab.run(exp).clone();
+        let second = lab.run(exp).clone();
+        assert_eq!(first, second);
+        assert_eq!(lab.runs_completed(), 1);
+    }
+
+    #[test]
+    fn np_inserts_no_prefetches() {
+        let mut lab = tiny_lab();
+        let s = lab.run(Experiment::paper(Workload::Topopt, Strategy::NoPrefetch, 8));
+        assert_eq!(s.prefetches_inserted, 0);
+        assert_eq!(s.report.prefetch.executed, 0);
+    }
+
+    #[test]
+    fn pref_inserts_prefetches_and_they_execute() {
+        let mut lab = tiny_lab();
+        let s = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pref, 8));
+        assert!(s.prefetches_inserted > 0);
+        assert_eq!(s.report.prefetch.executed, s.prefetches_inserted);
+    }
+
+    #[test]
+    fn relative_time_of_baseline_is_one() {
+        let mut lab = tiny_lab();
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        assert!((lab.relative_time(exp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn experiment_display() {
+        let e = Experiment::paper(Workload::Mp3d, Strategy::Pws, 16);
+        assert_eq!(e.to_string(), "Mp3d/PWS @16cy");
+        assert_eq!(e.restructured().to_string(), "Mp3d/PWS @16cy (restructured)");
+    }
+
+    #[test]
+    fn baseline_strips_strategy_only() {
+        let e = Experiment::paper(Workload::Mp3d, Strategy::Lpd, 16).restructured();
+        let b = e.baseline();
+        assert_eq!(b.strategy, Strategy::NoPrefetch);
+        assert_eq!(b.workload, e.workload);
+        assert_eq!(b.layout, Layout::Padded);
+    }
+}

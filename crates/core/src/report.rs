@@ -1,0 +1,150 @@
+//! Plain-text table and CSV rendering for the experiment reproductions.
+
+use std::fmt;
+
+/// Formats a rate the way the paper's tables do (`.18`, `1.00`).
+pub fn format_rate(x: f64) -> String {
+    if (x - 1.0).abs() < 5e-3 || x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        // strip the leading zero: 0.18 → .18
+        let s = format!("{x:.2}");
+        s.strip_prefix('0').map(str::to_owned).unwrap_or(s)
+    }
+}
+
+/// A simple right-aligned text table with a title, used by every
+/// table/figure binary.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<impl Into<String>>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row-major), `None` out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders as CSV (headers first). Cells containing commas are quoted.
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    // first column left-aligned
+                    write!(f, "{:<width$}", c, width = widths[i])?;
+                } else {
+                    write!(f, "  {:>width$}", c, width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_formatting_matches_paper_style() {
+        assert_eq!(format_rate(0.18), ".18");
+        assert_eq!(format_rate(0.997), "1.00");
+        assert_eq!(format_rate(1.0), "1.00");
+        assert_eq!(format_rate(1.23), "1.23");
+        assert_eq!(format_rate(0.04), ".04");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", vec!["name", "x"]);
+        t.row(vec!["alpha", "1"]).row(vec!["b", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("alpha"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, 1), Some("22"));
+        assert_eq!(t.cell(9, 0), None);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.row(vec!["1,5", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n\"1,5\",2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Placement of prefetch instructions into an event stream.
+
+use charlie_trace::{ProcTrace, TraceEvent};
+
+/// Per-event prefetch decision produced by the oracle (and augmented by the
+/// PWS filter and the EXCL policy).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PrefetchMark {
+    /// Insert a prefetch covering this access.
+    pub prefetch: bool,
+    /// The access is a write (candidate for exclusive prefetching).
+    pub is_write: bool,
+    /// Prefetch in exclusive mode.
+    pub exclusive: bool,
+}
+
+impl PrefetchMark {
+    /// A mark for a non-access event (never prefetched).
+    pub fn inert() -> Self {
+        PrefetchMark { prefetch: false, is_write: false, exclusive: false }
+    }
+}
+
+/// Inserts a prefetch `distance` estimated CPU cycles ahead of every marked
+/// access.
+///
+/// The distance is measured with the paper's off-line cost model
+/// ([`TraceEvent::estimated_cycles`]: 1 cycle/instruction, accesses assumed
+/// to hit). Placement rules:
+///
+/// * the prefetch lands at the latest point that still leaves at least
+///   `distance` cycles before the access (the paper argues for receiving
+///   prefetched data "exactly on time");
+/// * a prefetch is never hoisted across a lock or barrier operation (a
+///   compiler would not move loads across synchronization);
+/// * if the stream start or a synchronization boundary is closer than
+///   `distance`, the prefetch is placed there.
+///
+/// # Panics
+///
+/// Panics if `marks.len() != stream.len()`.
+pub fn insert_prefetches(stream: &ProcTrace, marks: &[PrefetchMark], distance: u64) -> ProcTrace {
+    assert_eq!(marks.len(), stream.len(), "one mark per event required");
+    let events = stream.events();
+    let n = events.len();
+
+    // prefix[i] = estimated cycles before event i.
+    let mut prefix = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for ev in events {
+        acc += ev.estimated_cycles();
+        prefix.push(acc);
+    }
+
+    // insertions[k] = (event index to insert before, prefetch event); built
+    // in nondecreasing index order because prefix sums are nondecreasing.
+    let mut insertions: Vec<(usize, TraceEvent)> = Vec::new();
+    let mut boundary = 0usize; // first legal insertion index (after last sync)
+    for (i, ev) in events.iter().enumerate() {
+        if let (TraceEvent::Access(a), mark) = (ev, marks[i]) {
+            if mark.prefetch {
+                let j = if prefix[i] <= distance {
+                    0
+                } else {
+                    let target = prefix[i] - distance;
+                    // Largest j ≤ i with prefix[j] <= target.
+                    prefix[..=i].partition_point(|&c| c <= target) - 1
+                };
+                let j = j.max(boundary);
+                insertions
+                    .push((j, TraceEvent::Prefetch { addr: a.addr, exclusive: mark.exclusive }));
+            }
+        }
+        if ev.is_sync() {
+            boundary = i + 1;
+        }
+    }
+
+    // Single merge pass.
+    let mut out = Vec::with_capacity(n + insertions.len());
+    let mut ins = insertions.into_iter().peekable();
+    for (i, ev) in events.iter().enumerate() {
+        while ins.peek().is_some_and(|&(j, _)| j == i) {
+            out.push(ins.next().expect("peeked").1);
+        }
+        out.push(*ev);
+    }
+    // Marks always point at existing accesses, so j <= i < n and nothing
+    // remains; defend anyway.
+    out.extend(ins.map(|(_, e)| e));
+    ProcTrace::from_events(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlie_trace::{Access, Addr};
+
+    fn read(a: u64) -> TraceEvent {
+        TraceEvent::Access(Access::read(Addr::new(a)))
+    }
+
+    fn mark() -> PrefetchMark {
+        PrefetchMark { prefetch: true, is_write: false, exclusive: false }
+    }
+
+    fn run(events: Vec<TraceEvent>, marked: &[usize], distance: u64) -> Vec<TraceEvent> {
+        let stream = ProcTrace::from_events(events);
+        let mut marks = vec![PrefetchMark::inert(); stream.len()];
+        for &i in marked {
+            marks[i] = mark();
+        }
+        insert_prefetches(&stream, &marks, distance).events().to_vec()
+    }
+
+    #[test]
+    fn exact_distance_placement() {
+        // Work(150) then access: distance 100 → insert inside... events are
+        // atomic, so the prefetch goes before the event whose prefix is the
+        // last one ≤ (150 - 100) = 50; prefix of Work(150) is 0 ≤ 50, prefix
+        // of the access is 150 > 50 → before the access? No: j is the largest
+        // index with prefix[j] <= 50, which is 0 (prefix[1] = 150). So the
+        // prefetch lands before the Work event, giving 150 ≥ 100 cycles.
+        let out = run(vec![TraceEvent::Work(150), read(0x100)], &[1], 100);
+        assert!(matches!(out[0], TraceEvent::Prefetch { .. }));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fine_grained_work_gets_precise_placement() {
+        // Ten Work(20) events then the access; distance 100 → insert before
+        // the event at prefix 100, i.e. five Work events (100 cycles) remain.
+        let mut events: Vec<TraceEvent> = (0..10).map(|_| TraceEvent::Work(20)).collect();
+        events.push(read(0x100));
+        let out = run(events, &[10], 100);
+        let pf_pos = out.iter().position(|e| matches!(e, TraceEvent::Prefetch { .. })).unwrap();
+        assert_eq!(pf_pos, 5, "exactly 100 estimated cycles remain after the prefetch");
+    }
+
+    #[test]
+    fn short_stream_hoists_to_start() {
+        let out = run(vec![TraceEvent::Work(10), read(0x100)], &[1], 100);
+        assert!(matches!(out[0], TraceEvent::Prefetch { .. }));
+    }
+
+    #[test]
+    fn never_hoists_across_sync() {
+        let events = vec![
+            TraceEvent::Work(500),
+            TraceEvent::Barrier(charlie_trace::BarrierId(0)),
+            TraceEvent::Work(10),
+            read(0x100),
+        ];
+        let out = run(events, &[3], 100);
+        let pf_pos = out.iter().position(|e| matches!(e, TraceEvent::Prefetch { .. })).unwrap();
+        let barrier_pos = out.iter().position(|e| matches!(e, TraceEvent::Barrier(_))).unwrap();
+        assert!(pf_pos > barrier_pos, "prefetch must stay after the barrier");
+    }
+
+    #[test]
+    fn unmarked_stream_unchanged() {
+        let events = vec![TraceEvent::Work(5), read(0x100)];
+        let out = run(events.clone(), &[], 100);
+        assert_eq!(out, events);
+    }
+
+    #[test]
+    fn demand_order_preserved_and_counts_add_up() {
+        let events = vec![
+            TraceEvent::Work(300),
+            read(0x100),
+            TraceEvent::Work(300),
+            read(0x200),
+            TraceEvent::Work(300),
+            read(0x300),
+        ];
+        let out = run(events, &[1, 3, 5], 100);
+        let addrs: Vec<u64> = out
+            .iter()
+            .filter_map(|e| e.as_access().map(|a| a.addr.raw()))
+            .collect();
+        assert_eq!(addrs, vec![0x100, 0x200, 0x300]);
+        let pf = out.iter().filter(|e| matches!(e, TraceEvent::Prefetch { .. })).count();
+        assert_eq!(pf, 3);
+    }
+
+    #[test]
+    fn exclusive_flag_propagates() {
+        let stream = ProcTrace::from_events(vec![
+            TraceEvent::Work(10),
+            TraceEvent::Access(Access::write(Addr::new(0x40))),
+        ]);
+        let marks = vec![
+            PrefetchMark::inert(),
+            PrefetchMark { prefetch: true, is_write: true, exclusive: true },
+        ];
+        let out = insert_prefetches(&stream, &marks, 100);
+        assert!(matches!(
+            out.events()[0],
+            TraceEvent::Prefetch { exclusive: true, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one mark per event")]
+    fn mark_length_mismatch_panics() {
+        let stream = ProcTrace::from_events(vec![read(0)]);
+        let _ = insert_prefetches(&stream, &[], 100);
+    }
+}

@@ -1,0 +1,123 @@
+//! Read-modify-write detection for exclusive prefetching.
+//!
+//! The paper's EXCL strategy barely beats PREF because "most of the leading
+//! references to shared lines are not writes"; §4.3 then suggests the fix:
+//! "a compiler might recognize when a read is followed immediately by a
+//! write and make more effective use of the exclusive prefetch feature" —
+//! fetching such lines exclusive up front saves the upgrade transaction the
+//! write would otherwise need. [`Strategy::ExclRmw`] implements that
+//! suggestion; this module provides the detection pass.
+//!
+//! [`Strategy::ExclRmw`]: crate::Strategy::ExclRmw
+
+use crate::insert::PrefetchMark;
+use charlie_cache::CacheGeometry;
+use charlie_trace::ProcTrace;
+
+/// How soon (in estimated CPU cycles) a write must follow the read for the
+/// pair to count as a read-modify-write idiom.
+pub const RMW_WINDOW_CYCLES: u64 = 50;
+
+/// Upgrades prefetch marks on *read* accesses that a write to the same line
+/// follows within [`RMW_WINDOW_CYCLES`] (never looking across a lock or
+/// barrier) to exclusive mode.
+///
+/// # Panics
+///
+/// Panics if `marks.len() != stream.len()`.
+pub fn mark_rmw_exclusive(stream: &ProcTrace, marks: &mut [PrefetchMark], geometry: CacheGeometry) {
+    assert_eq!(marks.len(), stream.len(), "one mark per event required");
+    let events = stream.events();
+    for i in 0..events.len() {
+        if !marks[i].prefetch || marks[i].is_write || marks[i].exclusive {
+            continue;
+        }
+        let Some(access) = events[i].as_access() else { continue };
+        let line = geometry.line(access.addr);
+        let mut budget = RMW_WINDOW_CYCLES;
+        for later in &events[i + 1..] {
+            if later.is_sync() {
+                break;
+            }
+            if let Some(a) = later.as_access() {
+                if a.kind.is_write() && geometry.line(a.addr) == line {
+                    marks[i].exclusive = true;
+                    break;
+                }
+            }
+            let cost = later.estimated_cycles();
+            if cost >= budget {
+                break;
+            }
+            budget -= cost;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_miss_marks;
+    use charlie_trace::{Addr, TraceBuilder};
+
+    fn marks_for(build: impl FnOnce(&mut charlie_trace::ProcTraceBuilder<'_>)) -> Vec<PrefetchMark> {
+        let mut b = TraceBuilder::new(1);
+        build(&mut b.proc(0));
+        let t = b.build();
+        let geometry = CacheGeometry::paper_default();
+        let mut marks = oracle_miss_marks(t.proc(0), geometry);
+        mark_rmw_exclusive(t.proc(0), &mut marks, geometry);
+        marks
+    }
+
+    #[test]
+    fn read_then_write_same_line_marked_exclusive() {
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).work(5).write(Addr::new(0x104));
+        });
+        assert!(m[0].prefetch && m[0].exclusive, "RMW idiom detected");
+    }
+
+    #[test]
+    fn read_without_write_stays_shared() {
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).work(5).read(Addr::new(0x104));
+        });
+        assert!(m[0].prefetch && !m[0].exclusive);
+    }
+
+    #[test]
+    fn write_to_other_line_ignored() {
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).write(Addr::new(0x200));
+        });
+        assert!(!m[0].exclusive);
+    }
+
+    #[test]
+    fn window_limits_lookahead() {
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).work(500).write(Addr::new(0x104));
+        });
+        assert!(!m[0].exclusive, "write too far away");
+    }
+
+    #[test]
+    fn sync_stops_lookahead() {
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).lock(0).write(Addr::new(0x104)).unlock(0);
+        });
+        assert!(!m[0].exclusive, "never looks across synchronization");
+    }
+
+    #[test]
+    fn unmarked_reads_untouched() {
+        // Second read of the line hits (not marked); it must stay inert even
+        // though a write follows.
+        let m = marks_for(|p| {
+            p.read(Addr::new(0x100)).read(Addr::new(0x104)).write(Addr::new(0x108));
+        });
+        assert!(m[0].exclusive);
+        assert!(!m[1].prefetch && !m[1].exclusive);
+    }
+}

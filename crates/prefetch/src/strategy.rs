@@ -1,0 +1,126 @@
+//! The five prefetching strategies of the paper's §4.1.
+
+use std::fmt;
+
+/// A prefetching discipline applied to the workload off-line, before
+/// simulation. Each variant differs from [`Strategy::Pref`] in exactly one
+/// characteristic, as in the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// NP — no prefetching; the baseline every execution time is relative to.
+    NoPrefetch,
+    /// PREF — oracle-predicted uniprocessor misses prefetched in shared mode
+    /// at a 100-cycle distance.
+    Pref,
+    /// EXCL — like PREF, but predicted *write* misses are prefetched in
+    /// exclusive mode (read-for-ownership), invalidating remote copies.
+    Excl,
+    /// LPD — like PREF with a 400-cycle prefetch distance, ensuring the data
+    /// arrives even under contention (at the cost of more conflicts).
+    Lpd,
+    /// PWS — like PREF, plus redundant prefetches of write-shared lines
+    /// showing poor temporal locality (16-line associative filter), to cover
+    /// invalidation misses.
+    Pws,
+    /// EXCL-RMW — an extension the paper suggests in §4.3 but does not
+    /// evaluate: like EXCL, and additionally a *read* miss that a write to
+    /// the same line quickly follows is prefetched exclusive, saving the
+    /// upgrade transaction ("the one instance where exclusive prefetching
+    /// would actually require fewer bus operations than no prefetching").
+    ExclRmw,
+}
+
+impl Strategy {
+    /// The paper's five strategies, in its reporting order.
+    pub const ALL: [Strategy; 5] =
+        [Strategy::NoPrefetch, Strategy::Pref, Strategy::Excl, Strategy::Lpd, Strategy::Pws];
+
+    /// The paper's strategies that actually insert prefetches.
+    pub const PREFETCHING: [Strategy; 4] =
+        [Strategy::Pref, Strategy::Excl, Strategy::Lpd, Strategy::Pws];
+
+    /// Everything, including the post-paper extension.
+    pub const EXTENDED: [Strategy; 6] = [
+        Strategy::NoPrefetch,
+        Strategy::Pref,
+        Strategy::Excl,
+        Strategy::Lpd,
+        Strategy::Pws,
+        Strategy::ExclRmw,
+    ];
+
+    /// The paper's label for the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::NoPrefetch => "NP",
+            Strategy::Pref => "PREF",
+            Strategy::Excl => "EXCL",
+            Strategy::Lpd => "LPD",
+            Strategy::Pws => "PWS",
+            Strategy::ExclRmw => "EXCL-RMW",
+        }
+    }
+
+    /// Prefetch distance in estimated CPU cycles (100; 400 for LPD).
+    pub fn prefetch_distance(self) -> u64 {
+        match self {
+            Strategy::Lpd => 400,
+            _ => 100,
+        }
+    }
+
+    /// Whether predicted-write misses are fetched in exclusive mode.
+    pub fn exclusive_writes(self) -> bool {
+        matches!(self, Strategy::Excl | Strategy::ExclRmw)
+    }
+
+    /// Whether read-modify-write idioms are detected and fetched exclusive
+    /// (see [`crate::rmw`]).
+    pub fn exclusive_rmw(self) -> bool {
+        self == Strategy::ExclRmw
+    }
+
+    /// Whether the write-shared temporal-locality filter adds redundant
+    /// prefetches (PWS).
+    pub fn prefetches_write_shared(self) -> bool {
+        self == Strategy::Pws
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["NP", "PREF", "EXCL", "LPD", "PWS"]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(Strategy::Pref.prefetch_distance(), 100);
+        assert_eq!(Strategy::Excl.prefetch_distance(), 100);
+        assert_eq!(Strategy::Pws.prefetch_distance(), 100);
+        assert_eq!(Strategy::Lpd.prefetch_distance(), 400);
+    }
+
+    #[test]
+    fn knobs_are_one_per_variant() {
+        assert!(Strategy::Excl.exclusive_writes());
+        assert!(!Strategy::Pref.exclusive_writes());
+        assert!(Strategy::Pws.prefetches_write_shared());
+        assert!(!Strategy::Lpd.prefetches_write_shared());
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(Strategy::Pws.to_string(), "PWS");
+    }
+}

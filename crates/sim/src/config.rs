@@ -1,0 +1,156 @@
+//! Simulator configuration.
+
+use charlie_bus::BusConfig;
+use charlie_cache::CacheGeometry;
+use charlie_trace::{Addr, BarrierId, LockId};
+use std::fmt;
+
+/// Coherence policy of the simulated machine.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Protocol {
+    /// The paper's Illinois write-invalidate protocol: remote writes
+    /// invalidate cached copies, producing the invalidation misses the paper
+    /// identifies as prefetching's fundamental limit.
+    #[default]
+    WriteInvalidate,
+    /// A Firefly-style write-update counterfactual: writes to shared lines
+    /// broadcast the word (and update memory), so *no invalidation misses
+    /// exist at all* — the cost moves entirely onto bus update traffic.
+    /// Exclusive prefetches degenerate to shared fills under this policy.
+    WriteUpdate,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::WriteInvalidate => f.write_str("write-invalidate (Illinois)"),
+            Protocol::WriteUpdate => f.write_str("write-update (Firefly-style)"),
+        }
+    }
+}
+
+/// Base of the address region the simulator maps lock variables into. One
+/// cache line per lock, so locks never falsely share. Workload generators
+/// must keep data out of `0xF000_0000..=0xFFFF_FFFF`.
+pub const LOCK_REGION_BASE: u64 = 0xF000_0000;
+
+/// Base of the region holding the barrier counter and flag lines.
+pub const BARRIER_REGION_BASE: u64 = 0xF800_0000;
+
+/// Full configuration of one simulation run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Number of processors; must match the trace.
+    pub num_procs: usize,
+    /// Per-processor data-cache geometry (the paper: 32 KB direct-mapped,
+    /// 32-byte blocks).
+    pub geometry: CacheGeometry,
+    /// Memory-subsystem timing.
+    pub bus: BusConfig,
+    /// Depth of the lockup-free prefetch instruction buffer (the paper: 16,
+    /// "sufficiently large to almost always prevent the processor from
+    /// stalling").
+    pub prefetch_buffer_depth: usize,
+    /// Arbitrate prefetch fills at *demand* priority instead of the paper's
+    /// "round-robin arbitration scheme that favors blocking loads over
+    /// prefetches". Off by default; the `ablation_priority` binary measures
+    /// what that design choice is worth.
+    pub prefetch_demand_priority: bool,
+    /// Retire this many demand accesses machine-wide before statistics start
+    /// counting (caches warm up; execution continues unchanged). The paper's
+    /// 2M-reference traces made warm-up negligible; short runs benefit from
+    /// excluding the cold-start transient. 0 disables.
+    pub warmup_accesses: u64,
+    /// Entries in a per-processor fully-associative victim buffer (Jouppi),
+    /// the remedy the paper's §4.3 suggests for prefetch-induced conflicts.
+    /// 0 (the default and the paper's configuration) disables it.
+    pub victim_entries: usize,
+    /// Coherence policy (the paper's machine is write-invalidate).
+    pub protocol: Protocol,
+}
+
+impl SimConfig {
+    /// The paper's configuration at a given data-transfer latency.
+    pub fn paper(num_procs: usize, transfer_cycles: u64) -> Self {
+        SimConfig {
+            num_procs,
+            geometry: CacheGeometry::paper_default(),
+            bus: BusConfig::paper(transfer_cycles),
+            prefetch_buffer_depth: 16,
+            prefetch_demand_priority: false,
+            warmup_accesses: 0,
+            victim_entries: 0,
+            protocol: Protocol::WriteInvalidate,
+        }
+    }
+
+    /// Address of the line backing lock `id`.
+    pub fn lock_addr(&self, id: LockId) -> Addr {
+        Addr::new(LOCK_REGION_BASE + u64::from(id.0) * self.geometry.block_bytes())
+    }
+
+    /// Address of the barrier arrival counter. Barrier episodes reuse the
+    /// same two lines (sense-reversing barrier), so `id` only selects
+    /// nothing today but keeps the signature future-proof.
+    pub fn barrier_counter_addr(&self, _id: BarrierId) -> Addr {
+        Addr::new(BARRIER_REGION_BASE)
+    }
+
+    /// Address of the barrier release flag.
+    pub fn barrier_flag_addr(&self, _id: BarrierId) -> Addr {
+        Addr::new(BARRIER_REGION_BASE + self.geometry.block_bytes())
+    }
+}
+
+impl Default for SimConfig {
+    /// Eight processors on the paper's 8-cycle-transfer architecture.
+    fn default() -> Self {
+        SimConfig::paper(8, 8)
+    }
+}
+
+impl fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} procs, {} cache, {}, {}-deep prefetch buffer",
+            self.num_procs, self.geometry, self.bus, self.prefetch_buffer_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let c = SimConfig::paper(8, 16);
+        assert_eq!(c.num_procs, 8);
+        assert_eq!(c.bus.transfer_cycles, 16);
+        assert_eq!(c.prefetch_buffer_depth, 16);
+        assert_eq!(c.geometry.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn default_matches_paper_8cycle() {
+        assert_eq!(SimConfig::default(), SimConfig::paper(8, 8));
+    }
+
+    #[test]
+    fn lock_addresses_one_line_apart() {
+        let c = SimConfig::default();
+        let a0 = c.lock_addr(LockId(0));
+        let a1 = c.lock_addr(LockId(1));
+        assert_eq!(a1.raw() - a0.raw(), 32);
+        assert_ne!(a0.line(32), a1.line(32));
+    }
+
+    #[test]
+    fn barrier_lines_distinct() {
+        let c = SimConfig::default();
+        let counter = c.barrier_counter_addr(BarrierId(0));
+        let flag = c.barrier_flag_addr(BarrierId(0));
+        assert_ne!(counter.line(32), flag.line(32));
+    }
+}

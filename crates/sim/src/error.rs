@@ -1,0 +1,64 @@
+//! Simulation errors.
+
+use charlie_trace::ValidateTraceError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`crate::simulate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The trace failed structural validation (locks/barriers).
+    InvalidTrace(ValidateTraceError),
+    /// The trace's processor count differs from the configuration's.
+    ProcCountMismatch {
+        /// Processors in the configuration.
+        config: usize,
+        /// Processors in the trace.
+        trace: usize,
+    },
+    /// Processor count must be in `1..=64`.
+    BadProcCount(usize),
+    /// The event queue drained with processors still blocked — a simulator
+    /// invariant violation (cannot arise from validated traces).
+    Deadlock,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
+            SimError::ProcCountMismatch { config, trace } => {
+                write!(f, "config has {config} processors but trace has {trace}")
+            }
+            SimError::BadProcCount(n) => write!(f, "processor count {n} outside 1..=64"),
+            SimError::Deadlock => f.write_str("event queue drained with blocked processors"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidTrace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateTraceError> for SimError {
+    fn from(e: ValidateTraceError) -> Self {
+        SimError::InvalidTrace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::Deadlock.to_string().contains("drained"));
+        assert!(SimError::BadProcCount(0).to_string().contains("0"));
+        assert!(SimError::ProcCountMismatch { config: 2, trace: 3 }.to_string().contains("2"));
+    }
+}

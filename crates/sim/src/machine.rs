@@ -1,0 +1,935 @@
+//! The event-driven multiprocessor machine: processors, coherent caches,
+//! contended bus, prefetch buffers, and synchronization, wired together.
+//!
+//! # Timing model
+//!
+//! Integer cycles; a binary heap orders events `(time, sequence)`. Each
+//! processor executes its trace greedily but *yields* whenever any other
+//! event is scheduled at or before its local time, so coherence actions from
+//! other processors are always applied in global time order.
+//!
+//! # Memory operations
+//!
+//! * Demand hit: 1 cycle.
+//! * Demand miss: the processor stalls; a fill transaction spends the
+//!   uncontended latency (address + memory lookup), queues for the data bus,
+//!   and occupies it for the transfer latency. Snoops (invalidations,
+//!   downgrades, the Illinois sharing wire) are applied when the transaction
+//!   wins the bus.
+//! * Write hit on a shared line: an invalidation-only upgrade transaction;
+//!   the store retires when it completes. If a remote write invalidates the
+//!   line while the upgrade is queued, the upgrade aborts and the store
+//!   retries as an ordinary miss.
+//! * Prefetch: occupies a slot in the lockup-free prefetch buffer and queues
+//!   at prefetch priority; the processor continues. A demand access that
+//!   catches its own prefetch in flight blocks for the *remaining* latency
+//!   (and the transaction is promoted to demand priority).
+
+use crate::config::{Protocol, SimConfig};
+use crate::error::SimError;
+use crate::metrics::{MissBreakdown, PrefetchStats, SimReport};
+use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
+use crate::sync::{BarrierState, LockTable};
+use charlie_bus::{Bus, GrantOutcome, Priority, TxnId};
+use charlie_cache::protocol::{self, BusOp, LocalAction};
+use charlie_cache::{CacheArray, Probe};
+use charlie_trace::{Access, LineAddr, ProcId, Trace, TraceEvent};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum EventKind {
+    /// Resume processor `proc` if its wake epoch still matches.
+    Wake { proc: u8, epoch: u64 },
+    /// Attempt a bus grant.
+    BusCheck,
+    /// A bus transaction's transfer finished.
+    TxnDone(TxnId),
+}
+
+/// What to do when a transaction completes.
+#[derive(Copy, Clone, Debug)]
+enum TxnAction {
+    DemandFill { proc: ProcId, line: LineAddr, op: BusOp },
+    PrefetchFill { proc: ProcId, line: LineAddr, op: BusOp },
+    Upgrade { proc: ProcId, line: LineAddr, word: u32 },
+    WriteBack,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct TxnInfo {
+    action: TxnAction,
+    /// Submission time (fill latency measurement).
+    issued_at: u64,
+    /// Word the requesting access targets (drives false-sharing bookkeeping
+    /// for invalidating transactions).
+    word: u32,
+    /// Illinois sharing wire, sampled at grant time.
+    others_have_copy: bool,
+    /// Upgrade found its line already invalidated at grant; it performs no
+    /// coherence action and the store retries as a miss.
+    aborted: bool,
+}
+
+/// Result of dispatching one step of a processor.
+enum Flow {
+    /// Progress was made; keep running (subject to the yield check).
+    Continue,
+    /// The processor blocked; stop running it.
+    Blocked,
+    /// The processor retired its whole trace.
+    Finished,
+}
+
+/// Machine-wide tallies that end up in the [`SimReport`].
+#[derive(Default)]
+struct Tallies {
+    reads: u64,
+    writes: u64,
+    miss: MissBreakdown,
+    false_sharing_misses: u64,
+    upgrades: u64,
+    upgrades_aborted: u64,
+    demand_refills: u64,
+    victim_hits: u64,
+    fill_latency: crate::metrics::LatencyStats,
+    prefetch: PrefetchStats,
+}
+
+/// The complete simulated machine for one run.
+pub(crate) struct Machine<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    heap: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    seq: u64,
+    procs: Vec<Proc>,
+    epochs: Vec<u64>,
+    caches: Vec<CacheArray>,
+    bus: Bus,
+    txns: HashMap<TxnId, TxnInfo>,
+    locks: LockTable,
+    barrier: BarrierState,
+    /// Per processor: lines a prefetch brought in that vanished before any
+    /// demand use (so a later tag-mismatch miss can be classified
+    /// "prefetched").
+    ghosts: Vec<HashSet<LineAddr>>,
+    tallies: Tallies,
+    done_count: usize,
+    finish_time: u64,
+    /// Time of the single live scheduled BusCheck event (deduplication:
+    /// without it, every submit adds a roaming check that is re-pushed on
+    /// every BusyUntil, and event counts grow quadratically).
+    bus_check_at: Option<u64>,
+    /// Accesses still to retire before the statistics window opens
+    /// (warm-up); `None` once it has opened.
+    warmup_left: Option<u64>,
+    /// Time the statistics window opened.
+    measured_from: u64,
+}
+
+impl<'t> Machine<'t> {
+    pub(crate) fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
+        trace.validate().map_err(SimError::InvalidTrace)?;
+        if trace.num_procs() != cfg.num_procs {
+            return Err(SimError::ProcCountMismatch {
+                config: cfg.num_procs,
+                trace: trace.num_procs(),
+            });
+        }
+        if cfg.num_procs == 0 || cfg.num_procs > 64 {
+            return Err(SimError::BadProcCount(cfg.num_procs));
+        }
+        let n = cfg.num_procs;
+        Ok(Machine {
+            cfg,
+            trace,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            procs: vec![Proc::default(); n],
+            epochs: vec![0; n],
+            caches: (0..n)
+                .map(|_| CacheArray::with_victim(cfg.geometry, cfg.victim_entries))
+                .collect(),
+            bus: Bus::new(cfg.bus, n),
+            txns: HashMap::new(),
+            locks: LockTable::new(),
+            barrier: BarrierState::new(n),
+            ghosts: vec![HashSet::new(); n],
+            tallies: Tallies::default(),
+            done_count: 0,
+            finish_time: 0,
+            bus_check_at: None,
+            warmup_left: if cfg.warmup_accesses > 0 { Some(cfg.warmup_accesses) } else { None },
+            measured_from: 0,
+        })
+    }
+
+    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+        for p in 0..self.cfg.num_procs {
+            let e = self.epochs[p];
+            self.push(0, EventKind::Wake { proc: p as u8, epoch: e });
+        }
+        let mut events_processed: u64 = 0;
+        let debug = std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some();
+        while self.done_count < self.cfg.num_procs {
+            let Some(Reverse((time, _, kind))) = self.heap.pop() else {
+                return Err(SimError::Deadlock);
+            };
+            events_processed += 1;
+            if debug && events_processed.is_multiple_of(1 << 22) {
+                let cursors: Vec<usize> = self.procs.iter().map(|p| p.cursor).collect();
+                let statuses: Vec<String> =
+                    self.procs.iter().map(|p| format!("{:?}", p.status)).collect();
+                eprintln!(
+                    "[charlie-debug] events={events_processed} time={time} heap={} done={} cursors={cursors:?} statuses={statuses:?} pending_bus={}",
+                    self.heap.len(),
+                    self.done_count,
+                    self.bus.pending(),
+                );
+            }
+            match kind {
+                EventKind::Wake { proc, epoch } => self.on_wake(time, proc as usize, epoch),
+                EventKind::BusCheck => self.on_bus_check(time),
+                EventKind::TxnDone(id) => self.on_txn_done(time, id),
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn into_report(self) -> SimReport {
+        SimReport {
+            cycles: self.finish_time,
+            measured_from: self.measured_from,
+            reads: self.tallies.reads,
+            writes: self.tallies.writes,
+            miss: self.tallies.miss,
+            false_sharing_misses: self.tallies.false_sharing_misses,
+            upgrades: self.tallies.upgrades,
+            upgrades_aborted: self.tallies.upgrades_aborted,
+            demand_refills: self.tallies.demand_refills,
+            victim_hits: self.tallies.victim_hits,
+            fill_latency: self.tallies.fill_latency,
+            prefetch: self.tallies.prefetch,
+            bus: *self.bus.stats(),
+            per_proc: self.procs.into_iter().map(|p| p.stats).collect(),
+        }
+    }
+
+    // ---- event plumbing -------------------------------------------------
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, kind)));
+    }
+
+    /// Schedules a wake that is valid only while the target's epoch is
+    /// unchanged (dropping stale wakes, e.g. extra prefetch-slot wakes).
+    fn push_wake(&mut self, time: u64, proc: usize) {
+        let epoch = self.epochs[proc];
+        self.push(time, EventKind::Wake { proc: proc as u8, epoch });
+    }
+
+    fn on_wake(&mut self, now: u64, p: usize, epoch: u64) {
+        if self.epochs[p] != epoch || matches!(self.procs[p].status, ProcStatus::Done) {
+            return; // stale
+        }
+        match self.procs[p].status {
+            ProcStatus::Running => {
+                if now > self.procs[p].t {
+                    self.procs[p].t = now;
+                }
+            }
+            _ => {
+                self.procs[p].resume(now);
+                self.procs[p].waiting_txn = None;
+                self.epochs[p] += 1;
+            }
+        }
+        self.run_proc(p);
+    }
+
+    fn block_proc(&mut self, p: usize, status: ProcStatus) {
+        self.procs[p].block(status);
+        self.epochs[p] += 1;
+    }
+
+    // ---- processor execution --------------------------------------------
+
+    fn run_proc(&mut self, p: usize) {
+        loop {
+            let flow = if self.procs[p].pending.is_some() {
+                self.dispatch_pending(p)
+            } else {
+                self.dispatch_trace_event(p)
+            };
+            match flow {
+                Flow::Blocked => return,
+                Flow::Finished => {
+                    self.procs[p].status = ProcStatus::Done;
+                    self.procs[p].stats.finish_time = self.procs[p].t;
+                    self.finish_time = self.finish_time.max(self.procs[p].t);
+                    self.done_count += 1;
+                    return;
+                }
+                Flow::Continue => {}
+            }
+            // Yield whenever any other event is due at or before local time.
+            let t = self.procs[p].t;
+            if let Some(&Reverse((t_next, _, _))) = self.heap.peek() {
+                if t_next <= t {
+                    self.push_wake(t, p);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn dispatch_trace_event(&mut self, p: usize) -> Flow {
+        let Some(&ev) = self.trace.proc(p).events().get(self.procs[p].cursor) else {
+            return Flow::Finished;
+        };
+        match ev {
+            TraceEvent::Work(n) => {
+                let proc = &mut self.procs[p];
+                proc.t += u64::from(n);
+                proc.stats.busy_cycles += u64::from(n);
+                proc.cursor += 1;
+                Flow::Continue
+            }
+            TraceEvent::Access(a) => {
+                self.procs[p].pending = Some(PendingAccess::new(a, Purpose::Demand));
+                Flow::Continue
+            }
+            TraceEvent::Prefetch { addr, exclusive } => self.dispatch_prefetch(p, addr, exclusive),
+            TraceEvent::LockAcquire(id) => {
+                self.charge_dispatch_cycle(p);
+                let addr = self.cfg.lock_addr(id);
+                if self.locks.acquire(id, ProcId(p as u8)) {
+                    self.procs[p].pending =
+                        Some(PendingAccess::new(Access::write(addr), Purpose::LockAcquireWrite(id)));
+                } else {
+                    // Busy: one failed test read, then park (handled when the
+                    // spin read retires).
+                    self.procs[p].pending =
+                        Some(PendingAccess::new(Access::read(addr), Purpose::LockSpinRead(id)));
+                }
+                Flow::Continue
+            }
+            TraceEvent::LockRelease(id) => {
+                self.charge_dispatch_cycle(p);
+                let addr = self.cfg.lock_addr(id);
+                self.procs[p].pending =
+                    Some(PendingAccess::new(Access::write(addr), Purpose::LockReleaseWrite(id)));
+                Flow::Continue
+            }
+            TraceEvent::Barrier(id) => {
+                self.charge_dispatch_cycle(p);
+                let addr = self.cfg.barrier_counter_addr(id);
+                self.procs[p].pending =
+                    Some(PendingAccess::new(Access::write(addr), Purpose::BarrierArriveWrite(id)));
+                Flow::Continue
+            }
+        }
+    }
+
+    fn charge_dispatch_cycle(&mut self, p: usize) {
+        let proc = &mut self.procs[p];
+        proc.t += 1;
+        proc.stats.busy_cycles += 1;
+    }
+
+    /// The paper's CPU model: a data access costs one instruction cycle plus
+    /// one data cycle when it hits — matching the off-line cost model the
+    /// prefetch scheduler measures distances with.
+    fn charge_access_cycles(&mut self, p: usize) {
+        let proc = &mut self.procs[p];
+        proc.t += 2;
+        proc.stats.busy_cycles += 2;
+    }
+
+    fn dispatch_prefetch(&mut self, p: usize, addr: charlie_trace::Addr, exclusive: bool) -> Flow {
+        let line = self.cfg.geometry.line(addr);
+        // Buffer full: stall without charging the dispatch cycle (it is
+        // charged when the prefetch actually issues on retry).
+        let outstanding_full = self.procs[p].outstanding.len() >= self.cfg.prefetch_buffer_depth;
+        let already_outstanding = self.procs[p].outstanding.contains_key(&line);
+        let resident =
+            self.caches[p].probe_line(line).is_hit() || self.caches[p].probe_victim(line);
+
+        if resident || already_outstanding {
+            self.charge_dispatch_cycle(p);
+            self.tallies.prefetch.executed += 1;
+            if resident {
+                self.tallies.prefetch.hits += 1;
+            } else {
+                self.tallies.prefetch.duplicates += 1;
+            }
+            self.procs[p].cursor += 1;
+            return Flow::Continue;
+        }
+        if outstanding_full {
+            self.tallies.prefetch.buffer_stalls += 1;
+            self.block_proc(p, ProcStatus::WaitPrefetchSlot);
+            return Flow::Blocked;
+        }
+        self.charge_dispatch_cycle(p);
+        self.tallies.prefetch.executed += 1;
+        self.tallies.prefetch.fills += 1;
+        let op = if exclusive && self.cfg.protocol == Protocol::WriteInvalidate {
+            BusOp::ReadExclusive
+        } else {
+            BusOp::Read
+        };
+        let now = self.procs[p].t;
+        let priority = if self.cfg.prefetch_demand_priority {
+            Priority::Demand
+        } else {
+            Priority::Prefetch
+        };
+        let txn = self.bus.submit(now, ProcId(p as u8), line, op, priority);
+        self.txns.insert(
+            txn,
+            TxnInfo {
+                issued_at: now,
+                action: TxnAction::PrefetchFill { proc: ProcId(p as u8), line, op },
+                word: self.cfg.geometry.word_index(addr),
+                others_have_copy: false,
+                aborted: false,
+            },
+        );
+        self.procs[p].outstanding.insert(line, OutstandingPrefetch { txn, cpu_waiting: false });
+        self.schedule_bus_check(now);
+        self.procs[p].cursor += 1;
+        Flow::Continue
+    }
+
+    /// Attempts to retire the pending access; blocks on misses/upgrades.
+    fn dispatch_pending(&mut self, p: usize) -> Flow {
+        let pa = self.procs[p].pending.expect("dispatch_pending requires a pending access");
+        let addr = pa.access.addr;
+        let is_write = pa.access.kind.is_write();
+        let line = self.cfg.geometry.line(addr);
+        let word = self.cfg.geometry.word_index(addr);
+        let now = self.procs[p].t;
+
+        match self.caches[p].probe_line(line) {
+            Probe::Hit { way, state } => match protocol::local_access(state, is_write) {
+                LocalAction::Hit(new_state) => {
+                    let frame = self.caches[p].frame_mut(line, way);
+                    if is_write {
+                        frame.record_write_retire(word);
+                    } else {
+                        frame.record_access(word, new_state);
+                    }
+                    self.charge_access_cycles(p);
+                    self.count_access(p, is_write);
+                    self.retire_pending(p)
+                }
+                LocalAction::HitNeedsUpgrade => {
+                    // Write-update: once the word broadcast completed, the
+                    // store retires with the line still shared (memory was
+                    // updated in the broadcast).
+                    if pa.update_complete {
+                        debug_assert_eq!(self.cfg.protocol, Protocol::WriteUpdate);
+                        let frame = self.caches[p].frame_mut(line, way);
+                        frame.record_access(word, charlie_cache::LineState::Shared);
+                        self.charge_access_cycles(p);
+                        self.count_access(p, is_write);
+                        return self.retire_pending(p);
+                    }
+                    self.tallies.upgrades += 1;
+                    let txn =
+                        self.bus.submit(now, ProcId(p as u8), line, BusOp::Upgrade, Priority::Demand);
+                    self.txns.insert(
+                        txn,
+                        TxnInfo {
+                            issued_at: now,
+                            action: TxnAction::Upgrade { proc: ProcId(p as u8), line, word },
+                            word,
+                            others_have_copy: false,
+                            aborted: false,
+                        },
+                    );
+                    self.schedule_bus_check(now);
+                    self.procs[p].waiting_txn = Some(txn);
+                    self.block_proc(p, ProcStatus::WaitMem);
+                    Flow::Blocked
+                }
+                LocalAction::Miss(_) => unreachable!("probe hit cannot miss"),
+            },
+            probe @ (Probe::InvalidatedMatch { .. } | Probe::Miss) => {
+                // Victim-buffer hit: swap the line back (one extra cycle) and
+                // re-dispatch — it will now hit in the main array.
+                if self.caches[p].probe_victim(line) {
+                    self.tallies.victim_hits += 1;
+                    if let Some(evicted) = self.caches[p].recall_from_victim(line) {
+                        self.handle_eviction(p, evicted, now);
+                    }
+                    self.charge_dispatch_cycle(p);
+                    return Flow::Continue;
+                }
+                // Own prefetch in flight for this line?
+                if let Some(slot) = self.procs[p].outstanding.get_mut(&line) {
+                    slot.cpu_waiting = true;
+                    let txn = slot.txn;
+                    if !pa.counted {
+                        self.tallies.miss.prefetch_in_progress += 1;
+                        self.procs[p].pending.as_mut().expect("pending").counted = true;
+                    }
+                    self.bus.promote(txn);
+                    self.procs[p].waiting_txn = Some(txn);
+                    self.block_proc(p, ProcStatus::WaitMem);
+                    return Flow::Blocked;
+                }
+                if !pa.counted {
+                    self.classify_miss(p, line, probe);
+                    self.procs[p].pending.as_mut().expect("pending").counted = true;
+                } else {
+                    // The previous fill was invalidated under our feet; the
+                    // miss is already classified but the refetch still costs
+                    // a bus transaction.
+                    self.tallies.demand_refills += 1;
+                }
+                let op = if is_write && self.cfg.protocol == Protocol::WriteInvalidate {
+                    BusOp::ReadExclusive
+                } else {
+                    // Write-update: a write miss fills shared and then
+                    // broadcasts the word (handled by the upgrade-as-update
+                    // path when the retried store finds the line shared).
+                    BusOp::Read
+                };
+                let txn = self.bus.submit(now, ProcId(p as u8), line, op, Priority::Demand);
+                self.txns.insert(
+                    txn,
+                    TxnInfo {
+                        issued_at: now,
+                        action: TxnAction::DemandFill { proc: ProcId(p as u8), line, op },
+                        word,
+                        others_have_copy: false,
+                        aborted: false,
+                    },
+                );
+                self.schedule_bus_check(now);
+                self.procs[p].waiting_txn = Some(txn);
+                self.block_proc(p, ProcStatus::WaitMem);
+                Flow::Blocked
+            }
+        }
+    }
+
+    fn count_access(&mut self, p: usize, is_write: bool) {
+        if is_write {
+            self.tallies.writes += 1;
+        } else {
+            self.tallies.reads += 1;
+        }
+        self.procs[p].stats.accesses += 1;
+        if let Some(left) = &mut self.warmup_left {
+            *left -= 1;
+            if *left == 0 {
+                let now = self.procs[p].t;
+                self.open_stats_window(now);
+            }
+        }
+    }
+
+    /// Warm-up complete: zero every counter so the report covers only the
+    /// steady state from `now` on. Execution continues unchanged; a stall
+    /// spanning the boundary is charged entirely to the measured window
+    /// (a one-off smear bounded by one miss latency per processor).
+    fn open_stats_window(&mut self, now: u64) {
+        self.warmup_left = None;
+        self.measured_from = now;
+        self.tallies = Tallies::default();
+        self.bus.reset_stats();
+        for proc in &mut self.procs {
+            proc.stats.busy_cycles = 0;
+            proc.stats.stall_cycles = 0;
+            proc.stats.accesses = 0;
+            proc.stats.measured_from = now;
+        }
+    }
+
+    fn classify_miss(&mut self, p: usize, line: LineAddr, probe: Probe) {
+        match probe {
+            Probe::InvalidatedMatch { way } => {
+                let frame = self.caches[p].frame(line, way);
+                let prefetched = frame.filled_by_prefetch() && !frame.used_since_fill();
+                let false_sharing =
+                    frame.inval_word().is_some_and(|w| !frame.accessed_words().contains(w));
+                if false_sharing {
+                    self.tallies.false_sharing_misses += 1;
+                }
+                if prefetched {
+                    self.tallies.miss.invalidation_prefetched += 1;
+                } else {
+                    self.tallies.miss.invalidation_not_prefetched += 1;
+                }
+                self.ghosts[p].remove(&line);
+            }
+            Probe::Miss => {
+                let prefetched = self.ghosts[p].remove(&line);
+                if prefetched {
+                    self.tallies.miss.non_sharing_prefetched += 1;
+                } else {
+                    self.tallies.miss.non_sharing_not_prefetched += 1;
+                }
+            }
+            Probe::Hit { .. } => unreachable!("hits are not misses"),
+        }
+    }
+
+    /// Completes the pending access after a successful (hit) dispatch.
+    fn retire_pending(&mut self, p: usize) -> Flow {
+        let pa = self.procs[p].pending.take().expect("retiring without a pending access");
+        let t = self.procs[p].t;
+        match pa.purpose {
+            Purpose::Demand | Purpose::LockAcquireWrite(_) | Purpose::BarrierLeaveRead(_) => {
+                self.procs[p].cursor += 1;
+                Flow::Continue
+            }
+            Purpose::LockSpinRead(id) => {
+                if self.procs[p].early_release {
+                    // The hand-off already happened: take the lock now.
+                    self.procs[p].early_release = false;
+                    let addr = self.cfg.lock_addr(id);
+                    self.procs[p].pending = Some(PendingAccess::new(
+                        Access::write(addr),
+                        Purpose::LockAcquireWrite(id),
+                    ));
+                    Flow::Continue
+                } else {
+                    // Lock is busy; park until hand-off.
+                    self.block_proc(p, ProcStatus::WaitLock);
+                    Flow::Blocked
+                }
+            }
+            Purpose::LockReleaseWrite(id) => {
+                if let Some(next) = self.locks.release(id, ProcId(p as u8)) {
+                    let q = next.index();
+                    if matches!(self.procs[q].status, ProcStatus::WaitLock) {
+                        let addr = self.cfg.lock_addr(id);
+                        self.procs[q].pending = Some(PendingAccess::new(
+                            Access::write(addr),
+                            Purpose::LockAcquireWrite(id),
+                        ));
+                        self.push_wake(t, q);
+                    } else {
+                        // The new owner is still finishing its spin read; it
+                        // will see the hand-off when that read retires.
+                        self.procs[q].early_release = true;
+                    }
+                }
+                self.procs[p].cursor += 1;
+                Flow::Continue
+            }
+            Purpose::BarrierArriveWrite(id) => {
+                if self.barrier.arrive(ProcId(p as u8)) {
+                    let addr = self.cfg.barrier_flag_addr(id);
+                    self.procs[p].pending =
+                        Some(PendingAccess::new(Access::write(addr), Purpose::BarrierFlagWrite(id)));
+                    Flow::Continue
+                } else {
+                    let addr = self.cfg.barrier_flag_addr(id);
+                    self.procs[p].pending =
+                        Some(PendingAccess::new(Access::read(addr), Purpose::BarrierSpinRead(id)));
+                    Flow::Continue
+                }
+            }
+            Purpose::BarrierSpinRead(id) => {
+                if self.procs[p].early_release {
+                    self.procs[p].early_release = false;
+                    let addr = self.cfg.barrier_flag_addr(id);
+                    self.procs[p].pending = Some(PendingAccess::new(
+                        Access::read(addr),
+                        Purpose::BarrierLeaveRead(id),
+                    ));
+                    Flow::Continue
+                } else {
+                    self.block_proc(p, ProcStatus::WaitBarrier);
+                    Flow::Blocked
+                }
+            }
+            Purpose::BarrierFlagWrite(id) => {
+                for q in self.barrier.drain_waiters() {
+                    let qi = q.index();
+                    if matches!(self.procs[qi].status, ProcStatus::WaitBarrier) {
+                        let addr = self.cfg.barrier_flag_addr(id);
+                        self.procs[qi].pending = Some(PendingAccess::new(
+                            Access::read(addr),
+                            Purpose::BarrierLeaveRead(id),
+                        ));
+                        self.push_wake(t, qi);
+                    } else {
+                        // Still finishing its arrival spin read: it leaves
+                        // as soon as that read retires.
+                        self.procs[qi].early_release = true;
+                    }
+                }
+                self.procs[p].cursor += 1;
+                Flow::Continue
+            }
+        }
+    }
+
+    // ---- bus handling -----------------------------------------------------
+
+    /// Wakes `p` only if it is stalled on exactly transaction `id`; returns
+    /// whether it was. Prevents a completion from resuming a processor that
+    /// has since moved on to a different wait.
+    fn wake_if_waiting(&mut self, now: u64, p: usize, id: TxnId) -> bool {
+        if matches!(self.procs[p].status, ProcStatus::WaitMem)
+            && self.procs[p].waiting_txn == Some(id)
+        {
+            self.procs[p].waiting_txn = None;
+            self.push_wake(now, p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Schedules a BusCheck at `t` unless one is already live at `t` or
+    /// earlier. A check scheduled earlier supersedes a later one; the
+    /// superseded heap entry is dropped as stale when popped.
+    fn schedule_bus_check(&mut self, t: u64) {
+        match self.bus_check_at {
+            Some(existing) if existing <= t => {}
+            _ => {
+                self.bus_check_at = Some(t);
+                self.push(t, EventKind::BusCheck);
+            }
+        }
+    }
+
+    fn on_bus_check(&mut self, now: u64) {
+        if self.bus_check_at != Some(now) {
+            return; // superseded by an earlier check
+        }
+        self.bus_check_at = None;
+        match self.bus.try_grant(now) {
+            GrantOutcome::Granted { request, completes_at } => {
+                self.apply_snoops(request.id, request.line);
+                self.push(completes_at, EventKind::TxnDone(request.id));
+                self.schedule_bus_check(completes_at);
+            }
+            GrantOutcome::BusyUntil(t) | GrantOutcome::WaitingUntil(t) => {
+                self.schedule_bus_check(t);
+            }
+            GrantOutcome::Idle => {}
+        }
+    }
+
+    /// Applies coherence effects at grant time (address broadcast): remote
+    /// invalidations/downgrades and the Illinois sharing wire.
+    fn apply_snoops(&mut self, id: TxnId, line: LineAddr) {
+        let info = *self.txns.get(&id).expect("granted txn is registered");
+        let word = info.word;
+        match info.action {
+            TxnAction::WriteBack => {}
+            TxnAction::DemandFill { proc, op, .. } | TxnAction::PrefetchFill { proc, op, .. } => {
+                let mut others = false;
+                let mut dirty_supplier: Option<usize> = None;
+                for q in 0..self.cfg.num_procs {
+                    if q == proc.index() {
+                        continue;
+                    }
+                    match op {
+                        BusOp::Read => {
+                            if let Some(prev) = self.caches[q].snoop_downgrade(line) {
+                                others = true;
+                                if prev.is_dirty() {
+                                    dirty_supplier = Some(q);
+                                }
+                            }
+                        }
+                        BusOp::ReadExclusive => {
+                            if self.invalidate_in(q, line, word) {
+                                others = true;
+                            }
+                        }
+                        BusOp::Upgrade | BusOp::WriteBack => unreachable!("fills only"),
+                    }
+                }
+                // Illinois: a dirty owner supplies the data and memory is
+                // updated in a reflective write — a posted write-back that
+                // occupies the bus (the supplier does not stall).
+                if let Some(q) = dirty_supplier {
+                    let now = self.bus.busy_until();
+                    let txn = self.bus.submit(
+                        now,
+                        ProcId(q as u8),
+                        line,
+                        BusOp::WriteBack,
+                        Priority::Demand,
+                    );
+                    self.txns.insert(
+                        txn,
+                        TxnInfo {
+                            issued_at: now,
+                            action: TxnAction::WriteBack,
+                            word: 0,
+                            others_have_copy: false,
+                            aborted: false,
+                        },
+                    );
+                    self.schedule_bus_check(now);
+                }
+                self.txns.get_mut(&id).expect("registered").others_have_copy = others;
+            }
+            TxnAction::Upgrade { proc, .. } => {
+                // If a remote write beat this upgrade to the bus, the line is
+                // gone: abort (the store will retry as a miss). Cannot
+                // happen under write-update, where nothing invalidates.
+                if self.caches[proc.index()].state_of(line).is_none() {
+                    debug_assert_eq!(self.cfg.protocol, Protocol::WriteInvalidate);
+                    self.tallies.upgrades_aborted += 1;
+                    self.txns.get_mut(&id).expect("registered").aborted = true;
+                    return;
+                }
+                match self.cfg.protocol {
+                    Protocol::WriteInvalidate => {
+                        for q in 0..self.cfg.num_procs {
+                            if q != proc.index() {
+                                self.invalidate_in(q, line, word);
+                            }
+                        }
+                    }
+                    Protocol::WriteUpdate => {
+                        // Word broadcast: sharers keep their (now updated)
+                        // copies; sample whether any remain so the writer
+                        // can take exclusive ownership when alone.
+                        let mut others = false;
+                        for q in 0..self.cfg.num_procs {
+                            if q != proc.index() && self.caches[q].state_of(line).is_some() {
+                                others = true;
+                            }
+                        }
+                        self.txns.get_mut(&id).expect("registered").others_have_copy = others;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates `line` in cache `q` (remote write of `word`, covering the
+    /// victim buffer); returns whether a valid copy was present. Tracks
+    /// killed-before-use prefetches.
+    fn invalidate_in(&mut self, q: usize, line: LineAddr, word: u32) -> bool {
+        if let Some((_prev, unused_prefetch)) = self.caches[q].snoop_invalidate(line, word) {
+            if unused_prefetch {
+                self.tallies.prefetch.wasted_invalidated += 1;
+                self.ghosts[q].insert(line);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_txn_done(&mut self, now: u64, id: TxnId) {
+        let info = self.txns.remove(&id).expect("completed txn is registered");
+        match info.action {
+            TxnAction::WriteBack => {}
+            TxnAction::DemandFill { proc, line, op } => {
+                self.tallies.fill_latency.record(now - info.issued_at);
+                self.install_fill(proc.index(), line, op, info.others_have_copy, false, now);
+                let woke = self.wake_if_waiting(now, proc.index(), id);
+                debug_assert!(woke, "demand fill completion must find its waiter");
+            }
+            TxnAction::PrefetchFill { proc, line, op } => {
+                let p = proc.index();
+                self.install_fill(p, line, op, info.others_have_copy, true, now);
+                let slot = self.procs[p].outstanding.remove(&line).expect("slot exists");
+                if slot.cpu_waiting {
+                    let woke = self.wake_if_waiting(now, p, id);
+                    debug_assert!(woke, "in-progress waiter must still be stalled on the prefetch");
+                } else if matches!(self.procs[p].status, ProcStatus::WaitPrefetchSlot) {
+                    self.push_wake(now, p);
+                }
+            }
+            TxnAction::Upgrade { proc, line, word } => {
+                let p = proc.index();
+                if !info.aborted {
+                    match self.cfg.protocol {
+                        Protocol::WriteInvalidate => {
+                            if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                                // The store retires with exclusive ownership;
+                                // the retry observes private-dirty and
+                                // completes silently.
+                                let _ = word;
+                                self.caches[p]
+                                    .frame_mut(line, way)
+                                    .downgrade(charlie_cache::LineState::PrivateDirty);
+                            }
+                        }
+                        Protocol::WriteUpdate => {
+                            if info.others_have_copy {
+                                // Sharers remain: the store retires with the
+                                // line still shared (flagged so the retry
+                                // does not broadcast again).
+                                if let Some(pa) = self.procs[p].pending.as_mut() {
+                                    pa.update_complete = true;
+                                }
+                            } else if let Probe::Hit { way, .. } = self.caches[p].probe_line(line)
+                            {
+                                // Last sharer: take exclusive ownership so
+                                // further writes are silent.
+                                self.caches[p]
+                                    .frame_mut(line, way)
+                                    .downgrade(charlie_cache::LineState::PrivateDirty);
+                            }
+                        }
+                    }
+                }
+                let woke = self.wake_if_waiting(now, p, id);
+                debug_assert!(woke, "upgrade completion must find its waiter");
+            }
+        }
+    }
+
+    fn install_fill(
+        &mut self,
+        p: usize,
+        line: LineAddr,
+        op: BusOp,
+        others_have_copy: bool,
+        by_prefetch: bool,
+        now: u64,
+    ) {
+        let state = protocol::fill_state(op, others_have_copy);
+        if let Some(evicted) = self.caches[p].fill(line, state, by_prefetch) {
+            self.handle_eviction(p, evicted, now);
+        }
+        self.ghosts[p].remove(&line);
+    }
+
+    /// A line left processor `p`'s cache hierarchy: write back if dirty,
+    /// record prefetch waste.
+    fn handle_eviction(&mut self, p: usize, evicted: charlie_cache::EvictedLine, now: u64) {
+        if evicted.state.is_dirty() {
+            let txn = self.bus.submit(
+                now,
+                ProcId(p as u8),
+                evicted.line,
+                BusOp::WriteBack,
+                Priority::Demand,
+            );
+            self.txns.insert(
+                txn,
+                TxnInfo {
+                    issued_at: now,
+                    action: TxnAction::WriteBack,
+                    word: 0,
+                    others_have_copy: false,
+                    aborted: false,
+                },
+            );
+            self.schedule_bus_check(now);
+        }
+        if evicted.prefetched_unused {
+            self.tallies.prefetch.wasted_evicted += 1;
+            self.ghosts[p].insert(evicted.line);
+        }
+    }
+}

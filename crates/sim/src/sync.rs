@@ -1,0 +1,205 @@
+//! Lock and barrier bookkeeping.
+//!
+//! The paper's simulator "carries out locking and barrier synchronization
+//! [so that] a legal interleaving is maintained": processors vie for locks in
+//! simulated-time order and may acquire them in a different order than the
+//! traced run. These tables implement that policy; the memory traffic of the
+//! synchronization operations themselves (test-and-test-and-set reads,
+//! hand-off writes, barrier counter/flag accesses) is synthesized by the
+//! machine and goes through the ordinary coherent-access path.
+
+use charlie_trace::{LockId, ProcId};
+use std::collections::{HashMap, VecDeque};
+
+/// One lock: current owner plus FIFO waiters.
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    owner: Option<ProcId>,
+    waiters: VecDeque<ProcId>,
+}
+
+/// All locks in the program, created on first touch.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<LockId, LockState>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Attempts to acquire `lock` for `proc`.
+    ///
+    /// Returns `true` when the lock was free and is now owned by `proc`;
+    /// otherwise enqueues `proc` as a waiter and returns `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` already owns the lock (traces are validated against
+    /// recursive acquisition).
+    pub fn acquire(&mut self, lock: LockId, proc: ProcId) -> bool {
+        let st = self.locks.entry(lock).or_default();
+        match st.owner {
+            None => {
+                st.owner = Some(proc);
+                true
+            }
+            Some(owner) => {
+                assert_ne!(owner, proc, "recursive lock acquisition");
+                st.waiters.push_back(proc);
+                false
+            }
+        }
+    }
+
+    /// Releases `lock`, handing it to the first waiter if any.
+    ///
+    /// Returns the new owner (the woken waiter), or `None` if the lock is
+    /// now free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` does not own the lock.
+    pub fn release(&mut self, lock: LockId, proc: ProcId) -> Option<ProcId> {
+        let st = self.locks.get_mut(&lock).expect("releasing unknown lock");
+        assert_eq!(st.owner, Some(proc), "releasing a lock not held");
+        match st.waiters.pop_front() {
+            Some(next) => {
+                st.owner = Some(next);
+                Some(next)
+            }
+            None => {
+                st.owner = None;
+                None
+            }
+        }
+    }
+
+    /// Current owner of `lock`, if any.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn owner(&self, lock: LockId) -> Option<ProcId> {
+        self.locks.get(&lock).and_then(|s| s.owner)
+    }
+
+    /// Number of processors queued on `lock`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn num_waiters(&self, lock: LockId) -> usize {
+        self.locks.get(&lock).map_or(0, |s| s.waiters.len())
+    }
+}
+
+/// Centralized sense-reversing barrier over all processors.
+#[derive(Clone, Debug)]
+pub struct BarrierState {
+    num_procs: usize,
+    arrived: usize,
+    waiters: Vec<ProcId>,
+}
+
+impl BarrierState {
+    /// Creates the barrier for `num_procs` participants.
+    pub fn new(num_procs: usize) -> Self {
+        BarrierState { num_procs, arrived: 0, waiters: Vec::new() }
+    }
+
+    /// Records the arrival of `proc`.
+    ///
+    /// Returns `true` when `proc` is the last arrival: the caller must then
+    /// take the waiter list via [`BarrierState::drain_waiters`] and release
+    /// everyone. Otherwise `proc` is parked as a waiter.
+    pub fn arrive(&mut self, proc: ProcId) -> bool {
+        self.arrived += 1;
+        debug_assert!(self.arrived <= self.num_procs, "barrier over-arrival");
+        if self.arrived == self.num_procs {
+            true
+        } else {
+            self.waiters.push(proc);
+            false
+        }
+    }
+
+    /// Takes the parked waiters and resets the episode.
+    pub fn drain_waiters(&mut self) -> Vec<ProcId> {
+        self.arrived = 0;
+        std::mem::take(&mut self.waiters)
+    }
+
+    /// Processors arrived in the current episode.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_acquire_free() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(LockId(1), ProcId(0)));
+        assert_eq!(t.owner(LockId(1)), Some(ProcId(0)));
+    }
+
+    #[test]
+    fn lock_contention_queues_fifo() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(LockId(1), ProcId(0)));
+        assert!(!t.acquire(LockId(1), ProcId(1)));
+        assert!(!t.acquire(LockId(1), ProcId(2)));
+        assert_eq!(t.num_waiters(LockId(1)), 2);
+        assert_eq!(t.release(LockId(1), ProcId(0)), Some(ProcId(1)));
+        assert_eq!(t.owner(LockId(1)), Some(ProcId(1)));
+        assert_eq!(t.release(LockId(1), ProcId(1)), Some(ProcId(2)));
+        assert_eq!(t.release(LockId(1), ProcId(2)), None);
+        assert_eq!(t.owner(LockId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive")]
+    fn recursive_acquire_panics() {
+        let mut t = LockTable::new();
+        t.acquire(LockId(1), ProcId(0));
+        t.acquire(LockId(1), ProcId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn foreign_release_panics() {
+        let mut t = LockTable::new();
+        t.acquire(LockId(1), ProcId(0));
+        t.release(LockId(1), ProcId(2));
+    }
+
+    #[test]
+    fn independent_locks() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(LockId(1), ProcId(0)));
+        assert!(t.acquire(LockId(2), ProcId(1)));
+        assert_eq!(t.owner(LockId(2)), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn barrier_last_arrival_releases() {
+        let mut b = BarrierState::new(3);
+        assert!(!b.arrive(ProcId(0)));
+        assert!(!b.arrive(ProcId(1)));
+        assert_eq!(b.arrived(), 2);
+        assert!(b.arrive(ProcId(2)));
+        let w = b.drain_waiters();
+        assert_eq!(w, vec![ProcId(0), ProcId(1)]);
+        assert_eq!(b.arrived(), 0);
+        // Next episode works.
+        assert!(!b.arrive(ProcId(2)));
+    }
+
+    #[test]
+    fn single_proc_barrier_is_immediate() {
+        let mut b = BarrierState::new(1);
+        assert!(b.arrive(ProcId(0)));
+        assert!(b.drain_waiters().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Plain-text trace serialization.
+//!
+//! Traces round-trip through a line-oriented format so users can bring their
+//! own address traces (or export, inspect and edit generated ones):
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! charlie-trace v1
+//! procs 2
+//! proc 0
+//! w 12            # 12 cycles of CPU work
+//! r 0x1000        # read
+//! W 0x1004        # write
+//! p 0x2000        # shared-mode prefetch
+//! P 0x3000        # exclusive-mode prefetch
+//! l 3             # acquire lock 3
+//! u 3             # release lock 3
+//! b 0             # barrier episode 0
+//! proc 1
+//! b 0
+//! ```
+//!
+//! Addresses accept hex (`0x…`) or decimal. Events belong to the most recent
+//! `proc` header; every processor in `procs N` must get a header (even if
+//! its stream is empty).
+
+use crate::addr::Addr;
+use crate::event::{Access, BarrierId, LockId, TraceEvent};
+use crate::stream::{ProcTrace, Trace};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Magic first line of the format.
+const MAGIC: &str = "charlie-trace v1";
+
+/// Error reading a serialized trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem at a given 1-based line number.
+    Parse {
+        /// Line the problem was found on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Serializes `trace` to `out` in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace<W: Write>(trace: &Trace, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "procs {}", trace.num_procs())?;
+    for (p, stream) in trace.iter() {
+        writeln!(out, "proc {}", p.index())?;
+        for ev in stream.events() {
+            match ev {
+                TraceEvent::Work(n) => writeln!(out, "w {n}")?,
+                TraceEvent::Access(a) => {
+                    let tag = if a.kind.is_write() { 'W' } else { 'r' };
+                    writeln!(out, "{tag} {:#x}", a.addr.raw())?;
+                }
+                TraceEvent::Prefetch { addr, exclusive } => {
+                    let tag = if *exclusive { 'P' } else { 'p' };
+                    writeln!(out, "{tag} {:#x}", addr.raw())?;
+                }
+                TraceEvent::LockAcquire(l) => writeln!(out, "l {}", l.0)?,
+                TraceEvent::LockRelease(l) => writeln!(out, "u {}", l.0)?,
+                TraceEvent::Barrier(b) => writeln!(out, "b {}", b.0)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ReadTraceError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| ReadTraceError::Parse {
+        line,
+        message: format!("invalid {what}: {token:?}"),
+    })
+}
+
+/// Parses a trace from `input` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Parse`] with a line number on any malformed
+/// line, unknown event tag, out-of-range processor index, or missing
+/// header; [`ReadTraceError::Io`] on read failure. The result is *not*
+/// lock/barrier-validated — run [`Trace::validate`] before simulating.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, ReadTraceError> {
+    let mut lines = input.lines().enumerate();
+
+    let next_meaningful = |lines: &mut dyn Iterator<Item = (usize, std::io::Result<String>)>|
+     -> Result<Option<(usize, String)>, ReadTraceError> {
+        for (idx, line) in lines {
+            let line = line?;
+            let content = line.split('#').next().unwrap_or("").trim().to_owned();
+            if !content.is_empty() {
+                return Ok(Some((idx + 1, content)));
+            }
+        }
+        Ok(None)
+    };
+
+    let Some((line_no, magic)) = next_meaningful(&mut lines)? else {
+        return Err(ReadTraceError::Parse { line: 0, message: "empty trace file".into() });
+    };
+    if magic != MAGIC {
+        return Err(ReadTraceError::Parse {
+            line: line_no,
+            message: format!("expected {MAGIC:?}, found {magic:?}"),
+        });
+    }
+
+    let Some((line_no, procs_line)) = next_meaningful(&mut lines)? else {
+        return Err(ReadTraceError::Parse { line: line_no, message: "missing `procs N`".into() });
+    };
+    let num_procs = match procs_line.split_whitespace().collect::<Vec<_>>()[..] {
+        ["procs", n] => parse_u64(n, line_no, "processor count")? as usize,
+        _ => {
+            return Err(ReadTraceError::Parse {
+                line: line_no,
+                message: format!("expected `procs N`, found {procs_line:?}"),
+            })
+        }
+    };
+    if num_procs == 0 || num_procs > 64 {
+        return Err(ReadTraceError::Parse {
+            line: line_no,
+            message: format!("processor count {num_procs} outside 1..=64"),
+        });
+    }
+
+    let mut streams: Vec<ProcTrace> = vec![ProcTrace::new(); num_procs];
+    let mut current: Option<usize> = None;
+    while let Some((line_no, content)) = next_meaningful(&mut lines)? {
+        let mut parts = content.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(ReadTraceError::Parse {
+                line: line_no,
+                message: format!("trailing tokens in {content:?}"),
+            });
+        }
+        let arg = |what: &str| -> Result<u64, ReadTraceError> {
+            let token = arg.ok_or_else(|| ReadTraceError::Parse {
+                line: line_no,
+                message: format!("`{tag}` needs an argument"),
+            })?;
+            parse_u64(token, line_no, what)
+        };
+        if tag == "proc" {
+            let p = arg("processor index")? as usize;
+            if p >= num_procs {
+                return Err(ReadTraceError::Parse {
+                    line: line_no,
+                    message: format!("processor {p} out of range 0..{num_procs}"),
+                });
+            }
+            current = Some(p);
+            continue;
+        }
+        let Some(p) = current else {
+            return Err(ReadTraceError::Parse {
+                line: line_no,
+                message: "event before any `proc` header".into(),
+            });
+        };
+        let ev = match tag {
+            "w" => TraceEvent::Work(arg("work cycles")? as u32),
+            "r" => TraceEvent::Access(Access::read(Addr::new(arg("address")?))),
+            "W" => TraceEvent::Access(Access::write(Addr::new(arg("address")?))),
+            "p" => TraceEvent::Prefetch { addr: Addr::new(arg("address")?), exclusive: false },
+            "P" => TraceEvent::Prefetch { addr: Addr::new(arg("address")?), exclusive: true },
+            "l" => TraceEvent::LockAcquire(LockId(arg("lock id")? as u32)),
+            "u" => TraceEvent::LockRelease(LockId(arg("lock id")? as u32)),
+            "b" => TraceEvent::Barrier(BarrierId(arg("barrier id")? as u32)),
+            other => {
+                return Err(ReadTraceError::Parse {
+                    line: line_no,
+                    message: format!("unknown event tag {other:?}"),
+                })
+            }
+        };
+        streams[p].push(ev);
+    }
+    Ok(Trace::from_procs(streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        b.proc(0)
+            .work(12)
+            .read(Addr::new(0x1000))
+            .write(Addr::new(0x1004))
+            .prefetch(Addr::new(0x2000))
+            .prefetch_exclusive(Addr::new(0x3000))
+            .lock(3)
+            .unlock(3)
+            .barrier(0);
+        b.proc(1).barrier(0);
+        b.build()
+    }
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(t, &mut buf).expect("write succeeds");
+        read_trace(buf.as_slice()).expect("read succeeds")
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let t = sample();
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_streams_round_trip() {
+        let t = TraceBuilder::new(3).build();
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\
+# leading comment
+charlie-trace v1
+
+procs 1
+proc 0   # the only processor
+r 0x40   # hex address
+W 68     # decimal address
+";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.proc(0).num_accesses(), 2);
+        let accesses: Vec<_> = t.proc(0).accesses().collect();
+        assert_eq!(accesses[0].addr, Addr::new(0x40));
+        assert_eq!(accesses[1].addr, Addr::new(68));
+        assert!(accesses[1].kind.is_write());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace("dinero v9\nprocs 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_tag_with_line_number() {
+        let err = read_trace("charlie-trace v1\nprocs 1\nproc 0\nx 5\n".as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("unknown event tag"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_event_before_proc_header() {
+        let err = read_trace("charlie-trace v1\nprocs 1\nr 0x40\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("before any `proc`"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_proc() {
+        let err = read_trace("charlie-trace v1\nprocs 2\nproc 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        let err =
+            read_trace("charlie-trace v1\nprocs 1\nproc 0\nr 0xZZ\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid address"));
+    }
+
+    #[test]
+    fn rejects_missing_argument_and_trailing_tokens() {
+        let err = read_trace("charlie-trace v1\nprocs 1\nproc 0\nr\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("needs an argument"));
+        let err =
+            read_trace("charlie-trace v1\nprocs 1\nproc 0\nr 0x1 extra\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing tokens"));
+    }
+
+    #[test]
+    fn rejects_zero_procs() {
+        let err = read_trace("charlie-trace v1\nprocs 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("outside 1..=64"));
+    }
+
+    #[test]
+    fn interleaved_proc_sections_append() {
+        let text = "charlie-trace v1\nprocs 2\nproc 0\nr 0x0\nproc 1\nr 0x20\nproc 0\nr 0x40\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.proc(0).num_accesses(), 2);
+        assert_eq!(t.proc(1).num_accesses(), 1);
+    }
+}

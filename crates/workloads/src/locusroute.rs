@@ -1,0 +1,56 @@
+//! LocusRoute: a commercial-quality VLSI standard-cell router (SPLASH).
+//!
+//! The paper's profile: moderate miss rate dominated by the shared routing
+//! *cost grid*, which wires are routed through region by region — classic
+//! *sequential sharing* (a region is written by one processor, later read
+//! and rewritten by another). NP baseline: processor utilization 0.64→0.54,
+//! bus utilization 0.21→0.89. Restructuring does not help it significantly.
+
+use crate::mix::MixParams;
+use crate::Layout;
+
+/// Generator parameters for LocusRoute.
+pub fn params(layout: Layout) -> MixParams {
+    MixParams {
+        w_hot: 884,
+        w_stream: 22,
+        w_conflict: 3,
+        w_false_share: 3,
+        w_migratory: 8,
+        w_read_shared: 80,
+
+        hot_lines: 330,
+        hot_write_pct: 25,
+        stream_bytes: 0x0008_0000, // 512 KB shared cost grid
+        stream_write_pct: 30,
+        stream_shared: true,
+        conflict_aliases: 2,
+        conflict_sets: 48,
+        conflict_overlaps_hot: false,
+        fs_lines: 32,
+        fs_write_pct: 40,
+        fs_hot_lines: 2,
+        fs_hot_pct: 50,
+        mig_objects: 96,
+        mig_burst: (4, 2),
+        mig_lock_pct: 50,
+        rs_lines: 256,
+        work_mean: 3,
+        barrier_every: 40_000,
+        padded_locality_boost: false,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_grid_is_shared_stream() {
+        let p = params(Layout::Interleaved);
+        assert!(p.stream_shared, "the cost grid is the shared structure");
+        assert!(p.w_stream > 0);
+        assert!(p.stream_write_pct > 0, "routing writes the grid");
+    }
+}

@@ -1,0 +1,536 @@
+//! The unified workload engine: every application is a parameterization of
+//! six access components plus a synchronization cadence.
+//!
+//! Components:
+//!
+//! * **hot** — random accesses within a small private working set that fits
+//!   the cache (hits after warm-up);
+//! * **stream** — a sequential walk over an array much larger than the cache
+//!   (pure capacity misses, one per line); can walk a *shared* grid with a
+//!   per-processor starting offset to produce LocusRoute-style sequential
+//!   sharing;
+//! * **conflict** — alternating accesses to lines that alias in the
+//!   direct-mapped cache (conflict misses, Topopt's signature);
+//! * **false-share** — reads/writes of this processor's *own word* inside
+//!   shared lines; under [`Layout::Interleaved`] eight processors share each
+//!   line (pure false sharing), under [`Layout::Padded`] each element gets
+//!   its own line;
+//! * **migratory** — lock-optional read-modify-write bursts on shared
+//!   objects that migrate between processors (sequential true sharing);
+//! * **read-shared** — reads of a shared read-only table.
+
+use crate::{Layout, WorkloadConfig};
+use charlie_trace::{Addr, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Block size every region is laid out for (the paper's 32-byte lines).
+const BLOCK: u64 = 32;
+
+/// Fixed address map shared by all generators. All regions stay far below
+/// the simulator's reserved sync region at `0xF000_0000`.
+#[derive(Copy, Clone, Debug)]
+pub struct RegionMap {
+    /// Base of processor `p`'s private region (hot set, private stream,
+    /// conflict groups).
+    pub private_base: u64,
+    /// Stride between consecutive processors' private regions.
+    pub private_stride: u64,
+    /// Base of the falsely-shared region.
+    pub fs_base: u64,
+    /// Base of the migratory-object region.
+    pub mig_base: u64,
+    /// Base of the read-shared table.
+    pub rs_base: u64,
+    /// Base of the shared streaming grid (LocusRoute's cost grid).
+    pub grid_base: u64,
+}
+
+impl Default for RegionMap {
+    fn default() -> Self {
+        RegionMap {
+            private_base: 0x1000_0000,
+            private_stride: 0x0100_0000,
+            fs_base: 0x8000_0000,
+            mig_base: 0x8800_0000,
+            rs_base: 0x9000_0000,
+            grid_base: 0x9800_0000,
+        }
+    }
+}
+
+impl RegionMap {
+    fn private(&self, proc: usize, offset: u64) -> u64 {
+        self.private_base + proc as u64 * self.private_stride + offset
+    }
+}
+
+/// Cache sets of the paper's 32 KB direct-mapped cache; regions are placed
+/// in disjoint set ranges so the *intended* conflict behaviour (the
+/// `conflict` component, stream sweeps) is the only conflict behaviour.
+const CACHE_SETS: u64 = 1024;
+
+/// Per-workload set-range allocation for the frequently-revisited regions.
+/// Contiguous ranges, assigned in a fixed order; `generate_mix` asserts the
+/// budget fits the cache.
+#[derive(Copy, Clone, Debug)]
+struct SetPlan {
+    rs_off: u64,
+    fs_off: u64,
+    mig_off: u64,
+    conflict_off: u64,
+}
+
+impl SetPlan {
+    fn new(params: &MixParams) -> SetPlan {
+        let hot = params.hot_lines as u64;
+        let rs_off = hot;
+        let fs_off = rs_off + params.rs_lines as u64;
+        let mig_off = fs_off + params.fs_lines as u64;
+        let after_mig = mig_off + params.mig_objects as u64 * MIG_OBJ_LINES;
+        // Restructuring relocates the aliasing data as part of the layout
+        // transformation, so the overlap (and the thrash) only exists in the
+        // original layout.
+        let overlap = params.conflict_overlaps_hot
+            && !(params.padded_locality_boost && params.layout == Layout::Padded);
+        let conflict_off = if overlap { 0 } else { after_mig };
+        let total = if overlap { after_mig } else { after_mig + u64::from(params.conflict_sets) };
+        assert!(
+            total <= CACHE_SETS,
+            "workload set budget {total} exceeds the {CACHE_SETS}-set cache; shrink the regions"
+        );
+        SetPlan { rs_off, fs_off, mig_off, conflict_off }
+    }
+}
+
+/// Parameters of one synthetic application. Weights are relative (they need
+/// not sum to anything particular); a weight of zero disables the component.
+#[derive(Copy, Clone, Debug)]
+pub struct MixParams {
+    /// Component weight: private hot set.
+    pub w_hot: u32,
+    /// Component weight: streaming walk.
+    pub w_stream: u32,
+    /// Component weight: conflict-alias accesses.
+    pub w_conflict: u32,
+    /// Component weight: falsely-shared element accesses.
+    pub w_false_share: u32,
+    /// Component weight: migratory-object bursts.
+    pub w_migratory: u32,
+    /// Component weight: read-shared table lookups.
+    pub w_read_shared: u32,
+
+    /// Private hot-set size in lines (should fit the 1024-line cache
+    /// together with everything else).
+    pub hot_lines: usize,
+    /// Percent of hot accesses that write.
+    pub hot_write_pct: u32,
+    /// Streaming array length in bytes (per processor for private streams;
+    /// total for the shared grid).
+    pub stream_bytes: u64,
+    /// Percent of stream accesses that write.
+    pub stream_write_pct: u32,
+    /// Stream over the shared grid instead of a private array.
+    pub stream_shared: bool,
+    /// Number of aliasing tags per conflict set-group (1 disables thrash).
+    pub conflict_aliases: u32,
+    /// Number of cache sets the conflict component covers.
+    pub conflict_sets: u32,
+    /// Map the conflict group onto the *hot set's* cache sets instead of its
+    /// own range. This is Topopt's signature: annealing data aliases with
+    /// the working set, so prefetched lines evict live data — the mechanism
+    /// that makes long prefetch distances (LPD) backfire (§4.3).
+    pub conflict_overlaps_hot: bool,
+    /// Falsely-shared element count (one word per processor per element
+    /// under the interleaved layout).
+    pub fs_lines: usize,
+    /// Percent of false-share accesses that write.
+    pub fs_write_pct: u32,
+    /// Size of the *hot contended* subset of the falsely-shared region.
+    /// These lines are touched so frequently by every processor that their
+    /// temporal locality looks good to the PWS filter — yet they are
+    /// invalidated between touches. They model the invalidation misses no
+    /// current prefetch heuristic covers (the paper's §4.4 limit).
+    pub fs_hot_lines: usize,
+    /// Percent of false-share accesses that go to the hot subset.
+    pub fs_hot_pct: u32,
+    /// Number of migratory objects (each two lines long).
+    pub mig_objects: usize,
+    /// Reads and writes per migratory burst.
+    pub mig_burst: (u32, u32),
+    /// Percent of migratory bursts protected by the object's lock.
+    pub mig_lock_pct: u32,
+    /// Read-shared table size in lines.
+    pub rs_lines: usize,
+    /// Mean pure-CPU cycles between accesses (uniform in
+    /// `1..=2*work_mean-1`).
+    pub work_mean: u32,
+    /// Demand accesses between barrier episodes (0 = no barriers).
+    pub barrier_every: usize,
+    /// Restructuring also improves locality (the paper's Topopt): under
+    /// [`Layout::Padded`] the conflict component stops thrashing.
+    pub padded_locality_boost: bool,
+    /// Layout actually in effect (set by the per-workload `params`).
+    pub layout: Layout,
+}
+
+/// Number of migratory locks (objects hash onto these).
+const MIG_LOCKS: u32 = 16;
+/// Lines per migratory object.
+const MIG_OBJ_LINES: u64 = 2;
+/// Words per line.
+const WORDS: u64 = BLOCK / 4;
+
+/// Per-processor generator state.
+struct ProcGen {
+    rng: StdRng,
+    stream_cursor: u64,
+    conflict_phase: u32,
+    refs_done: usize,
+    barriers_done: u32,
+}
+
+/// Generates a trace from `params` under `cfg`.
+///
+/// Every processor receives at least `cfg.refs_per_proc` demand accesses and
+/// exactly the same number of barrier episodes.
+pub fn generate_mix(params: &MixParams, cfg: &WorkloadConfig) -> Trace {
+    let map = RegionMap::default();
+    let plan = SetPlan::new(params);
+    let mut builder = TraceBuilder::new(cfg.procs);
+    let total_barriers =
+        cfg.refs_per_proc.checked_div(params.barrier_every).unwrap_or(0) as u32;
+
+    let weights = [
+        params.w_hot,
+        params.w_stream,
+        params.w_conflict,
+        params.w_false_share,
+        params.w_migratory,
+        params.w_read_shared,
+    ];
+    let total_weight: u32 = weights.iter().sum();
+    assert!(total_weight > 0, "at least one component must have weight");
+
+    for p in 0..cfg.procs {
+        let mut st = ProcGen {
+            rng: StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1))),
+            stream_cursor: 0,
+            conflict_phase: 0,
+            refs_done: 0,
+            barriers_done: 0,
+        };
+        let mut proc = builder.proc(p);
+
+        while st.refs_done < cfg.refs_per_proc {
+            // Pure CPU work between accesses.
+            let w = st.rng.random_range(1..params.work_mean * 2);
+            proc.work(w);
+
+            // Pick a component by weight.
+            let mut pick = st.rng.random_range(0..total_weight);
+            let mut component = 0usize;
+            for (i, &wt) in weights.iter().enumerate() {
+                if pick < wt {
+                    component = i;
+                    break;
+                }
+                pick -= wt;
+            }
+
+            match component {
+                0 => hot_access(params, &map, p, &mut st, &mut proc),
+                1 => stream_access(params, &map, cfg, p, &mut st, &mut proc),
+                2 => conflict_access(params, &map, &plan, p, &mut st, &mut proc),
+                3 => false_share_access(params, &map, &plan, p, &mut st, &mut proc),
+                4 => migratory_burst(params, &map, &plan, &mut st, &mut proc),
+                _ => read_shared_access(params, &map, &plan, &mut st, &mut proc),
+            }
+
+            // Barrier cadence: emit every crossed multiple, up to the fixed
+            // per-run episode count.
+            if params.barrier_every > 0 {
+                while st.barriers_done < total_barriers
+                    && st.refs_done >= (st.barriers_done as usize + 1) * params.barrier_every
+                {
+                    proc.barrier(st.barriers_done);
+                    st.barriers_done += 1;
+                }
+            }
+        }
+        // Keep every processor's barrier count identical.
+        while st.barriers_done < total_barriers {
+            proc.barrier(st.barriers_done);
+            st.barriers_done += 1;
+        }
+    }
+    builder.build()
+}
+
+fn emit(
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+    st: &mut ProcGen,
+    addr: u64,
+    write: bool,
+) {
+    if write {
+        proc.write(Addr::new(addr));
+    } else {
+        proc.read(Addr::new(addr));
+    }
+    st.refs_done += 1;
+}
+
+fn pct(rng: &mut StdRng, percent: u32) -> bool {
+    percent > 0 && rng.random_range(0..100) < percent
+}
+
+fn hot_access(
+    params: &MixParams,
+    map: &RegionMap,
+    p: usize,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    let line = st.rng.random_range(0..params.hot_lines as u64);
+    let word = st.rng.random_range(0..WORDS);
+    let addr = map.private(p, line * BLOCK + word * 4);
+    let write = pct(&mut st.rng, params.hot_write_pct);
+    emit(proc, st, addr, write);
+}
+
+fn stream_access(
+    params: &MixParams,
+    map: &RegionMap,
+    cfg: &WorkloadConfig,
+    p: usize,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    let len = params.stream_bytes;
+    let addr = if params.stream_shared {
+        // Shared grid: each processor walks the same array from a different
+        // starting offset — regions are written by one processor and later
+        // read by the next one to sweep through (sequential sharing).
+        let start = (p as u64) * (len / cfg.procs as u64);
+        map.grid_base + ((start + st.stream_cursor) % len)
+    } else {
+        map.private(p, 0x0040_0000 + (st.stream_cursor % len))
+    };
+    st.stream_cursor += 4;
+    let write = pct(&mut st.rng, params.stream_write_pct);
+    emit(proc, st, addr, write);
+}
+
+fn conflict_access(
+    params: &MixParams,
+    map: &RegionMap,
+    plan: &SetPlan,
+    p: usize,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    // Under the restructured layout Topopt's locality improves: the aliasing
+    // disappears (accesses stay within one tag).
+    let aliases = if params.layout == Layout::Padded && params.padded_locality_boost {
+        1
+    } else {
+        params.conflict_aliases.max(1)
+    };
+    let set = st.rng.random_range(0..params.conflict_sets as u64);
+    let alias = (st.conflict_phase % aliases) as u64;
+    st.conflict_phase = st.conflict_phase.wrapping_add(1);
+    // 32 KB direct-mapped: lines 32 KB apart share a set.
+    let addr =
+        map.private(p, 0x0080_0000 + (plan.conflict_off + set) * BLOCK + alias * 32 * 1024);
+    let write = pct(&mut st.rng, 30);
+    emit(proc, st, addr, write);
+}
+
+fn false_share_access(
+    params: &MixParams,
+    map: &RegionMap,
+    plan: &SetPlan,
+    p: usize,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    let k = if params.fs_hot_lines > 0 && pct(&mut st.rng, params.fs_hot_pct) {
+        st.rng.random_range(0..params.fs_hot_lines.min(params.fs_lines) as u64)
+    } else {
+        st.rng.random_range(0..params.fs_lines as u64)
+    };
+    let base = map.fs_base + plan.fs_off * BLOCK;
+    let addr = match params.layout {
+        Layout::Interleaved => {
+            // Word `p % 8` of shared line `k`: distinct processors touch
+            // distinct words of the same line.
+            base + k * BLOCK + (p as u64 % WORDS) * 4
+        }
+        Layout::Padded => {
+            // Restructured: each processor's element on its own line. The
+            // copies are a cache-size apart, so every processor keeps the
+            // same per-cache footprint (set indices) as the interleaved
+            // layout — only the sharing disappears.
+            base + k * BLOCK + p as u64 * 32 * 1024
+        }
+    };
+    let write = pct(&mut st.rng, params.fs_write_pct);
+    emit(proc, st, addr, write);
+}
+
+fn migratory_burst(
+    params: &MixParams,
+    map: &RegionMap,
+    plan: &SetPlan,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    let obj = st.rng.random_range(0..params.mig_objects as u64);
+    let base = map.mig_base + (plan.mig_off + obj * MIG_OBJ_LINES) * BLOCK;
+    let locked = pct(&mut st.rng, params.mig_lock_pct);
+    if locked {
+        proc.lock(obj as u32 % MIG_LOCKS);
+    }
+    let (reads, writes) = params.mig_burst;
+    // Stride the words so a burst of three or more accesses touches both of
+    // the object's lines (objects are whole records, not single words).
+    let span = MIG_OBJ_LINES * WORDS;
+    for i in 0..reads {
+        let word = (u64::from(i) * 5) % span;
+        emit(proc, st, base + word * 4, false);
+    }
+    for i in 0..writes {
+        let word = (u64::from(i) * 5 + 2) % span;
+        emit(proc, st, base + word * 4, true);
+    }
+    if locked {
+        proc.unlock(obj as u32 % MIG_LOCKS);
+    }
+}
+
+fn read_shared_access(
+    params: &MixParams,
+    map: &RegionMap,
+    plan: &SetPlan,
+    st: &mut ProcGen,
+    proc: &mut charlie_trace::ProcTraceBuilder<'_>,
+) {
+    let line = st.rng.random_range(0..params.rs_lines as u64);
+    let word = st.rng.random_range(0..WORDS);
+    emit(proc, st, map.rs_base + (plan.rs_off + line) * BLOCK + word * 4, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    fn tiny_cfg() -> WorkloadConfig {
+        WorkloadConfig { refs_per_proc: 1_000, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn barrier_counts_equal_across_procs() {
+        let t = generate_mix(&Workload::Mp3d.params(Layout::Interleaved), &tiny_cfg());
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn refs_budget_met_not_wildly_exceeded() {
+        let cfg = tiny_cfg();
+        let t = generate_mix(&Workload::Pverify.params(Layout::Interleaved), &cfg);
+        for (_, s) in t.iter() {
+            let n = s.num_accesses();
+            assert!(n >= cfg.refs_per_proc);
+            assert!(n < cfg.refs_per_proc + 64, "bursts overshoot by at most one burst");
+        }
+    }
+
+    #[test]
+    fn interleaved_fs_words_differ_per_proc() {
+        let map = RegionMap::default();
+        let params = Workload::Pverify.params(Layout::Interleaved);
+        let cfg = tiny_cfg();
+        // Directly check the address math of the false-sharing component.
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..8usize {
+            let addr = match params.layout {
+                Layout::Interleaved => map.fs_base + (p as u64 % WORDS) * 4,
+                Layout::Padded => unreachable!(),
+            };
+            assert!(seen.insert(addr), "each proc gets a distinct word of line 0");
+            assert_eq!(Addr::new(addr).line(32), Addr::new(map.fs_base).line(32));
+        }
+        let _ = cfg;
+    }
+
+    #[test]
+    fn padded_fs_lines_differ_per_proc_but_share_sets() {
+        // Padded layout: per-processor copies a cache-size apart — distinct
+        // lines (no sharing), identical set indices (identical footprint).
+        let map = RegionMap::default();
+        let mut lines = std::collections::HashSet::new();
+        let set_of = |a: u64| (a >> 5) & (CACHE_SETS - 1);
+        for p in 0..8u64 {
+            let addr = map.fs_base + p * 32 * 1024; // element k=0, padded
+            assert!(lines.insert(Addr::new(addr).line(32)));
+            assert_eq!(set_of(addr), set_of(map.fs_base));
+        }
+    }
+
+    #[test]
+    fn set_plan_keeps_regions_disjoint() {
+        for w in Workload::ALL {
+            let p = w.params(Layout::Interleaved);
+            let plan = SetPlan::new(&p); // asserts the budget internally
+            assert!(plan.rs_off >= p.hot_lines as u64, "{w}");
+            assert!(plan.fs_off >= plan.rs_off + p.rs_lines as u64, "{w}");
+            assert!(plan.mig_off >= plan.fs_off + p.fs_lines as u64, "{w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set budget")]
+    fn oversized_workload_rejected() {
+        let mut p = Workload::Mp3d.params(Layout::Interleaved);
+        p.hot_lines = 900;
+        let _ = SetPlan::new(&p);
+    }
+
+    #[test]
+    fn conflict_component_aliases_same_set() {
+        // Two conflict addresses with the same set and different aliases map
+        // to the same cache set of a 32 KB direct-mapped cache.
+        let map = RegionMap::default();
+        let a = map.private(0, 0x0080_0000);
+        let b = map.private(0, 0x0080_0000 + 32 * 1024);
+        let sets = 1024u64;
+        assert_eq!(
+            Addr::new(a).line(32).raw() & (sets - 1),
+            Addr::new(b).line(32).raw() & (sets - 1)
+        );
+        assert_ne!(Addr::new(a).line(32), Addr::new(b).line(32));
+    }
+
+    #[test]
+    fn zero_weight_component_never_fires() {
+        let mut params = Workload::Water.params(Layout::Interleaved);
+        params.w_stream = 0;
+        params.w_conflict = 0;
+        params.w_false_share = 0;
+        params.w_migratory = 0;
+        params.w_read_shared = 0;
+        let t = generate_mix(&params, &tiny_cfg());
+        let map = RegionMap::default();
+        for (p, s) in t.iter() {
+            for a in s.accesses() {
+                let base = map.private(p.index(), 0);
+                assert!(
+                    a.addr.raw() >= base && a.addr.raw() < base + 0x0040_0000,
+                    "all accesses in the hot region"
+                );
+            }
+        }
+    }
+}

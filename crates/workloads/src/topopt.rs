@@ -1,0 +1,68 @@
+//! Topopt: topological optimization of VLSI circuits by parallel simulated
+//! annealing (Devadas & Newton).
+//!
+//! The paper's profile: a *small* shared data set, "the high degree of write
+//! sharing and the large number of conflict misses it exhibits even with the
+//! small shared data set size" (§3.2). Its NP baseline: processor
+//! utilization 0.65→0.59 (fast→slow bus), bus utilization 0.18→0.76
+//! (4→32-cycle transfer). Restructuring (Table 4) eliminates almost all
+//! false sharing *and* improves locality enough to halve non-sharing misses.
+
+use crate::mix::MixParams;
+use crate::Layout;
+
+/// Generator parameters for Topopt.
+pub fn params(layout: Layout) -> MixParams {
+    // Restructuring improves Topopt's locality across the board (Table 4
+    // halves even the non-sharing misses): the annealing sweep mostly turns
+    // into hot-set reuse.
+    let restructured = layout == Layout::Padded;
+    MixParams {
+        w_hot: if restructured { 914 } else { 895 },
+        w_stream: if restructured { 6 } else { 25 },
+        w_conflict: 4,
+        w_false_share: 16,
+        w_migratory: 4,
+        w_read_shared: 60,
+
+        hot_lines: 300,
+        hot_write_pct: 25,
+        stream_bytes: 0x0004_0000,
+        stream_write_pct: 30,
+        stream_shared: false,
+        conflict_aliases: 3,
+        conflict_sets: 48,
+        conflict_overlaps_hot: true,
+        fs_lines: 48,
+        fs_write_pct: 50,
+        fs_hot_lines: 3,
+        fs_hot_pct: 60,
+        mig_objects: 64,
+        mig_burst: (3, 1),
+        mig_lock_pct: 30,
+        rs_lines: 128,
+        work_mean: 3,
+        barrier_every: 25_000,
+        padded_locality_boost: true,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annealing_profile() {
+        let p = params(Layout::Interleaved);
+        assert!(p.w_conflict > 0, "conflict misses are Topopt's signature");
+        assert!(p.w_false_share > 0, "heavy write sharing");
+        assert!(p.padded_locality_boost, "restructuring also improves locality");
+        assert_eq!(p.layout, Layout::Interleaved);
+    }
+
+    #[test]
+    fn padded_layout_propagates() {
+        assert_eq!(params(Layout::Padded).layout, Layout::Padded);
+    }
+}

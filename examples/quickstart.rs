@@ -1,0 +1,41 @@
+//! Quickstart: simulate one workload with and without prefetching and print
+//! the paper's headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use charlie::{Experiment, Lab, RunConfig, Strategy, Workload};
+
+fn main() {
+    // Smaller than the experiment default so the example runs in seconds.
+    let mut lab = Lab::new(RunConfig { refs_per_proc: 40_000, ..RunConfig::default() });
+
+    let workload = Workload::Mp3d;
+    let latency = 8; // cycles of contended data transfer, out of 100 total
+
+    println!("workload: {workload} — {}", workload.description());
+    println!("machine:  8 procs, 32 KB direct-mapped caches, {latency}-cycle data bus\n");
+
+    let np = lab.run(Experiment::paper(workload, Strategy::NoPrefetch, latency)).clone();
+    println!("no prefetching:");
+    println!("{}\n", np.report);
+
+    let pf = lab.run(Experiment::paper(workload, Strategy::Pref, latency)).clone();
+    println!("PREF (oracle prefetching, 100-cycle distance):");
+    println!("{}\n", pf.report);
+
+    let rel = pf.report.cycles as f64 / np.report.cycles as f64;
+    println!(
+        "relative execution time: {rel:.3} ({}){}",
+        if rel < 1.0 { "speedup" } else { "slowdown" },
+        if pf.report.bus_utilization() > 0.9 { " — bus saturated" } else { "" }
+    );
+    println!(
+        "CPU miss rate {:.2}% → {:.2}%, but total (bus) miss rate {:.2}% → {:.2}%",
+        100.0 * np.report.cpu_miss_rate(),
+        100.0 * pf.report.cpu_miss_rate(),
+        100.0 * np.report.total_miss_rate(),
+        100.0 * pf.report.total_miss_rate(),
+    );
+}

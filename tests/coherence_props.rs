@@ -1,0 +1,109 @@
+//! Property tests over the simulator: random multiprocessor access patterns
+//! must never violate machine invariants, and runs must be deterministic.
+
+use charlie::sim::{simulate, SimConfig, SimReport};
+use charlie::trace::{Addr, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// A compact random program: per processor, a list of (slot, write, line,
+/// word) accesses over a small shared address pool, with barriers at fixed
+/// slots so interleavings genuinely overlap.
+fn arb_trace(procs: usize) -> impl proptest::strategy::Strategy<Value = Trace> {
+    let per_proc = proptest::collection::vec(
+        (0u8..40, any::<bool>(), 0u64..24, 0u64..8),
+        10..60,
+    );
+    proptest::collection::vec(per_proc, procs..=procs).prop_map(move |streams| {
+        let mut b = TraceBuilder::new(streams.len());
+        for (p, stream) in streams.iter().enumerate() {
+            let mut pb = b.proc(p);
+            let mut barrier = 0;
+            for &(slot, write, line, word) in stream {
+                // A third of the slots emit a little work first.
+                if slot % 3 == 0 {
+                    pb.work(u32::from(slot) + 1);
+                }
+                let addr = Addr::new(0x1000 + line * 32 + word * 4);
+                if write {
+                    pb.write(addr);
+                } else {
+                    pb.read(addr);
+                }
+            }
+            // One common barrier at the end keeps programs overlapping.
+            pb.barrier(barrier);
+            barrier += 1;
+            let _ = barrier;
+        }
+        b.build()
+    })
+}
+
+fn check_invariants(r: &SimReport, label: &str) {
+    assert!(r.bus.busy_cycles <= r.cycles, "{label}: bus busy > cycles");
+    assert!(r.false_sharing_misses <= r.miss.invalidation(), "{label}");
+    assert!(r.miss.cpu_misses() <= r.demand_accesses(), "{label}");
+    assert_eq!(
+        r.bus.reads + r.bus.read_exclusives,
+        r.miss.adjusted_cpu_misses() + r.prefetch.fills + r.demand_refills,
+        "{label}: fill transactions must equal fill-causing misses"
+    );
+    for (i, p) in r.per_proc.iter().enumerate() {
+        assert!(p.finish_time <= r.cycles, "{label} P{i}");
+        assert!(p.busy_cycles + p.stall_cycles <= p.finish_time + 1, "{label} P{i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_preserve_invariants(trace in arb_trace(3)) {
+        let cfg = SimConfig { num_procs: 3, ..SimConfig::default() };
+        let r = simulate(&cfg, &trace).expect("valid trace simulates");
+        check_invariants(&r, "random");
+        // Every access retires exactly once (plus sync-generated accesses).
+        let trace_accesses: u64 = trace.total_accesses() as u64;
+        prop_assert!(r.demand_accesses() >= trace_accesses);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(trace in arb_trace(4)) {
+        let cfg = SimConfig { num_procs: 4, ..SimConfig::default() };
+        let a = simulate(&cfg, &trace).unwrap();
+        let b = simulate(&cfg, &trace).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faster_bus_never_slows_execution(trace in arb_trace(3)) {
+        let fast = SimConfig::paper(3, 4);
+        let slow = SimConfig::paper(3, 32);
+        let rf = simulate(&fast, &trace).unwrap();
+        let rs = simulate(&slow, &trace).unwrap();
+        // Same trace, same interleaving constraints: a strictly slower
+        // contended resource cannot shorten the critical path.
+        prop_assert!(rf.cycles <= rs.cycles,
+            "fast {} > slow {}", rf.cycles, rs.cycles);
+    }
+
+    #[test]
+    fn single_proc_never_sees_invalidations(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..64, 0u64..8), 1..200))
+    {
+        let mut b = TraceBuilder::new(1);
+        {
+            let mut p = b.proc(0);
+            for &(write, line, word) in &ops {
+                let addr = Addr::new(0x2000 + line * 32 + word * 4);
+                if write { p.write(addr); } else { p.read(addr); }
+            }
+        }
+        let cfg = SimConfig { num_procs: 1, ..SimConfig::default() };
+        let r = simulate(&cfg, &b.build()).unwrap();
+        prop_assert_eq!(r.miss.invalidation(), 0);
+        prop_assert_eq!(r.false_sharing_misses, 0);
+        prop_assert_eq!(r.upgrades, 0, "Illinois: no other caches, no upgrades");
+        check_invariants(&r, "uni");
+    }
+}

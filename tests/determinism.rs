@@ -1,0 +1,50 @@
+//! Whole-pipeline determinism: identical configurations must reproduce
+//! bit-identical reports (the experiments are regenerable by construction).
+
+use charlie::{Experiment, Lab, RunConfig, Strategy, Workload};
+
+#[test]
+fn identical_labs_produce_identical_reports() {
+    let cfg = RunConfig { procs: 4, refs_per_proc: 2_500, seed: 42, ..RunConfig::default() };
+    let exp = Experiment::paper(Workload::Pverify, Strategy::Pws, 16);
+    let a = Lab::new(cfg).run(exp).clone();
+    let b = Lab::new(cfg).run(exp).clone();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_changes_results() {
+    let exp = Experiment::paper(Workload::Topopt, Strategy::NoPrefetch, 8);
+    let a = Lab::new(RunConfig { procs: 4, refs_per_proc: 2_500, seed: 1, ..RunConfig::default() }).run(exp).clone();
+    let b = Lab::new(RunConfig { procs: 4, refs_per_proc: 2_500, seed: 2, ..RunConfig::default() }).run(exp).clone();
+    assert_ne!(a.report, b.report);
+}
+
+#[test]
+fn trace_size_scales_cycles_roughly_linearly() {
+    let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+    let small = Lab::new(RunConfig { procs: 4, refs_per_proc: 8_000, seed: 5, ..RunConfig::default() }).run(exp).clone();
+    let large = Lab::new(RunConfig { procs: 4, refs_per_proc: 32_000, seed: 5, ..RunConfig::default() }).run(exp).clone();
+    let ratio = large.report.cycles as f64 / small.report.cycles as f64;
+    // Cold-start misses make small traces disproportionately slow (the whole
+    // footprint misses once), so the band is generous; it still catches
+    // quadratic blow-ups in the simulator.
+    assert!(
+        (2.0..6.5).contains(&ratio),
+        "4x the references should be ~4x the cycles, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn miss_rates_stable_across_trace_sizes() {
+    // The reported rates must be properties of the workload, not the trace
+    // length (otherwise shrinking the paper's 2M references would be unsound).
+    let exp = Experiment::paper(Workload::Mp3d, Strategy::NoPrefetch, 8);
+    let small = Lab::new(RunConfig { procs: 4, refs_per_proc: 32_000, seed: 5, ..RunConfig::default() }).run(exp).clone();
+    let large = Lab::new(RunConfig { procs: 4, refs_per_proc: 64_000, seed: 5, ..RunConfig::default() }).run(exp).clone();
+    let (a, b) = (small.report.cpu_miss_rate(), large.report.cpu_miss_rate());
+    assert!(
+        (a - b).abs() < 0.25 * a.max(b),
+        "CPU miss rate should stabilize: {a:.4} vs {b:.4}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the post-paper extensions: victim buffers, the
+//! write-update protocol, warm-up windows, trace serialization and EXCL-RMW,
+//! each exercised on the full workload pipeline.
+
+use charlie::cache::CacheGeometry;
+use charlie::prefetch::{apply, Strategy};
+use charlie::sim::{simulate, Protocol, SimConfig};
+use charlie::trace::io::{read_trace, write_trace};
+use charlie::workloads::{generate, Workload, WorkloadConfig};
+
+fn wcfg(refs: usize) -> WorkloadConfig {
+    WorkloadConfig { procs: 4, refs_per_proc: refs, seed: 99, ..WorkloadConfig::default() }
+}
+
+#[test]
+fn generated_workloads_round_trip_through_the_text_format() {
+    for w in [Workload::Topopt, Workload::Water] {
+        let trace = generate(w, &wcfg(2_000));
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write succeeds");
+        let back = read_trace(buf.as_slice()).expect("read succeeds");
+        assert_eq!(back, trace, "{w}: byte-exact round trip");
+        // And the deserialized trace still simulates identically.
+        let cfg = SimConfig { num_procs: 4, ..SimConfig::default() };
+        assert_eq!(simulate(&cfg, &back).unwrap(), simulate(&cfg, &trace).unwrap());
+    }
+}
+
+#[test]
+fn write_update_removes_all_invalidation_misses_on_every_workload() {
+    for w in Workload::ALL {
+        let trace = generate(w, &wcfg(3_000));
+        let wi = SimConfig::paper(4, 8);
+        let wu = SimConfig { protocol: Protocol::WriteUpdate, ..wi };
+        let r_wi = simulate(&wi, &trace).unwrap();
+        let r_wu = simulate(&wu, &trace).unwrap();
+        assert_eq!(r_wu.miss.invalidation(), 0, "{w}");
+        assert_eq!(r_wu.false_sharing_misses, 0, "{w}");
+        // The work still happens: same demand accesses retire.
+        assert_eq!(r_wu.demand_accesses(), r_wi.demand_accesses(), "{w}");
+    }
+}
+
+#[test]
+fn victim_buffer_never_hurts_topopt() {
+    let trace = generate(Workload::Topopt, &wcfg(6_000));
+    let base = SimConfig::paper(4, 8);
+    let with_victim = SimConfig { victim_entries: 4, ..base };
+    let r0 = simulate(&base, &trace).unwrap();
+    let r4 = simulate(&with_victim, &trace).unwrap();
+    assert!(r4.victim_hits > 0, "conflict workload must hit the victim buffer");
+    assert!(
+        r4.cycles <= r0.cycles,
+        "victim buffer must not slow Topopt ({} vs {})",
+        r4.cycles,
+        r0.cycles
+    );
+    assert!(r4.cpu_miss_rate() < r0.cpu_miss_rate());
+}
+
+#[test]
+fn warmup_window_reduces_measured_cold_misses() {
+    let trace = generate(Workload::Water, &wcfg(6_000));
+    let base = SimConfig::paper(4, 8);
+    let warm = SimConfig { warmup_accesses: 8_000, ..base };
+    let r_cold = simulate(&base, &trace).unwrap();
+    let r_warm = simulate(&warm, &trace).unwrap();
+    assert_eq!(r_cold.cycles, r_warm.cycles, "execution is unaffected");
+    assert!(
+        r_warm.cpu_miss_rate() < r_cold.cpu_miss_rate(),
+        "steady-state rate must drop below the cold-start rate ({:.4} vs {:.4})",
+        r_warm.cpu_miss_rate(),
+        r_cold.cpu_miss_rate()
+    );
+    assert!(r_warm.measured_from > 0);
+}
+
+#[test]
+fn excl_rmw_saves_upgrades_without_costing_misses() {
+    let trace = generate(Workload::Mp3d, &wcfg(6_000));
+    let geometry = CacheGeometry::paper_default();
+    let cfg = SimConfig::paper(4, 8);
+    let excl = simulate(&cfg, &apply(Strategy::Excl, &trace, geometry)).unwrap();
+    let rmw = simulate(&cfg, &apply(Strategy::ExclRmw, &trace, geometry)).unwrap();
+    assert!(
+        rmw.bus.upgrades < excl.bus.upgrades,
+        "RMW detection must save upgrade transactions ({} vs {})",
+        rmw.bus.upgrades,
+        excl.bus.upgrades
+    );
+    assert!(
+        rmw.adjusted_cpu_miss_rate() <= 1.05 * excl.adjusted_cpu_miss_rate(),
+        "at no real miss cost"
+    );
+}
+
+#[test]
+fn fill_latency_tracks_bus_speed() {
+    let trace = generate(Workload::Mp3d, &wcfg(4_000));
+    let fast = simulate(&SimConfig::paper(4, 4), &trace).unwrap();
+    let slow = simulate(&SimConfig::paper(4, 32), &trace).unwrap();
+    assert!(fast.fill_latency.count() > 0);
+    assert!(
+        slow.fill_latency.mean() > fast.fill_latency.mean(),
+        "slower transfers must raise the mean fill latency ({:.1} vs {:.1})",
+        slow.fill_latency.mean(),
+        fast.fill_latency.mean()
+    );
+    assert!(fast.fill_latency.min().unwrap() >= 100, "nothing beats the unloaded latency");
+}
+
+#[test]
+fn prefetch_demand_priority_changes_arbitration_not_correctness() {
+    let trace = generate(Workload::Pverify, &wcfg(4_000));
+    let geometry = CacheGeometry::paper_default();
+    let prepared = apply(Strategy::Pws, &trace, geometry);
+    let base = SimConfig::paper(4, 16);
+    let flat = SimConfig { prefetch_demand_priority: true, ..base };
+    let r_base = simulate(&base, &prepared).unwrap();
+    let r_flat = simulate(&flat, &prepared).unwrap();
+    // Same work retires either way; only timing differs.
+    assert_eq!(r_base.demand_accesses(), r_flat.demand_accesses());
+    assert_eq!(r_base.prefetch.executed, r_flat.prefetch.executed);
+    assert!(r_flat.bus.prefetch_grants == 0, "flat arbitration has no prefetch class");
+    assert!(r_base.bus.prefetch_grants > 0);
+}

@@ -1,0 +1,166 @@
+//! End-to-end integration: every workload through every strategy through the
+//! simulator, with cross-crate consistency checks on the reports.
+
+use charlie::{Experiment, Lab, RunConfig, Strategy, Workload};
+
+fn lab() -> Lab {
+    Lab::new(RunConfig { procs: 4, refs_per_proc: 10_000, seed: 11, ..RunConfig::default() })
+}
+
+#[test]
+fn full_grid_runs_and_reports_are_consistent() {
+    let mut lab = lab();
+    for w in Workload::ALL {
+        for s in Strategy::ALL {
+            let summary = lab.run(Experiment::paper(w, s, 8)).clone();
+            let r = &summary.report;
+            let label = format!("{w}/{s}");
+
+            // Demand accesses: at least the trace's references (sync accesses
+            // are synthesized on top).
+            assert!(
+                r.demand_accesses() >= 10_000 * 4,
+                "{label}: {} accesses",
+                r.demand_accesses()
+            );
+
+            // Structural sanity.
+            assert!(r.cycles > 0, "{label}");
+            assert!(r.bus.busy_cycles <= r.cycles, "{label}: bus busier than time");
+            assert!(r.false_sharing_misses <= r.miss.invalidation(), "{label}");
+            assert!(r.miss.cpu_misses() <= r.demand_accesses(), "{label}");
+            for (i, p) in r.per_proc.iter().enumerate() {
+                assert!(
+                    p.busy_cycles + p.stall_cycles <= p.finish_time + 1,
+                    "{label} P{i}: busy {} + stall {} > finish {}",
+                    p.busy_cycles,
+                    p.stall_cycles,
+                    p.finish_time
+                );
+                assert!(p.finish_time <= r.cycles, "{label} P{i}");
+            }
+
+            // Prefetch bookkeeping adds up.
+            let pf = &r.prefetch;
+            assert_eq!(
+                pf.executed,
+                pf.hits + pf.duplicates + pf.fills,
+                "{label}: prefetch outcomes partition executions"
+            );
+            assert_eq!(pf.executed, summary.prefetches_inserted, "{label}");
+            if s == Strategy::NoPrefetch {
+                assert_eq!(pf.executed, 0, "{label}");
+            }
+
+            // Bus ops: every adjusted CPU miss and every prefetch fill is a
+            // fill transaction.
+            assert_eq!(
+                r.bus.reads + r.bus.read_exclusives,
+                r.miss.adjusted_cpu_misses() + pf.fills + r.demand_refills,
+                "{label}: fills match misses"
+            );
+            // Upgrades on the bus = upgrade attempts (completed + aborted).
+            assert_eq!(r.bus.upgrades, r.upgrades, "{label}");
+        }
+    }
+}
+
+#[test]
+fn prefetching_strategies_reduce_cpu_miss_rate_on_private_heavy_load() {
+    let mut lab = lab();
+    let np = lab.run(Experiment::paper(Workload::Mp3d, Strategy::NoPrefetch, 8)).clone();
+    let pref = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pref, 8)).clone();
+    assert!(
+        pref.report.cpu_miss_rate() < np.report.cpu_miss_rate(),
+        "PREF must cut Mp3d's CPU miss rate ({:.4} vs {:.4})",
+        pref.report.cpu_miss_rate(),
+        np.report.cpu_miss_rate()
+    );
+}
+
+#[test]
+fn prefetching_raises_total_miss_rate_and_bus_demand() {
+    let mut lab = lab();
+    for w in [Workload::Mp3d, Workload::Pverify, Workload::Topopt] {
+        let np = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).clone();
+        let pws = lab.run(Experiment::paper(w, Strategy::Pws, 8)).clone();
+        assert!(
+            pws.report.total_miss_rate() >= 0.98 * np.report.total_miss_rate(),
+            "{w}: total miss rate must not fall with prefetching ({:.4} vs {:.4})",
+            pws.report.total_miss_rate(),
+            np.report.total_miss_rate()
+        );
+        assert!(
+            pws.report.bus.busy_cycles as f64 / pws.report.cycles as f64
+                >= 0.95 * (np.report.bus.busy_cycles as f64 / np.report.cycles as f64),
+            "{w}: bus demand must not collapse with prefetching"
+        );
+    }
+}
+
+#[test]
+fn pws_inserts_more_prefetches_than_pref() {
+    let mut lab = lab();
+    for w in [Workload::Pverify, Workload::Topopt] {
+        let pref = lab.run(Experiment::paper(w, Strategy::Pref, 8)).prefetches_inserted;
+        let pws = lab.run(Experiment::paper(w, Strategy::Pws, 8)).prefetches_inserted;
+        assert!(pws > pref, "{w}: PWS overhead ({pws}) must exceed PREF ({pref})");
+    }
+}
+
+#[test]
+fn lpd_cuts_prefetch_in_progress_misses() {
+    let mut lab = lab();
+    let pref = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pref, 8)).clone();
+    let lpd = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Lpd, 8)).clone();
+    assert!(
+        lpd.report.miss.prefetch_in_progress <= pref.report.miss.prefetch_in_progress,
+        "longer distance must not increase in-progress misses ({} vs {})",
+        lpd.report.miss.prefetch_in_progress,
+        pref.report.miss.prefetch_in_progress
+    );
+}
+
+#[test]
+fn excl_reduces_invalidating_bus_ops() {
+    let mut lab = lab();
+    // On a write-heavy shared workload, exclusive prefetching saves upgrades.
+    let pref = lab.run(Experiment::paper(Workload::Topopt, Strategy::Pref, 8)).clone();
+    let excl = lab.run(Experiment::paper(Workload::Topopt, Strategy::Excl, 8)).clone();
+    assert!(
+        excl.report.bus.upgrades <= pref.report.bus.upgrades,
+        "EXCL must not need more upgrades than PREF ({} vs {})",
+        excl.report.bus.upgrades,
+        pref.report.bus.upgrades
+    );
+}
+
+#[test]
+fn restructured_layout_cuts_false_sharing() {
+    let mut lab = lab();
+    for w in [Workload::Topopt, Workload::Pverify] {
+        let orig = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).clone();
+        let restr = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8).restructured()).clone();
+        assert!(
+            restr.report.false_sharing_miss_rate() < 0.5 * orig.report.false_sharing_miss_rate(),
+            "{w}: restructuring must slash false sharing ({:.4} vs {:.4})",
+            restr.report.false_sharing_miss_rate(),
+            orig.report.false_sharing_miss_rate()
+        );
+    }
+}
+
+#[test]
+fn all_latencies_run_for_one_workload() {
+    let mut lab = lab();
+    let mut last_cycles = 0;
+    for lat in [4, 8, 16, 24, 32] {
+        let r = lab.run(Experiment::paper(Workload::Mp3d, Strategy::NoPrefetch, lat)).clone();
+        assert!(
+            r.report.cycles >= last_cycles,
+            "slower buses must not speed Mp3d up ({} < {last_cycles} at {lat})",
+            r.report.cycles
+        );
+        last_cycles = r.report.cycles;
+    }
+}

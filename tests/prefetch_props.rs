@@ -1,0 +1,164 @@
+//! Property tests over the prefetch-insertion pipeline.
+
+use charlie::cache::CacheGeometry;
+use charlie::prefetch::{apply, Strategy};
+use charlie::trace::{Addr, Trace, TraceBuilder, TraceEvent};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+fn arb_raw_trace() -> impl proptest::strategy::Strategy<Value = Trace> {
+    let per_proc = proptest::collection::vec(
+        // (work, write, line, word, sync-point)
+        (1u32..50, any::<bool>(), 0u64..512, 0u64..8, any::<bool>()),
+        5..80,
+    );
+    proptest::collection::vec(per_proc, 2..=2).prop_map(|streams| {
+        let mut b = TraceBuilder::new(streams.len());
+        for (p, stream) in streams.iter().enumerate() {
+            let mut pb = b.proc(p);
+            let mut next_lock_free = true;
+            for &(work, write, line, word, sync) in stream {
+                pb.work(work);
+                if sync {
+                    if next_lock_free {
+                        pb.lock(3);
+                    } else {
+                        pb.unlock(3);
+                    }
+                    next_lock_free = !next_lock_free;
+                }
+                let addr = Addr::new(0x4000 + line * 32 + word * 4);
+                if write {
+                    pb.write(addr);
+                } else {
+                    pb.read(addr);
+                }
+            }
+            if !next_lock_free {
+                pb.unlock(3);
+            }
+        }
+        b.build()
+    })
+}
+
+fn demand_sequence(t: &Trace, p: usize) -> Vec<(u64, bool)> {
+    t.proc(p).accesses().map(|a| (a.addr.raw(), a.kind.is_write())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Inserting prefetches never reorders, adds or drops demand accesses.
+    #[test]
+    fn demand_stream_preserved(trace in arb_raw_trace(),
+                               strategy in prop_oneof![
+                                   Just(Strategy::Pref), Just(Strategy::Excl),
+                                   Just(Strategy::Lpd), Just(Strategy::Pws)])
+    {
+        let out = apply(strategy, &trace, CacheGeometry::paper_default());
+        for p in 0..trace.num_procs() {
+            prop_assert_eq!(demand_sequence(&trace, p), demand_sequence(&out, p));
+        }
+        prop_assert!(out.validate().is_ok());
+    }
+
+    /// Every prefetch targets a line some later demand access touches — the
+    /// oracle "never prefetches data that is not used".
+    #[test]
+    fn prefetches_are_always_used_later(trace in arb_raw_trace()) {
+        let out = apply(Strategy::Pref, &trace, CacheGeometry::paper_default());
+        for p in 0..out.num_procs() {
+            let ev = out.proc(p).events();
+            for (i, e) in ev.iter().enumerate() {
+                if let TraceEvent::Prefetch { addr, .. } = e {
+                    let line = addr.line(32);
+                    let used = ev[i + 1..].iter().any(|later| {
+                        later.as_access().is_some_and(|a| a.addr.line(32) == line)
+                    });
+                    prop_assert!(used, "P{p}: prefetch of {addr} never used");
+                }
+            }
+        }
+    }
+
+    /// The number of prefetches PREF inserts equals the stream's
+    /// uniprocessor miss count (the oracle is exact).
+    #[test]
+    fn pref_count_equals_filter_misses(trace in arb_raw_trace()) {
+        let geometry = CacheGeometry::paper_default();
+        let out = apply(Strategy::Pref, &trace, geometry);
+        for p in 0..trace.num_procs() {
+            let mut filter = charlie::cache::FilterCache::new(geometry);
+            let misses = trace
+                .proc(p)
+                .accesses()
+                .filter(|a| !filter.access(a.addr))
+                .count();
+            prop_assert_eq!(out.proc(p).num_prefetches(), misses);
+        }
+    }
+
+    /// EXCL only flips prefetch modes; counts and placement stay identical.
+    #[test]
+    fn excl_differs_from_pref_only_in_mode(trace in arb_raw_trace()) {
+        let geometry = CacheGeometry::paper_default();
+        let pref = apply(Strategy::Pref, &trace, geometry);
+        let excl = apply(Strategy::Excl, &trace, geometry);
+        for p in 0..trace.num_procs() {
+            let a = pref.proc(p).events();
+            let b = excl.proc(p).events();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                match (x, y) {
+                    (
+                        TraceEvent::Prefetch { addr: ax, .. },
+                        TraceEvent::Prefetch { addr: ay, .. },
+                    ) => prop_assert_eq!(ax, ay),
+                    _ => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    /// PWS is a superset of PREF on every processor.
+    #[test]
+    fn pws_superset_of_pref(trace in arb_raw_trace()) {
+        let geometry = CacheGeometry::paper_default();
+        let pref = apply(Strategy::Pref, &trace, geometry);
+        let pws = apply(Strategy::Pws, &trace, geometry);
+        for p in 0..trace.num_procs() {
+            prop_assert!(pws.proc(p).num_prefetches() >= pref.proc(p).num_prefetches());
+        }
+    }
+
+    /// No prefetch is hoisted across a synchronization event.
+    #[test]
+    fn prefetches_respect_sync_boundaries(trace in arb_raw_trace()) {
+        let out = apply(Strategy::Lpd, &trace, CacheGeometry::paper_default());
+        for p in 0..out.num_procs() {
+            let ev = out.proc(p).events();
+            // For every prefetch, the matching demand access (first later
+            // access to the line) must be reachable without an intervening
+            // sync *after* which the access sits... i.e. no sync strictly
+            // between prefetch and its target access's original position
+            // earlier than the prefetch insertion point. Equivalent check:
+            // between the prefetch and the first later same-line access,
+            // there is no sync event.
+            for (i, e) in ev.iter().enumerate() {
+                if let TraceEvent::Prefetch { addr, .. } = e {
+                    let line = addr.line(32);
+                    for later in &ev[i + 1..] {
+                        if later.as_access().is_some_and(|a| a.addr.line(32) == line) {
+                            break;
+                        }
+                        prop_assert!(
+                            !later.is_sync(),
+                            "P{p}: sync between prefetch of {addr} and its use"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

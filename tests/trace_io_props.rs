@@ -1,0 +1,94 @@
+//! Property tests for trace serialization: arbitrary traces round-trip
+//! byte-exactly, and the parser never panics on arbitrary input.
+
+use charlie::trace::io::{read_trace, write_trace};
+use charlie::trace::{Trace, TraceBuilder};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Work(u32),
+    Read(u64),
+    Write(u64),
+    Prefetch(u64, bool),
+    Lock(u32),
+    Unlock(u32),
+    Barrier,
+}
+
+fn arb_trace() -> impl proptest::strategy::Strategy<Value = Trace> {
+    let ev = prop_oneof![
+        (1u32..1000).prop_map(Ev::Work),
+        (0u64..1 << 40).prop_map(Ev::Read),
+        (0u64..1 << 40).prop_map(Ev::Write),
+        ((0u64..1 << 40), any::<bool>()).prop_map(|(a, e)| Ev::Prefetch(a, e)),
+        (0u32..8).prop_map(Ev::Lock),
+        (0u32..8).prop_map(Ev::Unlock),
+        Just(Ev::Barrier),
+    ];
+    let per_proc = proptest::collection::vec(ev, 0..60);
+    proptest::collection::vec(per_proc, 1..5).prop_map(|streams| {
+        let mut b = TraceBuilder::new(streams.len());
+        for (p, evs) in streams.iter().enumerate() {
+            let mut pb = b.proc(p);
+            let mut barrier = 0u32;
+            for ev in evs {
+                match *ev {
+                    Ev::Work(n) => {
+                        pb.work(n);
+                    }
+                    Ev::Read(a) => {
+                        pb.read(charlie::trace::Addr::new(a));
+                    }
+                    Ev::Write(a) => {
+                        pb.write(charlie::trace::Addr::new(a));
+                    }
+                    Ev::Prefetch(a, false) => {
+                        pb.prefetch(charlie::trace::Addr::new(a));
+                    }
+                    Ev::Prefetch(a, true) => {
+                        pb.prefetch_exclusive(charlie::trace::Addr::new(a));
+                    }
+                    Ev::Lock(l) => {
+                        pb.lock(l);
+                    }
+                    Ev::Unlock(l) => {
+                        pb.unlock(l);
+                    }
+                    Ev::Barrier => {
+                        pb.barrier(barrier);
+                        barrier += 1;
+                    }
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → read is the identity on every trace (validity not required:
+    /// serialization is structural).
+    #[test]
+    fn round_trip_is_identity(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write succeeds");
+        let back = read_trace(buf.as_slice()).expect("parse our own output");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// The parser returns errors — never panics — on arbitrary text.
+    #[test]
+    fn parser_never_panics(garbage in "\\PC*") {
+        let _ = read_trace(garbage.as_bytes());
+    }
+
+    /// …including near-miss inputs that start like real traces.
+    #[test]
+    fn parser_survives_near_misses(lines in proptest::collection::vec("[a-zA-Z0-9 #x]{0,20}", 0..30)) {
+        let text = format!("charlie-trace v1\nprocs 2\n{}", lines.join("\n"));
+        let _ = read_trace(text.as_bytes());
+    }
+}

@@ -1,0 +1,113 @@
+//! Workload-generator characterization across seeds: the qualitative
+//! profiles that make each synthetic application "be" its paper counterpart
+//! must hold for any seed, not just the calibration seed.
+
+use charlie::trace::TraceStats;
+use charlie::workloads::{generate, Layout, Workload, WorkloadConfig};
+
+fn cfg(seed: u64) -> WorkloadConfig {
+    WorkloadConfig { procs: 8, refs_per_proc: 5_000, seed, ..WorkloadConfig::default() }
+}
+
+#[test]
+fn structural_invariants_hold_for_any_seed() {
+    for seed in [1u64, 7, 42, 0xDEAD, 12345] {
+        for w in Workload::ALL {
+            let trace = generate(w, &cfg(seed));
+            assert!(trace.validate().is_ok(), "{w} seed {seed}");
+            let stats = TraceStats::gather(&trace, 32);
+            assert!(
+                stats.footprint_bytes() > 32 * 1024,
+                "{w} seed {seed}: data set must exceed the cache"
+            );
+            assert!(
+                stats.write_shared_lines > 0,
+                "{w} seed {seed}: every workload shares something"
+            );
+            for (p, s) in trace.iter() {
+                assert!(s.num_accesses() >= 5_000, "{w} seed {seed} {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharing_intensity_ordering_is_seed_independent() {
+    for seed in [3u64, 99, 2026] {
+        let shared_fraction = |w: Workload| {
+            TraceStats::gather(&generate(w, &cfg(seed)), 32).write_shared_fraction()
+        };
+        let water = shared_fraction(Workload::Water);
+        let pverify = shared_fraction(Workload::Pverify);
+        let topopt = shared_fraction(Workload::Topopt);
+        assert!(
+            pverify > water,
+            "seed {seed}: Pverify ({pverify:.3}) must share more than Water ({water:.3})"
+        );
+        assert!(
+            topopt > water,
+            "seed {seed}: Topopt ({topopt:.3}) must share more than Water ({water:.3})"
+        );
+    }
+}
+
+#[test]
+fn miss_rate_ordering_is_seed_independent() {
+    // Exclude the cold-start transient (every workload's whole footprint
+    // misses once) with the warm-up window, so the steady-state profiles
+    // are what gets compared.
+    use charlie::sim::{simulate, SimConfig};
+    for seed in [11u64, 77] {
+        let mr = |w: Workload| {
+            let wcfg = WorkloadConfig {
+                procs: 4,
+                refs_per_proc: 16_000,
+                seed,
+                ..WorkloadConfig::default()
+            };
+            let sim_cfg = SimConfig {
+                warmup_accesses: 24_000,
+                ..SimConfig::paper(4, 8)
+            };
+            simulate(&sim_cfg, &generate(w, &wcfg)).unwrap().cpu_miss_rate()
+        };
+        let water = mr(Workload::Water);
+        let mp3d = mr(Workload::Mp3d);
+        let pverify = mr(Workload::Pverify);
+        assert!(
+            mp3d > 2.0 * water,
+            "seed {seed}: Mp3d ({mp3d:.4}) must miss far more than Water ({water:.4})"
+        );
+        assert!(
+            pverify > 1.5 * water,
+            "seed {seed}: Pverify ({pverify:.4}) well above Water ({water:.4})"
+        );
+    }
+}
+
+#[test]
+fn padded_layout_shrinks_write_sharing_for_every_workload() {
+    for w in Workload::ALL {
+        let inter = TraceStats::gather(&generate(w, &cfg(5)), 32);
+        let padded = TraceStats::gather(
+            &generate(w, &WorkloadConfig { layout: Layout::Padded, ..cfg(5) }),
+            32,
+        );
+        assert!(
+            padded.write_shared_lines <= inter.write_shared_lines,
+            "{w}: padding must not create write sharing ({} vs {})",
+            padded.write_shared_lines,
+            inter.write_shared_lines
+        );
+    }
+}
+
+#[test]
+fn different_procs_counts_generate_consistent_traces() {
+    for procs in [1usize, 2, 5, 16] {
+        let wcfg = WorkloadConfig { procs, refs_per_proc: 1_500, seed: 9, ..WorkloadConfig::default() };
+        let t = generate(Workload::Pverify, &wcfg);
+        assert_eq!(t.num_procs(), procs);
+        assert!(t.validate().is_ok(), "procs={procs}");
+    }
+}
