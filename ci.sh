@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, then an end-to-end check that the
+# parallel experiment engine is observably equivalent to serial execution
+# (byte-identical CLI output on a tiny grid at --jobs 1 vs --jobs 8).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== serial-vs-parallel equivalence (tiny grid) =="
+CLI=(cargo run -q --release -p charlie-cli --)
+serial=$("${CLI[@]}" sweep --workload mp3d --refs 2000 --procs 2 --json --jobs 1)
+parallel=$("${CLI[@]}" sweep --workload mp3d --refs 2000 --procs 2 --json --jobs 8)
+if [[ "$serial" != "$parallel" ]]; then
+    echo "FAIL: sweep output differs between --jobs 1 and --jobs 8" >&2
+    diff <(echo "$serial") <(echo "$parallel") >&2 || true
+    exit 1
+fi
+echo "sweep output byte-identical at --jobs 1 and --jobs 8"
+
+echo "== OK =="

@@ -4,18 +4,24 @@
 //! prefetched data exactly on time": short distances leave prefetches in
 //! progress (cheap-but-real misses), long ones trade them for conflict
 //! misses ("trading prefetch-in-progress misses for conflict misses is not
-//! wise"). This sweep shows the trade-off directly.
+//! wise"). This sweep shows the trade-off directly. The distance knob lives
+//! outside [`charlie::Experiment`], so the cells fan out through
+//! [`charlie::parallel::map`] (`CHARLIE_JOBS` workers).
 
 use charlie::cache::CacheGeometry;
+use charlie::parallel;
 use charlie::prefetch::{apply_with_distance, Strategy};
 use charlie::sim::{simulate, SimConfig};
 use charlie::workloads::{generate, Workload, WorkloadConfig};
-use charlie::Table;
+use charlie::{Lab, Table};
+
+const DISTANCES: [u64; 6] = [25, 50, 100, 200, 400, 800];
 
 fn main() {
     let lab = charlie_bench::lab_from_env();
     let cfg = *lab.config();
     drop(lab);
+    let jobs = Lab::resolve_jobs(charlie_bench::jobs_from_env());
 
     let mut t = Table::new(
         "Prefetch-distance ablation (PREF discipline, 8-cycle transfer)",
@@ -31,10 +37,12 @@ fn main() {
         let raw = generate(w, &wcfg);
         let sim_cfg = SimConfig::paper(cfg.procs, 8);
         let np = simulate(&sim_cfg, &raw).expect("NP simulates");
-        for distance in [25u64, 50, 100, 200, 400, 800] {
+        let reports = parallel::map(&DISTANCES, jobs, |_, &distance| {
             let prepared =
                 apply_with_distance(Strategy::Pref, &raw, CacheGeometry::paper_default(), distance);
-            let r = simulate(&sim_cfg, &prepared).expect("simulates");
+            simulate(&sim_cfg, &prepared).expect("simulates")
+        });
+        for (&distance, r) in DISTANCES.iter().zip(&reports) {
             let d = r.demand_accesses().max(1) as f64;
             t.row(vec![
                 w.name().to_owned(),

@@ -1,8 +1,11 @@
 //! Regenerates every table and figure of the paper in one run, sharing
-//! simulations across exhibits through the lab's memoization.
+//! simulations across exhibits through the lab's memoization. The whole
+//! grid is simulated up front by the parallel engine (`CHARLIE_JOBS`
+//! workers, default one per core); the exhibits then render from the memo.
 //!
 //! ```text
-//! CHARLIE_REFS=160000 cargo run --release -p charlie-bench --bin all_experiments
+//! CHARLIE_REFS=160000 CHARLIE_JOBS=8 \
+//!     cargo run --release -p charlie-bench --bin all_experiments
 //! ```
 
 use charlie::experiments;
@@ -10,6 +13,9 @@ use charlie::experiments;
 fn main() {
     let mut lab = charlie_bench::lab_from_env();
     charlie_bench::header(&lab, "all experiments");
+
+    let batch = lab.prefetch_all(charlie_bench::jobs_from_env());
+    charlie_bench::report_batch(&batch);
 
     charlie_bench::emit(&experiments::table1(&mut lab));
     println!();
@@ -31,5 +37,11 @@ fn main() {
     println!();
     charlie_bench::emit(&experiments::processor_utilization(&mut lab));
 
-    eprintln!("\n{} distinct simulations run.", lab.runs_completed());
+    let stats = lab.stats();
+    eprintln!(
+        "\n{} distinct simulations run ({} memo hits, {} misses).",
+        lab.runs_completed(),
+        stats.memo_hits,
+        stats.memo_misses
+    );
 }

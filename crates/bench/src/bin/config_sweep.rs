@@ -6,64 +6,83 @@
 //! > misses."
 //!
 //! Sweeps cache size (NP, 8-cycle bus) and block size and prints the miss
-//! decomposition for the sharing-heavy workloads.
+//! decomposition for the sharing-heavy workloads. Each geometry needs its
+//! own [`Lab`] (geometry lives in `RunConfig`, not `Experiment`), so the
+//! cells are fanned out with [`charlie::parallel::map`] rather than
+//! `run_batch`; `CHARLIE_JOBS` sets the worker count.
 
 use charlie::cache::CacheGeometry;
-use charlie::{Experiment, Lab, RunConfig, Strategy, Table, Workload};
+use charlie::sim::SimReport;
+use charlie::{parallel, Experiment, Lab, RunConfig, Strategy, Table, Workload};
+
+/// Simulates one NP cell under a private geometry and returns its report.
+fn np_cell(base_cfg: &RunConfig, w: Workload, geometry: CacheGeometry) -> SimReport {
+    let mut lab = Lab::new(RunConfig { geometry, ..*base_cfg });
+    lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone()
+}
 
 fn main() {
     let base = charlie_bench::lab_from_env();
     let base_cfg = *base.config();
     drop(base);
+    let jobs = Lab::resolve_jobs(charlie_bench::jobs_from_env());
+
+    let cache_cells: Vec<(Workload, u64)> = [Workload::Pverify, Workload::Topopt, Workload::Mp3d]
+        .into_iter()
+        .flat_map(|w| [16u64, 32, 64, 128].into_iter().map(move |kb| (w, kb)))
+        .collect();
+    let cache_reports = parallel::map(&cache_cells, jobs, |_, &(w, kb)| {
+        let geometry = CacheGeometry::new(kb * 1024, 32, 1).expect("valid geometry");
+        np_cell(&base_cfg, w, geometry)
+    });
 
     let mut cache_table = Table::new(
         "Cache-size sweep (NP, 8-cycle transfer): larger caches leave invalidation misses dominant",
         vec!["Workload", "Cache", "non-shr MR", "inval MR", "inval share"],
     );
-    for w in [Workload::Pverify, Workload::Topopt, Workload::Mp3d] {
-        for kb in [16u64, 32, 64, 128] {
-            let geometry = CacheGeometry::new(kb * 1024, 32, 1).expect("valid geometry");
-            let mut lab = Lab::new(RunConfig { geometry, ..base_cfg });
-            let r = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone();
-            let share = if r.cpu_miss_rate() > 0.0 {
-                r.invalidation_miss_rate() / r.cpu_miss_rate()
-            } else {
-                0.0
-            };
-            cache_table.row(vec![
-                w.name().to_owned(),
-                format!("{kb} KB"),
-                format!("{:.2}%", 100.0 * r.non_sharing_miss_rate()),
-                format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
-                format!("{:.0}%", 100.0 * share),
-            ]);
-        }
+    for (&(w, kb), r) in cache_cells.iter().zip(&cache_reports) {
+        let share = if r.cpu_miss_rate() > 0.0 {
+            r.invalidation_miss_rate() / r.cpu_miss_rate()
+        } else {
+            0.0
+        };
+        cache_table.row(vec![
+            w.name().to_owned(),
+            format!("{kb} KB"),
+            format!("{:.2}%", 100.0 * r.non_sharing_miss_rate()),
+            format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
+            format!("{:.0}%", 100.0 * share),
+        ]);
     }
     charlie_bench::emit(&cache_table);
     println!();
+
+    let block_cells: Vec<(Workload, u64)> = [Workload::Pverify, Workload::Topopt]
+        .into_iter()
+        .flat_map(|w| [16u64, 32, 64].into_iter().map(move |block| (w, block)))
+        .collect();
+    let block_reports = parallel::map(&block_cells, jobs, |_, &(w, block)| {
+        let geometry = CacheGeometry::new(32 * 1024, block, 1).expect("valid geometry");
+        np_cell(&base_cfg, w, geometry)
+    });
 
     let mut block_table = Table::new(
         "Block-size sweep (NP, 8-cycle transfer): larger blocks increase false sharing",
         vec!["Workload", "Block", "inval MR", "FS MR", "FS share"],
     );
-    for w in [Workload::Pverify, Workload::Topopt] {
-        for block in [16u64, 32, 64] {
-            let geometry = CacheGeometry::new(32 * 1024, block, 1).expect("valid geometry");
-            let mut lab = Lab::new(RunConfig { geometry, ..base_cfg });
-            let r = lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone();
-            let share = if r.invalidation_miss_rate() > 0.0 {
-                r.false_sharing_miss_rate() / r.invalidation_miss_rate()
-            } else {
-                0.0
-            };
-            block_table.row(vec![
-                w.name().to_owned(),
-                format!("{block} B"),
-                format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
-                format!("{:.2}%", 100.0 * r.false_sharing_miss_rate()),
-                format!("{:.0}%", 100.0 * share),
-            ]);
-        }
+    for (&(w, block), r) in block_cells.iter().zip(&block_reports) {
+        let share = if r.invalidation_miss_rate() > 0.0 {
+            r.false_sharing_miss_rate() / r.invalidation_miss_rate()
+        } else {
+            0.0
+        };
+        block_table.row(vec![
+            w.name().to_owned(),
+            format!("{block} B"),
+            format!("{:.2}%", 100.0 * r.invalidation_miss_rate()),
+            format!("{:.2}%", 100.0 * r.false_sharing_miss_rate()),
+            format!("{:.0}%", 100.0 * share),
+        ]);
     }
     charlie_bench::emit(&block_table);
 }

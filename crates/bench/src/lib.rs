@@ -6,7 +6,7 @@
 //! `CHARLIE_PROCS` (default 8); pass `--csv` to any binary for
 //! machine-readable output.
 
-use charlie::{Lab, RunConfig, Table};
+use charlie::{BatchReport, Lab, RunConfig, Table};
 
 /// Builds the lab from the environment (`CHARLIE_REFS`, `CHARLIE_PROCS`,
 /// `CHARLIE_SEED`).
@@ -19,6 +19,27 @@ pub fn lab_from_env() -> Lab {
         cfg.seed = seed;
     }
     Lab::new(cfg)
+}
+
+/// Worker-thread count for the experiment grid: `CHARLIE_JOBS`, defaulting
+/// to 0 (one worker per available core).
+pub fn jobs_from_env() -> usize {
+    std::env::var("CHARLIE_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Prints a batch's parallel-execution summary to stderr (skipped in CSV
+/// mode, which must stay machine-readable).
+pub fn report_batch(batch: &BatchReport) {
+    if csv_requested() {
+        return;
+    }
+    let wall_ms = batch.wall_nanos as f64 / 1e6;
+    let sim_ms = batch.sim_nanos as f64 / 1e6;
+    let speedup = if batch.wall_nanos > 0 { sim_ms / wall_ms } else { 1.0 };
+    eprintln!(
+        "batch: {} simulations on {} workers in {:.1} ms ({:.1} ms of simulation, {speedup:.1}x), {} memo hits",
+        batch.executed, batch.jobs, wall_ms, sim_ms, batch.memo_hits
+    );
 }
 
 /// `true` when the binary was invoked with `--csv`.

@@ -120,16 +120,37 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     simulate_prepared(&label, &raw, strategy, &opts, args.switch("json"), out)
 }
 
+/// Parses `--jobs` (0 = one worker per core, the default).
+fn parse_jobs(args: &Args) -> Result<usize, ArgsError> {
+    args.get_or("jobs", 0usize)
+}
+
 /// `charlie sweep`.
 pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
-    args.expect_known(&["workload", "procs", "refs", "seed", "layout"])?;
+    args.expect_known(&["workload", "procs", "refs", "seed", "layout", "jobs"])?;
     let (wcfg, workload) = workload_config(args)?;
+    let jobs = parse_jobs(args)?;
     let mut lab = Lab::new(RunConfig {
         procs: wcfg.procs,
         refs_per_proc: wcfg.refs_per_proc,
         seed: wcfg.seed,
         ..RunConfig::default()
     });
+    // Warm the memo in parallel; the serial loops below then read it.
+    let grid: Vec<Experiment> = Strategy::ALL
+        .into_iter()
+        .flat_map(|s| {
+            BusConfig::PAPER_SWEEP.into_iter().map(move |lat| {
+                let exp = Experiment::paper(workload, s, lat);
+                if wcfg.layout == Layout::Padded {
+                    exp.restructured()
+                } else {
+                    exp
+                }
+            })
+        })
+        .collect();
+    lab.run_batch(&grid, jobs);
     if args.switch("json") {
         let mut rows = Vec::new();
         for s in Strategy::PREFETCHING {
@@ -195,13 +216,19 @@ pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
 
 /// `charlie experiments`.
 pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
-    args.expect_known(&[])?;
+    args.expect_known(&["jobs"])?;
+    let jobs = parse_jobs(args)?;
     let mut lab = Lab::new(RunConfig::default());
     let names: Vec<String> = if args.positional.is_empty() {
         vec!["all".to_owned()]
     } else {
         args.positional.clone()
     };
+    // Batch every requested exhibit's cells through the parallel engine up
+    // front; the exhibit functions below then run from the memo.
+    let grid: Vec<Experiment> =
+        names.iter().flat_map(|name| exhibits::grid_for(name)).collect();
+    lab.run_batch(&grid, jobs);
     let csv = args.switch("csv");
     let emit = |out: &mut W, table: &charlie::Table| {
         if csv {

@@ -32,7 +32,7 @@ COMMANDS:
                    --protocol invalidate|update  coherence policy
                    --json                machine-readable output
   sweep          Figure-2 panel: relative execution time across latencies
-                   --workload …  [--json]
+                   --workload …  [--json --jobs N]
   export-trace   generate a workload and write it as a text trace
                    --workload …  --out FILE  [--refs N --procs N --seed N
                    --strategy …  --layout …]
@@ -41,11 +41,18 @@ COMMANDS:
                    --victim N --protocol … --json]
   experiments    regenerate paper exhibits
                    positional: table1 figure1 table2 figure2 figure3 table3
-                               table4 table5 proc-util all   [--csv]
+                               table4 table5 proc-util all   [--csv --jobs N]
   help           print this text
 
+OPTIONS:
+  --jobs N       worker threads for the experiment grid (0 = one per core,
+                 the default). Reports are bit-identical for every N: each
+                 experiment re-derives its trace from the seed and simulates
+                 in isolation.
+
 ENVIRONMENT:
-  CHARLIE_REFS / CHARLIE_PROCS / CHARLIE_SEED set experiment-suite defaults.
+  CHARLIE_REFS / CHARLIE_PROCS / CHARLIE_SEED set experiment-suite defaults;
+  CHARLIE_JOBS sets the worker count for the charlie-bench binaries.
 ";
 
 /// Runs the CLI on `argv` (without the program name), writing to `out`.
@@ -190,5 +197,68 @@ mod tests {
         let (code, text) = run(&["experiments", "table99"]);
         assert_eq!(code, 2);
         assert!(text.contains("unknown exhibit"));
+    }
+
+    fn sweep_args(jobs: &str) -> Vec<&str> {
+        vec![
+            "sweep", "--workload", "water", "--refs", "900", "--procs", "2", "--json", "--jobs",
+            jobs,
+        ]
+    }
+
+    #[test]
+    fn sweep_accepts_jobs_zero_meaning_one_per_core() {
+        let (code, text) = run(&sweep_args("0"));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.trim().starts_with('['), "{text}");
+    }
+
+    #[test]
+    fn sweep_accepts_jobs_one() {
+        let (code, text) = run(&sweep_args("1"));
+        assert_eq!(code, 0, "{text}");
+    }
+
+    #[test]
+    fn sweep_clamps_absurd_jobs() {
+        // usize::MAX workers must be clamped, not spawned.
+        let (code, text) = run(&sweep_args("18446744073709551615"));
+        assert_eq!(code, 0, "{text}");
+    }
+
+    #[test]
+    fn sweep_rejects_non_numeric_jobs() {
+        let (code, text) = run(&sweep_args("many"));
+        assert_eq!(code, 2);
+        assert!(text.contains("jobs"), "{text}");
+    }
+
+    #[test]
+    fn sweep_json_is_byte_stable_across_invocations_and_worker_counts() {
+        // Same seed → byte-identical JSON, whatever the parallelism.
+        let (code_a, a) = run(&sweep_args("1"));
+        let (code_b, b) = run(&sweep_args("1"));
+        let (code_c, c) = run(&sweep_args("4"));
+        assert_eq!((code_a, code_b, code_c), (0, 0, 0));
+        assert_eq!(a, b, "same invocation twice must be byte-identical");
+        assert_eq!(a, c, "worker count must not leak into the output");
+    }
+
+    #[test]
+    fn run_json_is_byte_stable() {
+        let args =
+            ["run", "--workload", "mp3d", "--refs", "1000", "--procs", "2", "--seed", "42", "--json"];
+        let (code_a, a) = run(&args);
+        let (code_b, b) = run(&args);
+        assert_eq!((code_a, code_b), (0, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn help_documents_jobs_flag() {
+        let (code, text) = run(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("--jobs N"));
+        assert!(text.contains("CHARLIE_JOBS"));
     }
 }

@@ -36,6 +36,106 @@ fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
 }
 
+/// Every experiment cell the paper's exhibits (Tables 1–5, Figures 1–3,
+/// §4.2 utilizations) read: the full workload × strategy × transfer-latency
+/// grid on the interleaved layout, plus the restructured cells of Tables 4
+/// and 5. [`Lab::prefetch_all`](crate::Lab::prefetch_all) feeds this list to
+/// the parallel engine so each exhibit function afterwards runs entirely
+/// from the memo.
+pub fn full_grid() -> Vec<Experiment> {
+    let mut grid = Vec::new();
+    for w in Workload::ALL {
+        for s in Strategy::ALL {
+            for lat in BusConfig::PAPER_SWEEP {
+                grid.push(Experiment::paper(w, s, lat));
+            }
+        }
+    }
+    for w in Workload::ALL.into_iter().filter(|w| w.restructurable()) {
+        for s in RESTRUCTURED_STRATEGIES {
+            for lat in BusConfig::TABLE2_SWEEP {
+                grid.push(Experiment::paper(w, s, lat).restructured());
+            }
+        }
+    }
+    grid
+}
+
+/// The experiment cells one named exhibit reads (names as the CLI and the
+/// bench binaries spell them). Unknown names and `table1` (which only
+/// analyses traces) map to an empty grid; `all` maps to [`full_grid`].
+/// Feeding the result to [`Lab::run_batch`](crate::Lab::run_batch) before
+/// calling the exhibit function turns the exhibit itself into pure memo
+/// lookups.
+pub fn grid_for(exhibit: &str) -> Vec<Experiment> {
+    let mut grid = Vec::new();
+    match exhibit {
+        "figure1" => {
+            for w in Workload::ALL {
+                for s in Strategy::ALL {
+                    grid.push(Experiment::paper(w, s, FIGURE_LATENCY));
+                }
+            }
+        }
+        "table2" => {
+            for w in Workload::ALL {
+                for s in Strategy::ALL {
+                    for lat in BusConfig::TABLE2_SWEEP {
+                        grid.push(Experiment::paper(w, s, lat));
+                    }
+                }
+            }
+        }
+        "figure2" => {
+            for w in Workload::ALL {
+                for s in Strategy::ALL {
+                    for lat in BusConfig::PAPER_SWEEP {
+                        grid.push(Experiment::paper(w, s, lat));
+                    }
+                }
+            }
+        }
+        "figure3" => {
+            for w in FIGURE3_WORKLOADS {
+                for s in Strategy::ALL {
+                    grid.push(Experiment::paper(w, s, FIGURE_LATENCY));
+                }
+            }
+        }
+        "table3" => {
+            for w in Workload::ALL {
+                grid.push(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY));
+            }
+        }
+        "table4" => {
+            for w in Workload::ALL.into_iter().filter(|w| w.restructurable()) {
+                for s in RESTRUCTURED_STRATEGIES {
+                    grid.push(Experiment::paper(w, s, FIGURE_LATENCY).restructured());
+                }
+            }
+        }
+        "table5" => {
+            for w in Workload::ALL.into_iter().filter(|w| w.restructurable()) {
+                for s in RESTRUCTURED_STRATEGIES {
+                    for lat in BusConfig::TABLE2_SWEEP {
+                        grid.push(Experiment::paper(w, s, lat).restructured());
+                    }
+                }
+            }
+        }
+        "proc-util" => {
+            for w in Workload::ALL {
+                for lat in [4, 32] {
+                    grid.push(Experiment::paper(w, Strategy::NoPrefetch, lat));
+                }
+            }
+        }
+        "all" => grid = full_grid(),
+        _ => {}
+    }
+    grid
+}
+
 /// Table 1: the workload suite. The paper lists data-set and shared-data
 /// sizes and process counts; we report the measured equivalents of our
 /// synthetic traces (footprint, shared footprint, references, processes).

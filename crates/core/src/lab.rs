@@ -1,6 +1,13 @@
 //! The experiment runner: one [`Experiment`] = workload × strategy × memory
 //! architecture × layout; a [`Lab`] memoizes runs so the table/figure
 //! reproductions can share them.
+//!
+//! Experiments are independent, seeded and deterministic, so a batch of
+//! them is embarrassingly parallel: [`Lab::run_batch`] fans a worklist out
+//! over a [`std::thread`] pool and merges the results into the same memo
+//! the serial [`Lab::run`] path uses — callers cannot observe which path
+//! filled the cache, and `tests/parallel_equivalence.rs` proves the reports
+//! are bit-identical either way.
 
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
@@ -8,6 +15,7 @@ use charlie_sim::{simulate, SimConfig, SimReport};
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// One cell of the paper's evaluation space.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -96,6 +104,80 @@ pub struct RunSummary {
     pub prefetches_inserted: u64,
 }
 
+/// Execution metadata for one completed run.
+///
+/// Deliberately kept *outside* [`RunSummary`] so serial and parallel
+/// executions of the same experiment stay bit-comparable: wall-clock and
+/// worker assignment vary run to run, the simulated report must not.
+#[derive(Copy, Clone, Debug)]
+pub struct RunMeta {
+    /// Wall-clock nanoseconds the simulation took.
+    pub wall_nanos: u128,
+    /// Index of the worker that ran it (0 on the serial path).
+    pub worker: usize,
+    /// Whether the run was executed through [`Lab::run_batch`].
+    pub via_batch: bool,
+}
+
+/// Lab-wide memo and batch accounting.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct LabStats {
+    /// Lookups answered from the memo without simulating.
+    pub memo_hits: u64,
+    /// Lookups that had to simulate.
+    pub memo_misses: u64,
+    /// `run_batch` invocations.
+    pub batches: u64,
+    /// Experiments actually simulated by batch workers (excludes memo hits
+    /// inside batches).
+    pub batch_executed: u64,
+}
+
+/// What one [`Lab::run_batch`] call did.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchReport {
+    /// Experiments requested (before deduplication).
+    pub requested: usize,
+    /// Requests already present in the memo.
+    pub memo_hits: usize,
+    /// Distinct experiments simulated by this batch.
+    pub executed: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_nanos: u128,
+    /// Sum of per-run wall-clocks (≈ serial time; `sim_nanos / wall_nanos`
+    /// estimates the achieved speedup).
+    pub sim_nanos: u128,
+}
+
+/// Upper bound on worker threads (guards against absurd `--jobs` values;
+/// batches are also capped at one worker per pending experiment).
+pub const MAX_JOBS: usize = 1024;
+
+/// Runs one experiment under `cfg`, independent of any lab. This is the
+/// unit of work both the serial and the parallel paths execute; it touches
+/// no shared state, which is what makes [`Lab::run_batch`] trivially
+/// deterministic.
+fn run_experiment(cfg: &RunConfig, exp: Experiment) -> RunSummary {
+    let wcfg = WorkloadConfig {
+        procs: cfg.procs,
+        refs_per_proc: cfg.refs_per_proc,
+        seed: cfg.seed,
+        layout: exp.layout,
+    };
+    let raw = generate(exp.workload, &wcfg);
+    let prepared = charlie_prefetch::apply(exp.strategy, &raw, cfg.geometry);
+    let prefetches_inserted = prepared.total_prefetches() as u64;
+    let sim_cfg = SimConfig {
+        geometry: cfg.geometry,
+        ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
+    };
+    let report =
+        simulate(&sim_cfg, &prepared).unwrap_or_else(|e| panic!("simulating {exp}: {e}"));
+    RunSummary { experiment: exp, report, prefetches_inserted }
+}
+
 /// Memoizing experiment runner.
 ///
 /// Traces are regenerated per run (generation is cheap and deterministic);
@@ -104,12 +186,14 @@ pub struct RunSummary {
 pub struct Lab {
     cfg: RunConfig,
     runs: HashMap<Experiment, RunSummary>,
+    meta: HashMap<Experiment, RunMeta>,
+    stats: LabStats,
 }
 
 impl Lab {
     /// Creates an empty lab.
     pub fn new(cfg: RunConfig) -> Self {
-        Lab { cfg, runs: HashMap::new() }
+        Lab { cfg, runs: HashMap::new(), meta: HashMap::new(), stats: LabStats::default() }
     }
 
     /// The lab's run configuration.
@@ -124,30 +208,98 @@ impl Lab {
     /// Panics if the simulator rejects the generated trace — that indicates
     /// a bug in the generators, not user error.
     pub fn run(&mut self, exp: Experiment) -> &RunSummary {
-        if !self.runs.contains_key(&exp) {
-            let summary = self.run_uncached(exp);
+        if self.runs.contains_key(&exp) {
+            self.stats.memo_hits += 1;
+        } else {
+            self.stats.memo_misses += 1;
+            let started = Instant::now();
+            let summary = run_experiment(&self.cfg, exp);
+            self.meta.insert(
+                exp,
+                RunMeta { wall_nanos: started.elapsed().as_nanos(), worker: 0, via_batch: false },
+            );
             self.runs.insert(exp, summary);
         }
         &self.runs[&exp]
     }
 
-    fn run_uncached(&self, exp: Experiment) -> RunSummary {
-        let wcfg = WorkloadConfig {
-            procs: self.cfg.procs,
-            refs_per_proc: self.cfg.refs_per_proc,
-            seed: self.cfg.seed,
-            layout: exp.layout,
-        };
-        let raw = generate(exp.workload, &wcfg);
-        let prepared = charlie_prefetch::apply(exp.strategy, &raw, self.cfg.geometry);
-        let prefetches_inserted = prepared.total_prefetches() as u64;
-        let sim_cfg = SimConfig {
-            geometry: self.cfg.geometry,
-            ..SimConfig::paper(self.cfg.procs, exp.transfer_cycles)
-        };
-        let report = simulate(&sim_cfg, &prepared)
-            .unwrap_or_else(|e| panic!("simulating {exp}: {e}"));
-        RunSummary { experiment: exp, report, prefetches_inserted }
+    /// Runs every experiment in `exps` that is not already memoized,
+    /// fanning the worklist out over `jobs` worker threads (`0` = one per
+    /// available core), and merges the results into the memo.
+    ///
+    /// Results are bit-identical to running each experiment through
+    /// [`Lab::run`]: every run regenerates its own trace from the lab seed
+    /// and simulates it in isolation, so neither worker count nor
+    /// completion order can influence any report.
+    ///
+    /// # Panics
+    ///
+    /// As [`Lab::run`], panics if the simulator rejects a generated trace.
+    pub fn run_batch(&mut self, exps: &[Experiment], jobs: usize) -> BatchReport {
+        let started = Instant::now();
+        self.stats.batches += 1;
+
+        // Deduplicate while preserving order; skip memoized cells.
+        let mut todo: Vec<Experiment> = Vec::new();
+        let mut memo_hits = 0usize;
+        for &exp in exps {
+            if self.runs.contains_key(&exp) {
+                memo_hits += 1;
+            } else if !todo.contains(&exp) {
+                todo.push(exp);
+            }
+        }
+        self.stats.memo_hits += memo_hits as u64;
+        self.stats.memo_misses += todo.len() as u64;
+        self.stats.batch_executed += todo.len() as u64;
+
+        let jobs = Self::resolve_jobs(jobs).min(todo.len().max(1));
+        let cfg = &self.cfg;
+        // `parallel::map` returns results in submission order, so the merge
+        // below is deterministic regardless of worker scheduling.
+        let results = crate::parallel::map(&todo, jobs, |worker, &exp| {
+            let t0 = Instant::now();
+            let summary = run_experiment(cfg, exp);
+            (summary, t0.elapsed().as_nanos(), worker)
+        });
+
+        let mut sim_nanos = 0u128;
+        let executed = results.len();
+        for (summary, nanos, worker) in results {
+            sim_nanos += nanos;
+            self.meta.insert(
+                summary.experiment,
+                RunMeta { wall_nanos: nanos, worker, via_batch: jobs > 1 },
+            );
+            self.runs.insert(summary.experiment, summary);
+        }
+
+        BatchReport {
+            requested: exps.len(),
+            memo_hits,
+            executed,
+            jobs,
+            wall_nanos: started.elapsed().as_nanos(),
+            sim_nanos,
+        }
+    }
+
+    /// Pre-computes the paper's entire experiment grid (every cell any
+    /// exhibit of §4 reads) on `jobs` workers, so subsequent table/figure
+    /// calls are pure memo lookups.
+    pub fn prefetch_all(&mut self, jobs: usize) -> BatchReport {
+        let grid = crate::experiments::full_grid();
+        self.run_batch(&grid, jobs)
+    }
+
+    /// Normalizes a `--jobs`-style request: `0` means one worker per
+    /// available core; anything else is clamped to [`MAX_JOBS`].
+    pub fn resolve_jobs(jobs: usize) -> usize {
+        if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs.min(MAX_JOBS)
+        }
     }
 
     /// Execution time of `exp` relative to its NP baseline (the paper's
@@ -161,6 +313,17 @@ impl Lab {
     /// Number of distinct experiments run so far.
     pub fn runs_completed(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Execution metadata for a completed experiment (`None` if it has not
+    /// run).
+    pub fn meta(&self, exp: Experiment) -> Option<RunMeta> {
+        self.meta.get(&exp).copied()
+    }
+
+    /// Memo and batch accounting counters.
+    pub fn stats(&self) -> LabStats {
+        self.stats
     }
 }
 
@@ -180,6 +343,76 @@ mod tests {
         let second = lab.run(exp).clone();
         assert_eq!(first, second);
         assert_eq!(lab.runs_completed(), 1);
+        assert_eq!(lab.stats(), LabStats { memo_hits: 1, memo_misses: 1, ..LabStats::default() });
+    }
+
+    #[test]
+    fn batch_matches_serial_and_fills_memo() {
+        let exps = [
+            Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8),
+            Experiment::paper(Workload::Water, Strategy::Pref, 8),
+            Experiment::paper(Workload::Mp3d, Strategy::Pws, 16),
+        ];
+        let mut serial = tiny_lab();
+        let mut parallel = tiny_lab();
+        let report = parallel.run_batch(&exps, 3);
+        assert_eq!(report.executed, 3);
+        assert_eq!(report.memo_hits, 0);
+        for exp in exps {
+            assert_eq!(serial.run(exp), &parallel.runs[&exp]);
+            let meta = parallel.meta(exp).expect("batch records metadata");
+            assert!(meta.via_batch);
+            assert!(meta.worker < 3);
+        }
+        // The batch populated the memo: re-running simulates nothing.
+        let again = parallel.run_batch(&exps, 3);
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.memo_hits, 3);
+    }
+
+    #[test]
+    fn batch_deduplicates_requests() {
+        let exp = Experiment::paper(Workload::Topopt, Strategy::NoPrefetch, 8);
+        let mut lab = tiny_lab();
+        let report = lab.run_batch(&[exp, exp, exp], 2);
+        assert_eq!(report.requested, 3);
+        assert_eq!(report.executed, 1);
+        assert_eq!(lab.runs_completed(), 1);
+    }
+
+    #[test]
+    fn single_job_batch_stays_on_the_serial_path() {
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let mut lab = tiny_lab();
+        let report = lab.run_batch(&[exp], 1);
+        assert_eq!(report.jobs, 1);
+        assert!(!lab.meta(exp).unwrap().via_batch);
+    }
+
+    #[test]
+    fn resolve_jobs_normalizes() {
+        assert!(Lab::resolve_jobs(0) >= 1);
+        assert_eq!(Lab::resolve_jobs(5), 5);
+        assert_eq!(Lab::resolve_jobs(usize::MAX), MAX_JOBS);
+    }
+
+    #[test]
+    fn prefetch_all_covers_every_exhibit_cell() {
+        let mut lab =
+            Lab::new(RunConfig { procs: 2, refs_per_proc: 400, seed: 7, ..RunConfig::default() });
+        let report = lab.prefetch_all(0);
+        assert_eq!(report.executed, lab.runs_completed());
+        let before = lab.runs_completed();
+        // Regenerating every exhibit must not trigger a single new run.
+        let _ = crate::experiments::figure1(&mut lab);
+        let _ = crate::experiments::table2(&mut lab);
+        let _ = crate::experiments::figure2(&mut lab);
+        let _ = crate::experiments::figure3(&mut lab);
+        let _ = crate::experiments::table3(&mut lab);
+        let _ = crate::experiments::table4(&mut lab);
+        let _ = crate::experiments::table5(&mut lab);
+        let _ = crate::experiments::processor_utilization(&mut lab);
+        assert_eq!(lab.runs_completed(), before, "an exhibit escaped full_grid()");
     }
 
     #[test]

@@ -40,10 +40,11 @@
 mod chart;
 pub mod experiments;
 mod lab;
+pub mod parallel;
 mod report;
 
 pub use chart::AsciiChart;
-pub use lab::{Experiment, Lab, RunConfig, RunSummary};
+pub use lab::{BatchReport, Experiment, Lab, LabStats, RunConfig, RunMeta, RunSummary, MAX_JOBS};
 pub use report::{format_rate, Table};
 
 /// Re-export: trace infrastructure.

@@ -1,0 +1,118 @@
+//! A minimal deterministic worker pool (std::thread only, no external
+//! dependencies).
+//!
+//! [`map`] fans a slice of independent work items out over N OS threads
+//! and returns the outputs *in input order*, so callers see exactly what a
+//! serial `iter().map().collect()` would have produced — the scheduling
+//! nondeterminism stays internal. [`Lab::run_batch`](crate::Lab::run_batch)
+//! builds on this, and the ablation/bench binaries use it directly for
+//! sweeps whose knobs live outside [`Experiment`](crate::Experiment)
+//! (prefetch distance, arbitration policy, alternative geometries).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns the
+/// results in input order. `f` receives `(worker_index, item)`.
+///
+/// With `jobs <= 1` (or one item) everything runs inline on the caller's
+/// thread — no pool, no channels — so a single-job "parallel" run is
+/// *literally* the serial path.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by `f` (scoped threads propagate on
+/// join), matching serial behaviour.
+pub fn map<T: Sync, U: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(|item| f(0, item)).collect();
+    }
+    let next = &AtomicUsize::new(0);
+    let f = &f;
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut results: Vec<(usize, U)> = std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // A failed send means the receiver side panicked; the scope
+                // is about to propagate that anyway.
+                let _ = tx.send((i, f(worker, &items[i])));
+            });
+        }
+        drop(tx);
+        rx.into_iter().collect()
+    });
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map(&items, 8, |_, &x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let items = [1, 2, 3];
+        let out = map(&items, 1, |worker, &x| {
+            assert_eq!(worker, 0);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = map(&items, 16, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_indices_stay_in_range() {
+        let items: Vec<u32> = (0..64).collect();
+        let workers = map(&items, 4, |worker, _| worker);
+        assert!(workers.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    // The scope re-raises with its own message ("a scoped thread panicked"),
+    // so we can only assert that the panic surfaces, not its payload.
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items = [1, 2, 3, 4];
+        let _ = map(&items, 2, |_, &x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -124,10 +124,13 @@ impl Default for LatencyStats {
 }
 
 impl LatencyStats {
-    /// Records one observation.
+    /// Records one observation. The running total saturates instead of
+    /// wrapping, so a pathological latency (e.g. a saturated bus model
+    /// reporting `u64::MAX`) degrades the mean gracefully rather than
+    /// corrupting it.
     pub fn record(&mut self, latency: u64) {
         self.count += 1;
-        self.total += latency;
+        self.total = self.total.saturating_add(latency);
         self.min = self.min.min(latency);
         self.max = self.max.max(latency);
         let idx = LATENCY_BUCKET_BOUNDS
@@ -415,6 +418,71 @@ mod tests {
         // buckets: <=100, <=125, <=150, <=200, <=300, <=500, >500
         assert_eq!(l.histogram(), &[1, 1, 0, 0, 0, 1, 1]);
         assert!(l.to_string().contains("mean=392.5"));
+    }
+
+    #[test]
+    fn latency_total_saturates_instead_of_wrapping() {
+        let mut l = LatencyStats::default();
+        l.record(u64::MAX);
+        l.record(u64::MAX);
+        assert_eq!(l.count(), 2);
+        // A wrapped total would make the mean tiny (or panic in debug);
+        // saturation keeps it pinned at the ceiling.
+        assert!((l.mean() - u64::MAX as f64 / 2.0).abs() / l.mean() < 1e-9);
+        assert_eq!(l.max(), Some(u64::MAX));
+        assert_eq!(l.histogram()[6], 2);
+    }
+
+    #[test]
+    fn latency_bucket_boundaries_are_inclusive() {
+        let mut l = LatencyStats::default();
+        for &bound in &LATENCY_BUCKET_BOUNDS {
+            l.record(bound); // lands in its own bucket…
+            l.record(bound + 1); // …and the next one up
+        }
+        assert_eq!(l.histogram(), &[1, 2, 2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn proc_utilization_respects_measurement_window() {
+        // Warm-up excluded: busy cycles are counted only against the
+        // measured window, not the whole runtime.
+        let p = ProcStats {
+            busy_cycles: 50,
+            stall_cycles: 50,
+            finish_time: 300,
+            accesses: 10,
+            measured_from: 200,
+        };
+        assert!((p.utilization() - 0.5).abs() < 1e-12);
+        // Degenerate window (processor finished before measurement opened,
+        // e.g. warm-up longer than the run): no division by zero.
+        let empty = ProcStats { finish_time: 100, measured_from: 100, ..p };
+        assert_eq!(empty.utilization(), 0.0);
+        let inverted = ProcStats { finish_time: 50, measured_from: 100, ..p };
+        assert_eq!(inverted.utilization(), 0.0);
+    }
+
+    #[test]
+    fn bus_utilization_handles_inverted_window() {
+        // measured_from beyond the final cycle must not underflow.
+        let r = SimReport { cycles: 10, measured_from: 50, ..SimReport::default() };
+        assert_eq!(r.bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_add_identity() {
+        let b = breakdown();
+        assert_eq!(b + MissBreakdown::default(), b);
+    }
+
+    #[test]
+    fn total_miss_rate_counts_prefetch_fills_not_in_progress() {
+        let mut r = SimReport { reads: 100, miss: breakdown(), ..SimReport::default() };
+        r.prefetch.fills = 10;
+        // adjusted (18) + fills (10), NOT cpu_misses (22): in-progress
+        // misses don't issue a second bus transaction.
+        assert!((r.total_miss_rate() - 0.28).abs() < 1e-12);
     }
 
     #[test]

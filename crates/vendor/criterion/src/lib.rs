@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a minimal timing harness with the API surface the benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! throughput annotation and the `criterion_group!` / `criterion_main!`
+//! macros. It reports mean wall-clock per iteration — good enough to spot
+//! order-of-magnitude regressions, with none of upstream's statistics.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (upstream's statistical sample
+    /// count; here simply the number of timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group (upstream prints summaries here; we print per-bench).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.mean_nanos();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!(", {:.1} Melem/s", n as f64 * 1e3 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!(", {:.1} MB/s", n as f64 * 1e3 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {:.3} ms over {} iters{rate}",
+            self.name,
+            mean / 1e6,
+            b.iters_done
+        );
+    }
+}
+
+/// Times a closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher { samples, total_nanos: 0, iters_done: 0 }
+    }
+
+    /// Runs `f` once untimed (warm-up), then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters_done += self.samples as u64;
+    }
+
+    fn mean_nanos(&self) -> f64 {
+        if self.iters_done == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.iters_done as f64
+        }
+    }
+}
+
+/// Declares a group runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(7));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &i| {
+            b.iter(|| i + 1)
+        });
+        group.finish();
+    }
+}

@@ -282,7 +282,7 @@ fn emit(
 }
 
 fn pct(rng: &mut StdRng, percent: u32) -> bool {
-    percent > 0 && rng.random_range(0..100) < percent
+    percent > 0 && rng.random_range(0..100u32) < percent
 }
 
 fn hot_access(

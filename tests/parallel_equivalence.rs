@@ -1,0 +1,129 @@
+//! Deterministic-equivalence harness for the parallel experiment engine.
+//!
+//! The engine's contract (see `charlie::parallel` and `Lab::run_batch`) is
+//! that parallel execution is an *implementation detail*: every report a
+//! batch produces must be bit-identical to what the serial `Lab::run` path
+//! produces, for every worker count, input order and batch splitting.
+//! `SimReport` derives `PartialEq` over every counter, histogram and
+//! per-processor record, so `==` here really is a full bitwise comparison
+//! of the simulation's observable output.
+
+use charlie::{Experiment, Lab, RunConfig, RunSummary, Strategy, Workload};
+
+/// Small but non-trivial grid: every workload, mixed strategies, two bus
+/// latencies, one restructured cell.
+fn sample_grid() -> Vec<Experiment> {
+    let mut grid = Vec::new();
+    for w in Workload::ALL {
+        for s in [Strategy::NoPrefetch, Strategy::Pref, Strategy::Pws] {
+            for lat in [8u64, 32] {
+                grid.push(Experiment::paper(w, s, lat));
+            }
+        }
+    }
+    grid.push(Experiment::paper(Workload::Topopt, Strategy::Pref, 8).restructured());
+    grid
+}
+
+fn tiny_cfg() -> RunConfig {
+    RunConfig { procs: 2, refs_per_proc: 600, seed: 0xFEED, ..RunConfig::default() }
+}
+
+/// Serial ground truth: one `Lab::run` per cell.
+fn serial_runs(grid: &[Experiment]) -> Vec<RunSummary> {
+    let mut lab = Lab::new(tiny_cfg());
+    grid.iter().map(|&exp| lab.run(exp).clone()).collect()
+}
+
+#[test]
+fn batch_reports_are_bit_identical_to_serial_for_every_worker_count() {
+    let grid = sample_grid();
+    let baseline = serial_runs(&grid);
+    for jobs in [1usize, 2, 8] {
+        let mut lab = Lab::new(tiny_cfg());
+        let batch = lab.run_batch(&grid, jobs);
+        assert_eq!(batch.executed, grid.len(), "jobs={jobs}");
+        for (exp, expected) in grid.iter().zip(&baseline) {
+            let got = lab.run(*exp);
+            assert_eq!(got, expected, "jobs={jobs}, cell {exp}");
+        }
+    }
+}
+
+#[test]
+fn input_order_does_not_affect_results() {
+    let grid = sample_grid();
+    let baseline = serial_runs(&grid);
+    // Deterministically scramble the submission order.
+    let mut shuffled: Vec<Experiment> = grid.clone();
+    shuffled.reverse();
+    shuffled.rotate_left(grid.len() / 3);
+    let mut lab = Lab::new(tiny_cfg());
+    lab.run_batch(&shuffled, 4);
+    for (exp, expected) in grid.iter().zip(&baseline) {
+        assert_eq!(lab.run(*exp), expected, "cell {exp}");
+    }
+}
+
+#[test]
+fn batch_splitting_does_not_affect_results() {
+    let grid = sample_grid();
+    let baseline = serial_runs(&grid);
+    // Submit the same grid as several smaller batches against one lab.
+    let mut lab = Lab::new(tiny_cfg());
+    for chunk in grid.chunks(5) {
+        lab.run_batch(chunk, 3);
+    }
+    for (exp, expected) in grid.iter().zip(&baseline) {
+        assert_eq!(lab.run(*exp), expected, "cell {exp}");
+    }
+}
+
+#[test]
+fn mixed_serial_and_batch_execution_share_one_memo() {
+    let grid = sample_grid();
+    let mut lab = Lab::new(tiny_cfg());
+    // Seed a few cells through the serial path first…
+    let first = lab.run(grid[0]).clone();
+    lab.run(grid[3]);
+    let stats_before = lab.stats();
+    // …then batch the whole grid: the pre-run cells must be memo hits.
+    let batch = lab.run_batch(&grid, 4);
+    assert_eq!(batch.memo_hits, 2);
+    assert_eq!(batch.executed, grid.len() - 2);
+    assert_eq!(lab.stats().memo_misses, stats_before.memo_misses + (grid.len() - 2) as u64);
+    // The serially-run cell is untouched by the batch merge.
+    assert_eq!(lab.run(grid[0]), &first);
+    assert!(!lab.meta(grid[0]).unwrap().via_batch);
+    assert!(lab.meta(grid[5]).unwrap().via_batch);
+}
+
+#[test]
+fn oversubscribed_worker_count_is_harmless() {
+    // More workers than cells (and an absurd request clamped by MAX_JOBS)
+    // must not change anything.
+    let grid = &sample_grid()[..4];
+    let baseline = serial_runs(grid);
+    let mut lab = Lab::new(tiny_cfg());
+    let batch = lab.run_batch(grid, usize::MAX);
+    assert!(batch.jobs <= grid.len());
+    for (exp, expected) in grid.iter().zip(&baseline) {
+        assert_eq!(lab.run(*exp), expected, "cell {exp}");
+    }
+}
+
+#[test]
+fn batch_timing_metadata_is_recorded() {
+    let grid = &sample_grid()[..6];
+    let mut lab = Lab::new(tiny_cfg());
+    let batch = lab.run_batch(grid, 2);
+    assert_eq!(batch.requested, 6);
+    assert!(batch.wall_nanos > 0);
+    assert!(batch.sim_nanos > 0);
+    for &exp in grid {
+        let meta = lab.meta(exp).expect("meta recorded for every batch run");
+        assert!(meta.wall_nanos > 0);
+        assert!(meta.worker < 2);
+        assert!(meta.via_batch);
+    }
+}
