@@ -22,4 +22,30 @@ if [[ "$serial" != "$parallel" ]]; then
 fi
 echo "sweep output byte-identical at --jobs 1 and --jobs 8"
 
+echo "== coherence invariant checker (release, --check) =="
+# Debug builds check unconditionally; this proves the opt-in release path.
+"${CLI[@]}" run --workload pverify --strategy pws --refs 4000 --procs 4 --check >/dev/null
+"${CLI[@]}" sweep --workload topopt --refs 2000 --procs 2 --json --check >/dev/null
+echo "release runs pass with invariant checking enabled"
+
+echo "== checkpoint kill-and-resume (SIGTERM mid-sweep) =="
+journal=$(mktemp -t charlie-ci-journal.XXXXXX)
+rm -f "$journal"
+fresh=$("${CLI[@]}" sweep --workload water --refs 20000 --procs 4 --json --jobs 2)
+"${CLI[@]}" sweep --workload water --refs 20000 --procs 4 --json --jobs 2 \
+    --resume "$journal" >/dev/null 2>&1 &
+victim=$!
+sleep 1
+kill -TERM "$victim" 2>/dev/null || true   # may already have finished
+wait "$victim" 2>/dev/null || true
+resumed=$("${CLI[@]}" sweep --workload water --refs 20000 --procs 4 --json --jobs 2 \
+    --resume "$journal")
+if [[ "$fresh" != "$resumed" ]]; then
+    echo "FAIL: resumed sweep output differs from an uninterrupted run" >&2
+    diff <(echo "$fresh") <(echo "$resumed") >&2 || true
+    exit 1
+fi
+rm -f "$journal"
+echo "resumed sweep output byte-identical to an uninterrupted run"
+
 echo "== OK =="

@@ -7,15 +7,38 @@
 //! CHARLIE_REFS=160000 CHARLIE_JOBS=8 \
 //!     cargo run --release -p charlie-bench --bin all_experiments
 //! ```
+//!
+//! Set `CHARLIE_CHECKPOINT=FILE` to journal each completed cell to `FILE`
+//! and resume a killed run from it: cells already journaled are restored
+//! instead of re-simulated, and the final output is byte-identical to an
+//! uninterrupted run.
 
+use charlie::checkpoint::Journal;
 use charlie::experiments;
 
 fn main() {
     let mut lab = charlie_bench::lab_from_env();
     charlie_bench::header(&lab, "all experiments");
 
-    let batch = lab.prefetch_all(charlie_bench::jobs_from_env());
+    let jobs = charlie_bench::jobs_from_env();
+    let batch = match charlie_bench::checkpoint_from_env() {
+        Some(path) => {
+            let (mut journal, restored) = Journal::open(&path).unwrap_or_else(|e| {
+                eprintln!("error: checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            if !restored.is_empty() {
+                eprintln!("resuming: {} cells restored from {}", restored.len(), path.display());
+            }
+            for summary in restored {
+                lab.restore(summary);
+            }
+            lab.prefetch_all_checkpointed(jobs, &mut journal)
+        }
+        None => lab.prefetch_all(jobs),
+    };
     charlie_bench::report_batch(&batch);
+    charlie_bench::exit_on_failures(&batch);
 
     charlie_bench::emit(&experiments::table1(&mut lab));
     println!();

@@ -8,12 +8,19 @@
 //! Sweeps cache size (NP, 8-cycle bus) and block size and prints the miss
 //! decomposition for the sharing-heavy workloads. Each geometry needs its
 //! own [`Lab`] (geometry lives in `RunConfig`, not `Experiment`), so the
-//! cells are fanned out with [`charlie::parallel::map`] rather than
-//! `run_batch`; `CHARLIE_JOBS` sets the worker count.
+//! cells are fanned out with [`charlie::parallel::map_observed`] rather
+//! than `run_batch`; `CHARLIE_JOBS` sets the worker count.
+//!
+//! Set `CHARLIE_CHECKPOINT=FILE` to journal each completed cell (keyed by
+//! sweep/workload/knob) and skip already-journaled cells on a re-run.
 
 use charlie::cache::CacheGeometry;
+use charlie::checkpoint::{decode_keyed_report, encode_keyed_report};
 use charlie::sim::SimReport;
 use charlie::{parallel, Experiment, Lab, RunConfig, Strategy, Table, Workload};
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
 
 /// Simulates one NP cell under a private geometry and returns its report.
 fn np_cell(base_cfg: &RunConfig, w: Workload, geometry: CacheGeometry) -> SimReport {
@@ -21,20 +28,137 @@ fn np_cell(base_cfg: &RunConfig, w: Workload, geometry: CacheGeometry) -> SimRep
     lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone()
 }
 
+/// Keyed checkpoint journal for cells whose knobs live outside
+/// [`Experiment`]: `{done, file}` where `done` maps cell keys to restored
+/// reports and `file` is the append handle for new completions.
+struct KeyedJournal {
+    done: HashMap<String, SimReport>,
+    file: std::fs::File,
+}
+
+impl KeyedJournal {
+    fn open(path: &Path) -> KeyedJournal {
+        let mut content = String::new();
+        match std::fs::File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut content).expect("readable checkpoint");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!("error: checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        // A trailing line without '\n' is a kill mid-write: drop it (that
+        // cell re-runs). A malformed *complete* line is corruption: bail.
+        let complete = match content.rfind('\n') {
+            Some(last) => &content[..=last],
+            None => "",
+        };
+        // Truncate the torn tail too, so new appends start on a fresh line
+        // instead of grafting onto the torn bytes.
+        if complete.len() < content.len() {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_len(complete.len() as u64))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: checkpoint {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+        }
+        let mut done = HashMap::new();
+        for (i, line) in complete.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            match decode_keyed_report(line) {
+                Ok((key, report)) => {
+                    done.insert(key, report);
+                }
+                Err(e) => {
+                    eprintln!("error: checkpoint {}:{}: {e}", path.display(), i + 1);
+                    std::process::exit(2);
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| {
+                eprintln!("error: checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        KeyedJournal { done, file }
+    }
+
+    fn append(&mut self, key: &str, report: &SimReport) {
+        let mut line = encode_keyed_report(key, report);
+        line.push('\n');
+        let _ = self.file.write_all(line.as_bytes()).and_then(|()| self.file.flush());
+    }
+}
+
+/// Runs every cell not already in the journal, appending each completion
+/// as it arrives; returns reports in `cells` order (restored or fresh).
+fn sweep_cells(
+    cells: &[(Workload, u64)],
+    jobs: usize,
+    journal: &mut Option<KeyedJournal>,
+    key: impl Fn(Workload, u64) -> String,
+    run: impl Fn(Workload, u64) -> SimReport + Sync,
+) -> Vec<SimReport> {
+    let keys: Vec<String> = cells.iter().map(|&(w, knob)| key(w, knob)).collect();
+    let mut slots: Vec<Option<SimReport>> = keys
+        .iter()
+        .map(|k| journal.as_ref().and_then(|j| j.done.get(k).cloned()))
+        .collect();
+    let todo: Vec<usize> =
+        (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+    let fresh = parallel::map_observed(
+        &todo,
+        jobs,
+        |_, &i| {
+            let (w, knob) = cells[i];
+            run(w, knob)
+        },
+        |pos, report| {
+            if let Some(j) = journal.as_mut() {
+                j.append(&keys[todo[pos]], report);
+            }
+        },
+    );
+    for (&i, report) in todo.iter().zip(fresh) {
+        slots[i] = Some(report);
+    }
+    slots.into_iter().map(|s| s.expect("every cell restored or run")).collect()
+}
+
 fn main() {
     let base = charlie_bench::lab_from_env();
     let base_cfg = *base.config();
     drop(base);
     let jobs = Lab::resolve_jobs(charlie_bench::jobs_from_env());
+    let mut journal =
+        charlie_bench::checkpoint_from_env().map(|path| KeyedJournal::open(&path));
+    if let Some(j) = &journal {
+        if !j.done.is_empty() {
+            eprintln!("resuming: {} cells restored from checkpoint", j.done.len());
+        }
+    }
 
     let cache_cells: Vec<(Workload, u64)> = [Workload::Pverify, Workload::Topopt, Workload::Mp3d]
         .into_iter()
         .flat_map(|w| [16u64, 32, 64, 128].into_iter().map(move |kb| (w, kb)))
         .collect();
-    let cache_reports = parallel::map(&cache_cells, jobs, |_, &(w, kb)| {
-        let geometry = CacheGeometry::new(kb * 1024, 32, 1).expect("valid geometry");
-        np_cell(&base_cfg, w, geometry)
-    });
+    let cache_reports = sweep_cells(
+        &cache_cells,
+        jobs,
+        &mut journal,
+        |w, kb| format!("cache/{}/{kb}KB", w.name()),
+        |w, kb| {
+            let geometry = CacheGeometry::new(kb * 1024, 32, 1).expect("valid geometry");
+            np_cell(&base_cfg, w, geometry)
+        },
+    );
 
     let mut cache_table = Table::new(
         "Cache-size sweep (NP, 8-cycle transfer): larger caches leave invalidation misses dominant",
@@ -61,10 +185,16 @@ fn main() {
         .into_iter()
         .flat_map(|w| [16u64, 32, 64].into_iter().map(move |block| (w, block)))
         .collect();
-    let block_reports = parallel::map(&block_cells, jobs, |_, &(w, block)| {
-        let geometry = CacheGeometry::new(32 * 1024, block, 1).expect("valid geometry");
-        np_cell(&base_cfg, w, geometry)
-    });
+    let block_reports = sweep_cells(
+        &block_cells,
+        jobs,
+        &mut journal,
+        |w, block| format!("block/{}/{block}B", w.name()),
+        |w, block| {
+            let geometry = CacheGeometry::new(32 * 1024, block, 1).expect("valid geometry");
+            np_cell(&base_cfg, w, geometry)
+        },
+    );
 
     let mut block_table = Table::new(
         "Block-size sweep (NP, 8-cycle transfer): larger blocks increase false sharing",

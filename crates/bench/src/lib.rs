@@ -22,9 +22,34 @@ pub fn lab_from_env() -> Lab {
 }
 
 /// Worker-thread count for the experiment grid: `CHARLIE_JOBS`, defaulting
-/// to 0 (one worker per available core).
+/// to 0 (one worker per available core). An unparsable value warns once on
+/// stderr and falls back to serial — parallelism is an optimization, not
+/// something worth killing an overnight campaign over.
 pub fn jobs_from_env() -> usize {
-    std::env::var("CHARLIE_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    match std::env::var("CHARLIE_JOBS") {
+        Err(_) => 0,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: invalid CHARLIE_JOBS {v:?}; falling back to serial (1 worker)");
+            1
+        }),
+    }
+}
+
+/// Checkpoint-journal path from `CHARLIE_CHECKPOINT` (unset = no
+/// checkpointing).
+pub fn checkpoint_from_env() -> Option<std::path::PathBuf> {
+    std::env::var_os("CHARLIE_CHECKPOINT").map(std::path::PathBuf::from)
+}
+
+/// Prints a batch's failure summary to stderr and exits nonzero, *after*
+/// the healthy cells were simulated (and journaled, if checkpointing).
+/// Call this before rendering exhibits: a partial grid would panic midway
+/// through rendering instead of failing cleanly here.
+pub fn exit_on_failures(batch: &BatchReport) {
+    if let Some(summary) = batch.failure_summary() {
+        eprintln!("{summary}");
+        std::process::exit(1);
+    }
 }
 
 /// Prints a batch's parallel-execution summary to stderr (skipped in CSV

@@ -55,6 +55,7 @@ struct MachineOpts {
     warmup: u64,
     victim: usize,
     protocol: Protocol,
+    check: bool,
 }
 
 impl MachineOpts {
@@ -73,6 +74,7 @@ impl MachineOpts {
             warmup: args.get_or("warmup", 0u64)?,
             victim: args.get_or("victim", 0usize)?,
             protocol,
+            check: args.switch("check"),
         })
     }
 }
@@ -94,6 +96,7 @@ fn simulate_prepared<W: Write>(
         warmup_accesses: opts.warmup,
         victim_entries: opts.victim,
         protocol: opts.protocol,
+        check_invariants: opts.check,
         ..SimConfig::paper(raw.num_procs(), transfer)
     };
     let report = simulate(&sim_cfg, &prepared).map_err(|e| ArgsError(e.to_string()))?;
@@ -120,16 +123,40 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     simulate_prepared(&label, &raw, strategy, &opts, args.switch("json"), out)
 }
 
-/// Parses `--jobs` (0 = one worker per core, the default).
-fn parse_jobs(args: &Args) -> Result<usize, ArgsError> {
-    args.get_or("jobs", 0usize)
+/// Parses `--jobs` (0 = one worker per core, the default). An unparsable
+/// value is not fatal: parallelism is an optimization, so we warn once on
+/// stderr and fall back to serial rather than kill a long campaign over it.
+fn parse_jobs(args: &Args) -> usize {
+    match args.get("jobs") {
+        None => 0,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: invalid --jobs {v:?}; falling back to serial (1 worker)");
+            1
+        }),
+    }
+}
+
+/// Prints a batch's failure summary to stderr and converts it into a
+/// nonzero exit, leaving `out` untouched — healthy cells were simulated and
+/// journaled, but a partial exhibit must not masquerade as a complete one.
+fn bail_on_failures(report: &charlie::BatchReport) -> Result<(), ArgsError> {
+    match report.failure_summary() {
+        None => Ok(()),
+        Some(summary) => {
+            eprintln!("{summary}");
+            Err(ArgsError(format!(
+                "{} experiment cell(s) failed; see stderr for details",
+                report.failures.len()
+            )))
+        }
+    }
 }
 
 /// `charlie sweep`.
 pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
-    args.expect_known(&["workload", "procs", "refs", "seed", "layout", "jobs"])?;
+    args.expect_known(&["workload", "procs", "refs", "seed", "layout", "jobs", "resume"])?;
     let (wcfg, workload) = workload_config(args)?;
-    let jobs = parse_jobs(args)?;
+    let jobs = parse_jobs(args);
     let mut lab = Lab::new(RunConfig {
         procs: wcfg.procs,
         refs_per_proc: wcfg.refs_per_proc,
@@ -150,7 +177,20 @@ pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
             })
         })
         .collect();
-    lab.run_batch(&grid, jobs);
+    let report = if let Some(path) = args.get("resume") {
+        // Checkpointed sweep: completed cells from an earlier (possibly
+        // killed) invocation are restored, the rest run and journal as they
+        // finish. A resumed sweep renders byte-identical output.
+        let (mut journal, restored) = charlie::checkpoint::Journal::open(path)
+            .map_err(|e| ArgsError(format!("--resume {path}: {e}")))?;
+        for summary in restored {
+            lab.restore(summary);
+        }
+        lab.run_batch_checkpointed(&grid, jobs, &mut journal)
+    } else {
+        lab.run_batch(&grid, jobs)
+    };
+    bail_on_failures(&report)?;
     if args.switch("json") {
         let mut rows = Vec::new();
         for s in Strategy::PREFETCHING {
@@ -200,8 +240,10 @@ pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&["file", "transfer", "strategy", "warmup", "victim", "protocol"])?;
     let path = args.get("file").ok_or_else(|| ArgsError("--file FILE is required".into()))?;
     let file = File::open(path).map_err(|e| ArgsError(format!("opening {path}: {e}")))?;
-    let trace =
-        trace_io::read_trace(BufReader::new(file)).map_err(|e| ArgsError(format!("{path}: {e}")))?;
+    // Route parse failures through RunError, the same classification the
+    // batch engine records, so CLI and batch reports read identically.
+    let trace = trace_io::read_trace(BufReader::new(file))
+        .map_err(|e| ArgsError(format!("{path}: {}", charlie::RunError::from(e))))?;
     trace.validate().map_err(|e| ArgsError(format!("{path}: invalid trace: {e}")))?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("np"))?;
     let opts = MachineOpts::from_args(args)?;
@@ -217,7 +259,7 @@ pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
 /// `charlie experiments`.
 pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&["jobs"])?;
-    let jobs = parse_jobs(args)?;
+    let jobs = parse_jobs(args);
     let mut lab = Lab::new(RunConfig::default());
     let names: Vec<String> = if args.positional.is_empty() {
         vec!["all".to_owned()]
@@ -225,10 +267,13 @@ pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> 
         args.positional.clone()
     };
     // Batch every requested exhibit's cells through the parallel engine up
-    // front; the exhibit functions below then run from the memo.
+    // front; the exhibit functions below then run from the memo. Bail before
+    // rendering if any cell failed — exhibits would re-simulate (and panic
+    // on) the missing cells.
     let grid: Vec<Experiment> =
         names.iter().flat_map(|name| exhibits::grid_for(name)).collect();
-    lab.run_batch(&grid, jobs);
+    let report = lab.run_batch(&grid, jobs);
+    bail_on_failures(&report)?;
     let csv = args.switch("csv");
     let emit = |out: &mut W, table: &charlie::Table| {
         if csv {

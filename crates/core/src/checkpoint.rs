@@ -1,0 +1,707 @@
+//! Checkpoint journal: JSON-lines persistence of completed runs.
+//!
+//! A [`Journal`] is an append-only file with one completed [`RunSummary`]
+//! per line. [`Lab::run_batch_checkpointed`](crate::Lab::run_batch_checkpointed)
+//! appends (and flushes) each cell the moment it finishes, so a batch
+//! killed mid-flight loses at most the cells still in progress; reopening
+//! the journal returns everything completed so far, and
+//! [`Lab::restore`](crate::Lab::restore) replays it into the memo.
+//!
+//! Two properties make resume *exact* rather than approximate:
+//!
+//! * every field of a [`SimReport`] is an integer (latency distributions
+//!   expose raw counters via `to_raw`/`from_raw`), so the round-trip through
+//!   text is lossless — a resumed campaign renders byte-identical output;
+//! * a final line without a trailing newline (the signature of a process
+//!   killed mid-write) is silently dropped; that cell simply re-runs.
+//!   Malformed *complete* lines are an error: they mean corruption, not
+//!   interruption, and silently skipping them would quietly re-run cells
+//!   the user believes are done.
+//!
+//! The format is hand-rolled (no serde in the dependency tree): a tiny
+//! recursive-descent JSON reader over a byte cursor, ~150 lines, checked by
+//! round-trip tests here and end-to-end in `tests/fault_tolerance.rs`.
+
+use crate::lab::{Experiment, RunSummary};
+use charlie_bus::BusStats;
+use charlie_prefetch::Strategy;
+use charlie_sim::{LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport};
+use charlie_workloads::{Layout, Workload};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on any encoding change so a stale journal
+/// fails loudly instead of resuming garbage.
+const VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (only what the journal needs: non-negative
+// integers, strings, arrays, objects).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn num(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}")),
+            other => Err(format!("expected object with field {name:?}, found {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Only the two escapes the encoder emits.
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!("unsupported escape {other:?}"));
+                        }
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(line);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after value at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, "\"{key}\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push_str("\",");
+}
+
+fn encode_report(report: &SimReport) -> String {
+    let mut s = String::with_capacity(1024);
+    let m = &report.miss;
+    let (count, total, min, max, buckets) = report.fill_latency.to_raw();
+    let p = &report.prefetch;
+    let b = &report.bus;
+    let _ = write!(
+        s,
+        "{{\"cycles\":{},\"measured_from\":{},\"reads\":{},\"writes\":{},\
+         \"miss\":{{\"nsnp\":{},\"nsp\":{},\"invnp\":{},\"invp\":{},\"pip\":{}}},\
+         \"false_sharing_misses\":{},\"upgrades\":{},\"upgrades_aborted\":{},\
+         \"demand_refills\":{},\"victim_hits\":{},\
+         \"fill_latency\":{{\"count\":{},\"total\":{},\"min\":{},\"max\":{},\
+         \"buckets\":[{},{},{},{},{},{},{}]}},\
+         \"prefetch\":{{\"executed\":{},\"hits\":{},\"duplicates\":{},\"fills\":{},\
+         \"wasted_evicted\":{},\"wasted_invalidated\":{},\"buffer_stalls\":{}}},\
+         \"bus\":{{\"busy_cycles\":{},\"reads\":{},\"read_exclusives\":{},\"upgrades\":{},\
+         \"writebacks\":{},\"prefetch_grants\":{},\"queueing_cycles\":{}}},\"per_proc\":[",
+        report.cycles,
+        report.measured_from,
+        report.reads,
+        report.writes,
+        m.non_sharing_not_prefetched,
+        m.non_sharing_prefetched,
+        m.invalidation_not_prefetched,
+        m.invalidation_prefetched,
+        m.prefetch_in_progress,
+        report.false_sharing_misses,
+        report.upgrades,
+        report.upgrades_aborted,
+        report.demand_refills,
+        report.victim_hits,
+        count,
+        total,
+        min,
+        max,
+        buckets[0],
+        buckets[1],
+        buckets[2],
+        buckets[3],
+        buckets[4],
+        buckets[5],
+        buckets[6],
+        p.executed,
+        p.hits,
+        p.duplicates,
+        p.fills,
+        p.wasted_evicted,
+        p.wasted_invalidated,
+        p.buffer_stalls,
+        b.busy_cycles,
+        b.reads,
+        b.read_exclusives,
+        b.upgrades,
+        b.writebacks,
+        b.prefetch_grants,
+        b.queueing_cycles,
+    );
+    for (i, proc) in report.per_proc.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"busy_cycles\":{},\"stall_cycles\":{},\"finish_time\":{},\
+             \"accesses\":{},\"measured_from\":{}}}",
+            if i == 0 { "" } else { "," },
+            proc.busy_cycles,
+            proc.stall_cycles,
+            proc.finish_time,
+            proc.accesses,
+            proc.measured_from,
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn encode_summary(summary: &RunSummary) -> String {
+    let exp = summary.experiment;
+    let mut s = String::with_capacity(1280);
+    let _ = write!(s, "{{\"v\":{VERSION},");
+    push_str_field(&mut s, "workload", exp.workload.name());
+    push_str_field(&mut s, "strategy", exp.strategy.name());
+    let _ = write!(s, "\"transfer\":{},", exp.transfer_cycles);
+    push_str_field(
+        &mut s,
+        "layout",
+        match exp.layout {
+            Layout::Interleaved => "interleaved",
+            Layout::Padded => "padded",
+        },
+    );
+    let _ = write!(
+        s,
+        "\"prefetches_inserted\":{},\"report\":{}}}",
+        summary.prefetches_inserted,
+        encode_report(&summary.report)
+    );
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn decode_miss(v: &Json) -> Result<MissBreakdown, String> {
+    Ok(MissBreakdown {
+        non_sharing_not_prefetched: v.field("nsnp")?.num()?,
+        non_sharing_prefetched: v.field("nsp")?.num()?,
+        invalidation_not_prefetched: v.field("invnp")?.num()?,
+        invalidation_prefetched: v.field("invp")?.num()?,
+        prefetch_in_progress: v.field("pip")?.num()?,
+    })
+}
+
+fn decode_latency(v: &Json) -> Result<LatencyStats, String> {
+    let raw = v.field("buckets")?.arr()?;
+    if raw.len() != 7 {
+        return Err(format!("expected 7 latency buckets, found {}", raw.len()));
+    }
+    let mut buckets = [0u64; 7];
+    for (slot, item) in buckets.iter_mut().zip(raw) {
+        *slot = item.num()?;
+    }
+    Ok(LatencyStats::from_raw(
+        v.field("count")?.num()?,
+        v.field("total")?.num()?,
+        v.field("min")?.num()?,
+        v.field("max")?.num()?,
+        buckets,
+    ))
+}
+
+fn decode_report(v: &Json) -> Result<SimReport, String> {
+    let p = v.field("prefetch")?;
+    let b = v.field("bus")?;
+    let mut per_proc = Vec::new();
+    for proc in v.field("per_proc")?.arr()? {
+        per_proc.push(ProcStats {
+            busy_cycles: proc.field("busy_cycles")?.num()?,
+            stall_cycles: proc.field("stall_cycles")?.num()?,
+            finish_time: proc.field("finish_time")?.num()?,
+            accesses: proc.field("accesses")?.num()?,
+            measured_from: proc.field("measured_from")?.num()?,
+        });
+    }
+    Ok(SimReport {
+        cycles: v.field("cycles")?.num()?,
+        measured_from: v.field("measured_from")?.num()?,
+        reads: v.field("reads")?.num()?,
+        writes: v.field("writes")?.num()?,
+        miss: decode_miss(v.field("miss")?)?,
+        false_sharing_misses: v.field("false_sharing_misses")?.num()?,
+        upgrades: v.field("upgrades")?.num()?,
+        upgrades_aborted: v.field("upgrades_aborted")?.num()?,
+        demand_refills: v.field("demand_refills")?.num()?,
+        victim_hits: v.field("victim_hits")?.num()?,
+        fill_latency: decode_latency(v.field("fill_latency")?)?,
+        prefetch: PrefetchStats {
+            executed: p.field("executed")?.num()?,
+            hits: p.field("hits")?.num()?,
+            duplicates: p.field("duplicates")?.num()?,
+            fills: p.field("fills")?.num()?,
+            wasted_evicted: p.field("wasted_evicted")?.num()?,
+            wasted_invalidated: p.field("wasted_invalidated")?.num()?,
+            buffer_stalls: p.field("buffer_stalls")?.num()?,
+        },
+        bus: BusStats {
+            busy_cycles: b.field("busy_cycles")?.num()?,
+            reads: b.field("reads")?.num()?,
+            read_exclusives: b.field("read_exclusives")?.num()?,
+            upgrades: b.field("upgrades")?.num()?,
+            writebacks: b.field("writebacks")?.num()?,
+            prefetch_grants: b.field("prefetch_grants")?.num()?,
+            queueing_cycles: b.field("queueing_cycles")?.num()?,
+        },
+        per_proc,
+    })
+}
+
+fn decode_workload(name: &str) -> Result<Workload, String> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))
+}
+
+fn decode_strategy(name: &str) -> Result<Strategy, String> {
+    Strategy::EXTENDED
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy {name:?}"))
+}
+
+fn decode_layout(name: &str) -> Result<Layout, String> {
+    match name {
+        "interleaved" => Ok(Layout::Interleaved),
+        "padded" => Ok(Layout::Padded),
+        other => Err(format!("unknown layout {other:?}")),
+    }
+}
+
+fn check_version(v: &Json) -> Result<(), String> {
+    let version = v.field("v")?.num()?;
+    if version != VERSION {
+        return Err(format!("journal version {version} (this build reads {VERSION})"));
+    }
+    Ok(())
+}
+
+fn decode_summary(line: &str) -> Result<RunSummary, String> {
+    let v = parse_line(line)?;
+    check_version(&v)?;
+    let experiment = Experiment {
+        workload: decode_workload(v.field("workload")?.str()?)?,
+        strategy: decode_strategy(v.field("strategy")?.str()?)?,
+        transfer_cycles: v.field("transfer")?.num()?,
+        layout: decode_layout(v.field("layout")?.str()?)?,
+    };
+    Ok(RunSummary {
+        experiment,
+        report: decode_report(v.field("report")?)?,
+        prefetches_inserted: v.field("prefetches_inserted")?.num()?,
+    })
+}
+
+/// Encodes a `(key, report)` pair as one journal line — the variant the
+/// `config_sweep` binary uses for cells whose knobs live outside
+/// [`Experiment`] (geometry and trace-length sweeps). The key is an opaque
+/// caller-chosen cell name.
+pub fn encode_keyed_report(key: &str, report: &SimReport) -> String {
+    let mut s = String::with_capacity(1280);
+    let _ = write!(s, "{{\"v\":{VERSION},");
+    push_str_field(&mut s, "key", key);
+    let _ = write!(s, "\"report\":{}}}", encode_report(report));
+    s
+}
+
+/// Decodes one [`encode_keyed_report`] line.
+pub fn decode_keyed_report(line: &str) -> Result<(String, SimReport), String> {
+    let v = parse_line(line)?;
+    check_version(&v)?;
+    Ok((v.field("key")?.str()?.to_owned(), decode_report(v.field("report")?)?))
+}
+
+// ---------------------------------------------------------------------------
+// The journal file
+// ---------------------------------------------------------------------------
+
+/// Splits journal content into complete lines, dropping a trailing partial
+/// line (no final newline — the process died mid-write; that cell re-runs).
+fn complete_lines(content: &str) -> impl Iterator<Item = &str> {
+    let complete = match content.rfind('\n') {
+        Some(last) => &content[..=last],
+        None => "",
+    };
+    complete.lines().filter(|l| !l.trim().is_empty())
+}
+
+/// Append-only checkpoint journal of completed runs.
+///
+/// Created by [`Journal::open`], which also returns every summary already
+/// journaled (the resume set). Append failures degrade gracefully: the
+/// journal warns on stderr once and stops persisting — the batch itself
+/// keeps running, it just loses crash protection.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    broken: bool,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and parses every
+    /// complete line already present.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the file, and
+    /// [`io::ErrorKind::InvalidData`] (with the line number) for a malformed
+    /// *complete* line — corruption must not silently shrink the resume set.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<RunSummary>)> {
+        let path = path.as_ref().to_path_buf();
+        let mut content = String::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut content)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut restored = Vec::new();
+        for (i, line) in complete_lines(&content).enumerate() {
+            let summary = decode_summary(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), i + 1),
+                )
+            })?;
+            restored.push(summary);
+        }
+        // A torn final line (kill mid-append) is dropped from the resume
+        // set above, but the bytes are still in the file: truncate them
+        // away, or the next append would graft a fresh record onto the
+        // torn prefix and corrupt the journal for good.
+        let complete_len = content.rfind('\n').map_or(0, |i| i + 1);
+        if complete_len < content.len() {
+            OpenOptions::new().write(true).open(&path)?.set_len(complete_len as u64)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((Journal { path, file, broken: false }, restored))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed summary (line + flush, so a kill immediately
+    /// after loses nothing). After the first write failure the journal goes
+    /// inert: one stderr warning, then appends become no-ops.
+    pub fn append(&mut self, summary: &RunSummary) {
+        if self.broken {
+            return;
+        }
+        let mut line = encode_summary(summary);
+        line.push('\n');
+        if let Err(e) = self.file.write_all(line.as_bytes()).and_then(|()| self.file.flush()) {
+            eprintln!(
+                "warning: checkpoint journal {} stopped recording: {e}",
+                self.path.display()
+            );
+            self.broken = true;
+        }
+    }
+
+    /// `true` once an append has failed and journaling has been disabled.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::{Lab, RunConfig};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("charlie-checkpoint-{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_summary() -> RunSummary {
+        let mut lab = Lab::new(RunConfig {
+            procs: 2,
+            refs_per_proc: 500,
+            seed: 11,
+            ..RunConfig::default()
+        });
+        lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pws, 16)).clone()
+    }
+
+    #[test]
+    fn summary_round_trips_exactly() {
+        let summary = sample_summary();
+        let line = encode_summary(&summary);
+        assert!(!line.contains('\n'), "journal lines are single lines");
+        let back = decode_summary(&line).expect("round trip");
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn keyed_report_round_trips_exactly() {
+        let summary = sample_summary();
+        let line = encode_keyed_report("cache/Mp3d/16KB", &summary.report);
+        let (key, report) = decode_keyed_report(&line).expect("round trip");
+        assert_eq!(key, "cache/Mp3d/16KB");
+        assert_eq!(report, summary.report);
+    }
+
+    #[test]
+    fn empty_latency_distribution_round_trips() {
+        // NP runs on hit-heavy traces can produce an empty fill-latency
+        // distribution; its min is the u64::MAX sentinel.
+        let mut summary = sample_summary();
+        summary.report.fill_latency = LatencyStats::default();
+        let back = decode_summary(&encode_summary(&summary)).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn journal_persists_and_restores() {
+        let path = temp_path("persist");
+        let summary = sample_summary();
+        {
+            let (mut journal, restored) = Journal::open(&path).unwrap();
+            assert!(restored.is_empty());
+            journal.append(&summary);
+        }
+        let (_journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored, vec![summary]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trailing_partial_line_is_dropped() {
+        let path = temp_path("partial");
+        let summary = sample_summary();
+        let mut content = encode_summary(&summary);
+        content.push('\n');
+        content.push_str("{\"v\":1,\"workload\":\"Wat"); // killed mid-write
+        std::fs::write(&path, &content).unwrap();
+        let (_journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 1, "complete line kept, partial dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_after_torn_tail_yields_parseable_journal() {
+        let path = temp_path("torn-append");
+        let summary = sample_summary();
+        let mut content = encode_summary(&summary);
+        content.push('\n');
+        content.push_str("{\"v\":1,\"workload\":\"Wat"); // killed mid-write
+        std::fs::write(&path, &content).unwrap();
+        // Opening must truncate the torn bytes so this append starts on a
+        // fresh line instead of grafting onto them.
+        let (mut journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        journal.append(&summary);
+        drop(journal);
+        let (_journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 2, "torn tail replaced by a clean record");
+        assert_eq!(restored[0], restored[1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_complete_line_is_an_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{\"v\":1,\"workload\":\"NoSuch\"}\n").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains(":1:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error() {
+        let path = temp_path("version");
+        std::fs::write(&path, "{\"v\":99}\n").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keys_with_quotes_and_backslashes_survive() {
+        let report = SimReport::default();
+        let line = encode_keyed_report("odd \"key\" with \\ slash", &report);
+        let (key, _) = decode_keyed_report(&line).unwrap();
+        assert_eq!(key, "odd \"key\" with \\ slash");
+    }
+}

@@ -11,10 +11,11 @@
 
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
-use charlie_sim::{simulate, SimConfig, SimReport};
+use charlie_sim::{simulate, SimConfig, SimError, SimReport};
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One cell of the paper's evaluation space.
@@ -104,6 +105,94 @@ pub struct RunSummary {
     pub prefetches_inserted: u64,
 }
 
+/// Why one experiment run failed.
+///
+/// Every failure mode a batch worker can hit is funnelled into this type so
+/// [`Lab::run_batch`] can finish the healthy cells and *report* the broken
+/// ones instead of aborting the whole campaign.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RunError {
+    /// The simulator rejected or aborted the run (including watchdog
+    /// [`SimError::BudgetExceeded`] and invariant-checker failures).
+    Sim(SimError),
+    /// The worker panicked; the payload message is preserved.
+    Panic(String),
+    /// A trace stream failed to load or parse (external-trace labs).
+    Trace(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Panic(msg) => write!(f, "panic: {msg}"),
+            RunError::Trace(msg) => write!(f, "trace error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+impl From<charlie_trace::io::ReadTraceError> for RunError {
+    fn from(e: charlie_trace::io::ReadTraceError) -> Self {
+        RunError::Trace(e.to_string())
+    }
+}
+
+/// What the bounded serial re-run of a failed cell established.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RetryOutcome {
+    /// The re-run failed identically: the failure is deterministic (a real
+    /// bug in the cell, not harness nondeterminism).
+    Reproduced,
+    /// The re-run failed *differently* — evidence of nondeterminism.
+    DivergedError(RunError),
+    /// The re-run succeeded; its result was kept and memoized (the original
+    /// failure was transient).
+    Recovered,
+}
+
+impl RetryOutcome {
+    /// Short human label for failure summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetryOutcome::Reproduced => "deterministic (reproduced on retry)",
+            RetryOutcome::DivergedError(_) => "nondeterministic (retry failed differently)",
+            RetryOutcome::Recovered => "transient (recovered on retry)",
+        }
+    }
+}
+
+/// One failed cell of a batch, with its retry diagnosis.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunFailure {
+    /// The experiment that failed.
+    pub experiment: Experiment,
+    /// The first failure observed.
+    pub error: RunError,
+    /// What the bounded re-run established.
+    pub retry: RetryOutcome,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [{}]", self.experiment, self.error, self.retry.label())
+    }
+}
+
 /// Execution metadata for one completed run.
 ///
 /// Deliberately kept *outside* [`RunSummary`] so serial and parallel
@@ -131,16 +220,19 @@ pub struct LabStats {
     /// Experiments actually simulated by batch workers (excludes memo hits
     /// inside batches).
     pub batch_executed: u64,
+    /// Summaries restored from a checkpoint journal ([`Lab::restore`]).
+    pub restored: u64,
 }
 
 /// What one [`Lab::run_batch`] call did.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchReport {
     /// Experiments requested (before deduplication).
     pub requested: usize,
     /// Requests already present in the memo.
     pub memo_hits: usize,
-    /// Distinct experiments simulated by this batch.
+    /// Distinct experiments simulated *successfully* by this batch
+    /// (including cells recovered by the retry).
     pub executed: usize,
     /// Worker threads used.
     pub jobs: usize,
@@ -149,17 +241,60 @@ pub struct BatchReport {
     /// Sum of per-run wall-clocks (≈ serial time; `sim_nanos / wall_nanos`
     /// estimates the achieved speedup).
     pub sim_nanos: u128,
+    /// Cells that failed (panic, simulator error, watchdog abort), each with
+    /// its retry diagnosis. Empty on a fully healthy batch.
+    pub failures: Vec<RunFailure>,
+}
+
+impl BatchReport {
+    /// `true` when every attempted cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Multi-line human summary of the failures (`None` when complete).
+    /// Callers print this and exit nonzero — the batch itself never aborts.
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let attempted = self.executed + self.failures.len();
+        let mut text =
+            format!("{} of {} attempted cells failed:", self.failures.len(), attempted);
+        for failure in &self.failures {
+            text.push_str("\n  ");
+            text.push_str(&failure.to_string());
+        }
+        Some(text)
+    }
 }
 
 /// Upper bound on worker threads (guards against absurd `--jobs` values;
 /// batches are also capped at one worker per pending experiment).
 pub const MAX_JOBS: usize = 1024;
 
+/// Watchdog headroom: events budgeted per demand access. Even under worst
+/// observed contention a retired access costs well under 20 scheduler
+/// events, so 128 leaves nearly an order of magnitude of slack (derivation
+/// in DESIGN.md, "Fault tolerance & validation").
+const WATCHDOG_EVENTS_PER_ACCESS: u64 = 128;
+
+/// Watchdog floor covering per-run fixed costs (sync traffic, tiny traces).
+const WATCHDOG_EVENT_FLOOR: u64 = 1 << 20;
+
+/// Deterministic event budget for one run under `cfg`. A livelocked or
+/// runaway simulation trips [`SimError::BudgetExceeded`] instead of wedging
+/// its worker forever; an honest run never gets near the bound.
+fn watchdog_budget(cfg: &RunConfig) -> u64 {
+    let accesses = (cfg.procs as u64).saturating_mul(cfg.refs_per_proc as u64);
+    WATCHDOG_EVENT_FLOOR.saturating_add(WATCHDOG_EVENTS_PER_ACCESS.saturating_mul(accesses))
+}
+
 /// Runs one experiment under `cfg`, independent of any lab. This is the
 /// unit of work both the serial and the parallel paths execute; it touches
 /// no shared state, which is what makes [`Lab::run_batch`] trivially
 /// deterministic.
-fn run_experiment(cfg: &RunConfig, exp: Experiment) -> RunSummary {
+fn run_experiment(cfg: &RunConfig, exp: Experiment) -> Result<RunSummary, RunError> {
     let wcfg = WorkloadConfig {
         procs: cfg.procs,
         refs_per_proc: cfg.refs_per_proc,
@@ -171,11 +306,48 @@ fn run_experiment(cfg: &RunConfig, exp: Experiment) -> RunSummary {
     let prefetches_inserted = prepared.total_prefetches() as u64;
     let sim_cfg = SimConfig {
         geometry: cfg.geometry,
+        max_events: watchdog_budget(cfg),
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
-    let report =
-        simulate(&sim_cfg, &prepared).unwrap_or_else(|e| panic!("simulating {exp}: {e}"));
-    RunSummary { experiment: exp, report, prefetches_inserted }
+    let report = simulate(&sim_cfg, &prepared)?;
+    Ok(RunSummary { experiment: exp, report, prefetches_inserted })
+}
+
+/// Fault-injection hook: consulted with the experiment before each run; a
+/// `Some(error)` fails the cell without simulating.
+type Injector = dyn Fn(Experiment) -> Option<RunError> + Send + Sync;
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One isolated cell execution: the injector (if any) runs first, then the
+/// experiment, with panics from either caught and converted into
+/// [`RunError::Panic`] so a single bad cell cannot take down its batch.
+fn run_cell(
+    cfg: &RunConfig,
+    exp: Experiment,
+    injector: Option<&Injector>,
+) -> Result<RunSummary, RunError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(inject) = injector {
+            if let Some(error) = inject(exp) {
+                return Err(error);
+            }
+        }
+        run_experiment(cfg, exp)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Panic(panic_message(payload.as_ref()))),
+    }
 }
 
 /// Memoizing experiment runner.
@@ -188,12 +360,19 @@ pub struct Lab {
     runs: HashMap<Experiment, RunSummary>,
     meta: HashMap<Experiment, RunMeta>,
     stats: LabStats,
+    injector: Option<Box<Injector>>,
 }
 
 impl Lab {
     /// Creates an empty lab.
     pub fn new(cfg: RunConfig) -> Self {
-        Lab { cfg, runs: HashMap::new(), meta: HashMap::new(), stats: LabStats::default() }
+        Lab {
+            cfg,
+            runs: HashMap::new(),
+            meta: HashMap::new(),
+            stats: LabStats::default(),
+            injector: None,
+        }
     }
 
     /// The lab's run configuration.
@@ -201,26 +380,70 @@ impl Lab {
         &self.cfg
     }
 
+    /// Installs a fault injector: before each non-memoized run the hook is
+    /// consulted with the experiment, and a `Some(error)` fails that cell.
+    /// Injected failures flow through exactly the same isolation, retry and
+    /// reporting paths as organic ones — this is how the failure machinery
+    /// itself is tested.
+    pub fn set_fault_injector<F>(&mut self, inject: F)
+    where
+        F: Fn(Experiment) -> Option<RunError> + Send + Sync + 'static,
+    {
+        self.injector = Some(Box::new(inject));
+    }
+
+    /// Removes any installed fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// Ensures `exp` is memoized, simulating it serially if needed.
+    fn ensure(&mut self, exp: Experiment) -> Result<(), RunError> {
+        if self.runs.contains_key(&exp) {
+            self.stats.memo_hits += 1;
+            return Ok(());
+        }
+        self.stats.memo_misses += 1;
+        let started = Instant::now();
+        let summary = run_cell(&self.cfg, exp, self.injector.as_deref())?;
+        self.meta.insert(
+            exp,
+            RunMeta { wall_nanos: started.elapsed().as_nanos(), worker: 0, via_batch: false },
+        );
+        self.runs.insert(exp, summary);
+        Ok(())
+    }
+
     /// Runs (or returns the cached result of) `exp`.
     ///
     /// # Panics
     ///
-    /// Panics if the simulator rejects the generated trace — that indicates
-    /// a bug in the generators, not user error.
+    /// Panics if the run fails — for generated traces that indicates a bug
+    /// in the generators or the simulator, not user error. Use
+    /// [`Lab::try_run`] to handle failures programmatically.
     pub fn run(&mut self, exp: Experiment) -> &RunSummary {
-        if self.runs.contains_key(&exp) {
-            self.stats.memo_hits += 1;
-        } else {
-            self.stats.memo_misses += 1;
-            let started = Instant::now();
-            let summary = run_experiment(&self.cfg, exp);
-            self.meta.insert(
-                exp,
-                RunMeta { wall_nanos: started.elapsed().as_nanos(), worker: 0, via_batch: false },
-            );
-            self.runs.insert(exp, summary);
+        if let Err(e) = self.ensure(exp) {
+            panic!("simulating {exp}: {e}");
         }
         &self.runs[&exp]
+    }
+
+    /// Fallible [`Lab::run`]: failures come back as [`RunError`] instead of
+    /// panicking. Failed runs are not memoized.
+    pub fn try_run(&mut self, exp: Experiment) -> Result<&RunSummary, RunError> {
+        self.ensure(exp)?;
+        Ok(&self.runs[&exp])
+    }
+
+    /// Injects a checkpointed summary into the memo without simulating
+    /// (resume path: cells journaled by an earlier, interrupted batch).
+    pub fn restore(&mut self, summary: RunSummary) {
+        self.stats.restored += 1;
+        self.meta.insert(
+            summary.experiment,
+            RunMeta { wall_nanos: 0, worker: 0, via_batch: false },
+        );
+        self.runs.insert(summary.experiment, summary);
     }
 
     /// Runs every experiment in `exps` that is not already memoized,
@@ -232,10 +455,35 @@ impl Lab {
     /// and simulates it in isolation, so neither worker count nor
     /// completion order can influence any report.
     ///
-    /// # Panics
-    ///
-    /// As [`Lab::run`], panics if the simulator rejects a generated trace.
+    /// A batch never aborts: failed cells (panic, simulator error, watchdog
+    /// trip) are isolated, re-run once serially to classify the failure, and
+    /// reported in [`BatchReport::failures`] while every healthy cell
+    /// completes normally.
     pub fn run_batch(&mut self, exps: &[Experiment], jobs: usize) -> BatchReport {
+        self.run_batch_inner(exps, jobs, None)
+    }
+
+    /// [`Lab::run_batch`] with a checkpoint journal: each completed
+    /// [`RunSummary`] is appended (and flushed) the moment it exists, so an
+    /// interrupted batch can be resumed by restoring the journal into a
+    /// fresh lab. Resumed and fresh campaigns produce byte-identical
+    /// reports — the journal round-trip is exact.
+    pub fn run_batch_checkpointed(
+        &mut self,
+        exps: &[Experiment],
+        jobs: usize,
+        journal: &mut crate::checkpoint::Journal,
+    ) -> BatchReport {
+        let mut sink = |summary: &RunSummary| journal.append(summary);
+        self.run_batch_inner(exps, jobs, Some(&mut sink))
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        exps: &[Experiment],
+        jobs: usize,
+        mut on_complete: Option<&mut dyn FnMut(&RunSummary)>,
+    ) -> BatchReport {
         let started = Instant::now();
         self.stats.batches += 1;
 
@@ -251,28 +499,69 @@ impl Lab {
         }
         self.stats.memo_hits += memo_hits as u64;
         self.stats.memo_misses += todo.len() as u64;
-        self.stats.batch_executed += todo.len() as u64;
 
         let jobs = Self::resolve_jobs(jobs).min(todo.len().max(1));
         let cfg = &self.cfg;
-        // `parallel::map` returns results in submission order, so the merge
-        // below is deterministic regardless of worker scheduling.
-        let results = crate::parallel::map(&todo, jobs, |worker, &exp| {
-            let t0 = Instant::now();
-            let summary = run_experiment(cfg, exp);
-            (summary, t0.elapsed().as_nanos(), worker)
-        });
+        let injector = self.injector.as_deref();
+        // `parallel::map_observed` returns results in submission order, so
+        // the merge below is deterministic regardless of worker scheduling;
+        // the observer journals successes in completion order from the
+        // caller's thread (order inside the journal does not matter — it is
+        // a set of cells, replayed into a memo on resume).
+        let results = crate::parallel::map_observed(
+            &todo,
+            jobs,
+            |worker, &exp| {
+                let t0 = Instant::now();
+                let outcome = run_cell(cfg, exp, injector);
+                (outcome, t0.elapsed().as_nanos(), worker)
+            },
+            |_, result| {
+                if let (Ok(summary), Some(cb)) = (&result.0, on_complete.as_deref_mut()) {
+                    cb(summary);
+                }
+            },
+        );
 
         let mut sim_nanos = 0u128;
-        let executed = results.len();
-        for (summary, nanos, worker) in results {
+        let mut executed = 0usize;
+        let mut failures: Vec<RunFailure> = Vec::new();
+        for (&exp, (outcome, nanos, worker)) in todo.iter().zip(results) {
             sim_nanos += nanos;
-            self.meta.insert(
-                summary.experiment,
-                RunMeta { wall_nanos: nanos, worker, via_batch: jobs > 1 },
-            );
-            self.runs.insert(summary.experiment, summary);
+            match outcome {
+                Ok(summary) => {
+                    executed += 1;
+                    self.meta
+                        .insert(exp, RunMeta { wall_nanos: nanos, worker, via_batch: jobs > 1 });
+                    self.runs.insert(exp, summary);
+                }
+                Err(error) => {
+                    // Bounded diagnosis: one serial re-run distinguishes a
+                    // deterministic failure from harness nondeterminism, and
+                    // rescues transient ones.
+                    let retry = match run_cell(&self.cfg, exp, self.injector.as_deref()) {
+                        Ok(summary) => {
+                            executed += 1;
+                            if let Some(cb) = on_complete.as_deref_mut() {
+                                cb(&summary);
+                            }
+                            self.meta.insert(
+                                exp,
+                                RunMeta { wall_nanos: nanos, worker, via_batch: jobs > 1 },
+                            );
+                            self.runs.insert(exp, summary);
+                            RetryOutcome::Recovered
+                        }
+                        Err(second) if second == error => RetryOutcome::Reproduced,
+                        Err(second) => RetryOutcome::DivergedError(second),
+                    };
+                    if retry != RetryOutcome::Recovered {
+                        failures.push(RunFailure { experiment: exp, error, retry });
+                    }
+                }
+            }
         }
+        self.stats.batch_executed += executed as u64;
 
         BatchReport {
             requested: exps.len(),
@@ -281,6 +570,7 @@ impl Lab {
             jobs,
             wall_nanos: started.elapsed().as_nanos(),
             sim_nanos,
+            failures,
         }
     }
 
@@ -290,6 +580,17 @@ impl Lab {
     pub fn prefetch_all(&mut self, jobs: usize) -> BatchReport {
         let grid = crate::experiments::full_grid();
         self.run_batch(&grid, jobs)
+    }
+
+    /// [`Lab::prefetch_all`] journaling each completed cell to `journal`
+    /// (see [`Lab::run_batch_checkpointed`]).
+    pub fn prefetch_all_checkpointed(
+        &mut self,
+        jobs: usize,
+        journal: &mut crate::checkpoint::Journal,
+    ) -> BatchReport {
+        let grid = crate::experiments::full_grid();
+        self.run_batch_checkpointed(&grid, jobs, journal)
     }
 
     /// Normalizes a `--jobs`-style request: `0` means one worker per
@@ -436,6 +737,107 @@ mod tests {
         let mut lab = tiny_lab();
         let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
         assert!((lab.relative_time(exp) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_failure_is_isolated_and_diagnosed() {
+        let bad = Experiment::paper(Workload::Mp3d, Strategy::Pref, 8);
+        let exps = [
+            Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8),
+            bad,
+            Experiment::paper(Workload::Topopt, Strategy::NoPrefetch, 8),
+        ];
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(move |exp| {
+            (exp == bad).then(|| RunError::Panic("injected".into()))
+        });
+        let report = lab.run_batch(&exps, 2);
+        assert_eq!(report.executed, 2, "healthy cells complete");
+        assert_eq!(report.failures.len(), 1);
+        assert!(!report.is_complete());
+        let failure = &report.failures[0];
+        assert_eq!(failure.experiment, bad);
+        assert_eq!(failure.error, RunError::Panic("injected".into()));
+        assert_eq!(failure.retry, RetryOutcome::Reproduced);
+        assert!(!lab.runs.contains_key(&bad), "failed cells are not memoized");
+        let summary = report.failure_summary().expect("incomplete batch summarizes");
+        assert!(summary.contains("1 of 3 attempted cells failed"), "{summary}");
+        assert!(summary.contains("deterministic (reproduced on retry)"), "{summary}");
+    }
+
+    #[test]
+    fn real_panic_in_worker_is_caught() {
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(|_| -> Option<RunError> { panic!("worker blew up") });
+        // Injected panics print to stderr via the default hook; silence it
+        // for the duration so test output stays readable.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = lab.run_batch(&[exp], 1);
+        let err = lab.try_run(exp).unwrap_err();
+        std::panic::set_hook(hook);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].error, RunError::Panic("worker blew up".into()));
+        assert_eq!(err, RunError::Panic("worker blew up".into()));
+    }
+
+    #[test]
+    fn transient_failure_recovers_on_retry() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let armed = Arc::new(AtomicBool::new(true));
+        let trigger = Arc::clone(&armed);
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(move |_| {
+            trigger
+                .swap(false, Ordering::SeqCst)
+                .then(|| RunError::Trace("flaky read".into()))
+        });
+        let report = lab.run_batch(&[exp], 1);
+        assert!(report.is_complete(), "transient failure rescued by retry");
+        assert_eq!(report.executed, 1);
+        assert!(lab.runs.contains_key(&exp), "recovered cell is memoized");
+    }
+
+    #[test]
+    fn restore_skips_simulation_on_later_batches() {
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let mut fresh = tiny_lab();
+        let summary = fresh.run(exp).clone();
+        let mut resumed = tiny_lab();
+        resumed.restore(summary.clone());
+        assert_eq!(resumed.stats().restored, 1);
+        let report = resumed.run_batch(&[exp], 2);
+        assert_eq!(report.memo_hits, 1);
+        assert_eq!(report.executed, 0);
+        assert_eq!(resumed.run(exp), &summary);
+    }
+
+    #[test]
+    fn clear_fault_injector_restores_health() {
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(|_| Some(RunError::Trace("always".into())));
+        assert!(lab.try_run(exp).is_err());
+        lab.clear_fault_injector();
+        assert!(lab.try_run(exp).is_ok());
+    }
+
+    #[test]
+    fn watchdog_budget_scales_with_trace_size() {
+        let small = RunConfig { procs: 2, refs_per_proc: 100, ..RunConfig::default() };
+        let large = RunConfig { procs: 16, refs_per_proc: 1_000_000, ..RunConfig::default() };
+        assert!(watchdog_budget(&small) >= WATCHDOG_EVENT_FLOOR);
+        assert!(watchdog_budget(&large) > watchdog_budget(&small));
+        // The budget must dwarf the real event count: a tiny run retires
+        // every reference well inside it (checked end-to-end in
+        // crates/sim watchdog tests and tests/fault_tolerance.rs).
+        assert_eq!(
+            watchdog_budget(&small),
+            WATCHDOG_EVENT_FLOOR + WATCHDOG_EVENTS_PER_ACCESS * 200
+        );
     }
 
     #[test]

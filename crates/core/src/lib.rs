@@ -38,13 +38,17 @@
 //! ```
 
 mod chart;
+pub mod checkpoint;
 pub mod experiments;
 mod lab;
 pub mod parallel;
 mod report;
 
 pub use chart::AsciiChart;
-pub use lab::{BatchReport, Experiment, Lab, LabStats, RunConfig, RunMeta, RunSummary, MAX_JOBS};
+pub use lab::{
+    BatchReport, Experiment, Lab, LabStats, RetryOutcome, RunConfig, RunError, RunFailure,
+    RunMeta, RunSummary, MAX_JOBS,
+};
 pub use report::{format_rate, Table};
 
 /// Re-export: trace infrastructure.

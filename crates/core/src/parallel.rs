@@ -28,9 +28,38 @@ pub fn map<T: Sync, U: Send>(
     jobs: usize,
     f: impl Fn(usize, &T) -> U + Sync,
 ) -> Vec<U> {
+    map_observed(items, jobs, f, |_, _| {})
+}
+
+/// [`map`] plus a completion observer: `observe(index, &result)` runs on the
+/// *caller's* thread as each result arrives (in arrival order, which is
+/// nondeterministic under parallelism). The returned vector is still in
+/// input order.
+///
+/// This is the hook the checkpoint journal hangs off: results can be
+/// persisted the moment they exist, instead of only after the whole batch —
+/// exactly what makes a SIGTERM mid-batch survivable.
+///
+/// # Panics
+///
+/// As [`map`]; additionally re-raises panics from `observe`.
+pub fn map_observed<T: Sync, U: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+    mut observe: impl FnMut(usize, &U),
+) -> Vec<U> {
     let jobs = jobs.min(items.len());
     if jobs <= 1 {
-        return items.iter().map(|item| f(0, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let u = f(0, item);
+                observe(i, &u);
+                u
+            })
+            .collect();
     }
     let next = &AtomicUsize::new(0);
     let f = &f;
@@ -49,7 +78,12 @@ pub fn map<T: Sync, U: Send>(
             });
         }
         drop(tx);
-        rx.into_iter().collect()
+        rx.into_iter()
+            .map(|(i, u)| {
+                observe(i, &u);
+                (i, u)
+            })
+            .collect()
     });
     results.sort_by_key(|&(i, _)| i);
     results.into_iter().map(|(_, u)| u).collect()
@@ -100,6 +134,32 @@ mod tests {
         let items: Vec<u32> = (0..64).collect();
         let workers = map(&items, 4, |worker, _| worker);
         assert!(workers.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn observer_sees_every_result_once_on_the_caller_thread() {
+        let items: Vec<u64> = (0..64).collect();
+        let caller = std::thread::current().id();
+        let mut seen = vec![0u32; items.len()];
+        let out = map_observed(
+            &items,
+            8,
+            |_, &x| x + 1,
+            |i, &u| {
+                assert_eq!(std::thread::current().id(), caller);
+                assert_eq!(u, items[i] + 1);
+                seen[i] += 1;
+            },
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn observer_runs_inline_on_single_job() {
+        let mut order = Vec::new();
+        let _ = map_observed(&[10, 20, 30], 1, |_, &x| x, |i, _| order.push(i));
+        assert_eq!(order, vec![0, 1, 2], "serial path observes in input order");
     }
 
     #[test]

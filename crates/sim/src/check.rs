@@ -1,0 +1,320 @@
+//! Snooping-coherence invariant checker.
+//!
+//! The machine's correctness rests on a handful of global invariants the
+//! Illinois protocol must preserve across every bus transaction. This module
+//! states them as code and lets the simulator assert them after each grant
+//! and completion (see [`SimConfig::check_invariants`]), turning silent state
+//! corruption into an immediate [`SimError::InvariantViolation`]:
+//!
+//! 1. **Single owner** — at most one cache holds a line in an exclusive
+//!    state (`PrivateClean` / `PrivateDirty`).
+//! 2. **No stale sharers** — while any cache holds a line exclusively, no
+//!    other cache may hold *any* valid copy of it; in particular a `Shared`
+//!    copy must never coexist with a dirty peer.
+//! 3. **No prefetch aliasing** — an outstanding prefetch-buffer entry is a
+//!    fetch for a line that is *not* resident; an entry aliasing a valid
+//!    local line means a fill or snoop path forgot to reconcile the buffer.
+//! 4. **MSHR bound** — the lockup-free buffer never tracks more outstanding
+//!    prefetches than its configured depth.
+//!
+//! The checks are intentionally dumb re-derivations from raw cache state
+//! (`O(procs)` per touched line), independent of the machine's own
+//! bookkeeping — that independence is what makes them able to catch its
+//! bugs. The fault-injection tests below corrupt [`CacheArray`]s directly
+//! and prove every violation class is detected.
+//!
+//! [`SimConfig::check_invariants`]: crate::SimConfig::check_invariants
+//! [`SimError::InvariantViolation`]: crate::SimError::InvariantViolation
+
+use charlie_cache::{CacheArray, LineState};
+use charlie_trace::LineAddr;
+use std::fmt;
+
+/// A violation of one of the snooping-protocol invariants above.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CoherenceViolation {
+    /// Two caches hold the same line in an exclusive state.
+    MultipleExclusive {
+        /// The offending line.
+        line: LineAddr,
+        /// First exclusive holder found.
+        first: usize,
+        /// Second exclusive holder.
+        second: usize,
+    },
+    /// A cache holds a valid copy of a line another cache owns exclusively
+    /// (covers the classic "Shared with dirty peer" corruption).
+    SharedWithExclusivePeer {
+        /// The offending line.
+        line: LineAddr,
+        /// Processor holding the non-exclusive copy.
+        sharer: usize,
+        /// Processor holding the exclusive copy.
+        owner: usize,
+        /// The owner's state (`PrivateClean` or `PrivateDirty`).
+        owner_state: LineState,
+    },
+    /// An outstanding prefetch-buffer entry aliases a valid resident line.
+    PrefetchAliasesResident {
+        /// Processor whose buffer holds the aliasing entry.
+        proc: usize,
+        /// The aliased line.
+        line: LineAddr,
+        /// State of the resident copy.
+        state: LineState,
+    },
+    /// More outstanding prefetches than the lockup-free buffer can hold.
+    MshrOverflow {
+        /// Processor whose buffer overflowed.
+        proc: usize,
+        /// Outstanding entries counted.
+        outstanding: usize,
+        /// Configured buffer depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceViolation::MultipleExclusive { line, first, second } => write!(
+                f,
+                "line {line} held exclusively by both proc {first} and proc {second}"
+            ),
+            CoherenceViolation::SharedWithExclusivePeer { line, sharer, owner, owner_state } => {
+                write!(
+                    f,
+                    "proc {sharer} holds a copy of line {line} while proc {owner} owns it \
+                     {owner_state:?}"
+                )
+            }
+            CoherenceViolation::PrefetchAliasesResident { proc, line, state } => write!(
+                f,
+                "proc {proc} has an outstanding prefetch for line {line} already resident \
+                 ({state:?})"
+            ),
+            CoherenceViolation::MshrOverflow { proc, outstanding, depth } => write!(
+                f,
+                "proc {proc} tracks {outstanding} outstanding prefetches in a {depth}-deep buffer"
+            ),
+        }
+    }
+}
+
+/// Checks invariants 1 and 2 for one line across all caches.
+///
+/// # Errors
+///
+/// Returns the first [`CoherenceViolation`] found.
+pub fn check_line(caches: &[CacheArray], line: LineAddr) -> Result<(), CoherenceViolation> {
+    let mut exclusive: Option<(usize, LineState)> = None;
+    let mut other: Option<usize> = None;
+    for (p, cache) in caches.iter().enumerate() {
+        let Some(state) = cache.state_of(line) else { continue };
+        if state.is_exclusive() {
+            if let Some((first, _)) = exclusive {
+                return Err(CoherenceViolation::MultipleExclusive { line, first, second: p });
+            }
+            exclusive = Some((p, state));
+        } else {
+            other = Some(p);
+        }
+    }
+    if let (Some((owner, owner_state)), Some(sharer)) = (exclusive, other) {
+        return Err(CoherenceViolation::SharedWithExclusivePeer {
+            line,
+            sharer,
+            owner,
+            owner_state,
+        });
+    }
+    Ok(())
+}
+
+/// Checks invariants 3 and 4 for one processor's prefetch buffer.
+///
+/// # Errors
+///
+/// Returns the first [`CoherenceViolation`] found.
+pub fn check_prefetch_buffer<I>(
+    proc: usize,
+    cache: &CacheArray,
+    outstanding: I,
+    depth: usize,
+) -> Result<(), CoherenceViolation>
+where
+    I: IntoIterator<Item = LineAddr>,
+{
+    let mut count = 0usize;
+    for line in outstanding {
+        count += 1;
+        if let Some(state) = cache.state_of(line) {
+            return Err(CoherenceViolation::PrefetchAliasesResident { proc, line, state });
+        }
+    }
+    if count > depth {
+        return Err(CoherenceViolation::MshrOverflow { proc, outstanding: count, depth });
+    }
+    Ok(())
+}
+
+/// Full-machine sweep: checks [`check_line`] for every line valid anywhere.
+/// Used at end of run (the per-transaction path only re-checks touched
+/// lines).
+///
+/// # Errors
+///
+/// Returns the first [`CoherenceViolation`] found.
+pub fn check_all_lines(caches: &[CacheArray]) -> Result<(), CoherenceViolation> {
+    let mut lines: Vec<LineAddr> =
+        caches.iter().flat_map(|c| c.iter_valid().map(|(l, _)| l)).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    for line in lines {
+        check_line(caches, line)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlie_cache::CacheGeometry;
+
+    fn caches(n: usize) -> Vec<CacheArray> {
+        (0..n).map(|_| CacheArray::new(CacheGeometry::paper_default())).collect()
+    }
+
+    fn line(addr: u64) -> LineAddr {
+        charlie_trace::Addr::new(addr).line(32)
+    }
+
+    // ---- fault injection: each corruption class must be caught ----------
+
+    #[test]
+    fn detects_two_exclusive_copies() {
+        let mut c = caches(4);
+        let l = line(0x1000);
+        c[1].fill(l, LineState::PrivateDirty, false);
+        c[3].fill(l, LineState::PrivateClean, false);
+        match check_line(&c, l) {
+            Err(CoherenceViolation::MultipleExclusive { line, first: 1, second: 3 }) => {
+                assert_eq!(line, l)
+            }
+            other => panic!("expected MultipleExclusive, got {other:?}"),
+        }
+        assert!(check_all_lines(&c).is_err(), "sweep must find it too");
+    }
+
+    #[test]
+    fn detects_shared_copy_with_dirty_peer() {
+        let mut c = caches(4);
+        let l = line(0x2000);
+        c[0].fill(l, LineState::Shared, false);
+        c[2].fill(l, LineState::PrivateDirty, false);
+        match check_line(&c, l) {
+            Err(CoherenceViolation::SharedWithExclusivePeer {
+                sharer: 0,
+                owner: 2,
+                owner_state: LineState::PrivateDirty,
+                ..
+            }) => {}
+            other => panic!("expected SharedWithExclusivePeer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_shared_copy_with_clean_exclusive_peer() {
+        // Illinois: PrivateClean also promises "no other copies exist".
+        let mut c = caches(2);
+        let l = line(0x3000);
+        c[0].fill(l, LineState::PrivateClean, false);
+        c[1].fill(l, LineState::Shared, false);
+        assert!(matches!(
+            check_line(&c, l),
+            Err(CoherenceViolation::SharedWithExclusivePeer {
+                owner_state: LineState::PrivateClean,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_prefetch_aliasing_resident_line() {
+        let mut c = caches(1);
+        let l = line(0x4000);
+        c[0].fill(l, LineState::Shared, true);
+        let err = check_prefetch_buffer(0, &c[0], [l], 16).unwrap_err();
+        assert!(matches!(err, CoherenceViolation::PrefetchAliasesResident { proc: 0, .. }));
+        assert!(err.to_string().contains("outstanding prefetch"));
+    }
+
+    #[test]
+    fn detects_mshr_overflow() {
+        let c = caches(1);
+        let lines: Vec<LineAddr> = (0..5).map(|i| line(0x5000 + 32 * i)).collect();
+        let err = check_prefetch_buffer(0, &c[0], lines, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            CoherenceViolation::MshrOverflow { proc: 0, outstanding: 5, depth: 4 }
+        ));
+    }
+
+    #[test]
+    fn corruption_in_victim_buffer_is_still_seen() {
+        // state_of covers the victim buffer, so a dirty copy demoted there
+        // must still trip the single-owner invariant.
+        let mut c = vec![
+            CacheArray::with_victim(CacheGeometry::paper_default(), 2),
+            CacheArray::with_victim(CacheGeometry::paper_default(), 2),
+        ];
+        let l = line(0x6000);
+        // Fill dirty, then evict it into proc 0's victim buffer by filling a
+        // conflicting line (same set, different tag).
+        c[0].fill(l, LineState::PrivateDirty, false);
+        let conflicting = line(0x6000 + 32 * 1024);
+        c[0].fill(conflicting, LineState::Shared, false);
+        assert!(c[0].probe_victim(l), "setup: dirty line must sit in the victim buffer");
+        c[1].fill(l, LineState::PrivateClean, false);
+        assert!(matches!(
+            check_line(&c, l),
+            Err(CoherenceViolation::MultipleExclusive { .. })
+        ));
+    }
+
+    // ---- legal states must pass -----------------------------------------
+
+    #[test]
+    fn legal_global_states_pass() {
+        let mut c = caches(4);
+        // Many sharers.
+        let shared = line(0x100);
+        for cache in c.iter_mut() {
+            cache.fill(shared, LineState::Shared, false);
+        }
+        // One clean owner, sole copy.
+        c[0].fill(line(0x200), LineState::PrivateClean, false);
+        // One dirty owner, sole copy.
+        c[1].fill(line(0x300), LineState::PrivateDirty, false);
+        assert_eq!(check_all_lines(&c), Ok(()));
+        // An outstanding prefetch for a non-resident line is fine.
+        assert_eq!(check_prefetch_buffer(0, &c[0], [line(0x7000)], 16), Ok(()));
+        // Exactly at the depth bound is fine.
+        let full: Vec<LineAddr> = (0..4).map(|i| line(0x8000 + 32 * i)).collect();
+        assert_eq!(check_prefetch_buffer(0, &c[0], full, 4), Ok(()));
+    }
+
+    #[test]
+    fn absent_line_passes() {
+        let c = caches(2);
+        assert_eq!(check_line(&c, line(0x9000)), Ok(()));
+        assert_eq!(check_all_lines(&c), Ok(()));
+    }
+
+    #[test]
+    fn violation_displays_name_the_parties() {
+        let v = CoherenceViolation::MultipleExclusive { line: line(0x40), first: 0, second: 3 };
+        let text = v.to_string();
+        assert!(text.contains("proc 0") && text.contains("proc 3"), "{text}");
+    }
+}

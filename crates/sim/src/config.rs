@@ -67,6 +67,21 @@ pub struct SimConfig {
     pub victim_entries: usize,
     /// Coherence policy (the paper's machine is write-invalidate).
     pub protocol: Protocol,
+    /// Watchdog: abort the run with [`SimError::BudgetExceeded`] once the
+    /// scheduler has processed this many events. 0 (the default) disables
+    /// the budget. The count is deterministic, so a budgeted re-run of the
+    /// same trace trips at exactly the same point.
+    ///
+    /// [`SimError::BudgetExceeded`]: crate::SimError::BudgetExceeded
+    pub max_events: u64,
+    /// Run the [`crate::check`] coherence invariant checker after every bus
+    /// transaction (and once at end of run), failing the simulation with
+    /// [`SimError::InvariantViolation`] on the first illegal protocol state.
+    /// Always on in debug builds (and therefore under `cargo test`);
+    /// this flag additionally enables it in release builds (`--check`).
+    ///
+    /// [`SimError::InvariantViolation`]: crate::SimError::InvariantViolation
+    pub check_invariants: bool,
 }
 
 impl SimConfig {
@@ -81,6 +96,8 @@ impl SimConfig {
             warmup_accesses: 0,
             victim_entries: 0,
             protocol: Protocol::WriteInvalidate,
+            max_events: 0,
+            check_invariants: false,
         }
     }
 
@@ -135,6 +152,13 @@ mod tests {
     #[test]
     fn default_matches_paper_8cycle() {
         assert_eq!(SimConfig::default(), SimConfig::paper(8, 8));
+    }
+
+    #[test]
+    fn paper_config_has_no_budget_and_no_forced_checking() {
+        let c = SimConfig::paper(8, 8);
+        assert_eq!(c.max_events, 0);
+        assert!(!c.check_invariants);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation errors.
 
+use crate::check::CoherenceViolation;
 use charlie_trace::ValidateTraceError;
 use std::error::Error;
 use std::fmt;
@@ -21,6 +22,25 @@ pub enum SimError {
     /// The event queue drained with processors still blocked — a simulator
     /// invariant violation (cannot arise from validated traces).
     Deadlock,
+    /// The run outlived its event budget ([`SimConfig::max_events`]); the
+    /// watchdog aborted it and reports the last-progress metrics so a
+    /// livelocked run (retired stuck, blocked procs) can be told apart from
+    /// one that merely needed a bigger budget.
+    ///
+    /// [`SimConfig::max_events`]: crate::SimConfig::max_events
+    BudgetExceeded {
+        /// Scheduler events processed when the budget tripped.
+        events: u64,
+        /// Simulated time of the last event.
+        cycles: u64,
+        /// Trace events retired across all processors.
+        retired: u64,
+        /// Processors blocked (not running, not done) at abort time.
+        blocked: usize,
+    },
+    /// The coherence invariant checker ([`crate::check`]) found illegal
+    /// protocol state after a bus transaction.
+    InvariantViolation(CoherenceViolation),
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +52,12 @@ impl fmt::Display for SimError {
             }
             SimError::BadProcCount(n) => write!(f, "processor count {n} outside 1..=64"),
             SimError::Deadlock => f.write_str("event queue drained with blocked processors"),
+            SimError::BudgetExceeded { events, cycles, retired, blocked } => write!(
+                f,
+                "event budget exceeded after {events} events \
+                 (cycle {cycles}, {retired} trace events retired, {blocked} procs blocked)"
+            ),
+            SimError::InvariantViolation(v) => write!(f, "coherence invariant violated: {v}"),
         }
     }
 }
@@ -60,5 +86,9 @@ mod tests {
         assert!(SimError::Deadlock.to_string().contains("drained"));
         assert!(SimError::BadProcCount(0).to_string().contains("0"));
         assert!(SimError::ProcCountMismatch { config: 2, trace: 3 }.to_string().contains("2"));
+        let budget =
+            SimError::BudgetExceeded { events: 100, cycles: 42, retired: 7, blocked: 3 };
+        let text = budget.to_string();
+        assert!(text.contains("100") && text.contains("42") && text.contains("7"), "{text}");
     }
 }

@@ -44,6 +44,7 @@
 //! # Ok::<(), charlie_sim::SimError>(())
 //! ```
 
+pub mod check;
 mod config;
 mod error;
 mod machine;
@@ -51,6 +52,7 @@ mod metrics;
 mod proc;
 mod sync;
 
+pub use check::CoherenceViolation;
 pub use config::{Protocol, SimConfig, BARRIER_REGION_BASE, LOCK_REGION_BASE};
 pub use error::SimError;
 pub use metrics::{LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, LATENCY_BUCKET_BOUNDS};
@@ -553,5 +555,81 @@ mod tests {
             solo.cycles
         );
         assert!(crowd.bus_utilization() > 0.5);
+    }
+
+    fn watchdog_trace() -> Trace {
+        let mut b = TraceBuilder::new(2);
+        for p in 0..2 {
+            let mut pb = b.proc(p);
+            for i in 0..200u64 {
+                pb.work(2).read(Addr::new(0x1000 + i * 32)).write(Addr::new(0x9000));
+            }
+        }
+        b.build()
+    }
+
+    /// Watchdog: a tiny event budget aborts with last-progress diagnostics.
+    #[test]
+    fn watchdog_trips_with_progress_metrics() {
+        let mut wcfg = cfg(2);
+        wcfg.max_events = 50;
+        match simulate(&wcfg, &watchdog_trace()) {
+            Err(SimError::BudgetExceeded { events, cycles, retired, blocked }) => {
+                assert!(events > 50);
+                assert!(cycles > 0);
+                assert!(retired > 0, "some trace events retire before the budget trips");
+                let _ = blocked;
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    /// The watchdog trips at the same event deterministically, so a re-run
+    /// reproduces the exact same diagnostic.
+    #[test]
+    fn watchdog_is_deterministic() {
+        let mut wcfg = cfg(2);
+        wcfg.max_events = 123;
+        let t = watchdog_trace();
+        let a = simulate(&wcfg, &t).unwrap_err();
+        let b = simulate(&wcfg, &t).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    /// An ample budget must not perturb the run in any way: the report is
+    /// bit-identical to an unbudgeted one.
+    #[test]
+    fn ample_budget_changes_nothing() {
+        let t = watchdog_trace();
+        let plain = simulate(&cfg(2), &t).unwrap();
+        let mut wcfg = cfg(2);
+        wcfg.max_events = 100_000_000;
+        let budgeted = simulate(&wcfg, &t).unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    /// Invariant checking enabled explicitly: a healthy run passes and the
+    /// report is bit-identical to an unchecked one (the checker only reads).
+    #[test]
+    fn invariant_checker_passes_healthy_runs_unchanged() {
+        let mut b = TraceBuilder::new(4);
+        for p in 0..4usize {
+            let mut pb = b.proc(p);
+            // Shared reads, private writes, prefetches, and a lock: exercise
+            // every state transition under the checker's eye.
+            for i in 0..50u64 {
+                pb.work(1)
+                    .read(Addr::new(0x2000 + i * 32))
+                    .prefetch(Addr::new(0x4000 + (p as u64) * 0x1000 + i * 32))
+                    .write(Addr::new(0x8000 + (p as u64) * 0x40));
+            }
+            pb.lock(0).write(Addr::new(0x600)).unlock(0).barrier(0);
+        }
+        let t = b.build();
+        let plain = simulate(&cfg(4), &t).unwrap();
+        let mut ccfg = cfg(4);
+        ccfg.check_invariants = true;
+        let checked = simulate(&ccfg, &t).unwrap();
+        assert_eq!(plain, checked);
     }
 }

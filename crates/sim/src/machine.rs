@@ -25,6 +25,7 @@
 //!   catches its own prefetch in flight blocks for the *remaining* latency
 //!   (and the transaction is promoted to demand priority).
 
+use crate::check::{self, CoherenceViolation};
 use crate::config::{Protocol, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MissBreakdown, PrefetchStats, SimReport};
@@ -116,15 +117,28 @@ pub(crate) struct Machine<'t> {
     tallies: Tallies,
     done_count: usize,
     finish_time: u64,
-    /// Time of the single live scheduled BusCheck event (deduplication:
-    /// without it, every submit adds a roaming check that is re-pushed on
-    /// every BusyUntil, and event counts grow quadratically).
-    bus_check_at: Option<u64>,
+    /// `(time, heap sequence)` of the single live scheduled BusCheck event
+    /// (deduplication: without it, every submit adds a roaming check that is
+    /// re-pushed on every BusyUntil, and event counts grow quadratically).
+    /// The sequence makes the staleness test exact: a superseded entry that
+    /// happens to share the live check's *time* must still be dropped, or it
+    /// would run ahead of same-cycle completions pushed after it and snoop
+    /// cache state that is one install behind the bus order.
+    bus_check_at: Option<(u64, u64)>,
     /// Accesses still to retire before the statistics window opens
     /// (warm-up); `None` once it has opened.
     warmup_left: Option<u64>,
     /// Time the statistics window opened.
     measured_from: u64,
+    /// Run the coherence invariant checker after each transaction
+    /// (`check_invariants`, or unconditionally in debug builds).
+    checking: bool,
+    /// First invariant violation found; the event loop converts it into
+    /// `SimError::InvariantViolation` before dispatching the next event.
+    violation: Option<CoherenceViolation>,
+    /// `CHARLIE_DEBUG_LINE` substring filter: snoops and fills whose line
+    /// address matches are traced to stderr (coherence debugging aid).
+    debug_line: Option<String>,
 }
 
 impl<'t> Machine<'t> {
@@ -161,6 +175,9 @@ impl<'t> Machine<'t> {
             bus_check_at: None,
             warmup_left: if cfg.warmup_accesses > 0 { Some(cfg.warmup_accesses) } else { None },
             measured_from: 0,
+            checking: cfg.check_invariants || cfg!(debug_assertions),
+            violation: None,
+            debug_line: std::env::var("CHARLIE_DEBUG_LINE").ok(),
         })
     }
 
@@ -172,7 +189,7 @@ impl<'t> Machine<'t> {
         let mut events_processed: u64 = 0;
         let debug = std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some();
         while self.done_count < self.cfg.num_procs {
-            let Some(Reverse((time, _, kind))) = self.heap.pop() else {
+            let Some(Reverse((time, seq, kind))) = self.heap.pop() else {
                 return Err(SimError::Deadlock);
             };
             events_processed += 1;
@@ -187,13 +204,67 @@ impl<'t> Machine<'t> {
                     self.bus.pending(),
                 );
             }
+            // Watchdog: a deterministic event budget catches livelocked or
+            // runaway runs that would otherwise wedge a whole batch.
+            if self.cfg.max_events != 0 && events_processed > self.cfg.max_events {
+                let retired: u64 = self.procs.iter().map(|p| p.cursor as u64).sum();
+                let blocked = self
+                    .procs
+                    .iter()
+                    .filter(|p| !matches!(p.status, ProcStatus::Running | ProcStatus::Done))
+                    .count();
+                return Err(SimError::BudgetExceeded {
+                    events: events_processed,
+                    cycles: time,
+                    retired,
+                    blocked,
+                });
+            }
             match kind {
                 EventKind::Wake { proc, epoch } => self.on_wake(time, proc as usize, epoch),
-                EventKind::BusCheck => self.on_bus_check(time),
+                EventKind::BusCheck => self.on_bus_check(time, seq),
                 EventKind::TxnDone(id) => self.on_txn_done(time, id),
+            }
+            if let Some(v) = self.violation.take() {
+                return Err(SimError::InvariantViolation(v));
+            }
+        }
+        if self.checking {
+            // Per-transaction checks only re-verify touched lines; a final
+            // sweep covers everything once more before the report is built.
+            check::check_all_lines(&self.caches).map_err(SimError::InvariantViolation)?;
+            for p in 0..self.cfg.num_procs {
+                check::check_prefetch_buffer(
+                    p,
+                    &self.caches[p],
+                    self.procs[p].outstanding.keys().copied(),
+                    self.cfg.prefetch_buffer_depth,
+                )
+                .map_err(SimError::InvariantViolation)?;
             }
         }
         Ok(self.into_report())
+    }
+
+    /// Re-derives invariants 1–2 for `line` after a coherence action,
+    /// latching the first violation (converted into an error by `run`).
+    fn verify_line(&mut self, line: LineAddr) {
+        if self.checking && self.violation.is_none() {
+            self.violation = check::check_line(&self.caches, line).err();
+        }
+    }
+
+    /// Re-derives invariants 3–4 for processor `p`'s prefetch buffer.
+    fn verify_prefetch_buffer(&mut self, p: usize) {
+        if self.checking && self.violation.is_none() {
+            self.violation = check::check_prefetch_buffer(
+                p,
+                &self.caches[p],
+                self.procs[p].outstanding.keys().copied(),
+                self.cfg.prefetch_buffer_depth,
+            )
+            .err();
+        }
     }
 
     fn into_report(self) -> SimReport {
@@ -217,9 +288,10 @@ impl<'t> Machine<'t> {
 
     // ---- event plumbing -------------------------------------------------
 
-    fn push(&mut self, time: u64, kind: EventKind) {
+    fn push(&mut self, time: u64, kind: EventKind) -> u64 {
         self.seq += 1;
         self.heap.push(Reverse((time, self.seq, kind)));
+        self.seq
     }
 
     /// Schedules a wake that is valid only while the target's epoch is
@@ -398,6 +470,7 @@ impl<'t> Machine<'t> {
             },
         );
         self.procs[p].outstanding.insert(line, OutstandingPrefetch { txn, cpu_waiting: false });
+        self.verify_prefetch_buffer(p);
         self.schedule_bus_check(now);
         self.procs[p].cursor += 1;
         Flow::Continue
@@ -691,26 +764,34 @@ impl<'t> Machine<'t> {
 
     /// Schedules a BusCheck at `t` unless one is already live at `t` or
     /// earlier. A check scheduled earlier supersedes a later one; the
-    /// superseded heap entry is dropped as stale when popped.
+    /// superseded heap entry is dropped as stale when popped (matched by
+    /// `(time, sequence)`, so a later re-schedule at the same time cannot
+    /// revalidate it).
     fn schedule_bus_check(&mut self, t: u64) {
         match self.bus_check_at {
-            Some(existing) if existing <= t => {}
+            Some((existing, _)) if existing <= t => {}
             _ => {
-                self.bus_check_at = Some(t);
-                self.push(t, EventKind::BusCheck);
+                let seq = self.push(t, EventKind::BusCheck);
+                self.bus_check_at = Some((t, seq));
             }
         }
     }
 
-    fn on_bus_check(&mut self, now: u64) {
-        if self.bus_check_at != Some(now) {
-            return; // superseded by an earlier check
+    fn on_bus_check(&mut self, now: u64, seq: u64) {
+        if self.bus_check_at != Some((now, seq)) {
+            return; // superseded by another check
         }
         self.bus_check_at = None;
         match self.bus.try_grant(now) {
             GrantOutcome::Granted { request, completes_at } => {
-                self.apply_snoops(request.id, request.line);
+                // Push the completion before snooping: apply_snoops may
+                // schedule a BusCheck at `completes_at` (reflective
+                // write-back submission), and that check must not outrank
+                // this transaction's own completion in the same cycle — a
+                // next-grant snoop ordered before the install would miss
+                // the freshly filled copy and leave a stale sharer behind.
                 self.push(completes_at, EventKind::TxnDone(request.id));
+                self.apply_snoops(request.id, request.line);
                 self.schedule_bus_check(completes_at);
             }
             GrantOutcome::BusyUntil(t) | GrantOutcome::WaitingUntil(t) => {
@@ -724,6 +805,13 @@ impl<'t> Machine<'t> {
     /// invalidations/downgrades and the Illinois sharing wire.
     fn apply_snoops(&mut self, id: TxnId, line: LineAddr) {
         let info = *self.txns.get(&id).expect("granted txn is registered");
+        if let Some(l) = &self.debug_line {
+            if format!("{line:?}").contains(l.as_str()) {
+                let states: Vec<_> =
+                    (0..self.cfg.num_procs).map(|q| self.caches[q].state_of(line)).collect();
+                eprintln!("[charlie-debug] snoop {id:?} {:?} states={states:?}", info.action);
+            }
+        }
         let word = info.word;
         match info.action {
             TxnAction::WriteBack => {}
@@ -810,6 +898,7 @@ impl<'t> Machine<'t> {
                 }
             }
         }
+        self.verify_line(line);
     }
 
     /// Invalidates `line` in cache `q` (remote write of `word`, covering the
@@ -886,6 +975,19 @@ impl<'t> Machine<'t> {
                 debug_assert!(woke, "upgrade completion must find its waiter");
             }
         }
+        match info.action {
+            TxnAction::WriteBack => {}
+            TxnAction::DemandFill { proc, line, .. } | TxnAction::Upgrade { proc, line, .. } => {
+                self.verify_line(line);
+                self.verify_prefetch_buffer(proc.index());
+            }
+            TxnAction::PrefetchFill { proc, line, .. } => {
+                self.verify_line(line);
+                // The fill just installed the line and released its slot; an
+                // entry still aliasing it means the buffer bookkeeping broke.
+                self.verify_prefetch_buffer(proc.index());
+            }
+        }
     }
 
     fn install_fill(
@@ -898,6 +1000,13 @@ impl<'t> Machine<'t> {
         now: u64,
     ) {
         let state = protocol::fill_state(op, others_have_copy);
+        if let Some(l) = &self.debug_line {
+            if format!("{line:?}").contains(l.as_str()) {
+                eprintln!(
+                    "[charlie-debug] fill p={p} {line:?} op={op:?} others={others_have_copy} state={state:?} by_prefetch={by_prefetch} t={now}"
+                );
+            }
+        }
         if let Some(evicted) = self.caches[p].fill(line, state, by_prefetch) {
             self.handle_eviction(p, evicted, now);
         }

@@ -168,6 +168,19 @@ impl LatencyStats {
     pub fn histogram(&self) -> &[u64; 7] {
         &self.buckets
     }
+
+    /// Raw `(count, total, min, max, buckets)` — full-fidelity access for
+    /// checkpoint serialization (the mean alone would be lossy). `min` is
+    /// `u64::MAX` when empty, matching [`LatencyStats::default`].
+    pub fn to_raw(&self) -> (u64, u64, u64, u64, [u64; 7]) {
+        (self.count, self.total, self.min, self.max, self.buckets)
+    }
+
+    /// Rebuilds the stats from [`LatencyStats::to_raw`] output, so a
+    /// journaled report round-trips bit-identically.
+    pub fn from_raw(count: u64, total: u64, min: u64, max: u64, buckets: [u64; 7]) -> Self {
+        LatencyStats { count, total, min, max, buckets }
+    }
 }
 
 impl fmt::Display for LatencyStats {
@@ -431,6 +444,20 @@ mod tests {
         assert!((l.mean() - u64::MAX as f64 / 2.0).abs() / l.mean() < 1e-9);
         assert_eq!(l.max(), Some(u64::MAX));
         assert_eq!(l.histogram()[6], 2);
+    }
+
+    #[test]
+    fn latency_raw_round_trip_is_exact() {
+        let mut l = LatencyStats::default();
+        for v in [100u64, 120, 450, 900] {
+            l.record(v);
+        }
+        let (count, total, min, max, buckets) = l.to_raw();
+        assert_eq!(LatencyStats::from_raw(count, total, min, max, buckets), l);
+        // The empty distribution (min == u64::MAX sentinel) round-trips too.
+        let empty = LatencyStats::default();
+        let (c, t, mn, mx, b) = empty.to_raw();
+        assert_eq!(LatencyStats::from_raw(c, t, mn, mx, b), empty);
     }
 
     #[test]

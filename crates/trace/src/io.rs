@@ -43,7 +43,10 @@ pub enum ReadTraceError {
     Parse {
         /// Line the problem was found on.
         line: usize,
-        /// What went wrong.
+        /// Byte offset of the start of that line within the input — what a
+        /// user seeks to in a multi-megabyte trace their editor won't open.
+        byte: usize,
+        /// What went wrong, phrased as "expected X, found Y" where possible.
         message: String,
     },
 }
@@ -52,7 +55,9 @@ impl fmt::Display for ReadTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
-            ReadTraceError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ReadTraceError::Parse { line, byte, message } => {
+                write!(f, "line {line} (byte offset {byte}): {message}")
+            }
         }
     }
 }
@@ -102,15 +107,67 @@ pub fn write_trace<W: Write>(trace: &Trace, mut out: W) -> std::io::Result<()> {
     Ok(())
 }
 
-fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ReadTraceError> {
+/// Position of a parsed line: 1-based line number plus the byte offset of
+/// the line's first byte within the input.
+#[derive(Copy, Clone)]
+struct Pos {
+    line: usize,
+    byte: usize,
+}
+
+impl Pos {
+    fn err(self, message: String) -> ReadTraceError {
+        ReadTraceError::Parse { line: self.line, byte: self.byte, message }
+    }
+}
+
+/// Reads lines while tracking exact byte offsets (including the newline
+/// bytes `BufRead::lines` would discard), so parse errors can point into
+/// the raw file.
+struct LineReader<R> {
+    input: R,
+    line: usize,
+    byte: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(input: R) -> Self {
+        LineReader { input, line: 0, byte: 0 }
+    }
+
+    /// Next non-empty, non-comment line with its position, or `None` at EOF.
+    fn next_meaningful(&mut self) -> Result<Option<(Pos, String)>, ReadTraceError> {
+        let mut raw = String::new();
+        loop {
+            let start = self.byte;
+            raw.clear();
+            let read = self.input.read_line(&mut raw)?;
+            if read == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            self.byte += read;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if !content.is_empty() {
+                return Ok(Some((Pos { line: self.line, byte: start }, content.to_owned())));
+            }
+        }
+    }
+
+    /// Position just past everything read so far (for EOF errors).
+    fn eof_pos(&self) -> Pos {
+        Pos { line: self.line, byte: self.byte }
+    }
+}
+
+fn parse_u64(token: &str, pos: Pos, what: &str) -> Result<u64, ReadTraceError> {
     let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16)
     } else {
         token.parse()
     };
-    parsed.map_err(|_| ReadTraceError::Parse {
-        line,
-        message: format!("invalid {what}: {token:?}"),
+    parsed.map_err(|_| {
+        pos.err(format!("expected {what} (decimal or 0x-hex integer), found {token:?}"))
     })
 }
 
@@ -118,89 +175,67 @@ fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, ReadTraceError
 ///
 /// # Errors
 ///
-/// Returns [`ReadTraceError::Parse`] with a line number on any malformed
-/// line, unknown event tag, out-of-range processor index, or missing
-/// header; [`ReadTraceError::Io`] on read failure. The result is *not*
-/// lock/barrier-validated — run [`Trace::validate`] before simulating.
+/// Returns [`ReadTraceError::Parse`] with a 1-based line number and the
+/// byte offset of that line on any malformed line, unknown event tag,
+/// out-of-range processor index, or missing header; each message says what
+/// record was expected. [`ReadTraceError::Io`] on read failure. The result
+/// is *not* lock/barrier-validated — run [`Trace::validate`] before
+/// simulating.
 pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, ReadTraceError> {
-    let mut lines = input.lines().enumerate();
+    let mut lines = LineReader::new(input);
 
-    let next_meaningful = |lines: &mut dyn Iterator<Item = (usize, std::io::Result<String>)>|
-     -> Result<Option<(usize, String)>, ReadTraceError> {
-        for (idx, line) in lines {
-            let line = line?;
-            let content = line.split('#').next().unwrap_or("").trim().to_owned();
-            if !content.is_empty() {
-                return Ok(Some((idx + 1, content)));
-            }
-        }
-        Ok(None)
-    };
-
-    let Some((line_no, magic)) = next_meaningful(&mut lines)? else {
-        return Err(ReadTraceError::Parse { line: 0, message: "empty trace file".into() });
+    let Some((pos, magic)) = lines.next_meaningful()? else {
+        return Err(lines
+            .eof_pos()
+            .err(format!("empty trace file: expected magic line {MAGIC:?}")));
     };
     if magic != MAGIC {
-        return Err(ReadTraceError::Parse {
-            line: line_no,
-            message: format!("expected {MAGIC:?}, found {magic:?}"),
-        });
+        return Err(pos.err(format!("expected magic line {MAGIC:?}, found {magic:?}")));
     }
 
-    let Some((line_no, procs_line)) = next_meaningful(&mut lines)? else {
-        return Err(ReadTraceError::Parse { line: line_no, message: "missing `procs N`".into() });
+    let Some((pos, procs_line)) = lines.next_meaningful()? else {
+        return Err(lines.eof_pos().err("expected `procs N` header, found end of file".into()));
     };
     let num_procs = match procs_line.split_whitespace().collect::<Vec<_>>()[..] {
-        ["procs", n] => parse_u64(n, line_no, "processor count")? as usize,
+        ["procs", n] => parse_u64(n, pos, "processor count")? as usize,
         _ => {
-            return Err(ReadTraceError::Parse {
-                line: line_no,
-                message: format!("expected `procs N`, found {procs_line:?}"),
-            })
+            return Err(pos.err(format!("expected `procs N` header, found {procs_line:?}")));
         }
     };
     if num_procs == 0 || num_procs > 64 {
-        return Err(ReadTraceError::Parse {
-            line: line_no,
-            message: format!("processor count {num_procs} outside 1..=64"),
-        });
+        return Err(pos.err(format!("processor count {num_procs} outside 1..=64")));
     }
 
     let mut streams: Vec<ProcTrace> = vec![ProcTrace::new(); num_procs];
     let mut current: Option<usize> = None;
-    while let Some((line_no, content)) = next_meaningful(&mut lines)? {
+    while let Some((pos, content)) = lines.next_meaningful()? {
         let mut parts = content.split_whitespace();
         let tag = parts.next().expect("non-empty line has a first token");
         let arg = parts.next();
         if parts.next().is_some() {
-            return Err(ReadTraceError::Parse {
-                line: line_no,
-                message: format!("trailing tokens in {content:?}"),
-            });
+            return Err(pos.err(format!(
+                "expected `{tag}` with one argument, found trailing tokens in {content:?}"
+            )));
         }
         let arg = |what: &str| -> Result<u64, ReadTraceError> {
-            let token = arg.ok_or_else(|| ReadTraceError::Parse {
-                line: line_no,
-                message: format!("`{tag}` needs an argument"),
-            })?;
-            parse_u64(token, line_no, what)
+            let token = arg
+                .ok_or_else(|| pos.err(format!("expected an argument after `{tag}` ({what})")))?;
+            parse_u64(token, pos, what)
         };
         if tag == "proc" {
             let p = arg("processor index")? as usize;
             if p >= num_procs {
-                return Err(ReadTraceError::Parse {
-                    line: line_no,
-                    message: format!("processor {p} out of range 0..{num_procs}"),
-                });
+                return Err(pos.err(format!(
+                    "expected processor index in 0..{num_procs}, found {p}"
+                )));
             }
             current = Some(p);
             continue;
         }
         let Some(p) = current else {
-            return Err(ReadTraceError::Parse {
-                line: line_no,
-                message: "event before any `proc` header".into(),
-            });
+            return Err(pos.err(format!(
+                "expected a `proc P` header before the first event, found `{tag}`"
+            )));
         };
         let ev = match tag {
             "w" => TraceEvent::Work(arg("work cycles")? as u32),
@@ -212,10 +247,10 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, ReadTraceError> {
             "u" => TraceEvent::LockRelease(LockId(arg("lock id")? as u32)),
             "b" => TraceEvent::Barrier(BarrierId(arg("barrier id")? as u32)),
             other => {
-                return Err(ReadTraceError::Parse {
-                    line: line_no,
-                    message: format!("unknown event tag {other:?}"),
-                })
+                return Err(pos.err(format!(
+                    "unknown event tag {other:?}: expected one of \
+                     w/r/W/p/P/l/u/b or a `proc P` header"
+                )));
             }
         };
         streams[p].push(ev);
@@ -287,40 +322,71 @@ W 68     # decimal address
     }
 
     #[test]
-    fn rejects_unknown_tag_with_line_number() {
-        let err = read_trace("charlie-trace v1\nprocs 1\nproc 0\nx 5\n".as_bytes()).unwrap_err();
+    fn rejects_unknown_tag_with_line_and_byte() {
+        let input = "charlie-trace v1\nprocs 1\nproc 0\nx 5\n";
+        let err = read_trace(input.as_bytes()).unwrap_err();
         match err {
-            ReadTraceError::Parse { line, message } => {
+            ReadTraceError::Parse { line, byte, message } => {
                 assert_eq!(line, 4);
+                assert_eq!(byte, input.find("x 5").unwrap());
                 assert!(message.contains("unknown event tag"));
+                assert!(message.contains("expected one of"), "{message}");
             }
             other => panic!("expected parse error, got {other}"),
         }
     }
 
     #[test]
+    fn byte_offsets_account_for_comments_and_blanks() {
+        let input = "# header comment\ncharlie-trace v1\n\nprocs 1\nproc 0\n\n# hm\nr bad\n";
+        let err = read_trace(input.as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Parse { line, byte, .. } => {
+                assert_eq!(line, 8);
+                assert_eq!(byte, input.find("r bad").unwrap());
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_includes_byte_offset_and_expectation() {
+        let err = read_trace("charlie-trace v1\nprocs 1\nproc 0\nr 0xZZ\n".as_bytes()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("byte offset 32"), "{text}");
+        assert!(text.contains("expected address"), "{text}");
+    }
+
+    #[test]
+    fn truncated_file_reports_eof_expectation() {
+        let err = read_trace("charlie-trace v1\n".as_bytes()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("expected `procs N` header, found end of file"), "{text}");
+    }
+
+    #[test]
     fn rejects_event_before_proc_header() {
         let err = read_trace("charlie-trace v1\nprocs 1\nr 0x40\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("before any `proc`"));
+        assert!(err.to_string().contains("expected a `proc P` header"));
     }
 
     #[test]
     fn rejects_out_of_range_proc() {
         let err = read_trace("charlie-trace v1\nprocs 2\nproc 2\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("out of range"));
+        assert!(err.to_string().contains("expected processor index in 0..2, found 2"));
     }
 
     #[test]
     fn rejects_bad_address() {
         let err =
             read_trace("charlie-trace v1\nprocs 1\nproc 0\nr 0xZZ\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("invalid address"));
+        assert!(err.to_string().contains("expected address"));
     }
 
     #[test]
     fn rejects_missing_argument_and_trailing_tokens() {
         let err = read_trace("charlie-trace v1\nprocs 1\nproc 0\nr\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("needs an argument"));
+        assert!(err.to_string().contains("expected an argument after `r`"));
         let err =
             read_trace("charlie-trace v1\nprocs 1\nproc 0\nr 0x1 extra\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("trailing tokens"));
