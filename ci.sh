@@ -28,6 +28,16 @@ echo "== coherence invariant checker (release, --check) =="
 "${CLI[@]}" sweep --workload topopt --refs 2000 --procs 2 --json --check >/dev/null
 echo "release runs pass with invariant checking enabled"
 
+echo "== benches compile =="
+cargo bench --no-run -q
+
+echo "== quick-bench smoke vs checked-in baseline =="
+# Fails if events/sec drops more than 20% below BENCH_charlie.json's
+# quick_baseline run. Catches large regressions; the full grid slice
+# (charlie bench, no --quick) is the authoritative number.
+"${CLI[@]}" bench --quick --label ci_smoke --out "$(mktemp -t charlie-ci-bench.XXXXXX)" \
+    --baseline BENCH_charlie.json
+
 echo "== checkpoint kill-and-resume (SIGTERM mid-sweep) =="
 journal=$(mktemp -t charlie-ci-journal.XXXXXX)
 rm -f "$journal"

@@ -78,7 +78,11 @@ pub enum GrantOutcome {
 #[derive(Clone, Debug)]
 pub struct Bus {
     config: BusConfig,
-    next_id: u64,
+    /// Per-slot generation counters; `slot_generations.len()` is the
+    /// high-water mark of concurrently live transactions.
+    slot_generations: Vec<u32>,
+    /// Slots returned by [`Bus::release`], reused LIFO.
+    free_slots: Vec<u32>,
     demand: Vec<VecDeque<BusRequest>>,
     prefetch: Vec<VecDeque<BusRequest>>,
     rr_demand: usize,
@@ -92,7 +96,11 @@ impl Bus {
     pub fn new(config: BusConfig, num_procs: usize) -> Self {
         Bus {
             config,
-            next_id: 0,
+            // In-flight transactions are bounded by a few per processor
+            // (one demand miss plus the prefetch window), so pre-size for
+            // the common case and let pathological traces grow it.
+            slot_generations: Vec::with_capacity(4 * num_procs),
+            free_slots: Vec::with_capacity(4 * num_procs),
             demand: vec![VecDeque::new(); num_procs],
             prefetch: vec![VecDeque::new(); num_procs],
             rr_demand: 0,
@@ -124,8 +132,15 @@ impl Bus {
         op: BusOp,
         priority: Priority,
     ) -> TxnId {
-        let id = TxnId(self.next_id);
-        self.next_id += 1;
+        let id = match self.free_slots.pop() {
+            Some(slot) => TxnId::from_parts(slot, self.slot_generations[slot as usize]),
+            None => {
+                let slot = u32::try_from(self.slot_generations.len())
+                    .expect("fewer than 2^32 live transactions");
+                self.slot_generations.push(0);
+                TxnId::from_parts(slot, 0)
+            }
+        };
         let ready_at = match op {
             BusOp::Read | BusOp::ReadExclusive => now + self.config.uncontended_cycles(),
             BusOp::Upgrade | BusOp::WriteBack => now,
@@ -213,6 +228,35 @@ impl Bus {
             .chain(self.prefetch.iter())
             .filter_map(|q| q.front().map(|r| r.ready_at))
             .min()
+    }
+
+    /// Returns a granted transaction's slot to the free list once the engine
+    /// has fully retired it (no queue entry, no pending completion event).
+    ///
+    /// The slot's generation is bumped so any stale copy of `id` compares
+    /// unequal to the slot's next occupant. Releasing an id twice, or one
+    /// that is still queued, corrupts the slab discipline — callers release
+    /// exactly once, at transaction completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id`'s generation does not match the slot's current one
+    /// (double release or foreign id).
+    pub fn release(&mut self, id: TxnId) {
+        let slot = id.index();
+        assert_eq!(
+            self.slot_generations[slot],
+            id.generation(),
+            "release of stale or double-released {id}"
+        );
+        self.slot_generations[slot] = self.slot_generations[slot].wrapping_add(1);
+        self.free_slots.push(slot as u32);
+    }
+
+    /// Upper bound (exclusive) on [`TxnId::index`] over all ids handed out
+    /// so far: the slab size an id-indexed side table needs.
+    pub fn slot_count(&self) -> usize {
+        self.slot_generations.len()
     }
 
     /// Time the current transfer finishes (0 when never used).
@@ -385,6 +429,41 @@ mod tests {
             GrantOutcome::Granted { request, .. } => assert_eq!(request.id, c),
             o => panic!("{o:?}"),
         }
+    }
+
+    #[test]
+    fn released_slot_is_recycled_with_new_generation() {
+        let mut b = bus();
+        let a = b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        assert_eq!(a.index(), 0);
+        assert!(matches!(b.try_grant(0), GrantOutcome::Granted { .. }));
+        b.release(a);
+        let c = b.submit(20, ProcId(1), line(2), BusOp::WriteBack, Priority::Demand);
+        assert_eq!(c.index(), a.index(), "freed slot is reused");
+        assert_ne!(c, a, "recycled id carries a fresh generation");
+        assert_eq!(b.slot_count(), 1, "no new slot was allocated");
+    }
+
+    #[test]
+    fn live_transactions_get_distinct_slots() {
+        let mut b = bus();
+        let ids: Vec<TxnId> = (0..4u8)
+            .map(|p| b.submit(0, ProcId(p), line(u64::from(p)), BusOp::WriteBack, Priority::Demand))
+            .collect();
+        let mut slots: Vec<usize> = ids.iter().map(|i| i.index()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+        assert_eq!(b.slot_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or double-released")]
+    fn double_release_panics() {
+        let mut b = bus();
+        let a = b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        let _ = b.try_grant(0);
+        b.release(a);
+        b.release(a);
     }
 
     #[test]

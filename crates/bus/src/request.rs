@@ -5,12 +5,37 @@ use charlie_trace::{LineAddr, ProcId};
 use std::fmt;
 
 /// Opaque identifier of a submitted bus transaction.
+///
+/// Packed as `(generation << 32) | slot`. Slots are recycled through a free
+/// list once the engine calls [`crate::Bus::release`], so [`TxnId::index`]
+/// stays dense and can address a slab directly; the generation half makes a
+/// stale id from a previous occupant of the slot compare unequal.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct TxnId(pub(crate) u64);
 
+impl TxnId {
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
+        TxnId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    /// Dense slot index, suitable for direct slab addressing. The bus never
+    /// has two live transactions with the same index.
+    pub fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "txn#{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "txn#{}", self.index())
+        } else {
+            write!(f, "txn#{}r{}", self.index(), self.generation())
+        }
     }
 }
 
@@ -58,6 +83,15 @@ mod tests {
     #[test]
     fn txn_id_display() {
         assert_eq!(TxnId(7).to_string(), "txn#7");
+        assert_eq!(TxnId::from_parts(7, 2).to_string(), "txn#7r2");
+    }
+
+    #[test]
+    fn txn_id_packing_round_trips() {
+        let id = TxnId::from_parts(0xABCD, 31);
+        assert_eq!(id.index(), 0xABCD);
+        assert_eq!(id.generation(), 31);
+        assert_ne!(id, TxnId::from_parts(0xABCD, 30), "stale generation differs");
     }
 
     #[test]

@@ -52,44 +52,85 @@ pub struct EvictedLine {
     pub prefetched_unused: bool,
 }
 
+/// Classified result of a single-pass search of one set.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum SetFind {
+    /// Matching tag, valid state.
+    Hit(u32),
+    /// Matching tag, but the frame was invalidated.
+    InvalidMatch(u32),
+    /// No frame holds the tag.
+    Miss,
+}
+
 #[derive(Clone, Debug)]
 struct CacheSet {
     ways: Vec<CacheLine>,
-    /// Way indices, most-recently-used first.
-    lru: Vec<u32>,
+    /// Per-way last-use timestamps (larger = more recent). Replaces an
+    /// explicit MRU-first index list: a touch is one store instead of a
+    /// remove+insert shuffle, and victim selection folds into the same
+    /// pass that searches the tags. Stamps are unique (monotonic clock,
+    /// distinct initial values), so replacement order is exactly the old
+    /// list order.
+    stamp: Vec<u64>,
+    /// Next timestamp to hand out.
+    clock: u64,
 }
 
 impl CacheSet {
     fn new(associativity: u32) -> Self {
+        let a = u64::from(associativity);
         CacheSet {
             ways: vec![CacheLine::new(); associativity as usize],
-            lru: (0..associativity).collect(),
+            // Way 0 starts most recent, way a-1 least recent — the initial
+            // order of the old MRU list, which tests pin.
+            stamp: (0..associativity).map(|i| a - 1 - u64::from(i)).collect(),
+            clock: a,
         }
     }
 
+    #[inline]
     fn touch(&mut self, way: u32) {
-        let pos = self.lru.iter().position(|&w| w == way).expect("way in lru list");
-        self.lru.remove(pos);
-        self.lru.insert(0, way);
+        self.stamp[way as usize] = self.clock;
+        self.clock += 1;
     }
 
-    fn find(&self, tag: u64) -> Option<u32> {
-        self.ways.iter().position(|l| l.matches(tag)).map(|w| w as u32)
-    }
-
-    /// Victim selection: reuse the matching-tag frame if any (refill after
-    /// invalidation), else any invalid frame (least recently used first),
-    /// else the LRU valid frame.
-    fn victim(&self, tag: u64) -> u32 {
-        if let Some(w) = self.find(tag) {
-            return w;
-        }
-        for &w in self.lru.iter().rev() {
-            if !self.ways[w as usize].state().is_valid() {
-                return w;
+    /// One pass over the set: at most one frame can hold a given tag, so
+    /// the first match wins and its validity classifies the result.
+    #[inline]
+    fn find(&self, tag: u64) -> SetFind {
+        for (w, l) in self.ways.iter().enumerate() {
+            if l.matches(tag) {
+                return if l.state().is_valid() {
+                    SetFind::Hit(w as u32)
+                } else {
+                    SetFind::InvalidMatch(w as u32)
+                };
             }
         }
-        *self.lru.last().expect("non-empty lru list")
+        SetFind::Miss
+    }
+
+    /// Victim selection in a single pass: reuse the matching-tag frame if
+    /// any (refill after invalidation), else the least-recently-used
+    /// invalid frame, else the least-recently-used frame overall.
+    fn victim(&self, tag: u64) -> u32 {
+        let mut oldest = 0usize;
+        let mut oldest_invalid: Option<usize> = None;
+        for (w, l) in self.ways.iter().enumerate() {
+            if l.matches(tag) {
+                return w as u32;
+            }
+            if self.stamp[w] < self.stamp[oldest] {
+                oldest = w;
+            }
+            if !l.state().is_valid()
+                && oldest_invalid.map_or(true, |o| self.stamp[w] < self.stamp[o])
+            {
+                oldest_invalid = Some(w);
+            }
+        }
+        oldest_invalid.unwrap_or(oldest) as u32
     }
 }
 
@@ -193,15 +234,9 @@ impl CacheArray {
         let tag = self.geom.tag(line);
         let set = &self.sets[self.set_of(line)];
         match set.find(tag) {
-            None => Probe::Miss,
-            Some(way) => {
-                let l = &set.ways[way as usize];
-                if l.state().is_valid() {
-                    Probe::Hit { way, state: l.state() }
-                } else {
-                    Probe::InvalidatedMatch { way }
-                }
-            }
+            SetFind::Miss => Probe::Miss,
+            SetFind::Hit(way) => Probe::Hit { way, state: set.ways[way as usize].state() },
+            SetFind::InvalidMatch(way) => Probe::InvalidatedMatch { way },
         }
     }
 
@@ -269,15 +304,16 @@ impl CacheArray {
     pub fn snoop_invalidate(&mut self, line: LineAddr, word: u32) -> Option<(LineState, bool)> {
         let tag = self.geom.tag(line);
         let set_idx = self.set_of(line);
-        if let Some(way) = self.sets[set_idx].find(tag) {
-            let frame = &mut self.sets[set_idx].ways[way as usize];
-            if frame.state().is_valid() {
+        match self.sets[set_idx].find(tag) {
+            SetFind::Hit(way) => {
+                let frame = &mut self.sets[set_idx].ways[way as usize];
                 let prev = frame.state();
                 let unused = frame.filled_by_prefetch() && !frame.used_since_fill();
                 frame.invalidate_by_remote_write(word);
                 return Some((prev, unused));
             }
-            return None;
+            SetFind::InvalidMatch(_) => return None,
+            SetFind::Miss => {}
         }
         self.victim.take(line).map(|e| {
             (e.frame.state(), e.frame.filled_by_prefetch() && !e.frame.used_since_fill())
@@ -303,11 +339,8 @@ impl CacheArray {
         let tag = self.geom.tag(line);
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
-        let way = set.find(tag)?;
+        let SetFind::Hit(way) = set.find(tag) else { return None };
         let frame = &mut set.ways[way as usize];
-        if !frame.state().is_valid() {
-            return None;
-        }
         let prev = frame.state();
         frame.invalidate_by_remote_write(word);
         Some(prev)
@@ -319,11 +352,8 @@ impl CacheArray {
         let tag = self.geom.tag(line);
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
-        let way = set.find(tag)?;
+        let SetFind::Hit(way) = set.find(tag) else { return None };
         let frame = &mut set.ways[way as usize];
-        if !frame.state().is_valid() {
-            return None;
-        }
         let prev = frame.state();
         frame.downgrade(LineState::Shared);
         Some(prev)

@@ -315,3 +315,57 @@ pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> 
     }
     Ok(())
 }
+
+/// `charlie bench`: measures the representative grid slice and emits a
+/// `BENCH_charlie.json`-shaped snapshot; with `--baseline`, additionally
+/// enforces the events/sec regression gate against the checked-in numbers.
+pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&["label", "out", "baseline", "refs", "procs", "seed"])?;
+    let quick = args.switch("quick");
+    let mut slice_cfg =
+        if quick { charlie::bench::SliceConfig::quick() } else { charlie::bench::SliceConfig::full() };
+    slice_cfg.refs_per_proc = args.get_or("refs", slice_cfg.refs_per_proc)?;
+    slice_cfg.procs = args.get_or("procs", slice_cfg.procs)?;
+    slice_cfg.seed = args.get_or("seed", slice_cfg.seed)?;
+    let default_label = if quick { "quick" } else { "full" };
+    let label = args.get("label").unwrap_or(default_label);
+
+    let snapshot = charlie::bench::run_slice(label, &slice_cfg);
+    let _ = writeln!(out, "{}", snapshot.summary());
+
+    if let Some(path) = args.get("out") {
+        let rendered = charlie::bench::render_file(&[&snapshot]);
+        std::fs::write(path, rendered)
+            .map_err(|e| ArgsError(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "snapshot written to {path}");
+    }
+
+    if let Some(path) = args.get("baseline") {
+        // Quick runs gate against the checked-in quick baseline; full runs
+        // against the post-optimization full numbers.
+        let section = if quick { "quick_baseline" } else { "after" };
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| ArgsError(format!("reading {path}: {e}")))?;
+        let reference = charlie::bench::extract_run_number(&baseline, section, "events_per_sec")
+            .ok_or_else(|| {
+                ArgsError(format!("no runs.{section}.events_per_sec in {path}"))
+            })?;
+        let measured = snapshot.events_per_sec;
+        let ratio = if reference > 0.0 { measured / reference } else { 1.0 };
+        let _ = writeln!(
+            out,
+            "baseline {section}: {:.2} M events/s; measured {:.2} M events/s ({:.0}% of baseline)",
+            reference / 1e6,
+            measured / 1e6,
+            ratio * 100.0,
+        );
+        if ratio < 0.8 {
+            return Err(ArgsError(format!(
+                "events/sec regressed more than 20% vs {path} ({:.2}M < 0.8 x {:.2}M)",
+                measured / 1e6,
+                reference / 1e6,
+            )));
+        }
+    }
+    Ok(())
+}

@@ -49,6 +49,15 @@ COMMANDS:
   experiments    regenerate paper exhibits
                    positional: table1 figure1 table2 figure2 figure3 table3
                                table4 table5 proc-util all   [--csv --jobs N]
+  bench          time the representative grid slice (Mp3d x all strategies x
+                 all latencies) and print a BENCH_charlie.json-style snapshot
+                   --quick          ~8x smaller slice (the CI smoke size)
+                   --label NAME     label the snapshot (default quick/full)
+                   --out FILE       write the snapshot as JSON to FILE
+                   --baseline FILE  compare events/sec against FILE
+                                    (runs.quick_baseline when --quick, else
+                                    runs.after) and fail on a >20% regression
+                   [--refs N --procs N --seed N]
   help           print this text
 
 OPTIONS:
@@ -83,6 +92,7 @@ pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
         Some("export-trace") => commands::export_trace(&parsed, out),
         Some("run-trace") => commands::run_trace(&parsed, out),
         Some("experiments") => commands::experiments(&parsed, out),
+        Some("bench") => commands::bench(&parsed, out),
         Some(other) => Err(ArgsError(format!("unknown command {other:?}; try `charlie help`"))),
         None => {
             let _ = write!(out, "{HELP}");

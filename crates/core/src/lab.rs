@@ -11,11 +11,13 @@
 
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
-use charlie_sim::{simulate, SimConfig, SimError, SimReport};
+use charlie_sim::{simulate_prevalidated, SimConfig, SimError, SimReport};
+use charlie_trace::Trace;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One cell of the paper's evaluation space.
@@ -290,27 +292,52 @@ fn watchdog_budget(cfg: &RunConfig) -> u64 {
     WATCHDOG_EVENT_FLOOR.saturating_add(WATCHDOG_EVENTS_PER_ACCESS.saturating_mul(accesses))
 }
 
-/// Runs one experiment under `cfg`, independent of any lab. This is the
-/// unit of work both the serial and the parallel paths execute; it touches
-/// no shared state, which is what makes [`Lab::run_batch`] trivially
-/// deterministic.
-fn run_experiment(cfg: &RunConfig, exp: Experiment) -> Result<RunSummary, RunError> {
-    let wcfg = WorkloadConfig {
+/// Workload-generator settings for the lab's machine at a given layout —
+/// the only experiment axis (besides the workload itself) that changes the
+/// raw trace. Strategy and transfer latency do not.
+fn workload_config(cfg: &RunConfig, layout: Layout) -> WorkloadConfig {
+    WorkloadConfig {
         procs: cfg.procs,
         refs_per_proc: cfg.refs_per_proc,
         seed: cfg.seed,
-        layout: exp.layout,
-    };
-    let raw = generate(exp.workload, &wcfg);
-    let prepared = charlie_prefetch::apply(exp.strategy, &raw, cfg.geometry);
-    let prefetches_inserted = prepared.total_prefetches() as u64;
+        layout,
+    }
+}
+
+/// Runs one experiment against an already-prepared (strategy applied,
+/// validity established) trace. `apply` preserves trace validity (asserted
+/// by `apply_preserves_trace_validity` below), so one validation of the raw
+/// trace covers every strategy and latency cell derived from it.
+fn run_on_prepared(
+    cfg: &RunConfig,
+    exp: Experiment,
+    prepared: &Trace,
+    prefetches_inserted: u64,
+) -> Result<RunSummary, RunError> {
     let sim_cfg = SimConfig {
         geometry: cfg.geometry,
         max_events: watchdog_budget(cfg),
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
-    let report = simulate(&sim_cfg, &prepared)?;
+    let report = simulate_prevalidated(&sim_cfg, prepared)?;
     Ok(RunSummary { experiment: exp, report, prefetches_inserted })
+}
+
+/// Runs one experiment against an already-validated raw trace.
+fn run_on_raw(cfg: &RunConfig, exp: Experiment, raw: &Trace) -> Result<RunSummary, RunError> {
+    let prepared = charlie_prefetch::apply(exp.strategy, raw, cfg.geometry);
+    let prefetches_inserted = prepared.total_prefetches() as u64;
+    run_on_prepared(cfg, exp, &prepared, prefetches_inserted)
+}
+
+/// Runs one experiment under `cfg`, independent of any lab. This is the
+/// unit of work both the serial and the parallel paths execute; it touches
+/// no shared state, which is what makes [`Lab::run_batch`] trivially
+/// deterministic.
+fn run_experiment(cfg: &RunConfig, exp: Experiment) -> Result<RunSummary, RunError> {
+    let raw = generate(exp.workload, &workload_config(cfg, exp.layout));
+    raw.validate().map_err(|e| RunError::Sim(SimError::InvalidTrace(e)))?;
+    run_on_raw(cfg, exp, &raw)
 }
 
 /// Fault-injection hook: consulted with the experiment before each run; a
@@ -343,6 +370,62 @@ fn run_cell(
             }
         }
         run_experiment(cfg, exp)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+/// Generates and validates the raw (pre-strategy) trace for one
+/// (workload, layout) pair, with the same panic isolation as [`run_cell`].
+/// A batch calls this once per distinct pair and shares the result across
+/// every strategy/latency cell derived from it.
+fn prepare_raw(cfg: &RunConfig, exp: Experiment) -> Result<Arc<Trace>, RunError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let raw = generate(exp.workload, &workload_config(cfg, exp.layout));
+        raw.validate().map_err(|e| RunError::Sim(SimError::InvalidTrace(e)))?;
+        Ok(Arc::new(raw))
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+/// Applies `strategy` to a batch-shared raw trace with the same panic
+/// isolation as [`run_cell`], returning the prepared trace and its
+/// inserted-prefetch count. One call serves every latency cell of a
+/// (workload, layout, strategy) group — `apply` does not depend on the
+/// transfer latency.
+fn prepare_strategy(
+    cfg: &RunConfig,
+    strategy: Strategy,
+    raw: &Trace,
+) -> Result<(Trace, u64), RunError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let prepared = charlie_prefetch::apply(strategy, raw, cfg.geometry);
+        let inserted = prepared.total_prefetches() as u64;
+        Ok((prepared, inserted))
+    }))
+    .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload.as_ref()))))
+}
+
+/// [`run_cell`] against a batch-shared prepared trace.
+fn run_cell_prepared(
+    cfg: &RunConfig,
+    exp: Experiment,
+    prepared: &Trace,
+    prefetches_inserted: u64,
+    injector: Option<&Injector>,
+) -> Result<RunSummary, RunError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(inject) = injector {
+            if let Some(error) = inject(exp) {
+                return Err(error);
+            }
+        }
+        run_on_prepared(cfg, exp, prepared, prefetches_inserted)
     }));
     match attempt {
         Ok(result) => result,
@@ -500,33 +583,100 @@ impl Lab {
         self.stats.memo_hits += memo_hits as u64;
         self.stats.memo_misses += todo.len() as u64;
 
-        let jobs = Self::resolve_jobs(jobs).min(todo.len().max(1));
+        // Group cells that can share a prepared (post-strategy) trace:
+        // within one (workload, layout, strategy) group only the transfer
+        // latency varies, and neither trace generation nor `apply` depends
+        // on it. A batch therefore generates+validates each raw trace once
+        // per (workload, layout) and applies each strategy once per group,
+        // instead of redoing both for every cell. Each worker holds at most
+        // one prepared trace at a time, so memory stays bounded by `jobs`.
+        let mut group_of: HashMap<(Workload, Layout, Strategy), usize> = HashMap::new();
+        let mut groups: Vec<Vec<(usize, Experiment)>> = Vec::new();
+        for (i, &exp) in todo.iter().enumerate() {
+            let g = *group_of.entry((exp.workload, exp.layout, exp.strategy)).or_insert_with(
+                || {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                },
+            );
+            groups[g].push((i, exp));
+        }
+
+        let jobs = Self::resolve_jobs(jobs).min(groups.len().max(1));
         let cfg = &self.cfg;
         let injector = self.injector.as_deref();
+
+        // The raw-trace cache is read-only by the time workers see it; a
+        // failed generation fails exactly the cells that would have used
+        // that trace.
+        let mut shared: HashMap<(Workload, Layout), Result<Arc<Trace>, RunError>> =
+            HashMap::new();
+        for &exp in &todo {
+            shared.entry((exp.workload, exp.layout)).or_insert_with(|| prepare_raw(cfg, exp));
+        }
+        let shared = &shared;
+
         // `parallel::map_observed` returns results in submission order, so
         // the merge below is deterministic regardless of worker scheduling;
         // the observer journals successes in completion order from the
         // caller's thread (order inside the journal does not matter — it is
         // a set of cells, replayed into a memo on resume).
-        let results = crate::parallel::map_observed(
-            &todo,
+        let group_results = crate::parallel::map_observed(
+            &groups,
             jobs,
-            |worker, &exp| {
-                let t0 = Instant::now();
-                let outcome = run_cell(cfg, exp, injector);
-                (outcome, t0.elapsed().as_nanos(), worker)
+            |worker, group| {
+                let (_, first) = group[0];
+                let apply_start = Instant::now();
+                let prepared = match &shared[&(first.workload, first.layout)] {
+                    Ok(raw) => prepare_strategy(cfg, first.strategy, raw),
+                    Err(error) => Err(error.clone()),
+                };
+                let apply_nanos = apply_start.elapsed().as_nanos();
+                group
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(i, exp))| {
+                        let t0 = Instant::now();
+                        let outcome = match &prepared {
+                            Ok((trace, inserted)) => {
+                                run_cell_prepared(cfg, exp, trace, *inserted, injector)
+                            }
+                            Err(error) => Err(error.clone()),
+                        };
+                        // The one-off apply cost is charged to the group's
+                        // first cell.
+                        let nanos =
+                            t0.elapsed().as_nanos() + if k == 0 { apply_nanos } else { 0 };
+                        (i, outcome, nanos, worker)
+                    })
+                    .collect::<Vec<_>>()
             },
-            |_, result| {
-                if let (Ok(summary), Some(cb)) = (&result.0, on_complete.as_deref_mut()) {
-                    cb(summary);
+            |_, cells| {
+                if let Some(cb) = on_complete.as_deref_mut() {
+                    for cell in cells {
+                        if let Ok(summary) = &cell.1 {
+                            cb(summary);
+                        }
+                    }
                 }
             },
         );
 
+        // Flatten back to `todo` order (groups interleave cells).
+        let mut results: Vec<Option<(Result<RunSummary, RunError>, u128, usize)>> =
+            todo.iter().map(|_| None).collect();
+        for cells in group_results {
+            for (i, outcome, nanos, worker) in cells {
+                results[i] = Some((outcome, nanos, worker));
+            }
+        }
+
         let mut sim_nanos = 0u128;
         let mut executed = 0usize;
         let mut failures: Vec<RunFailure> = Vec::new();
-        for (&exp, (outcome, nanos, worker)) in todo.iter().zip(results) {
+        for (i, &exp) in todo.iter().enumerate() {
+            let (outcome, nanos, worker) =
+                results[i].take().expect("every todo cell belongs to exactly one group");
             sim_nanos += nanos;
             match outcome {
                 Ok(summary) => {
@@ -679,6 +829,27 @@ mod tests {
         assert_eq!(report.requested, 3);
         assert_eq!(report.executed, 1);
         assert_eq!(lab.runs_completed(), 1);
+    }
+
+    /// Load-bearing for the shared-trace batch path: a batch validates each
+    /// raw trace once and simulates the *prepared* traces prevalidated, so
+    /// `charlie_prefetch::apply` must never turn a valid trace invalid —
+    /// for any workload, layout or strategy.
+    #[test]
+    fn apply_preserves_trace_validity() {
+        let cfg = RunConfig { procs: 4, refs_per_proc: 1_500, seed: 11, ..RunConfig::default() };
+        for workload in Workload::ALL {
+            for layout in [Layout::Interleaved, Layout::Padded] {
+                let raw = generate(workload, &workload_config(&cfg, layout));
+                raw.validate().expect("generators emit valid traces");
+                for strategy in Strategy::ALL {
+                    let prepared = charlie_prefetch::apply(strategy, &raw, cfg.geometry);
+                    prepared.validate().unwrap_or_else(|e| {
+                        panic!("apply({strategy}) broke {workload}/{layout:?}: {e}")
+                    });
+                }
+            }
+        }
     }
 
     #[test]

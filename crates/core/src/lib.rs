@@ -37,6 +37,7 @@
 //! assert!(pf.report.bus.total_ops() + 10 >= np.report.bus.total_ops());
 //! ```
 
+pub mod bench;
 mod chart;
 pub mod checkpoint;
 pub mod experiments;

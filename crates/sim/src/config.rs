@@ -74,6 +74,15 @@ pub struct SimConfig {
     ///
     /// [`SimError::BudgetExceeded`]: crate::SimError::BudgetExceeded
     pub max_events: u64,
+    /// Apply snoops only to the caches the engine's sharer table says can
+    /// hold the line, instead of probing all `num_procs` caches on every
+    /// bus grant. Pure strength reduction — results are bit-identical
+    /// either way (the skipped probes are provably no-ops, and the table is
+    /// cross-checked against brute-force occupancy whenever invariant
+    /// checking is on). On by default; turn off (or set the
+    /// `CHARLIE_NO_SNOOP_FILTER` environment variable) to time or test the
+    /// broadcast scan.
+    pub snoop_filter: bool,
     /// Run the [`crate::check`] coherence invariant checker after every bus
     /// transaction (and once at end of run), failing the simulation with
     /// [`SimError::InvariantViolation`] on the first illegal protocol state.
@@ -96,6 +105,7 @@ impl SimConfig {
             warmup_accesses: 0,
             victim_entries: 0,
             protocol: Protocol::WriteInvalidate,
+            snoop_filter: true,
             max_events: 0,
             check_invariants: false,
         }
@@ -159,6 +169,7 @@ mod tests {
         let c = SimConfig::paper(8, 8);
         assert_eq!(c.max_events, 0);
         assert!(!c.check_invariants);
+        assert!(c.snoop_filter, "snoop filtering is on by default");
     }
 
     #[test]

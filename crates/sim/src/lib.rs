@@ -24,7 +24,9 @@
 //! Setting the `CHARLIE_DEBUG_EVENTS` environment variable makes the engine
 //! print a progress line (event counts, processor cursors and states, bus
 //! queue depth) every ~4M events — useful when diagnosing a run that seems
-//! stuck.
+//! stuck. Setting `CHARLIE_NO_SNOOP_FILTER` disables the sharer-tracking
+//! snoop filter (see [`sharers`]) and falls back to probing every cache on
+//! each bus grant; results are bit-identical either way.
 //!
 //! # Example
 //!
@@ -50,10 +52,13 @@ mod error;
 mod machine;
 mod metrics;
 mod proc;
+pub mod sharers;
 mod sync;
+mod wheel;
 
 pub use check::CoherenceViolation;
 pub use config::{Protocol, SimConfig, BARRIER_REGION_BASE, LOCK_REGION_BASE};
+pub use sharers::SharerTable;
 pub use error::SimError;
 pub use metrics::{LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, LATENCY_BUCKET_BOUNDS};
 
@@ -67,7 +72,46 @@ use charlie_trace::Trace;
 /// does not match the configuration, or the machine deadlocks (which a
 /// validated trace cannot cause).
 pub fn simulate(cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
+    Ok(machine::Machine::new(*cfg, trace)?.run()?.0)
+}
+
+/// [`simulate`], but additionally returns the number of scheduler events the
+/// run processed — the denominator of the events/sec throughput metric the
+/// benchmark harness records (see `charlie::bench`). The report is
+/// bit-identical to [`simulate`]'s; the count is deterministic.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`].
+pub fn simulate_counted(cfg: &SimConfig, trace: &Trace) -> Result<(SimReport, u64), SimError> {
     machine::Machine::new(*cfg, trace)?.run()
+}
+
+/// [`simulate`] minus the upfront `trace.validate()` pass: the caller vouches
+/// that `trace` already passed validation (e.g. a shared trace validated once
+/// per batch instead of once per cell). Behaviour on an *invalid* trace is
+/// unspecified but safe (typically [`SimError::Deadlock`] from unbalanced
+/// synchronization).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`] except [`SimError::InvalidTrace`].
+pub fn simulate_prevalidated(cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
+    Ok(machine::Machine::new_prevalidated(*cfg, trace)?.run()?.0)
+}
+
+/// [`simulate_counted`] on a caller-validated trace — the combination the
+/// benchmark harness uses so its cells cost exactly what a `Lab` batch cell
+/// costs.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_prevalidated`].
+pub fn simulate_counted_prevalidated(
+    cfg: &SimConfig,
+    trace: &Trace,
+) -> Result<(SimReport, u64), SimError> {
+    machine::Machine::new_prevalidated(*cfg, trace)?.run()
 }
 
 #[cfg(test)]

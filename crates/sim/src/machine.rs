@@ -30,13 +30,14 @@ use crate::config::{Protocol, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MissBreakdown, PrefetchStats, SimReport};
 use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
+use crate::sharers::SharerTable;
 use crate::sync::{BarrierState, LockTable};
 use charlie_bus::{Bus, GrantOutcome, Priority, TxnId};
 use charlie_cache::protocol::{self, BusOp, LocalAction};
 use charlie_cache::{CacheArray, Probe};
 use charlie_trace::{Access, LineAddr, ProcId, Trace, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use crate::wheel::EventWheel;
+use fxhash::FxHashSet;
 
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum EventKind {
@@ -101,19 +102,31 @@ struct Tallies {
 pub(crate) struct Machine<'t> {
     cfg: SimConfig,
     trace: &'t Trace,
-    heap: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    heap: EventWheel<EventKind>,
     seq: u64,
     procs: Vec<Proc>,
     epochs: Vec<u64>,
     caches: Vec<CacheArray>,
     bus: Bus,
-    txns: HashMap<TxnId, TxnInfo>,
+    /// Live transactions, indexed by [`TxnId::index`]. The bus recycles
+    /// slots through [`Bus::release`], so this slab stays at the high-water
+    /// mark of *concurrent* transactions (a handful per processor) instead
+    /// of hashing an ever-growing id space.
+    txns: Vec<Option<TxnInfo>>,
     locks: LockTable,
     barrier: BarrierState,
+    /// Which caches hold a valid copy of each line; lets `apply_snoops`
+    /// probe only possible holders. Always maintained (cheap) — `snoop_filter`
+    /// only selects whether it is *used*.
+    sharers: SharerTable,
+    /// Iterate the sharer mask in `apply_snoops` instead of scanning all
+    /// caches. From `SimConfig::snoop_filter`, overridable by the
+    /// `CHARLIE_NO_SNOOP_FILTER` environment variable (read once here).
+    snoop_filter: bool,
     /// Per processor: lines a prefetch brought in that vanished before any
     /// demand use (so a later tag-mismatch miss can be classified
     /// "prefetched").
-    ghosts: Vec<HashSet<LineAddr>>,
+    ghosts: Vec<FxHashSet<LineAddr>>,
     tallies: Tallies,
     done_count: usize,
     finish_time: u64,
@@ -139,11 +152,23 @@ pub(crate) struct Machine<'t> {
     /// `CHARLIE_DEBUG_LINE` substring filter: snoops and fills whose line
     /// address matches are traced to stderr (coherence debugging aid).
     debug_line: Option<String>,
+    /// `CHARLIE_DEBUG_EVENTS` progress tracing, sampled once at
+    /// construction so the event loop never touches the environment.
+    debug_events: bool,
+    /// `SimConfig::max_events` with the 0-disables-it sentinel folded into
+    /// `u64::MAX`, so the watchdog is a single branch-predictable compare.
+    event_budget: u64,
 }
 
 impl<'t> Machine<'t> {
     pub(crate) fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
         trace.validate().map_err(SimError::InvalidTrace)?;
+        Machine::new_prevalidated(cfg, trace)
+    }
+
+    /// [`Machine::new`] without the `trace.validate()` pass — the caller
+    /// vouches the trace already passed validation (shared-trace batch path).
+    pub(crate) fn new_prevalidated(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
         if trace.num_procs() != cfg.num_procs {
             return Err(SimError::ProcCountMismatch {
                 config: cfg.num_procs,
@@ -157,7 +182,10 @@ impl<'t> Machine<'t> {
         Ok(Machine {
             cfg,
             trace,
-            heap: BinaryHeap::new(),
+            // Live events are bounded by roughly one wake per processor
+            // plus one completion per in-flight transaction plus the single
+            // bus check: pre-size so steady state never reallocates.
+            heap: EventWheel::new(),
             seq: 0,
             procs: vec![Proc::default(); n],
             epochs: vec![0; n],
@@ -165,10 +193,13 @@ impl<'t> Machine<'t> {
                 .map(|_| CacheArray::with_victim(cfg.geometry, cfg.victim_entries))
                 .collect(),
             bus: Bus::new(cfg.bus, n),
-            txns: HashMap::new(),
+            txns: Vec::with_capacity(4 * n),
             locks: LockTable::new(),
             barrier: BarrierState::new(n),
-            ghosts: vec![HashSet::new(); n],
+            sharers: SharerTable::new(n),
+            snoop_filter: cfg.snoop_filter
+                && std::env::var_os("CHARLIE_NO_SNOOP_FILTER").is_none(),
+            ghosts: vec![FxHashSet::default(); n],
             tallies: Tallies::default(),
             done_count: 0,
             finish_time: 0,
@@ -178,18 +209,20 @@ impl<'t> Machine<'t> {
             checking: cfg.check_invariants || cfg!(debug_assertions),
             violation: None,
             debug_line: std::env::var("CHARLIE_DEBUG_LINE").ok(),
+            debug_events: std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some(),
+            event_budget: if cfg.max_events == 0 { u64::MAX } else { cfg.max_events },
         })
     }
 
-    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+    pub(crate) fn run(mut self) -> Result<(SimReport, u64), SimError> {
         for p in 0..self.cfg.num_procs {
             let e = self.epochs[p];
             self.push(0, EventKind::Wake { proc: p as u8, epoch: e });
         }
         let mut events_processed: u64 = 0;
-        let debug = std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some();
+        let debug = self.debug_events;
         while self.done_count < self.cfg.num_procs {
-            let Some(Reverse((time, seq, kind))) = self.heap.pop() else {
+            let Some((time, seq, kind)) = self.heap.pop() else {
                 return Err(SimError::Deadlock);
             };
             events_processed += 1;
@@ -206,7 +239,7 @@ impl<'t> Machine<'t> {
             }
             // Watchdog: a deterministic event budget catches livelocked or
             // runaway runs that would otherwise wedge a whole batch.
-            if self.cfg.max_events != 0 && events_processed > self.cfg.max_events {
+            if events_processed > self.event_budget {
                 let retired: u64 = self.procs.iter().map(|p| p.cursor as u64).sum();
                 let blocked = self
                     .procs
@@ -237,13 +270,13 @@ impl<'t> Machine<'t> {
                 check::check_prefetch_buffer(
                     p,
                     &self.caches[p],
-                    self.procs[p].outstanding.keys().copied(),
+                    self.procs[p].outstanding.lines(),
                     self.cfg.prefetch_buffer_depth,
                 )
                 .map_err(SimError::InvariantViolation)?;
             }
         }
-        Ok(self.into_report())
+        Ok((self.into_report(), events_processed))
     }
 
     /// Re-derives invariants 1–2 for `line` after a coherence action,
@@ -260,7 +293,7 @@ impl<'t> Machine<'t> {
             self.violation = check::check_prefetch_buffer(
                 p,
                 &self.caches[p],
-                self.procs[p].outstanding.keys().copied(),
+                self.procs[p].outstanding.lines(),
                 self.cfg.prefetch_buffer_depth,
             )
             .err();
@@ -288,10 +321,23 @@ impl<'t> Machine<'t> {
 
     // ---- event plumbing -------------------------------------------------
 
+    #[inline]
     fn push(&mut self, time: u64, kind: EventKind) -> u64 {
         self.seq += 1;
-        self.heap.push(Reverse((time, self.seq, kind)));
+        self.heap.push(time, self.seq, kind);
         self.seq
+    }
+
+    /// Parks a freshly submitted transaction in the id-indexed slab. Slot
+    /// indices are dense (the bus recycles them), so the slab only grows to
+    /// the high-water mark of concurrently live transactions.
+    fn register_txn(&mut self, id: TxnId, info: TxnInfo) {
+        let idx = id.index();
+        if idx >= self.txns.len() {
+            self.txns.resize(idx + 1, None);
+        }
+        debug_assert!(self.txns[idx].is_none(), "slab slot of {id} still occupied");
+        self.txns[idx] = Some(info);
     }
 
     /// Schedules a wake that is valid only while the target's epoch is
@@ -347,7 +393,7 @@ impl<'t> Machine<'t> {
             }
             // Yield whenever any other event is due at or before local time.
             let t = self.procs[p].t;
-            if let Some(&Reverse((t_next, _, _))) = self.heap.peek() {
+            if let Some(t_next) = self.heap.next_time() {
                 if t_next <= t {
                     self.push_wake(t, p);
                     return;
@@ -424,7 +470,7 @@ impl<'t> Machine<'t> {
         // Buffer full: stall without charging the dispatch cycle (it is
         // charged when the prefetch actually issues on retry).
         let outstanding_full = self.procs[p].outstanding.len() >= self.cfg.prefetch_buffer_depth;
-        let already_outstanding = self.procs[p].outstanding.contains_key(&line);
+        let already_outstanding = self.procs[p].outstanding.contains(line);
         let resident =
             self.caches[p].probe_line(line).is_hit() || self.caches[p].probe_victim(line);
 
@@ -459,7 +505,7 @@ impl<'t> Machine<'t> {
             Priority::Prefetch
         };
         let txn = self.bus.submit(now, ProcId(p as u8), line, op, priority);
-        self.txns.insert(
+        self.register_txn(
             txn,
             TxnInfo {
                 issued_at: now,
@@ -513,7 +559,7 @@ impl<'t> Machine<'t> {
                     self.tallies.upgrades += 1;
                     let txn =
                         self.bus.submit(now, ProcId(p as u8), line, BusOp::Upgrade, Priority::Demand);
-                    self.txns.insert(
+                    self.register_txn(
                         txn,
                         TxnInfo {
                             issued_at: now,
@@ -542,7 +588,7 @@ impl<'t> Machine<'t> {
                     return Flow::Continue;
                 }
                 // Own prefetch in flight for this line?
-                if let Some(slot) = self.procs[p].outstanding.get_mut(&line) {
+                if let Some(slot) = self.procs[p].outstanding.get_mut(line) {
                     slot.cpu_waiting = true;
                     let txn = slot.txn;
                     if !pa.counted {
@@ -572,7 +618,7 @@ impl<'t> Machine<'t> {
                     BusOp::Read
                 };
                 let txn = self.bus.submit(now, ProcId(p as u8), line, op, Priority::Demand);
-                self.txns.insert(
+                self.register_txn(
                     txn,
                     TxnInfo {
                         issued_at: now,
@@ -801,10 +847,43 @@ impl<'t> Machine<'t> {
         }
     }
 
+    /// Processors whose caches *may* hold a valid copy of `line`: the sharer
+    /// mask when filtering, every processor otherwise. Probing a non-holder
+    /// is a no-op, so the two differ only in wasted probes — asserted by
+    /// `verify_sharer_mask` whenever checking is on.
+    fn snoop_candidates(&self, line: LineAddr) -> u64 {
+        if self.snoop_filter {
+            self.sharers.mask(line)
+        } else if self.cfg.num_procs == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.num_procs) - 1
+        }
+    }
+
+    /// Cross-checks the sharer table against a brute-force occupancy scan of
+    /// every cache (the pre-filter behaviour). An explicit assert, not a
+    /// `debug_assert`: `--check` runs must exercise it in release builds.
+    fn verify_sharer_mask(&self, line: LineAddr) {
+        if !self.checking {
+            return;
+        }
+        let mask = self.sharers.mask(line);
+        for q in 0..self.cfg.num_procs {
+            let tracked = mask & (1u64 << q) != 0;
+            let resident = self.caches[q].state_of(line).is_some();
+            assert_eq!(
+                tracked, resident,
+                "snoop filter out of sync for {line:?}: proc {q} tracked={tracked} resident={resident}"
+            );
+        }
+    }
+
     /// Applies coherence effects at grant time (address broadcast): remote
     /// invalidations/downgrades and the Illinois sharing wire.
     fn apply_snoops(&mut self, id: TxnId, line: LineAddr) {
-        let info = *self.txns.get(&id).expect("granted txn is registered");
+        let info = self.txns[id.index()].expect("granted txn is registered");
+        self.verify_sharer_mask(line);
         if let Some(l) = &self.debug_line {
             if format!("{line:?}").contains(l.as_str()) {
                 let states: Vec<_> =
@@ -818,10 +897,11 @@ impl<'t> Machine<'t> {
             TxnAction::DemandFill { proc, op, .. } | TxnAction::PrefetchFill { proc, op, .. } => {
                 let mut others = false;
                 let mut dirty_supplier: Option<usize> = None;
-                for q in 0..self.cfg.num_procs {
-                    if q == proc.index() {
-                        continue;
-                    }
+                // Ascending bit order == the old 0..num_procs scan order.
+                let mut holders = self.snoop_candidates(line) & !(1u64 << proc.index());
+                while holders != 0 {
+                    let q = holders.trailing_zeros() as usize;
+                    holders &= holders - 1;
                     match op {
                         BusOp::Read => {
                             if let Some(prev) = self.caches[q].snoop_downgrade(line) {
@@ -851,7 +931,7 @@ impl<'t> Machine<'t> {
                         BusOp::WriteBack,
                         Priority::Demand,
                     );
-                    self.txns.insert(
+                    self.register_txn(
                         txn,
                         TxnInfo {
                             issued_at: now,
@@ -863,7 +943,7 @@ impl<'t> Machine<'t> {
                     );
                     self.schedule_bus_check(now);
                 }
-                self.txns.get_mut(&id).expect("registered").others_have_copy = others;
+                self.txns[id.index()].as_mut().expect("registered").others_have_copy = others;
             }
             TxnAction::Upgrade { proc, .. } => {
                 // If a remote write beat this upgrade to the bus, the line is
@@ -872,28 +952,30 @@ impl<'t> Machine<'t> {
                 if self.caches[proc.index()].state_of(line).is_none() {
                     debug_assert_eq!(self.cfg.protocol, Protocol::WriteInvalidate);
                     self.tallies.upgrades_aborted += 1;
-                    self.txns.get_mut(&id).expect("registered").aborted = true;
+                    self.txns[id.index()].as_mut().expect("registered").aborted = true;
                     return;
                 }
                 match self.cfg.protocol {
                     Protocol::WriteInvalidate => {
-                        for q in 0..self.cfg.num_procs {
-                            if q != proc.index() {
-                                self.invalidate_in(q, line, word);
-                            }
+                        let mut holders = self.snoop_candidates(line) & !(1u64 << proc.index());
+                        while holders != 0 {
+                            let q = holders.trailing_zeros() as usize;
+                            holders &= holders - 1;
+                            self.invalidate_in(q, line, word);
                         }
                     }
                     Protocol::WriteUpdate => {
                         // Word broadcast: sharers keep their (now updated)
                         // copies; sample whether any remain so the writer
                         // can take exclusive ownership when alone.
-                        let mut others = false;
-                        for q in 0..self.cfg.num_procs {
-                            if q != proc.index() && self.caches[q].state_of(line).is_some() {
-                                others = true;
-                            }
-                        }
-                        self.txns.get_mut(&id).expect("registered").others_have_copy = others;
+                        let others = if self.snoop_filter {
+                            self.sharers.mask(line) & !(1u64 << proc.index()) != 0
+                        } else {
+                            (0..self.cfg.num_procs).any(|q| {
+                                q != proc.index() && self.caches[q].state_of(line).is_some()
+                            })
+                        };
+                        self.txns[id.index()].as_mut().expect("registered").others_have_copy = others;
                     }
                 }
             }
@@ -906,6 +988,7 @@ impl<'t> Machine<'t> {
     /// killed-before-use prefetches.
     fn invalidate_in(&mut self, q: usize, line: LineAddr, word: u32) -> bool {
         if let Some((_prev, unused_prefetch)) = self.caches[q].snoop_invalidate(line, word) {
+            self.sharers.remove(q, line);
             if unused_prefetch {
                 self.tallies.prefetch.wasted_invalidated += 1;
                 self.ghosts[q].insert(line);
@@ -917,7 +1000,11 @@ impl<'t> Machine<'t> {
     }
 
     fn on_txn_done(&mut self, now: u64, id: TxnId) {
-        let info = self.txns.remove(&id).expect("completed txn is registered");
+        let info = self.txns[id.index()].take().expect("completed txn is registered");
+        // The id is fully retired: no queue entry, no pending completion.
+        // Give its slot back so the slab stays at the concurrency high-water
+        // mark (anything submitted below may legitimately reuse it).
+        self.bus.release(id);
         match info.action {
             TxnAction::WriteBack => {}
             TxnAction::DemandFill { proc, line, op } => {
@@ -929,7 +1016,7 @@ impl<'t> Machine<'t> {
             TxnAction::PrefetchFill { proc, line, op } => {
                 let p = proc.index();
                 self.install_fill(p, line, op, info.others_have_copy, true, now);
-                let slot = self.procs[p].outstanding.remove(&line).expect("slot exists");
+                let slot = self.procs[p].outstanding.remove(line).expect("slot exists");
                 if slot.cpu_waiting {
                     let woke = self.wake_if_waiting(now, p, id);
                     debug_assert!(woke, "in-progress waiter must still be stalled on the prefetch");
@@ -1010,12 +1097,14 @@ impl<'t> Machine<'t> {
         if let Some(evicted) = self.caches[p].fill(line, state, by_prefetch) {
             self.handle_eviction(p, evicted, now);
         }
+        self.sharers.add(p, line);
         self.ghosts[p].remove(&line);
     }
 
     /// A line left processor `p`'s cache hierarchy: write back if dirty,
     /// record prefetch waste.
     fn handle_eviction(&mut self, p: usize, evicted: charlie_cache::EvictedLine, now: u64) {
+        self.sharers.remove(p, evicted.line);
         if evicted.state.is_dirty() {
             let txn = self.bus.submit(
                 now,
@@ -1024,7 +1113,7 @@ impl<'t> Machine<'t> {
                 BusOp::WriteBack,
                 Priority::Demand,
             );
-            self.txns.insert(
+            self.register_txn(
                 txn,
                 TxnInfo {
                     issued_at: now,

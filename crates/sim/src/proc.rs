@@ -3,7 +3,6 @@
 use crate::metrics::ProcStats;
 use charlie_bus::TxnId;
 use charlie_trace::{Access, BarrierId, LineAddr, LockId};
-use std::collections::HashMap;
 
 /// Why the current in-flight access is being performed. Trace accesses carry
 /// [`Purpose::Demand`]; the lock/barrier models synthesize the rest, and the
@@ -77,6 +76,46 @@ pub(crate) struct OutstandingPrefetch {
     pub cpu_waiting: bool,
 }
 
+/// The outstanding-prefetch window: line → slot, capacity enforced by the
+/// machine. The buffer is at most 16 deep, so a linear scan of a small
+/// vector beats hashing every lookup; iteration order is insertion order
+/// and therefore deterministic.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PrefetchWindow {
+    slots: Vec<(LineAddr, OutstandingPrefetch)>,
+}
+
+impl PrefetchWindow {
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn contains(&self, line: LineAddr) -> bool {
+        self.slots.iter().any(|(l, _)| *l == line)
+    }
+
+    /// Inserts a slot for `line`; the machine never inserts a duplicate
+    /// (it checks [`PrefetchWindow::contains`] first).
+    pub(crate) fn insert(&mut self, line: LineAddr, slot: OutstandingPrefetch) {
+        debug_assert!(!self.contains(line), "duplicate prefetch slot for {line:?}");
+        self.slots.push((line, slot));
+    }
+
+    pub(crate) fn get_mut(&mut self, line: LineAddr) -> Option<&mut OutstandingPrefetch> {
+        self.slots.iter_mut().find(|(l, _)| *l == line).map(|(_, s)| s)
+    }
+
+    pub(crate) fn remove(&mut self, line: LineAddr) -> Option<OutstandingPrefetch> {
+        let pos = self.slots.iter().position(|(l, _)| *l == line)?;
+        Some(self.slots.remove(pos).1)
+    }
+
+    /// Occupied lines, in insertion order.
+    pub(crate) fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.slots.iter().map(|(l, _)| *l)
+    }
+}
+
 /// Full runtime state of one simulated processor.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Proc {
@@ -93,7 +132,7 @@ pub(crate) struct Proc {
     /// Timing and access counters.
     pub stats: ProcStats,
     /// Prefetch buffer: line → slot. Capacity enforced by the machine.
-    pub outstanding: HashMap<LineAddr, OutstandingPrefetch>,
+    pub outstanding: PrefetchWindow,
     /// The transaction this processor is stalled on when in `WaitMem`;
     /// completions wake the processor only when they match, so a stale
     /// completion can never resume a processor early.

@@ -1,0 +1,183 @@
+//! Sharer-tracking snoop filter.
+//!
+//! The bus is physically a broadcast medium: every grant is visible to every
+//! cache. The *simulation* does not have to pay for that broadcast, though —
+//! the engine knows exactly which caches hold a valid copy of each line,
+//! because every fill, eviction and invalidation already passes through it.
+//! [`SharerTable`] maintains that knowledge as a per-line presence bitmask
+//! (bit *q* ⇔ "processor *q* holds a valid copy in its main array or victim
+//! buffer"), so snoop application probes only the caches that can possibly
+//! respond instead of scanning all `num_procs` of them.
+//!
+//! Filtering is pure strength reduction: a snoop probe of a non-holder is a
+//! no-op (it returns `None` and mutates nothing), so skipping it cannot
+//! change simulation results — provided the mask is exact. The engine
+//! cross-checks the mask against a brute-force occupancy scan before every
+//! use when invariant checking is enabled (debug builds and `--check`), and
+//! the property test below drives the table through randomized
+//! fill/evict/invalidate sequences against ground truth.
+
+use charlie_trace::LineAddr;
+use fxhash::FxHashMap;
+
+/// Per-line presence bitmask over processors (at most 64, matching the
+/// machine-wide processor limit).
+#[derive(Clone, Debug, Default)]
+pub struct SharerTable {
+    masks: FxHashMap<LineAddr, u64>,
+}
+
+impl SharerTable {
+    /// An empty table for a machine of `num_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_procs` exceeds 64 (the mask width).
+    pub fn new(num_procs: usize) -> Self {
+        assert!(num_procs <= 64, "sharer mask is 64 bits wide");
+        SharerTable { masks: FxHashMap::default() }
+    }
+
+    /// The sharer bitmask of `line`: bit `q` set ⇔ processor `q` holds a
+    /// valid copy. Lines never filled anywhere report 0.
+    pub fn mask(&self, line: LineAddr) -> u64 {
+        self.masks.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Records that processor `proc` now holds a valid copy of `line`
+    /// (a fill, including a refill of an invalidated frame). Idempotent.
+    pub fn add(&mut self, proc: usize, line: LineAddr) {
+        *self.masks.entry(line).or_insert(0) |= 1u64 << proc;
+    }
+
+    /// Records that processor `proc` no longer holds a valid copy of `line`
+    /// (castout leaving the cache hierarchy, or a successful remote
+    /// invalidation). Idempotent; the entry is dropped when its mask
+    /// empties so the table tracks the resident working set, not every
+    /// line ever touched.
+    pub fn remove(&mut self, proc: usize, line: LineAddr) {
+        if let Some(mask) = self.masks.get_mut(&line) {
+            *mask &= !(1u64 << proc);
+            if *mask == 0 {
+                self.masks.remove(&line);
+            }
+        }
+    }
+
+    /// Number of lines with at least one sharer (diagnostics only).
+    pub fn tracked_lines(&self) -> usize {
+        self.masks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charlie_cache::{CacheArray, CacheGeometry, LineState};
+    use charlie_trace::Addr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_table_reports_zero_masks() {
+        let t = SharerTable::new(8);
+        assert_eq!(t.mask(Addr::new(0x40).line(32)), 0);
+        assert_eq!(t.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut t = SharerTable::new(8);
+        let line = Addr::new(0x40).line(32);
+        t.add(3, line);
+        t.add(5, line);
+        assert_eq!(t.mask(line), (1 << 3) | (1 << 5));
+        t.remove(3, line);
+        assert_eq!(t.mask(line), 1 << 5);
+        t.remove(5, line);
+        assert_eq!(t.mask(line), 0);
+        assert_eq!(t.tracked_lines(), 0, "emptied entries are dropped");
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut t = SharerTable::new(4);
+        let line = Addr::new(0x80).line(32);
+        t.add(1, line);
+        t.add(1, line);
+        assert_eq!(t.mask(line), 1 << 1);
+        t.remove(1, line);
+        assert_eq!(t.mask(line), 0);
+    }
+
+    #[test]
+    fn remove_of_absent_line_is_noop() {
+        let mut t = SharerTable::new(4);
+        t.remove(2, Addr::new(0x100).line(32));
+        assert_eq!(t.tracked_lines(), 0);
+    }
+
+    /// One randomized step applied to both the table and the real caches.
+    #[derive(Copy, Clone, Debug)]
+    enum Op {
+        Fill { proc: usize, addr: u64 },
+        Invalidate { proc: usize, addr: u64 },
+    }
+
+    fn op_strategy(num_procs: usize) -> impl Strategy<Value = Op> {
+        // A small address pool (16 lines over 4 sets of a tiny 2-way cache)
+        // forces frequent conflicts, evictions and refills.
+        prop_oneof![
+            (0..num_procs, 0u64..16)
+                .prop_map(|(proc, i)| Op::Fill { proc, addr: i * 32 }),
+            (0..num_procs, 0u64..16)
+                .prop_map(|(proc, i)| Op::Invalidate { proc, addr: i * 32 }),
+        ]
+    }
+
+    proptest! {
+        /// Drive fills (with their evictions) and invalidations through real
+        /// [`CacheArray`]s while mirroring them into a [`SharerTable`] the
+        /// way the engine does; the mask must equal brute-force occupancy
+        /// after every step.
+        #[test]
+        fn mask_matches_ground_truth_occupancy(
+            ops in proptest::collection::vec(op_strategy(4), 1..120),
+        ) {
+            // 4 sets x 2 ways x 32-byte lines: tiny, so the 16-line pool
+            // evicts constantly.
+            let geom = CacheGeometry::new(4 * 2 * 32, 32, 2).unwrap();
+            let mut caches: Vec<CacheArray> =
+                (0..4).map(|_| CacheArray::with_victim(geom, 1)).collect();
+            let mut table = SharerTable::new(4);
+
+            for op in ops {
+                match op {
+                    Op::Fill { proc, addr } => {
+                        let line = Addr::new(addr).line(32);
+                        if let Some(evicted) = caches[proc].fill(line, LineState::Shared, false) {
+                            table.remove(proc, evicted.line);
+                        }
+                        table.add(proc, line);
+                    }
+                    Op::Invalidate { proc, addr } => {
+                        let line = Addr::new(addr).line(32);
+                        if caches[proc].snoop_invalidate(line, 0).is_some() {
+                            table.remove(proc, line);
+                        }
+                    }
+                }
+                for check in 0u64..16 {
+                    let line = Addr::new(check * 32).line(32);
+                    let mask = table.mask(line);
+                    for (q, cache) in caches.iter().enumerate() {
+                        prop_assert_eq!(
+                            mask & (1 << q) != 0,
+                            cache.state_of(line).is_some(),
+                            "line {:?} proc {} diverged after {:?}", line, q, op
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Calendar-queue event scheduler.
+//!
+//! The simulation's event timeline is dense (on the order of one event per
+//! simulated cycle) and almost every event is scheduled a short, bounded
+//! delay ahead of the current time — bus transfers, arbitration re-checks,
+//! processor wakes. A binary heap pays `O(log n)` sifts of 32-byte elements
+//! on every push and pop for an ordering the workload barely needs; this
+//! wheel turns both into amortized `O(1)` bucket appends and pops.
+//!
+//! [`EventWheel`] is a drop-in replacement for
+//! `BinaryHeap<Reverse<(time, seq, T)>>` under the scheduler's actual usage
+//! contract, popping in **exactly** the same `(time, seq)` order:
+//!
+//! - Events within the wheel horizon (`HORIZON` cycles ahead of the last
+//!   pop) go into per-cycle FIFO buckets. `seq` is globally increasing and
+//!   the cursor is monotone, so append order within a bucket *is* `seq`
+//!   order.
+//! - Rarer far-future events (deep processor run-ahead wakes) overflow into
+//!   a small binary heap and migrate into the wheel when the cursor gets
+//!   within a horizon of them. Migration happens eagerly on every cursor
+//!   advance, *before* any handler runs at the new time, which guarantees a
+//!   migrated event is appended to its bucket ahead of any same-time event
+//!   pushed later (see `pop`).
+//! - An exact `next_time` cache makes "is anything due at or before t?"
+//!   (the processor run-ahead yield check, asked after every trace event)
+//!   one load instead of a scan.
+//!
+//! `randomized_order_matches_binary_heap` below drives the wheel head-to-
+//! head against the reference heap through adversarial push/pop mixes,
+//! including past-horizon delays.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wheel span in cycles. Delays at or past this fall back to the overflow
+/// heap; must be a power of two. 4096 comfortably covers every bounded
+/// machine delay (bus transfers are tens of cycles) so overflow traffic is
+/// essentially only deep run-ahead wakes.
+const HORIZON: u64 = 4096;
+const MASK: u64 = HORIZON - 1;
+const WORDS: usize = (HORIZON / 64) as usize;
+
+/// One cycle's FIFO of `(seq, payload)`. Pops always come from the wheel's
+/// minimum-time bucket until it drains, so a plain grow-only `Vec` with a
+/// read head beats a ring buffer: push is a bare `Vec::push`, pop is an
+/// indexed read, and the storage is recycled on drain.
+#[derive(Debug)]
+struct Bucket<T> {
+    items: Vec<(u64, T)>,
+    head: usize,
+}
+
+impl<T: Copy> Bucket<T> {
+    #[inline]
+    fn push(&mut self, seq: u64, item: T) {
+        self.items.push((seq, item));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, T)> {
+        let out = *self.items.get(self.head)?;
+        self.head += 1;
+        if self.head == self.items.len() {
+            self.items.clear();
+            self.head = 0;
+        }
+        Some(out)
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head == self.items.len()
+    }
+}
+
+/// A time-ordered event queue; see the module docs. `T` is the event
+/// payload. `Ord` is only needed for the overflow heap's internal ordering.
+#[derive(Debug)]
+pub(crate) struct EventWheel<T> {
+    /// `buckets[time & MASK]` holds the events of one absolute cycle, in
+    /// push (= `seq`) order. The horizon invariant — every resident event's
+    /// time is within `[cursor, cursor + HORIZON)` — keeps each bucket to a
+    /// single absolute time.
+    buckets: Vec<Bucket<T>>,
+    /// One bit per bucket: non-empty. Lets the post-pop `next_time` refresh
+    /// scan 64 buckets per load.
+    occupied: [u64; WORDS],
+    /// Events scheduled at or past `cursor + HORIZON`.
+    overflow: BinaryHeap<Reverse<(u64, u64, T)>>,
+    /// Time of the most recent pop. Pushes never happen in its past.
+    cursor: u64,
+    /// Exact earliest pending event time; `u64::MAX` when empty.
+    next_time: u64,
+    len: usize,
+}
+
+impl<T: Ord + Copy> EventWheel<T> {
+    pub fn new() -> Self {
+        EventWheel {
+            buckets: (0..HORIZON).map(|_| Bucket { items: Vec::new(), head: 0 }).collect(),
+            occupied: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            next_time: u64::MAX,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Earliest pending event time (`None` when empty). Exact, O(1).
+    #[inline]
+    pub fn next_time(&self) -> Option<u64> {
+        if self.len == 0 { None } else { Some(self.next_time) }
+    }
+
+    /// Schedules `item` at `time` with global sequence number `seq`.
+    /// Callers must pass strictly increasing `seq` values and never
+    /// schedule before the last popped time.
+    #[inline(always)]
+    pub fn push(&mut self, time: u64, seq: u64, item: T) {
+        debug_assert!(time >= self.cursor, "scheduled into the past");
+        self.len += 1;
+        if time < self.next_time {
+            self.next_time = time;
+        }
+        if time - self.cursor >= HORIZON {
+            self.overflow.push(Reverse((time, seq, item)));
+        } else {
+            let idx = (time & MASK) as usize;
+            self.buckets[idx].push(seq, item);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+
+    /// Removes and returns the pending event with the smallest `(time, seq)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let t = self.next_time;
+        // Advance the cursor first and migrate every overflow event that is
+        // now within the horizon. Doing this before draining the bucket (and
+        // before any handler can push) is what keeps bucket FIFO order equal
+        // to seq order: an in-range push to some time u requires
+        // cursor > u - HORIZON, and by then every overflow event for u (all
+        // pushed earlier, with smaller seq) has already been appended here.
+        self.cursor = t;
+        while let Some(&Reverse((time, _, _))) = self.overflow.peek() {
+            if time - self.cursor >= HORIZON {
+                break;
+            }
+            let Some(Reverse((time, seq, item))) = self.overflow.pop() else { unreachable!() };
+            let idx = (time & MASK) as usize;
+            self.buckets[idx].push(seq, item);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        }
+        let idx = (t & MASK) as usize;
+        let (seq, item) = self.buckets[idx].pop().expect("next_time bucket is non-empty");
+        self.len -= 1;
+        if self.buckets[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+            self.refresh_next_time();
+        }
+        Some((t, seq, item))
+    }
+
+    /// Recomputes `next_time` after the bucket at `cursor` drained: the next
+    /// occupied bucket within the horizon (by bitmap scan from the cursor),
+    /// or the overflow minimum, or `u64::MAX`.
+    fn refresh_next_time(&mut self) {
+        let mut wheel_next = u64::MAX;
+        // Wheel times live in [cursor, cursor + HORIZON); scanning indices
+        // in circular order from the cursor visits them in ascending time.
+        let start = (self.cursor & MASK) as usize;
+        let mut idx = start;
+        let mut remaining = HORIZON as usize;
+        while remaining > 0 {
+            let word = idx / 64;
+            let bit = idx % 64;
+            // Bits at or above `bit` in this word, clipped to `remaining`.
+            let mut mask = self.occupied[word] >> bit;
+            let span = (64 - bit).min(remaining);
+            if span < 64 {
+                mask &= (1u64 << span) - 1;
+            }
+            if mask != 0 {
+                let found = idx + mask.trailing_zeros() as usize;
+                let base = self.cursor - (self.cursor & MASK);
+                let mut time = base + found as u64;
+                if time < self.cursor {
+                    time += HORIZON;
+                }
+                wheel_next = time;
+                break;
+            }
+            idx = (idx + span) % HORIZON as usize;
+            remaining -= span;
+        }
+        let overflow_next =
+            self.overflow.peek().map_or(u64::MAX, |&Reverse((time, _, _))| time);
+        self.next_time = wheel_next.min(overflow_next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn empty_wheel() {
+        let mut w: EventWheel<u32> = EventWheel::new();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_time(), None);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn same_time_pops_in_push_order() {
+        let mut w = EventWheel::new();
+        w.push(5, 1, "a");
+        w.push(5, 2, "b");
+        w.push(3, 3, "c");
+        assert_eq!(w.next_time(), Some(3));
+        assert_eq!(w.pop(), Some((3, 3, "c")));
+        assert_eq!(w.pop(), Some((5, 1, "a")));
+        assert_eq!(w.pop(), Some((5, 2, "b")));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn past_horizon_events_overflow_and_return() {
+        let mut w = EventWheel::new();
+        w.push(0, 1, "now");
+        w.push(HORIZON * 3 + 7, 2, "far");
+        assert_eq!(w.pop(), Some((0, 1, "now")));
+        assert_eq!(w.next_time(), Some(HORIZON * 3 + 7));
+        assert_eq!(w.pop(), Some((HORIZON * 3 + 7, 2, "far")));
+    }
+
+    /// An overflow event and a later in-range push landing on the same
+    /// cycle: the overflow event (smaller seq) must pop first.
+    #[test]
+    fn migrated_overflow_keeps_seq_order_against_direct_push() {
+        let mut w = EventWheel::new();
+        let target = HORIZON + 10;
+        w.push(target, 1, "early-overflow");
+        w.push(20, 2, "stepping-stone");
+        assert_eq!(w.pop(), Some((20, 2, "stepping-stone")));
+        // Cursor is now 20; `target` is in range and was migrated.
+        w.push(target, 3, "direct");
+        assert_eq!(w.pop(), Some((target, 1, "early-overflow")));
+        assert_eq!(w.pop(), Some((target, 3, "direct")));
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        /// Push at `last_pop_time + delay` (delays straddle the horizon).
+        Push { delay: u64 },
+        Pop,
+    }
+
+    proptest! {
+        /// Head-to-head against the reference `BinaryHeap` through random
+        /// push/pop mixes: identical pop sequences, always.
+        #[test]
+        fn randomized_order_matches_binary_heap(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (0u64..HORIZON / 2).prop_map(|delay| Op::Push { delay }),
+                    (0u64..64).prop_map(|delay| Op::Push { delay }),
+                    (HORIZON - 2..HORIZON * 2 + 2).prop_map(|delay| Op::Push { delay }),
+                    Just(Op::Pop),
+                    Just(Op::Pop),
+                    Just(Op::Pop),
+                ],
+                1..400,
+            ),
+        ) {
+            let mut wheel = EventWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push { delay } => {
+                        seq += 1;
+                        wheel.push(now + delay, seq, seq);
+                        heap.push(Reverse((now + delay, seq, seq)));
+                    }
+                    Op::Pop => {
+                        let expected = heap.pop().map(|Reverse(e)| e);
+                        let got = wheel.pop();
+                        prop_assert_eq!(got, expected);
+                        prop_assert_eq!(wheel.len(), heap.len());
+                        if let Some((t, _, _)) = got {
+                            now = t;
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    wheel.next_time(),
+                    heap.peek().map(|&Reverse((t, _, _))| t)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the well-known Fx multiply-rotate hash (originating in Firefox, used by
+//! rustc): each 8-byte word of input is rotated into the state and
+//! multiplied by a fixed odd constant. It is *not* collision-resistant or
+//! DoS-safe — it exists purely because `std`'s default SipHash costs tens of
+//! cycles per lookup, which dominates simulator inner loops keyed by small
+//! integers ([`charlie_trace::LineAddr`] values, transaction ids).
+//!
+//! API surface: [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] /
+//! [`FxHashSet`] aliases the workspace uses.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (golden-ratio derived, as in rustc's fork).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using Fx hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+        assert_ne!(hash_of(&12345u64), hash_of(&12346u64));
+    }
+
+    #[test]
+    fn byte_stream_equals_word_writes_for_exact_words() {
+        let mut a = FxHasher::default();
+        a.write(&0xDEAD_BEEF_u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash() {
+        let mut h = FxHasher::default();
+        h.write(b"abc");
+        assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(s.contains(&42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn small_integer_keys_spread() {
+        // Sanity: sequential keys do not all collide to the same bucket
+        // pattern (the multiply spreads low bits into high bits).
+        let hashes: Vec<u64> = (0u64..64).map(|i| hash_of(&i)).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+}

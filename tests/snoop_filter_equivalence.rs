@@ -1,0 +1,92 @@
+//! Equivalence harness for the sharer-tracking snoop filter.
+//!
+//! The filter (see `charlie::sim::SharerTable`) is a pure strength
+//! reduction: instead of probing all `num_procs` caches on every bus grant,
+//! the engine probes only the caches its sharer table says can hold the
+//! line. Skipped probes are provably no-ops, so every observable output
+//! must be bit-identical with the filter on or off. These tests check that
+//! contract end to end: raw `SimReport`s across machine sizes, workloads,
+//! strategies and both coherence protocols, and the rendered experiment
+//! exhibits via the `CHARLIE_NO_SNOOP_FILTER` kill switch.
+//!
+//! `SimReport` derives `PartialEq` over every counter, histogram and
+//! per-processor record, so `==` really is a full bitwise comparison.
+
+use charlie::prefetch::apply;
+use charlie::sim::{simulate, Protocol, SimConfig, SimReport};
+use charlie::workloads::generate;
+use charlie::{CacheGeometry, Lab, Layout, RunConfig, Strategy, Workload, WorkloadConfig};
+
+/// Simulates one workload on a `procs`-processor machine with the snoop
+/// filter forced on or off via `SimConfig`.
+fn report(
+    w: Workload,
+    procs: usize,
+    strategy: Strategy,
+    protocol: Protocol,
+    filter: bool,
+) -> SimReport {
+    let wcfg = WorkloadConfig {
+        procs,
+        refs_per_proc: 1_200,
+        seed: 0xBEEF,
+        layout: Layout::Interleaved,
+    };
+    let raw = generate(w, &wcfg);
+    let prepared = apply(strategy, &raw, CacheGeometry::paper_default());
+    let cfg = SimConfig { snoop_filter: filter, protocol, ..SimConfig::paper(procs, 8) };
+    simulate(&cfg, &prepared).expect("simulation succeeds")
+}
+
+/// Every workload at 4, 8 and 16 processors: the filtered run must be
+/// bit-identical to the brute-force broadcast scan. (Debug builds keep
+/// invariant checking on, so each of these runs also cross-checks the
+/// sharer mask against brute-force occupancy before every snoop.)
+#[test]
+fn filtered_reports_are_bit_identical_across_machine_sizes() {
+    for w in Workload::ALL {
+        for procs in [4usize, 8, 16] {
+            let filtered = report(w, procs, Strategy::Pref, Protocol::WriteInvalidate, true);
+            let broadcast = report(w, procs, Strategy::Pref, Protocol::WriteInvalidate, false);
+            assert_eq!(filtered, broadcast, "{w} at {procs} procs diverged");
+        }
+    }
+}
+
+/// The filter has protocol-specific fast paths (write-invalidate upgrades,
+/// write-update broadcasts, exclusive prefetches); exercise each.
+#[test]
+fn filtered_reports_are_bit_identical_across_strategies_and_protocols() {
+    for strategy in [Strategy::Excl, Strategy::Lpd, Strategy::Pws] {
+        for protocol in [Protocol::WriteInvalidate, Protocol::WriteUpdate] {
+            let filtered = report(Workload::Mp3d, 8, strategy, protocol, true);
+            let broadcast = report(Workload::Mp3d, 8, strategy, protocol, false);
+            assert_eq!(filtered, broadcast, "{strategy}/{protocol} diverged");
+        }
+    }
+}
+
+fn exhibit_slice() -> String {
+    let mut lab = Lab::new(RunConfig {
+        procs: 4,
+        refs_per_proc: 2_000,
+        seed: 0xC0FFEE,
+        ..RunConfig::default()
+    });
+    let mut out = String::new();
+    out.push_str(&charlie::experiments::figure1(&mut lab).to_string());
+    out.push_str(&charlie::experiments::table2(&mut lab).to_string());
+    out
+}
+
+/// One slice of the experiments output, rendered to text with the filter on
+/// and again with the `CHARLIE_NO_SNOOP_FILTER` kill switch: byte-identical.
+/// This pins the user-facing regeneration path, not just raw reports.
+#[test]
+fn exhibit_output_is_byte_identical_under_kill_switch() {
+    let filtered = exhibit_slice();
+    std::env::set_var("CHARLIE_NO_SNOOP_FILTER", "1");
+    let broadcast = exhibit_slice();
+    std::env::remove_var("CHARLIE_NO_SNOOP_FILTER");
+    assert_eq!(filtered, broadcast, "exhibit text diverged under kill switch");
+}
