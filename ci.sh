@@ -58,4 +58,42 @@ fi
 rm -f "$journal"
 echo "resumed sweep output byte-identical to an uninterrupted run"
 
+echo "== observability: profile smoke + sampling-off identity =="
+# 1. Sampling must be invisible: run --json output byte-identical with the
+#    sampler armed (the hooks are always compiled in).
+plain=$("${CLI[@]}" run --workload mp3d --refs 4000 --procs 2 --json)
+sampled=$("${CLI[@]}" run --workload mp3d --refs 4000 --procs 2 --json --sample-interval 1000)
+if [[ "$plain" != "$sampled" ]]; then
+    echo "FAIL: run --json output changed with --sample-interval" >&2
+    diff <(echo "$plain") <(echo "$sampled") >&2 || true
+    exit 1
+fi
+echo "run --json byte-identical with sampling on"
+# 2. profile --json: the timeline must tile the run — summed per-window
+#    bus_busy equals the final report's busy_cycles.
+profile_json=$("${CLI[@]}" profile mp3d --strategy pws --refs 4000 --procs 2 \
+    --sample-interval 1000 --json)
+total=$(grep -o '"busy_cycles":[0-9]*' <<<"$profile_json" | head -1 | cut -d: -f2)
+summed=$(grep -o '"bus_busy":[0-9]*' <<<"$profile_json" | cut -d: -f2 | awk '{s += $1} END {print s}')
+if [[ "$total" != "$summed" ]]; then
+    echo "FAIL: profile timeline bus_busy sum $summed != report busy_cycles $total" >&2
+    exit 1
+fi
+echo "profile timeline tiles the run (bus_busy sum == busy_cycles == $total)"
+# 3. JSONL trace: every line is a {"t":...} object in an allowed category.
+events=$(mktemp -t charlie-ci-events.XXXXXX)
+"${CLI[@]}" run --workload water --refs 2000 --procs 2 \
+    --trace-out "$events" --trace-cats bus,prefetch >/dev/null
+if [[ ! -s "$events" ]]; then
+    echo "FAIL: --trace-out wrote no events" >&2
+    exit 1
+fi
+if grep -vq '^{"t":[0-9]*,"cat":"\(bus\|prefetch\)","ev":"[a-z_]*",' "$events"; then
+    echo "FAIL: malformed or mis-categorized JSONL trace line:" >&2
+    grep -v '^{"t":[0-9]*,"cat":"\(bus\|prefetch\)","ev":"[a-z_]*",' "$events" | head -3 >&2
+    exit 1
+fi
+echo "JSONL trace schema valid ($(wc -l <"$events") events)"
+rm -f "$events"
+
 echo "== OK =="

@@ -89,6 +89,10 @@ pub struct Bus {
     rr_prefetch: usize,
     busy_until: u64,
     stats: BusStats,
+    /// Start of the statistics window (see [`Bus::open_window`]); occupancy
+    /// and queueing accounted to `stats` are clipped to `window_start..`.
+    /// 0 means "since the beginning of time" — no clipping.
+    window_start: u64,
 }
 
 impl Bus {
@@ -107,6 +111,7 @@ impl Bus {
             rr_prefetch: 0,
             busy_until: 0,
             stats: BusStats::default(),
+            window_start: 0,
         }
     }
 
@@ -183,8 +188,14 @@ impl Bus {
             };
             let completes_at = now + occupancy;
             self.busy_until = completes_at;
-            self.stats.busy_cycles += occupancy;
-            self.stats.queueing_cycles += now - req.ready_at;
+            // Clip both accounting intervals to the open statistics window:
+            // a grant straddling `window_start` only contributes the portion
+            // inside the window, so windowed busy/queueing cycles can never
+            // exceed the window length. With `window_start == 0` (cold
+            // start), both expressions reduce exactly to `occupancy` and
+            // `now - ready_at`.
+            self.stats.busy_cycles += completes_at.saturating_sub(self.window_start.max(now));
+            self.stats.queueing_cycles += now.saturating_sub(self.window_start.max(req.ready_at));
             match req.op {
                 BusOp::Read => self.stats.reads += 1,
                 BusOp::ReadExclusive => self.stats.read_exclusives += 1,
@@ -274,10 +285,21 @@ impl Bus {
         &self.stats
     }
 
-    /// Zeroes the accumulated statistics (warm-up windowing); queues and
-    /// timing state are untouched.
+    /// Zeroes the accumulated statistics; queues and timing state are
+    /// untouched. Equivalent to `open_window(0)`: subsequent accounting is
+    /// unclipped.
     pub fn reset_stats(&mut self) {
+        self.open_window(0);
+    }
+
+    /// Opens a statistics window at time `start` (warm-up windowing):
+    /// zeroes the counters and clips subsequent occupancy/queueing
+    /// accounting to `start..`, so grants of requests that were submitted —
+    /// or even started — before the window opened only contribute their
+    /// in-window portion. Queues and timing state are untouched.
+    pub fn open_window(&mut self, start: u64) {
         self.stats = BusStats::default();
+        self.window_start = start;
     }
 }
 
@@ -464,6 +486,49 @@ mod tests {
         let _ = b.try_grant(0);
         b.release(a);
         b.release(a);
+    }
+
+    #[test]
+    fn window_clips_straddling_grant_occupancy() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        // Window opens at 5; the grant at 0 occupies 0..8, only 5..8 counts.
+        b.open_window(5);
+        assert!(matches!(b.try_grant(0), GrantOutcome::Granted { completes_at: 8, .. }));
+        assert_eq!(b.stats().busy_cycles, 3, "only the in-window 5..8 portion");
+        assert_eq!(b.stats().writebacks, 1, "op counts are not time-prorated");
+    }
+
+    #[test]
+    fn window_clips_queueing_before_start() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        b.submit(0, ProcId(1), line(2), BusOp::WriteBack, Priority::Demand);
+        let _ = b.try_grant(0); // P0 granted at 0, busy until 8
+        b.open_window(6);
+        let _ = b.try_grant(8); // P1 waited 0..8; only 6..8 is in-window
+        assert_eq!(b.stats().queueing_cycles, 2);
+        assert_eq!(b.stats().busy_cycles, 8, "P1's own occupancy 8..16 is fully in-window");
+    }
+
+    #[test]
+    fn window_entirely_after_grant_counts_nothing() {
+        let mut b = bus();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        b.open_window(100);
+        assert!(matches!(b.try_grant(0), GrantOutcome::Granted { .. }));
+        assert_eq!(b.stats().busy_cycles, 0, "grant 0..8 lies before the window");
+        assert_eq!(b.stats().queueing_cycles, 0);
+    }
+
+    #[test]
+    fn reset_stats_reverts_to_unclipped_accounting() {
+        let mut b = bus();
+        b.open_window(50);
+        b.reset_stats();
+        b.submit(0, ProcId(0), line(1), BusOp::WriteBack, Priority::Demand);
+        assert!(matches!(b.try_grant(0), GrantOutcome::Granted { .. }));
+        assert_eq!(b.stats().busy_cycles, 8, "full occupancy after reset_stats");
     }
 
     #[test]

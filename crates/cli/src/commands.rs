@@ -1,16 +1,21 @@
 //! The CLI subcommands.
 
 use crate::args::{Args, ArgsError};
-use crate::json::report_json;
+use crate::json::{report_json, JsonObject};
 use charlie::bus::BusConfig;
 use charlie::cache::CacheGeometry;
 use charlie::prefetch::{apply, Strategy};
-use charlie::sim::{simulate, Protocol, SimConfig};
+use charlie::sim::{
+    simulate_observed, Observability, Protocol, SampleConfig, SimConfig, TraceCategories,
+    TraceEmitter,
+};
+use charlie::timeline::{saturation_summary, timeline_csv, timeline_json};
 use charlie::trace::{io as trace_io, Trace};
 use charlie::workloads::{generate, Layout, Workload, WorkloadConfig};
-use charlie::{experiments as exhibits, Experiment, Lab, RunConfig};
+use charlie::{experiments as exhibits, Experiment, Lab, ObserveSpec, RunConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
 
 fn parse_workload(name: &str) -> Result<Workload, ArgsError> {
     Workload::ALL
@@ -79,14 +84,13 @@ impl MachineOpts {
     }
 }
 
-fn simulate_prepared<W: Write>(
-    label: &str,
+/// Applies the strategy and builds the machine config shared by `run`,
+/// `run-trace` and `profile`.
+fn prepare_cell(
     raw: &Trace,
     strategy: Strategy,
     opts: &MachineOpts,
-    json: bool,
-    out: &mut W,
-) -> Result<(), ArgsError> {
+) -> Result<(Trace, SimConfig), ArgsError> {
     let transfer = opts.transfer;
     if !(1..=100).contains(&transfer) {
         return Err(ArgsError(format!("--transfer {transfer} outside 1..=100")));
@@ -99,7 +103,54 @@ fn simulate_prepared<W: Write>(
         check_invariants: opts.check,
         ..SimConfig::paper(raw.num_procs(), transfer)
     };
-    let report = simulate(&sim_cfg, &prepared).map_err(|e| ArgsError(e.to_string()))?;
+    Ok((prepared, sim_cfg))
+}
+
+/// `--trace-cats` (default: everything).
+fn trace_cats_from_args(args: &Args) -> Result<TraceCategories, ArgsError> {
+    match args.get("trace-cats") {
+        None => Ok(TraceCategories::all()),
+        Some(s) => TraceCategories::parse(s).map_err(ArgsError),
+    }
+}
+
+/// `--trace-out FILE`: a structured JSONL event trace sink.
+fn tracer_from_args(args: &Args) -> Result<Option<TraceEmitter>, ArgsError> {
+    let Some(path) = args.get("trace-out") else { return Ok(None) };
+    let cats = trace_cats_from_args(args)?;
+    let file = File::create(path).map_err(|e| ArgsError(format!("creating {path}: {e}")))?;
+    Ok(Some(TraceEmitter::new(Box::new(BufWriter::new(file)), cats)))
+}
+
+/// Observability for a single-cell command: `--sample-interval N` and
+/// `--trace-out FILE --trace-cats LIST`.
+fn observability_from_args(args: &Args) -> Result<Observability, ArgsError> {
+    let sample = match args.get("sample-interval") {
+        None => None,
+        Some(v) => {
+            let interval: u64 = v
+                .parse()
+                .map_err(|_| ArgsError(format!("--sample-interval: cannot parse {v:?}")))?;
+            Some(SampleConfig::every(interval))
+        }
+    };
+    Ok(Observability { sample, tracer: tracer_from_args(args)? })
+}
+
+fn simulate_prepared<W: Write>(
+    label: &str,
+    raw: &Trace,
+    strategy: Strategy,
+    opts: &MachineOpts,
+    obs: Observability,
+    json: bool,
+    out: &mut W,
+) -> Result<(), ArgsError> {
+    let (prepared, sim_cfg) = prepare_cell(raw, strategy, opts)?;
+    // The timeline is dropped here on purpose: `run` output must be
+    // byte-identical with observation on or off (use `profile` to see it).
+    let (report, _timeline) =
+        simulate_observed(&sim_cfg, &prepared, obs).map_err(|e| ArgsError(e.to_string()))?;
     let inserted = prepared.total_prefetches() as u64;
     if json {
         let _ = writeln!(out, "{}", report_json(label, &report, inserted));
@@ -113,14 +164,101 @@ fn simulate_prepared<W: Write>(
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
-        "victim", "protocol",
+        "victim", "protocol", "sample-interval", "trace-out", "trace-cats",
     ])?;
     let (cfg, workload) = workload_config(args)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("pref"))?;
     let opts = MachineOpts::from_args(args)?;
+    let obs = observability_from_args(args)?;
     let raw = generate(workload, &cfg);
     let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
-    simulate_prepared(&label, &raw, strategy, &opts, args.switch("json"), out)
+    simulate_prepared(&label, &raw, strategy, &opts, obs, args.switch("json"), out)
+}
+
+/// `charlie profile`: one cell run with the interval sampler on, rendered as
+/// a per-window timeline (text summary, `--csv` rows, or a `--json` document
+/// that embeds the exact `run --json` report) plus the saturation-onset
+/// summary — the first window whose bus utilization crosses 0.9.
+pub fn profile<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
+        "victim", "protocol", "sample-interval", "trace-out", "trace-cats",
+    ])?;
+    if args.positional.len() > 1 {
+        return Err(ArgsError(format!(
+            "profile takes at most one positional workload, got {:?}",
+            args.positional
+        )));
+    }
+    let workload =
+        parse_workload(args.positional.first().map(String::as_str).or(args.get("workload")).unwrap_or("mp3d"))?;
+    let cfg = WorkloadConfig {
+        procs: args.get_or("procs", 8usize)?,
+        refs_per_proc: args.get_or("refs", 160_000usize)?,
+        seed: args.get_or("seed", 0xC0FFEEu64)?,
+        layout: parse_layout(args.get("layout").unwrap_or("interleaved"))?,
+    };
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("pref"))?;
+    let opts = MachineOpts::from_args(args)?;
+    let interval = args.get_or("sample-interval", 10_000u64)?;
+    if interval == 0 {
+        return Err(ArgsError("--sample-interval must be at least 1 cycle".into()));
+    }
+    let obs = Observability {
+        sample: Some(SampleConfig::every(interval)),
+        tracer: tracer_from_args(args)?,
+    };
+    let raw = generate(workload, &cfg);
+    let (prepared, sim_cfg) = prepare_cell(&raw, strategy, &opts)?;
+    let (report, timeline) =
+        simulate_observed(&sim_cfg, &prepared, obs).map_err(|e| ArgsError(e.to_string()))?;
+    let timeline = timeline.expect("profile always samples");
+    let inserted = prepared.total_prefetches() as u64;
+    let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
+    let sat = saturation_summary(&timeline);
+
+    if args.switch("json") {
+        let mut o = JsonObject::new();
+        o.raw("report", report_json(&label, &report, inserted))
+            .num("sample_interval", interval);
+        match sat.onset {
+            Some(cycle) => o.num("saturation_onset", cycle),
+            None => o.raw("saturation_onset", "null".to_owned()),
+        };
+        o.num("saturated_windows", sat.saturated_windows as u64)
+            .num("windows", sat.windows as u64)
+            .float("peak_bus_utilization", sat.peak_utilization)
+            .raw("timeline", timeline_json(&timeline));
+        let _ = writeln!(out, "{}", o.finish());
+    } else if args.switch("csv") {
+        let _ = write!(out, "{}", timeline_csv(&timeline));
+    } else {
+        let _ = writeln!(out, "{label}: {report}");
+        let _ = writeln!(
+            out,
+            "timeline: {} windows of {interval} cycles; peak bus utilization {:.3}",
+            sat.windows, sat.peak_utilization
+        );
+        match sat.onset {
+            Some(cycle) => {
+                let _ = writeln!(
+                    out,
+                    "bus saturation (>{:.0}% busy) from cycle {cycle}; {} of {} windows saturated",
+                    charlie::timeline::SATURATION_THRESHOLD * 100.0,
+                    sat.saturated_windows,
+                    sat.windows
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "bus never saturated (>{:.0}% busy); use --csv or --json for the full timeline",
+                    charlie::timeline::SATURATION_THRESHOLD * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Parses `--jobs` (0 = one worker per core, the default). An unparsable
@@ -154,7 +292,10 @@ fn bail_on_failures(report: &charlie::BatchReport) -> Result<(), ArgsError> {
 
 /// `charlie sweep`.
 pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
-    args.expect_known(&["workload", "procs", "refs", "seed", "layout", "jobs", "resume"])?;
+    args.expect_known(&[
+        "workload", "procs", "refs", "seed", "layout", "jobs", "resume", "sample-interval",
+        "trace-out", "trace-cats",
+    ])?;
     let (wcfg, workload) = workload_config(args)?;
     let jobs = parse_jobs(args);
     let mut lab = Lab::new(RunConfig {
@@ -163,6 +304,22 @@ pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         seed: wcfg.seed,
         ..RunConfig::default()
     });
+    let mut observe = ObserveSpec::default();
+    if let Some(v) = args.get("sample-interval") {
+        let interval: u64 = v
+            .parse()
+            .map_err(|_| ArgsError(format!("--sample-interval: cannot parse {v:?}")))?;
+        observe.sample_interval = Some(interval);
+    }
+    observe.trace_cats = trace_cats_from_args(args)?;
+    if let Some(dir) = args.get("trace-out") {
+        // For a sweep, --trace-out names a directory: one JSONL file per
+        // grid cell, named after the experiment.
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArgsError(format!("creating trace dir {dir}: {e}")))?;
+        observe.trace_dir = Some(PathBuf::from(dir));
+    }
+    lab.set_observe(observe);
     // Warm the memo in parallel; the serial loops below then read it.
     let grid: Vec<Experiment> = Strategy::ALL
         .into_iter()
@@ -253,7 +410,7 @@ pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         ));
     }
     let label = format!("{path}/{strategy} @{}cy", opts.transfer);
-    simulate_prepared(&label, &trace, strategy, &opts, args.switch("json"), out)
+    simulate_prepared(&label, &trace, strategy, &opts, Observability::default(), args.switch("json"), out)
 }
 
 /// `charlie experiments`.
@@ -351,7 +508,16 @@ pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
                 ArgsError(format!("no runs.{section}.events_per_sec in {path}"))
             })?;
         let measured = snapshot.events_per_sec;
-        let ratio = if reference > 0.0 { measured / reference } else { 1.0 };
+        // A zero/negative/NaN baseline would make every run "pass" the
+        // gate (or divide by zero); that is a broken baseline file, not a
+        // passing benchmark — refuse it loudly.
+        if !reference.is_finite() || reference <= 0.0 {
+            return Err(ArgsError(format!(
+                "baseline runs.{section}.events_per_sec in {path} is {reference}, not a \
+                 positive throughput; regenerate the baseline with `charlie bench --out {path}`"
+            )));
+        }
+        let ratio = measured / reference;
         let _ = writeln!(
             out,
             "baseline {section}: {:.2} M events/s; measured {:.2} M events/s ({:.0}% of baseline)",

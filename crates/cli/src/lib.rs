@@ -34,12 +34,34 @@ COMMANDS:
                                          every bus transaction (always on in
                                          debug builds)
                    --json                machine-readable output
+                   --sample-interval N --trace-out FILE --trace-cats LIST
+                                         observability hooks (see profile);
+                                         run output stays byte-identical
+  profile        time-resolved profile of one cell: a per-window timeline
+                 (bus utilization/queueing, per-processor busy and stall,
+                 fill latencies, prefetch-buffer occupancy) plus the
+                 saturation onset — the first window with bus busy > 90%
+                   positional: workload (or --workload; default mp3d)
+                   --sample-interval N   window size in cycles (default 10000)
+                   --csv / --json        full timeline as CSV rows / a JSON
+                                         document embedding the run report
+                   --trace-out FILE      also write a structured JSONL event
+                                         trace (bus grants, coherence
+                                         transitions, prefetch lifecycle)
+                   --trace-cats LIST     comma-set of bus,coherence,prefetch
+                                         (default all)
+                   [--strategy … --transfer N --procs N --refs N --seed N
+                    --layout … --warmup N --victim N --protocol …]
   sweep          Figure-2 panel: relative execution time across latencies
                    --workload …  [--json --jobs N --resume FILE]
                    --resume FILE  journal completed cells to FILE and skip
                                   cells already journaled there, so a killed
                                   sweep picks up where it left off (the
                                   resumed output is byte-identical)
+                   --sample-interval N   record a timeline per cell (kept in
+                                         the --resume journal)
+                   --trace-out DIR       one JSONL event trace per cell
+                   --trace-cats LIST     bus,coherence,prefetch (default all)
   export-trace   generate a workload and write it as a text trace
                    --workload …  --out FILE  [--refs N --procs N --seed N
                    --strategy …  --layout …]
@@ -69,6 +91,9 @@ OPTIONS:
 ENVIRONMENT:
   CHARLIE_REFS / CHARLIE_PROCS / CHARLIE_SEED set experiment-suite defaults;
   CHARLIE_JOBS sets the worker count for the charlie-bench binaries.
+  CHARLIE_DEBUG_LINE=HEX streams coherence trace events touching that line
+  address to stderr (shorthand for --trace-out /dev/stderr --trace-cats
+  coherence plus a line filter).
 ";
 
 /// Runs the CLI on `argv` (without the program name), writing to `out`.
@@ -88,6 +113,7 @@ pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
     }
     let result: Result<(), ArgsError> = match parsed.command.as_deref() {
         Some("run") => commands::run(&parsed, out),
+        Some("profile") => commands::profile(&parsed, out),
         Some("sweep") => commands::sweep(&parsed, out),
         Some("export-trace") => commands::export_trace(&parsed, out),
         Some("run-trace") => commands::run_trace(&parsed, out),
@@ -315,6 +341,142 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Pulls every `"key":N` integer out of a JSON string.
+    fn extract_nums(json: &str, key: &str) -> Vec<u64> {
+        let needle = format!("\"{key}\":");
+        let mut out = Vec::new();
+        let mut rest = json;
+        while let Some(at) = rest.find(&needle) {
+            rest = &rest[at + needle.len()..];
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            out.push(rest[..end].parse().expect("integer field"));
+        }
+        out
+    }
+
+    #[test]
+    fn run_output_is_identical_with_observability_on() {
+        // The acceptance bar for "zero-cost when disabled" and "sampling
+        // does not perturb": run output must not change when the sampler
+        // and tracer are armed.
+        let base = ["run", "--workload", "mp3d", "--refs", "1200", "--procs", "2", "--json"];
+        let (code_a, plain) = run(&base);
+        let mut sampled_args = base.to_vec();
+        sampled_args.extend(["--sample-interval", "500"]);
+        let (code_b, sampled) = run(&sampled_args);
+        assert_eq!((code_a, code_b), (0, 0), "{plain}{sampled}");
+        assert_eq!(plain, sampled, "sampling must not change run output");
+    }
+
+    #[test]
+    fn profile_text_mentions_saturation() {
+        let (code, text) = run(&[
+            "profile", "water", "--refs", "1500", "--procs", "2", "--sample-interval", "2000",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("timeline:"), "{text}");
+        assert!(text.contains("saturat"), "{text}");
+    }
+
+    #[test]
+    fn profile_json_timeline_sums_to_final_bus_stats() {
+        let (code, text) = run(&[
+            "profile", "--workload", "mp3d", "--strategy", "pws", "--refs", "2000", "--procs",
+            "2", "--sample-interval", "1000", "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let busy_cycles = extract_nums(&text, "busy_cycles");
+        assert_eq!(busy_cycles.len(), 1, "{text}");
+        let window_busy: u64 = extract_nums(&text, "bus_busy").iter().sum();
+        assert_eq!(window_busy, busy_cycles[0], "timeline must tile the run exactly");
+        assert!(text.contains("\"sample_interval\":1000"), "{text}");
+        assert!(text.contains("\"saturation_onset\":"), "{text}");
+    }
+
+    #[test]
+    fn profile_csv_has_one_row_per_window() {
+        let (code, text) = run(&[
+            "profile", "water", "--refs", "1000", "--procs", "2", "--sample-interval", "4000",
+            "--csv",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("start,end,bus_utilization"), "{text}");
+        assert!(lines.len() >= 2, "at least one window: {text}");
+    }
+
+    #[test]
+    fn profile_rejects_two_workloads() {
+        let (code, text) = run(&["profile", "water", "mp3d"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("at most one positional"), "{text}");
+    }
+
+    #[test]
+    fn run_trace_out_writes_jsonl_events() {
+        let dir = std::env::temp_dir().join(format!("charlie-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_s = path.to_str().unwrap();
+        let (code, _) = run(&[
+            "run", "--workload", "mp3d", "--refs", "800", "--procs", "2", "--trace-out", path_s,
+            "--trace-cats", "bus,prefetch",
+        ]);
+        assert_eq!(code, 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(!body.is_empty(), "bus events were traced");
+        for line in body.lines() {
+            assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "JSONL: {line}");
+            assert!(!line.contains("\"cat\":\"coherence\""), "filtered out: {line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_bad_trace_cats() {
+        let (code, text) = run(&[
+            "run", "--refs", "100", "--procs", "1", "--trace-out", "/dev/null", "--trace-cats",
+            "bus,frobnication",
+        ]);
+        assert_eq!(code, 2);
+        assert!(text.contains("frobnication"), "{text}");
+    }
+
+    #[test]
+    fn bench_rejects_zero_throughput_baseline() {
+        let dir = std::env::temp_dir().join(format!("charlie-cli-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(
+            &path,
+            "{\"runs\":{\"quick_baseline\":{\"events_per_sec\":0}}}",
+        )
+        .unwrap();
+        let path_s = path.to_str().unwrap();
+        let (code, text) = run(&[
+            "bench", "--quick", "--refs", "300", "--procs", "2", "--baseline", path_s,
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("not a positive throughput"), "{text}");
+        assert!(text.contains("regenerate the baseline"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_rejects_missing_baseline_key() {
+        let dir = std::env::temp_dir().join(format!("charlie-cli-bench2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, "{\"runs\":{}}").unwrap();
+        let path_s = path.to_str().unwrap();
+        let (code, text) = run(&[
+            "bench", "--quick", "--refs", "300", "--procs", "2", "--baseline", path_s,
+        ]);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("no runs.quick_baseline.events_per_sec"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn help_documents_jobs_flag() {
         let (code, text) = run(&["help"]);
@@ -323,5 +485,9 @@ mod tests {
         assert!(text.contains("CHARLIE_JOBS"));
         assert!(text.contains("--check"));
         assert!(text.contains("--resume FILE"));
+        assert!(text.contains("profile"));
+        assert!(text.contains("--sample-interval N"));
+        assert!(text.contains("--trace-out"));
+        assert!(text.contains("CHARLIE_DEBUG_LINE"));
     }
 }

@@ -25,7 +25,9 @@
 use crate::lab::{Experiment, RunSummary};
 use charlie_bus::BusStats;
 use charlie_prefetch::Strategy;
-use charlie_sim::{LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport};
+use charlie_sim::{
+    LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, Timeline, WindowSample,
+};
 use charlie_workloads::{Layout, Workload};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
@@ -79,6 +81,15 @@ impl Json {
                 .map(|(_, v)| v)
                 .ok_or_else(|| format!("missing field {name:?}")),
             other => Err(format!("expected object with field {name:?}, found {other:?}")),
+        }
+    }
+
+    /// Tolerant lookup for fields that newer writers add and older journals
+    /// lack (e.g. `"timeline"`): `None` instead of an error when absent.
+    fn opt_field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
         }
     }
 }
@@ -333,10 +344,54 @@ fn encode_summary(summary: &RunSummary) -> String {
     );
     let _ = write!(
         s,
-        "\"prefetches_inserted\":{},\"report\":{}}}",
+        "\"prefetches_inserted\":{},\"report\":{}",
         summary.prefetches_inserted,
         encode_report(&summary.report)
     );
+    // Optional field: only sampled campaigns carry timelines, and journals
+    // written by unsampled (or older) builds simply omit it.
+    if let Some(timeline) = &summary.timeline {
+        let _ = write!(s, ",\"timeline\":{}", encode_timeline(timeline));
+    }
+    s.push('}');
+    s
+}
+
+fn encode_timeline(timeline: &Timeline) -> String {
+    let mut s = String::with_capacity(64 + 256 * timeline.windows.len());
+    let _ = write!(s, "{{\"interval\":{},\"windows\":[", timeline.interval);
+    for (i, w) in timeline.windows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"start\":{},\"end\":{},\"bus_busy\":{},\"bus_ops\":{},\
+             \"bus_queueing\":{},\"prefetch_grants\":{},\"proc_busy\":{},\
+             \"proc_stall\":{},\"accesses\":{},\"fills\":{},\
+             \"fill_buckets\":[{},{},{},{},{},{},{}],\"bus_pending\":{},\
+             \"outstanding\":{},\"pf_occupancy\":{}}}",
+            if i == 0 { "" } else { "," },
+            w.start,
+            w.end,
+            w.bus_busy_cycles,
+            w.bus_ops,
+            w.bus_queueing_cycles,
+            w.prefetch_grants,
+            w.proc_busy_cycles,
+            w.proc_stall_cycles,
+            w.accesses,
+            w.fills,
+            w.fill_latency_buckets[0],
+            w.fill_latency_buckets[1],
+            w.fill_latency_buckets[2],
+            w.fill_latency_buckets[3],
+            w.fill_latency_buckets[4],
+            w.fill_latency_buckets[5],
+            w.fill_latency_buckets[6],
+            w.bus_pending,
+            w.outstanding_txns,
+            w.prefetch_buffer,
+        );
+    }
+    s.push_str("]}");
     s
 }
 
@@ -462,7 +517,39 @@ fn decode_summary(line: &str) -> Result<RunSummary, String> {
         experiment,
         report: decode_report(v.field("report")?)?,
         prefetches_inserted: v.field("prefetches_inserted")?.num()?,
+        timeline: v.opt_field("timeline").map(decode_timeline).transpose()?,
     })
+}
+
+fn decode_timeline(v: &Json) -> Result<Timeline, String> {
+    let mut windows = Vec::new();
+    for w in v.field("windows")?.arr()? {
+        let raw = w.field("fill_buckets")?.arr()?;
+        if raw.len() != 7 {
+            return Err(format!("expected 7 fill buckets, found {}", raw.len()));
+        }
+        let mut fill_latency_buckets = [0u64; 7];
+        for (slot, item) in fill_latency_buckets.iter_mut().zip(raw) {
+            *slot = item.num()?;
+        }
+        windows.push(WindowSample {
+            start: w.field("start")?.num()?,
+            end: w.field("end")?.num()?,
+            bus_busy_cycles: w.field("bus_busy")?.num()?,
+            bus_ops: w.field("bus_ops")?.num()?,
+            bus_queueing_cycles: w.field("bus_queueing")?.num()?,
+            prefetch_grants: w.field("prefetch_grants")?.num()?,
+            proc_busy_cycles: w.field("proc_busy")?.num()?,
+            proc_stall_cycles: w.field("proc_stall")?.num()?,
+            accesses: w.field("accesses")?.num()?,
+            fills: w.field("fills")?.num()?,
+            fill_latency_buckets,
+            bus_pending: w.field("bus_pending")?.num()? as usize,
+            outstanding_txns: w.field("outstanding")?.num()? as usize,
+            prefetch_buffer: w.field("pf_occupancy")?.num()? as usize,
+        });
+    }
+    Ok(Timeline { interval: v.field("interval")?.num()?, windows })
 }
 
 /// Encodes a `(key, report)` pair as one journal line — the variant the
@@ -584,7 +671,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lab::{Lab, RunConfig};
+    use crate::lab::{Lab, ObserveSpec, RunConfig};
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -609,6 +696,25 @@ mod tests {
         let line = encode_summary(&summary);
         assert!(!line.contains('\n'), "journal lines are single lines");
         let back = decode_summary(&line).expect("round trip");
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn summary_with_timeline_round_trips_exactly() {
+        let mut lab = Lab::new(RunConfig {
+            procs: 2,
+            refs_per_proc: 500,
+            seed: 11,
+            ..RunConfig::default()
+        });
+        lab.set_observe(ObserveSpec {
+            sample_interval: Some(2_000),
+            ..ObserveSpec::default()
+        });
+        let summary = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pws, 16)).clone();
+        let timeline = summary.timeline.as_ref().expect("sampled run records a timeline");
+        assert!(!timeline.windows.is_empty());
+        let back = decode_summary(&encode_summary(&summary)).expect("round trip");
         assert_eq!(back, summary);
     }
 

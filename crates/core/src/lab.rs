@@ -11,12 +11,16 @@
 
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
-use charlie_sim::{simulate_prevalidated, SimConfig, SimError, SimReport};
+use charlie_sim::{
+    simulate_observed_prevalidated, Observability, SampleConfig, SimConfig, SimError, SimReport,
+    Timeline, TraceCategories, TraceEmitter,
+};
 use charlie_trace::Trace;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +99,52 @@ impl Default for RunConfig {
     }
 }
 
+/// Opt-in observability for every run a [`Lab`] executes (see
+/// [`Lab::set_observe`]). The default spec is fully off and adds zero cost:
+/// runs go through the exact same simulation path and produce bit-identical
+/// reports with no timeline.
+#[derive(Clone, Debug)]
+pub struct ObserveSpec {
+    /// Record a per-run [`Timeline`] sampled every this many cycles.
+    pub sample_interval: Option<u64>,
+    /// Write one JSONL trace file per run into this directory, named
+    /// `{workload}-{strategy}-{transfer}cy-{layout}.jsonl`.
+    pub trace_dir: Option<PathBuf>,
+    /// Categories the per-run trace files record (ignored without
+    /// `trace_dir`).
+    pub trace_cats: TraceCategories,
+}
+
+impl Default for ObserveSpec {
+    fn default() -> Self {
+        ObserveSpec { sample_interval: None, trace_dir: None, trace_cats: TraceCategories::all() }
+    }
+}
+
+impl ObserveSpec {
+    /// Builds the per-run [`Observability`] attachments for `exp`, opening
+    /// the run's trace file if a trace directory is configured.
+    fn observability_for(&self, exp: Experiment) -> Result<Observability, RunError> {
+        let tracer = match &self.trace_dir {
+            None => None,
+            Some(dir) => {
+                let name = format!(
+                    "{}-{}-{}cy-{:?}.jsonl",
+                    exp.workload, exp.strategy, exp.transfer_cycles, exp.layout
+                );
+                let file = std::fs::File::create(dir.join(&name)).map_err(|e| {
+                    RunError::Trace(format!("creating trace file {name}: {e}"))
+                })?;
+                Some(TraceEmitter::new(
+                    Box::new(std::io::BufWriter::new(file)),
+                    self.trace_cats,
+                ))
+            }
+        };
+        Ok(Observability { sample: self.sample_interval.map(SampleConfig::every), tracer })
+    }
+}
+
 /// Result of one experiment run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct RunSummary {
@@ -105,6 +155,10 @@ pub struct RunSummary {
     /// Prefetch events the off-line pass inserted (the paper's prefetch
     /// overhead measure).
     pub prefetches_inserted: u64,
+    /// Per-window time series, present when the lab ran with sampling
+    /// enabled ([`Lab::set_observe`]). `None` on unsampled runs — and on
+    /// summaries restored from journals written by unsampled campaigns.
+    pub timeline: Option<Timeline>,
 }
 
 /// Why one experiment run failed.
@@ -313,31 +367,42 @@ fn run_on_prepared(
     exp: Experiment,
     prepared: &Trace,
     prefetches_inserted: u64,
+    observe: &ObserveSpec,
 ) -> Result<RunSummary, RunError> {
     let sim_cfg = SimConfig {
         geometry: cfg.geometry,
         max_events: watchdog_budget(cfg),
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
-    let report = simulate_prevalidated(&sim_cfg, prepared)?;
-    Ok(RunSummary { experiment: exp, report, prefetches_inserted })
+    let obs = observe.observability_for(exp)?;
+    let (report, timeline) = simulate_observed_prevalidated(&sim_cfg, prepared, obs)?;
+    Ok(RunSummary { experiment: exp, report, prefetches_inserted, timeline })
 }
 
 /// Runs one experiment against an already-validated raw trace.
-fn run_on_raw(cfg: &RunConfig, exp: Experiment, raw: &Trace) -> Result<RunSummary, RunError> {
+fn run_on_raw(
+    cfg: &RunConfig,
+    exp: Experiment,
+    raw: &Trace,
+    observe: &ObserveSpec,
+) -> Result<RunSummary, RunError> {
     let prepared = charlie_prefetch::apply(exp.strategy, raw, cfg.geometry);
     let prefetches_inserted = prepared.total_prefetches() as u64;
-    run_on_prepared(cfg, exp, &prepared, prefetches_inserted)
+    run_on_prepared(cfg, exp, &prepared, prefetches_inserted, observe)
 }
 
 /// Runs one experiment under `cfg`, independent of any lab. This is the
 /// unit of work both the serial and the parallel paths execute; it touches
 /// no shared state, which is what makes [`Lab::run_batch`] trivially
 /// deterministic.
-fn run_experiment(cfg: &RunConfig, exp: Experiment) -> Result<RunSummary, RunError> {
+fn run_experiment(
+    cfg: &RunConfig,
+    exp: Experiment,
+    observe: &ObserveSpec,
+) -> Result<RunSummary, RunError> {
     let raw = generate(exp.workload, &workload_config(cfg, exp.layout));
     raw.validate().map_err(|e| RunError::Sim(SimError::InvalidTrace(e)))?;
-    run_on_raw(cfg, exp, &raw)
+    run_on_raw(cfg, exp, &raw, observe)
 }
 
 /// Fault-injection hook: consulted with the experiment before each run; a
@@ -362,6 +427,7 @@ fn run_cell(
     cfg: &RunConfig,
     exp: Experiment,
     injector: Option<&Injector>,
+    observe: &ObserveSpec,
 ) -> Result<RunSummary, RunError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         if let Some(inject) = injector {
@@ -369,7 +435,7 @@ fn run_cell(
                 return Err(error);
             }
         }
-        run_experiment(cfg, exp)
+        run_experiment(cfg, exp, observe)
     }));
     match attempt {
         Ok(result) => result,
@@ -418,6 +484,7 @@ fn run_cell_prepared(
     prepared: &Trace,
     prefetches_inserted: u64,
     injector: Option<&Injector>,
+    observe: &ObserveSpec,
 ) -> Result<RunSummary, RunError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         if let Some(inject) = injector {
@@ -425,7 +492,7 @@ fn run_cell_prepared(
                 return Err(error);
             }
         }
-        run_on_prepared(cfg, exp, prepared, prefetches_inserted)
+        run_on_prepared(cfg, exp, prepared, prefetches_inserted, observe)
     }));
     match attempt {
         Ok(result) => result,
@@ -444,6 +511,7 @@ pub struct Lab {
     meta: HashMap<Experiment, RunMeta>,
     stats: LabStats,
     injector: Option<Box<Injector>>,
+    observe: ObserveSpec,
 }
 
 impl Lab {
@@ -455,12 +523,21 @@ impl Lab {
             meta: HashMap::new(),
             stats: LabStats::default(),
             injector: None,
+            observe: ObserveSpec::default(),
         }
     }
 
     /// The lab's run configuration.
     pub fn config(&self) -> &RunConfig {
         &self.cfg
+    }
+
+    /// Attaches observability to every subsequent run: per-run sampled
+    /// timelines ([`RunSummary::timeline`]) and/or per-run JSONL trace
+    /// files. Memoized results are unaffected — set the spec before running.
+    /// The default spec turns everything off again.
+    pub fn set_observe(&mut self, observe: ObserveSpec) {
+        self.observe = observe;
     }
 
     /// Installs a fault injector: before each non-memoized run the hook is
@@ -488,7 +565,7 @@ impl Lab {
         }
         self.stats.memo_misses += 1;
         let started = Instant::now();
-        let summary = run_cell(&self.cfg, exp, self.injector.as_deref())?;
+        let summary = run_cell(&self.cfg, exp, self.injector.as_deref(), &self.observe)?;
         self.meta.insert(
             exp,
             RunMeta { wall_nanos: started.elapsed().as_nanos(), worker: 0, via_batch: false },
@@ -605,6 +682,7 @@ impl Lab {
         let jobs = Self::resolve_jobs(jobs).min(groups.len().max(1));
         let cfg = &self.cfg;
         let injector = self.injector.as_deref();
+        let observe = &self.observe;
 
         // The raw-trace cache is read-only by the time workers see it; a
         // failed generation fails exactly the cells that would have used
@@ -639,7 +717,7 @@ impl Lab {
                         let t0 = Instant::now();
                         let outcome = match &prepared {
                             Ok((trace, inserted)) => {
-                                run_cell_prepared(cfg, exp, trace, *inserted, injector)
+                                run_cell_prepared(cfg, exp, trace, *inserted, injector, observe)
                             }
                             Err(error) => Err(error.clone()),
                         };
@@ -689,7 +767,8 @@ impl Lab {
                     // Bounded diagnosis: one serial re-run distinguishes a
                     // deterministic failure from harness nondeterminism, and
                     // rescues transient ones.
-                    let retry = match run_cell(&self.cfg, exp, self.injector.as_deref()) {
+                    let retry =
+                        match run_cell(&self.cfg, exp, self.injector.as_deref(), &self.observe) {
                         Ok(summary) => {
                             executed += 1;
                             if let Some(cb) = on_complete.as_deref_mut() {
@@ -819,6 +898,61 @@ mod tests {
         let again = parallel.run_batch(&exps, 3);
         assert_eq!(again.executed, 0);
         assert_eq!(again.memo_hits, 3);
+    }
+
+    #[test]
+    fn sampling_records_timeline_without_perturbing_report() {
+        let exp = Experiment::paper(Workload::Mp3d, Strategy::Pref, 16);
+        let mut plain = tiny_lab();
+        let baseline = plain.run(exp).clone();
+        assert!(baseline.timeline.is_none(), "observation is off by default");
+
+        let mut observed = tiny_lab();
+        observed.set_observe(ObserveSpec {
+            sample_interval: Some(5_000),
+            ..ObserveSpec::default()
+        });
+        let sampled = observed.run(exp).clone();
+        assert_eq!(sampled.report, baseline.report, "sampling must not change results");
+        let timeline = sampled.timeline.expect("sampled run records a timeline");
+        assert!(!timeline.windows.is_empty());
+        assert_eq!(timeline.total_bus_busy(), sampled.report.bus.busy_cycles);
+    }
+
+    #[test]
+    fn tracing_writes_one_jsonl_file_per_run() {
+        let dir = std::env::temp_dir()
+            .join(format!("charlie-lab-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut lab = tiny_lab();
+        lab.set_observe(ObserveSpec {
+            trace_dir: Some(dir.clone()),
+            ..ObserveSpec::default()
+        });
+        let exp = Experiment::paper(Workload::Water, Strategy::Pref, 8);
+        lab.run(exp);
+        let path = dir.join("Water-PREF-8cy-Interleaved.jsonl");
+        let body = std::fs::read_to_string(&path).expect("trace file written");
+        assert!(!body.is_empty());
+        for line in body.lines().take(50) {
+            assert!(line.starts_with("{\"t\":"), "JSONL schema: {line}");
+            assert!(line.ends_with('}'), "JSONL schema: {line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_trace_dir_is_a_run_error() {
+        let mut lab = tiny_lab();
+        lab.set_observe(ObserveSpec {
+            trace_dir: Some(PathBuf::from("/nonexistent/charlie-trace-dir")),
+            ..ObserveSpec::default()
+        });
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        match lab.try_run(exp) {
+            Err(RunError::Trace(msg)) => assert!(msg.contains("trace file"), "{msg}"),
+            other => panic!("expected trace error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -44,11 +44,12 @@ pub mod experiments;
 mod lab;
 pub mod parallel;
 mod report;
+pub mod timeline;
 
 pub use chart::AsciiChart;
 pub use lab::{
-    BatchReport, Experiment, Lab, LabStats, RetryOutcome, RunConfig, RunError, RunFailure,
-    RunMeta, RunSummary, MAX_JOBS,
+    BatchReport, Experiment, Lab, LabStats, ObserveSpec, RetryOutcome, RunConfig, RunError,
+    RunFailure, RunMeta, RunSummary, MAX_JOBS,
 };
 pub use report::{format_rate, Table};
 

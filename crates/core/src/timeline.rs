@@ -1,0 +1,219 @@
+//! Rendering helpers for sampled run [`Timeline`]s: the CSV and JSON
+//! serializations the `charlie profile` command emits, plus the
+//! saturation-onset summary backing the paper's contention argument (§4:
+//! prefetch traffic pushes the shared bus toward saturation, and queueing —
+//! not miss rates — caps speedup).
+//!
+//! These are pure formatting functions over [`Timeline`]; the sampling
+//! itself lives in `charlie_sim::sample`.
+
+use charlie_sim::{Timeline, WindowSample};
+use std::fmt::Write as _;
+
+/// Bus-utilization threshold above which a window counts as saturated for
+/// [`saturation_summary`] (the paper's contention regime; a shared bus
+/// loaded past ~0.9 queues more than it transfers).
+pub const SATURATION_THRESHOLD: f64 = 0.9;
+
+/// Header row matching [`timeline_csv_row`].
+pub const TIMELINE_CSV_HEADER: &str = "start,end,bus_utilization,bus_busy_cycles,bus_ops,\
+     bus_queueing_cycles,prefetch_grants,proc_busy_cycles,proc_stall_cycles,accesses,fills,\
+     avg_fill_latency,bus_pending,outstanding_txns,prefetch_buffer";
+
+/// One CSV row per sampled window (no header; see [`TIMELINE_CSV_HEADER`]).
+pub fn timeline_csv_row(w: &WindowSample) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{},{},{:.6},{},{},{},{},{},{},{},{},{:.2},{},{},{}",
+        w.start,
+        w.end,
+        w.bus_utilization(),
+        w.bus_busy_cycles,
+        w.bus_ops,
+        w.bus_queueing_cycles,
+        w.prefetch_grants,
+        w.proc_busy_cycles,
+        w.proc_stall_cycles,
+        w.accesses,
+        w.fills,
+        avg_fill_latency(w),
+        w.bus_pending,
+        w.outstanding_txns,
+        w.prefetch_buffer,
+    );
+    s
+}
+
+/// Full CSV document: header plus one row per window.
+pub fn timeline_csv(timeline: &Timeline) -> String {
+    let mut s = String::with_capacity(64 + 128 * timeline.windows.len());
+    s.push_str(TIMELINE_CSV_HEADER);
+    s.push('\n');
+    for w in &timeline.windows {
+        s.push_str(&timeline_csv_row(w));
+        s.push('\n');
+    }
+    s
+}
+
+/// JSON rendering of a timeline — same shape the checkpoint journal embeds
+/// (`{"interval":..,"windows":[..]}`), so consumers parse one schema.
+pub fn timeline_json(timeline: &Timeline) -> String {
+    let mut s = String::with_capacity(64 + 256 * timeline.windows.len());
+    let _ = write!(s, "{{\"interval\":{},\"windows\":[", timeline.interval);
+    for (i, w) in timeline.windows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"start\":{},\"end\":{},\"bus_busy\":{},\"bus_ops\":{},\
+             \"bus_queueing\":{},\"prefetch_grants\":{},\"proc_busy\":{},\
+             \"proc_stall\":{},\"accesses\":{},\"fills\":{},\
+             \"fill_buckets\":[{},{},{},{},{},{},{}],\"bus_pending\":{},\
+             \"outstanding\":{},\"pf_occupancy\":{}}}",
+            w.start,
+            w.end,
+            w.bus_busy_cycles,
+            w.bus_ops,
+            w.bus_queueing_cycles,
+            w.prefetch_grants,
+            w.proc_busy_cycles,
+            w.proc_stall_cycles,
+            w.accesses,
+            w.fills,
+            w.fill_latency_buckets[0],
+            w.fill_latency_buckets[1],
+            w.fill_latency_buckets[2],
+            w.fill_latency_buckets[3],
+            w.fill_latency_buckets[4],
+            w.fill_latency_buckets[5],
+            w.fill_latency_buckets[6],
+            w.bus_pending,
+            w.outstanding_txns,
+            w.prefetch_buffer,
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Mean fill latency inside one window (0 when it saw no fills). The exact
+/// per-fill latencies are bucketed ([`charlie_sim::LATENCY_BUCKET_BOUNDS`]);
+/// this midpoint estimate is for trend plots, not for arithmetic.
+pub fn avg_fill_latency(w: &WindowSample) -> f64 {
+    if w.fills == 0 {
+        return 0.0;
+    }
+    // Bucket midpoints for bounds (≤100, ≤125, ≤150, ≤200, ≤300, ≤500, >500);
+    // the unloaded fill costs 100 cycles, so the first bucket sits at it.
+    const MIDPOINTS: [f64; 7] = [100.0, 112.5, 137.5, 175.0, 250.0, 400.0, 750.0];
+    let weighted: f64 = w
+        .fill_latency_buckets
+        .iter()
+        .zip(MIDPOINTS)
+        .map(|(&n, mid)| n as f64 * mid)
+        .sum();
+    weighted / w.fills as f64
+}
+
+/// How (and when) the run saturated its bus.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SaturationSummary {
+    /// Start cycle of the first window whose bus utilization exceeded
+    /// [`SATURATION_THRESHOLD`] (`None`: the bus never saturated).
+    pub onset: Option<u64>,
+    /// Windows at or past the threshold.
+    pub saturated_windows: usize,
+    /// Total sampled windows.
+    pub windows: usize,
+    /// Peak single-window bus utilization.
+    pub peak_utilization: f64,
+}
+
+/// Scans a timeline for the paper's contention signature: the first window
+/// where bus utilization exceeds [`SATURATION_THRESHOLD`], and how much of
+/// the run stayed there.
+pub fn saturation_summary(timeline: &Timeline) -> SaturationSummary {
+    let mut summary = SaturationSummary {
+        onset: timeline.saturation_onset(SATURATION_THRESHOLD),
+        windows: timeline.windows.len(),
+        ..SaturationSummary::default()
+    };
+    for w in &timeline.windows {
+        let util = w.bus_utilization();
+        if util > SATURATION_THRESHOLD {
+            summary.saturated_windows += 1;
+        }
+        if util > summary.peak_utilization {
+            summary.peak_utilization = util;
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: u64, end: u64, busy: u64) -> WindowSample {
+        WindowSample { start, end, bus_busy_cycles: busy, ..WindowSample::default() }
+    }
+
+    fn timeline() -> Timeline {
+        Timeline {
+            interval: 100,
+            windows: vec![window(0, 100, 20), window(100, 200, 95), window(200, 260, 30)],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_window() {
+        let csv = timeline_csv(&timeline());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("start,end,bus_utilization"));
+        assert!(lines[1].starts_with("0,100,0.200000,20,"));
+        assert!(lines[2].starts_with("100,200,0.950000,95,"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows have the same arity"
+        );
+    }
+
+    #[test]
+    fn json_matches_checkpoint_schema() {
+        let json = timeline_json(&timeline());
+        assert!(json.starts_with("{\"interval\":100,\"windows\":[{\"start\":0,"));
+        assert_eq!(json.matches("\"bus_busy\":").count(), 3);
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn saturation_summary_finds_onset_and_peak() {
+        let s = saturation_summary(&timeline());
+        assert_eq!(s.onset, Some(100));
+        assert_eq!(s.saturated_windows, 1);
+        assert_eq!(s.windows, 3);
+        assert!((s.peak_utilization - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsaturated_timeline_has_no_onset() {
+        let t = Timeline { interval: 100, windows: vec![window(0, 100, 50)] };
+        let s = saturation_summary(&t);
+        assert_eq!(s.onset, None);
+        assert_eq!(s.saturated_windows, 0);
+    }
+
+    #[test]
+    fn avg_fill_latency_handles_empty_windows() {
+        let w = WindowSample::default();
+        assert_eq!(avg_fill_latency(&w), 0.0);
+        let mut w2 = WindowSample { fills: 2, ..WindowSample::default() };
+        w2.fill_latency_buckets[1] = 2;
+        assert!((avg_fill_latency(&w2) - 112.5).abs() < 1e-12);
+    }
+}

@@ -30,6 +30,7 @@ use crate::config::{Protocol, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{MissBreakdown, PrefetchStats, SimReport};
 use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
+use crate::sample::{CounterSnapshot, Gauges, Observability, Sampler, Timeline, TraceEmitter};
 use crate::sharers::SharerTable;
 use crate::sync::{BarrierState, LockTable};
 use charlie_bus::{Bus, GrantOutcome, Priority, TxnId};
@@ -149,9 +150,16 @@ pub(crate) struct Machine<'t> {
     /// First invariant violation found; the event loop converts it into
     /// `SimError::InvariantViolation` before dispatching the next event.
     violation: Option<CoherenceViolation>,
-    /// `CHARLIE_DEBUG_LINE` substring filter: snoops and fills whose line
-    /// address matches are traced to stderr (coherence debugging aid).
-    debug_line: Option<String>,
+    /// Structured trace sink (from [`Observability`], or constructed from
+    /// `CHARLIE_DEBUG_LINE` for the legacy stderr coherence aid).
+    tracer: Option<TraceEmitter>,
+    /// Interval sampler recording the per-window [`Timeline`]; `None` (the
+    /// default) costs one always-false compare per event.
+    sampler: Option<Sampler>,
+    /// Cached `sampler.next_at()` — `u64::MAX` when sampling is off — so
+    /// the event loop's sampling check is a single branch-predictable
+    /// compare.
+    sample_next_at: u64,
     /// `CHARLIE_DEBUG_EVENTS` progress tracing, sampled once at
     /// construction so the event loop never touches the environment.
     debug_events: bool,
@@ -162,13 +170,29 @@ pub(crate) struct Machine<'t> {
 
 impl<'t> Machine<'t> {
     pub(crate) fn new(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
+        Machine::new_observed(cfg, trace, Observability::default())
+    }
+
+    pub(crate) fn new_observed(
+        cfg: SimConfig,
+        trace: &'t Trace,
+        obs: Observability,
+    ) -> Result<Self, SimError> {
         trace.validate().map_err(SimError::InvalidTrace)?;
-        Machine::new_prevalidated(cfg, trace)
+        Machine::new_prevalidated_observed(cfg, trace, obs)
     }
 
     /// [`Machine::new`] without the `trace.validate()` pass — the caller
     /// vouches the trace already passed validation (shared-trace batch path).
     pub(crate) fn new_prevalidated(cfg: SimConfig, trace: &'t Trace) -> Result<Self, SimError> {
+        Machine::new_prevalidated_observed(cfg, trace, Observability::default())
+    }
+
+    pub(crate) fn new_prevalidated_observed(
+        cfg: SimConfig,
+        trace: &'t Trace,
+        obs: Observability,
+    ) -> Result<Self, SimError> {
         if trace.num_procs() != cfg.num_procs {
             return Err(SimError::ProcCountMismatch {
                 config: cfg.num_procs,
@@ -179,6 +203,8 @@ impl<'t> Machine<'t> {
             return Err(SimError::BadProcCount(cfg.num_procs));
         }
         let n = cfg.num_procs;
+        let sampler = obs.sample.map(Sampler::new);
+        let sample_next_at = sampler.as_ref().map_or(u64::MAX, Sampler::next_at);
         Ok(Machine {
             cfg,
             trace,
@@ -208,13 +234,15 @@ impl<'t> Machine<'t> {
             measured_from: 0,
             checking: cfg.check_invariants || cfg!(debug_assertions),
             violation: None,
-            debug_line: std::env::var("CHARLIE_DEBUG_LINE").ok(),
+            tracer: obs.tracer.or_else(TraceEmitter::from_env),
+            sampler,
+            sample_next_at,
             debug_events: std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some(),
             event_budget: if cfg.max_events == 0 { u64::MAX } else { cfg.max_events },
         })
     }
 
-    pub(crate) fn run(mut self) -> Result<(SimReport, u64), SimError> {
+    pub(crate) fn run(mut self) -> Result<(SimReport, Option<Timeline>, u64), SimError> {
         for p in 0..self.cfg.num_procs {
             let e = self.epochs[p];
             self.push(0, EventKind::Wake { proc: p as u8, epoch: e });
@@ -226,6 +254,12 @@ impl<'t> Machine<'t> {
                 return Err(SimError::Deadlock);
             };
             events_processed += 1;
+            // Close sampling windows whose boundary this event crossed
+            // (before handling it: the event's effects belong to the next
+            // window). A single compare against u64::MAX when disabled.
+            if time >= self.sample_next_at {
+                self.sample_tick(time);
+            }
             if debug && events_processed.is_multiple_of(1 << 22) {
                 let cursors: Vec<usize> = self.procs.iter().map(|p| p.cursor).collect();
                 let statuses: Vec<String> =
@@ -276,7 +310,47 @@ impl<'t> Machine<'t> {
                 .map_err(SimError::InvariantViolation)?;
             }
         }
-        Ok((self.into_report(), events_processed))
+        let (report, timeline) = self.into_report();
+        Ok((report, timeline, events_processed))
+    }
+
+    /// Reads the monotone counters the sampler windows over.
+    fn counter_snapshot(&self) -> CounterSnapshot {
+        let bus = self.bus.stats();
+        CounterSnapshot {
+            bus_busy: bus.busy_cycles,
+            bus_ops: bus.total_ops(),
+            bus_queueing: bus.queueing_cycles,
+            prefetch_grants: bus.prefetch_grants,
+            proc_busy: self.procs.iter().map(|p| p.stats.busy_cycles).sum(),
+            proc_stall: self.procs.iter().map(|p| p.stats.stall_cycles).sum(),
+            accesses: self.procs.iter().map(|p| p.stats.accesses).sum(),
+            fills: self.tallies.fill_latency.count(),
+            fill_buckets: *self.tallies.fill_latency.histogram(),
+        }
+    }
+
+    /// Reads the instantaneous gauges recorded at a window close.
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            bus_pending: self.bus.pending(),
+            outstanding_txns: self.txns.iter().filter(|t| t.is_some()).count(),
+            prefetch_buffer: self.procs.iter().map(|p| p.outstanding.len()).sum(),
+        }
+    }
+
+    /// Closes every sampling window whose boundary lies at or before `now`.
+    /// Out of the event loop's hot path; only reached with a live sampler.
+    #[cold]
+    fn sample_tick(&mut self, now: u64) {
+        while now >= self.sample_next_at {
+            let boundary = self.sample_next_at;
+            let snap = self.counter_snapshot();
+            let gauges = self.gauges();
+            let s = self.sampler.as_mut().expect("finite sample_next_at implies a sampler");
+            s.close_at(boundary, snap, gauges);
+            self.sample_next_at = s.next_at();
+        }
     }
 
     /// Re-derives invariants 1–2 for `line` after a coherence action,
@@ -300,8 +374,38 @@ impl<'t> Machine<'t> {
         }
     }
 
-    fn into_report(self) -> SimReport {
-        SimReport {
+    fn into_report(mut self) -> (SimReport, Option<Timeline>) {
+        // Close the trailing partial window before reading final counters
+        // (a no-op if the run ended exactly on a boundary).
+        let timeline = if self.sampler.is_some() {
+            let snap = self.counter_snapshot();
+            let gauges = self.gauges();
+            let mut s = self.sampler.take().expect("checked above");
+            s.close_at(self.finish_time, snap, gauges);
+            Some(s.into_timeline())
+        } else {
+            None
+        };
+        let mut bus = *self.bus.stats();
+        if self.measured_from > 0 {
+            // Windowed busy cycles can still exceed the measured window by
+            // the trailing overhang of the last grant: a posted write-back
+            // nobody waits on may complete past the last processor's finish
+            // time, and its full forward occupancy was accounted at grant.
+            // Grants are serialized, every grant starts at or before
+            // `finish_time`, and `measured_from <= finish_time`, so the
+            // overhang is wholly inside the last grant's in-window
+            // contribution — subtracting it is exact and guarantees
+            // `bus_utilization() <= 1.0`. Cold (no-warm-up) runs keep their
+            // raw counter: the first transaction's 92-cycle uncontended
+            // head start already exceeds the largest possible overhang, so
+            // the bound holds without adjustment and the golden grid stays
+            // bit-identical.
+            bus.busy_cycles = bus
+                .busy_cycles
+                .saturating_sub(self.bus.busy_until().saturating_sub(self.finish_time));
+        }
+        let report = SimReport {
             cycles: self.finish_time,
             measured_from: self.measured_from,
             reads: self.tallies.reads,
@@ -314,9 +418,10 @@ impl<'t> Machine<'t> {
             victim_hits: self.tallies.victim_hits,
             fill_latency: self.tallies.fill_latency,
             prefetch: self.tallies.prefetch,
-            bus: *self.bus.stats(),
+            bus,
             per_proc: self.procs.into_iter().map(|p| p.stats).collect(),
-        }
+        };
+        (report, timeline)
     }
 
     // ---- event plumbing -------------------------------------------------
@@ -482,6 +587,13 @@ impl<'t> Machine<'t> {
             } else {
                 self.tallies.prefetch.duplicates += 1;
             }
+            if self.tracer.is_some() {
+                let t = self.procs[p].t;
+                let outcome = if resident { "hit" } else { "duplicate" };
+                if let Some(tr) = &mut self.tracer {
+                    tr.prefetch_with(t, p, line, "executed", "outcome", outcome);
+                }
+            }
             self.procs[p].cursor += 1;
             return Flow::Continue;
         }
@@ -515,6 +627,9 @@ impl<'t> Machine<'t> {
                 aborted: false,
             },
         );
+        if let Some(tr) = &mut self.tracer {
+            tr.prefetch_with(now, p, line, "executed", "outcome", "issued");
+        }
         self.procs[p].outstanding.insert(line, OutstandingPrefetch { txn, cpu_waiting: false });
         self.verify_prefetch_buffer(p);
         self.schedule_bus_check(now);
@@ -534,6 +649,14 @@ impl<'t> Machine<'t> {
         match self.caches[p].probe_line(line) {
             Probe::Hit { way, state } => match protocol::local_access(state, is_write) {
                 LocalAction::Hit(new_state) => {
+                    if self.tracer.is_some() {
+                        let fr = self.caches[p].frame(line, way);
+                        if fr.filled_by_prefetch() && !fr.used_since_fill() {
+                            if let Some(tr) = &mut self.tracer {
+                                tr.prefetch(now, p, line, "used");
+                            }
+                        }
+                    }
                     let frame = self.caches[p].frame_mut(line, way);
                     if is_write {
                         frame.record_write_retire(word);
@@ -596,6 +719,9 @@ impl<'t> Machine<'t> {
                         self.procs[p].pending.as_mut().expect("pending").counted = true;
                     }
                     self.bus.promote(txn);
+                    if let Some(tr) = &mut self.tracer {
+                        tr.prefetch(now, p, line, "promoted");
+                    }
                     self.procs[p].waiting_txn = Some(txn);
                     self.block_proc(p, ProcStatus::WaitMem);
                     return Flow::Blocked;
@@ -660,7 +786,16 @@ impl<'t> Machine<'t> {
         self.warmup_left = None;
         self.measured_from = now;
         self.tallies = Tallies::default();
-        self.bus.reset_stats();
+        // Clip subsequent bus accounting to the window: a transfer granted
+        // before `now` (or a queue wait begun before it) contributes only
+        // its in-window portion, so windowed bus utilization stays <= 1.
+        self.bus.open_window(now);
+        if let Some(s) = &mut self.sampler {
+            // Timeline windows cover the measured span only, so summed
+            // deltas equal the final windowed counters.
+            s.rebase(now);
+            self.sample_next_at = s.next_at();
+        }
         for proc in &mut self.procs {
             proc.stats.busy_cycles = 0;
             proc.stats.stall_cycles = 0;
@@ -830,6 +965,9 @@ impl<'t> Machine<'t> {
         self.bus_check_at = None;
         match self.bus.try_grant(now) {
             GrantOutcome::Granted { request, completes_at } => {
+                if let Some(tr) = &mut self.tracer {
+                    tr.bus_grant(now, &request, completes_at);
+                }
                 // Push the completion before snooping: apply_snoops may
                 // schedule a BusCheck at `completes_at` (reflective
                 // write-back submission), and that check must not outrank
@@ -837,7 +975,7 @@ impl<'t> Machine<'t> {
                 // next-grant snoop ordered before the install would miss
                 // the freshly filled copy and leave a stale sharer behind.
                 self.push(completes_at, EventKind::TxnDone(request.id));
-                self.apply_snoops(request.id, request.line);
+                self.apply_snoops(now, request.id, request.line);
                 self.schedule_bus_check(completes_at);
             }
             GrantOutcome::BusyUntil(t) | GrantOutcome::WaitingUntil(t) => {
@@ -881,14 +1019,16 @@ impl<'t> Machine<'t> {
 
     /// Applies coherence effects at grant time (address broadcast): remote
     /// invalidations/downgrades and the Illinois sharing wire.
-    fn apply_snoops(&mut self, id: TxnId, line: LineAddr) {
+    fn apply_snoops(&mut self, now: u64, id: TxnId, line: LineAddr) {
         let info = self.txns[id.index()].expect("granted txn is registered");
         self.verify_sharer_mask(line);
-        if let Some(l) = &self.debug_line {
-            if format!("{line:?}").contains(l.as_str()) {
-                let states: Vec<_> =
-                    (0..self.cfg.num_procs).map(|q| self.caches[q].state_of(line)).collect();
-                eprintln!("[charlie-debug] snoop {id:?} {:?} states={states:?}", info.action);
+        if self.tracer.as_ref().is_some_and(|t| t.wants_coherence(line)) {
+            let states: Vec<_> =
+                (0..self.cfg.num_procs).map(|q| self.caches[q].state_of(line)).collect();
+            let action = format!("{:?}", info.action);
+            let states = format!("{states:?}");
+            if let Some(tr) = &mut self.tracer {
+                tr.snoop(now, id, line, &action, &states);
             }
         }
         let word = info.word;
@@ -912,7 +1052,7 @@ impl<'t> Machine<'t> {
                             }
                         }
                         BusOp::ReadExclusive => {
-                            if self.invalidate_in(q, line, word) {
+                            if self.invalidate_in(now, q, line, word) {
                                 others = true;
                             }
                         }
@@ -961,7 +1101,7 @@ impl<'t> Machine<'t> {
                         while holders != 0 {
                             let q = holders.trailing_zeros() as usize;
                             holders &= holders - 1;
-                            self.invalidate_in(q, line, word);
+                            self.invalidate_in(now, q, line, word);
                         }
                     }
                     Protocol::WriteUpdate => {
@@ -986,12 +1126,15 @@ impl<'t> Machine<'t> {
     /// Invalidates `line` in cache `q` (remote write of `word`, covering the
     /// victim buffer); returns whether a valid copy was present. Tracks
     /// killed-before-use prefetches.
-    fn invalidate_in(&mut self, q: usize, line: LineAddr, word: u32) -> bool {
+    fn invalidate_in(&mut self, now: u64, q: usize, line: LineAddr, word: u32) -> bool {
         if let Some((_prev, unused_prefetch)) = self.caches[q].snoop_invalidate(line, word) {
             self.sharers.remove(q, line);
             if unused_prefetch {
                 self.tallies.prefetch.wasted_invalidated += 1;
                 self.ghosts[q].insert(line);
+                if let Some(tr) = &mut self.tracer {
+                    tr.prefetch(now, q, line, "wasted_invalidated");
+                }
             }
             true
         } else {
@@ -1008,7 +1151,13 @@ impl<'t> Machine<'t> {
         match info.action {
             TxnAction::WriteBack => {}
             TxnAction::DemandFill { proc, line, op } => {
-                self.tallies.fill_latency.record(now - info.issued_at);
+                // Uniform window semantics: only fills *issued* inside the
+                // measurement window contribute to the latency distribution
+                // (a warm-up miss completing after the window opened would
+                // otherwise smear its cold latency into the measured data).
+                if info.issued_at >= self.measured_from {
+                    self.tallies.fill_latency.record(now - info.issued_at);
+                }
                 self.install_fill(proc.index(), line, op, info.others_have_copy, false, now);
                 let woke = self.wake_if_waiting(now, proc.index(), id);
                 debug_assert!(woke, "demand fill completion must find its waiter");
@@ -1016,6 +1165,9 @@ impl<'t> Machine<'t> {
             TxnAction::PrefetchFill { proc, line, op } => {
                 let p = proc.index();
                 self.install_fill(p, line, op, info.others_have_copy, true, now);
+                if let Some(tr) = &mut self.tracer {
+                    tr.prefetch(now, p, line, "filled");
+                }
                 let slot = self.procs[p].outstanding.remove(line).expect("slot exists");
                 if slot.cpu_waiting {
                     let woke = self.wake_if_waiting(now, p, id);
@@ -1087,11 +1239,11 @@ impl<'t> Machine<'t> {
         now: u64,
     ) {
         let state = protocol::fill_state(op, others_have_copy);
-        if let Some(l) = &self.debug_line {
-            if format!("{line:?}").contains(l.as_str()) {
-                eprintln!(
-                    "[charlie-debug] fill p={p} {line:?} op={op:?} others={others_have_copy} state={state:?} by_prefetch={by_prefetch} t={now}"
-                );
+        if self.tracer.as_ref().is_some_and(|t| t.wants_coherence(line)) {
+            let op_s = format!("{op:?}");
+            let state_s = format!("{state:?}");
+            if let Some(tr) = &mut self.tracer {
+                tr.fill(now, p, line, &op_s, &state_s, by_prefetch);
             }
         }
         if let Some(evicted) = self.caches[p].fill(line, state, by_prefetch) {
@@ -1128,6 +1280,9 @@ impl<'t> Machine<'t> {
         if evicted.prefetched_unused {
             self.tallies.prefetch.wasted_evicted += 1;
             self.ghosts[p].insert(evicted.line);
+            if let Some(tr) = &mut self.tracer {
+                tr.prefetch(now, p, evicted.line, "wasted_evicted");
+            }
         }
     }
 }

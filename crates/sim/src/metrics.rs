@@ -214,6 +214,20 @@ pub struct PrefetchStats {
 }
 
 /// Complete result of one simulation run.
+///
+/// # Window semantics
+///
+/// Every counter and rate in this report covers exactly the measurement
+/// window `measured_from..cycles` — the run minus its statistics warm-up
+/// (`SimConfig::warmup_accesses`; `measured_from == 0` when none). That
+/// uniformity is load-bearing: bus busy and queueing cycles are clipped at
+/// grant time to the window (a transfer in flight when the window opens
+/// contributes only its in-window portion, and the final grant's occupancy
+/// past the last retire is subtracted), access/miss counters start at the
+/// boundary, and the fill-latency histogram only records fills *issued*
+/// inside the window. Ratios such as [`bus_utilization`]
+/// (`SimReport::bus_utilization`) therefore divide a numerator and a
+/// denominator drawn from the same span and stay in `[0, 1]`.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimReport {
     /// Total simulated cycles (time the last processor finished).
