@@ -96,4 +96,12 @@ fi
 echo "JSONL trace schema valid ($(wc -l <"$events") events)"
 rm -f "$events"
 
+echo "== chaos drill: crash-point matrix + live fault plans =="
+# Truncates the checkpoint journal at interior offsets and line boundaries,
+# arms every FaultKind against a live sweep, and crashes a bench snapshot
+# mid-write; every recovery path must render byte-identical output
+# (DESIGN.md §14). Loud stderr warnings here are the recovery paths firing.
+"${CLI[@]}" chaos --workload water --refs 1200 --procs 2 --jobs 4 --points 6
+echo "chaos drill passed (byte-identical under every injected fault)"
+
 echo "== OK =="

@@ -13,7 +13,7 @@
 //! instead of re-simulated, and the final output is byte-identical to an
 //! uninterrupted run.
 
-use charlie::checkpoint::Journal;
+use charlie::checkpoint::{Journal, JournalOptions};
 use charlie::experiments;
 
 fn main() {
@@ -23,10 +23,20 @@ fn main() {
     let jobs = charlie_bench::jobs_from_env();
     let batch = match charlie_bench::checkpoint_from_env() {
         Some(path) => {
-            let (mut journal, restored) = Journal::open(&path).unwrap_or_else(|e| {
-                eprintln!("error: checkpoint {}: {e}", path.display());
-                std::process::exit(2);
-            });
+            // The config key binds the journal to this campaign's shape, so
+            // resuming with a different CHARLIE_REFS/procs/seed refuses
+            // instead of silently mixing grids.
+            let cfg = lab.config();
+            let config = format!(
+                "all_experiments/p{}/r{}/s{:#x}",
+                cfg.procs, cfg.refs_per_proc, cfg.seed
+            );
+            let opts = JournalOptions { config: Some(config), sync: false };
+            let (mut journal, restored) =
+                Journal::open_with(&path, opts).unwrap_or_else(|e| {
+                    eprintln!("error: checkpoint {}: {e}", path.display());
+                    std::process::exit(2);
+                });
             if !restored.is_empty() {
                 eprintln!("resuming: {} cells restored from {}", restored.len(), path.display());
             }

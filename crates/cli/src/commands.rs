@@ -9,13 +9,14 @@ use charlie::sim::{
     simulate_observed, Observability, Protocol, SampleConfig, SimConfig, TraceCategories,
     TraceEmitter,
 };
+use charlie::chaos::{self, FaultKind, FaultPlan};
 use charlie::timeline::{saturation_summary, timeline_csv, timeline_json};
 use charlie::trace::{io as trace_io, Trace};
 use charlie::workloads::{generate, Layout, Workload, WorkloadConfig};
 use charlie::{experiments as exhibits, Experiment, Lab, ObserveSpec, RunConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn parse_workload(name: &str) -> Result<Workload, ArgsError> {
     Workload::ALL
@@ -114,12 +115,15 @@ fn trace_cats_from_args(args: &Args) -> Result<TraceCategories, ArgsError> {
     }
 }
 
-/// `--trace-out FILE`: a structured JSONL event trace sink.
+/// `--trace-out FILE`: a structured JSONL event trace sink. The file goes
+/// through a [`chaos::ChaosWriter`] (tag `trace`) so durability tests can
+/// fault it.
 fn tracer_from_args(args: &Args) -> Result<Option<TraceEmitter>, ArgsError> {
     let Some(path) = args.get("trace-out") else { return Ok(None) };
     let cats = trace_cats_from_args(args)?;
     let file = File::create(path).map_err(|e| ArgsError(format!("creating {path}: {e}")))?;
-    Ok(Some(TraceEmitter::new(Box::new(BufWriter::new(file)), cats)))
+    let sink = chaos::ChaosWriter::new(BufWriter::new(file), "trace");
+    Ok(Some(TraceEmitter::new(Box::new(sink), cats)))
 }
 
 /// Observability for a single-cell command: `--sample-interval N` and
@@ -212,7 +216,8 @@ pub fn profile<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     let (prepared, sim_cfg) = prepare_cell(&raw, strategy, &opts)?;
     let (report, timeline) =
         simulate_observed(&sim_cfg, &prepared, obs).map_err(|e| ArgsError(e.to_string()))?;
-    let timeline = timeline.expect("profile always samples");
+    let timeline = timeline
+        .ok_or_else(|| ArgsError("profile produced no timeline despite sampling".into()))?;
     let inserted = prepared.total_prefetches() as u64;
     let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
     let sat = saturation_summary(&timeline);
@@ -337,8 +342,19 @@ pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     let report = if let Some(path) = args.get("resume") {
         // Checkpointed sweep: completed cells from an earlier (possibly
         // killed) invocation are restored, the rest run and journal as they
-        // finish. A resumed sweep renders byte-identical output.
-        let (mut journal, restored) = charlie::checkpoint::Journal::open(path)
+        // finish. A resumed sweep renders byte-identical output. The journal
+        // header pins the campaign shape, so resuming with a different
+        // workload/layout/procs/refs/seed refuses instead of mixing grids.
+        let config = format!(
+            "sweep/{}/{:?}/p{}/r{}/s{:#x}",
+            workload.name(),
+            wcfg.layout,
+            wcfg.procs,
+            wcfg.refs_per_proc,
+            wcfg.seed
+        );
+        let opts = charlie::checkpoint::JournalOptions { config: Some(config), sync: false };
+        let (mut journal, restored) = charlie::checkpoint::Journal::open_with(Path::new(path), opts)
             .map_err(|e| ArgsError(format!("--resume {path}: {e}")))?;
         for summary in restored {
             lab.restore(summary);
@@ -379,9 +395,13 @@ pub fn export_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError>
     let strategy = parse_strategy(args.get("strategy").unwrap_or("np"))?;
     let raw = generate(workload, &cfg);
     let trace = apply(strategy, &raw, CacheGeometry::paper_default());
-    let file = File::create(path).map_err(|e| ArgsError(format!("creating {path}: {e}")))?;
-    trace_io::write_trace(&trace, BufWriter::new(file))
+    // Atomic write (temp + rename, chaos tag `trace`): a killed or faulted
+    // export leaves either the old file or the new one, never a torn trace.
+    let mut file = chaos::AtomicFile::create(path, "trace")
+        .map_err(|e| ArgsError(format!("creating {path}: {e}")))?;
+    trace_io::write_trace(&trace, &mut file)
         .map_err(|e| ArgsError(format!("writing {path}: {e}")))?;
+    file.commit().map_err(|e| ArgsError(format!("writing {path}: {e}")))?;
     let _ = writeln!(
         out,
         "wrote {path}: {} procs, {} accesses, {} prefetches",
@@ -492,7 +512,9 @@ pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
 
     if let Some(path) = args.get("out") {
         let rendered = charlie::bench::render_file(&[&snapshot]);
-        std::fs::write(path, rendered)
+        // Atomic write (chaos tag `bench`): the snapshot file is either the
+        // previous complete one or the new complete one, never a torn mix.
+        chaos::write_atomic(path, rendered.as_bytes(), "bench")
             .map_err(|e| ArgsError(format!("writing {path}: {e}")))?;
         let _ = writeln!(out, "snapshot written to {path}");
     }
@@ -534,4 +556,194 @@ pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         }
     }
     Ok(())
+}
+
+/// Runs `charlie sweep` with the given extra tokens, capturing its stdout.
+fn captured_sweep(base: &[String], resume: Option<&Path>) -> Result<String, ArgsError> {
+    let mut tokens = base.to_vec();
+    if let Some(path) = resume {
+        tokens.push("--resume".to_owned());
+        tokens.push(path.display().to_string());
+    }
+    let parsed = Args::parse(tokens)?;
+    let mut buf = Vec::new();
+    sweep(&parsed, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| ArgsError(format!("sweep output not UTF-8: {e}")))
+}
+
+/// `charlie chaos`: the durability exercise. Runs a small sweep as the
+/// reference, then proves three properties against it:
+///
+/// 1. **Crash-point matrix** — for a set of byte offsets (line boundaries
+///    and mid-line cuts of the journal), a run resumed from a journal
+///    truncated at that offset renders output byte-identical to the
+///    uninterrupted reference.
+/// 2. **Live fault plans** — with each [`FaultKind`] (plus a seeded mixed
+///    plan) armed against the journal writer, the sweep still completes
+///    with reference-identical output, and a later unarmed resume heals the
+///    damaged journal.
+/// 3. **Atomic artifacts** — a `bench --out` snapshot under a crash fault
+///    either fully appears or not at all; never a torn file.
+pub fn chaos<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "workload", "procs", "refs", "seed", "layout", "jobs", "points", "fault-seed", "dir",
+    ])?;
+    let points = args.get_or("points", 8usize)?;
+    if points == 0 {
+        return Err(ArgsError("--points must be at least 1".into()));
+    }
+    let fault_seed = args.get_or("fault-seed", 0xC4A0_5EEDu64)?;
+    if chaos::is_armed() {
+        return Err(ArgsError(
+            "a fault plan is already ambient (CHARLIE_CHAOS?); chaos manages its own plans"
+                .into(),
+        ));
+    }
+    let scratch = match args.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("charlie-chaos-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| ArgsError(format!("creating scratch dir {}: {e}", scratch.display())))?;
+
+    let mut base: Vec<String> = vec!["sweep".to_owned(), "--json".to_owned()];
+    for key in ["workload", "procs", "refs", "seed", "layout", "jobs"] {
+        if let Some(v) = args.get(key) {
+            base.push(format!("--{key}"));
+            base.push(v.to_owned());
+        }
+    }
+
+    let mut checks = 0usize;
+    let mut failures = 0usize;
+    let mut check = |ok: bool, what: &str| {
+        checks += 1;
+        if !ok {
+            failures += 1;
+            eprintln!("chaos: FAIL: {what}");
+        }
+    };
+
+    // Phase 1: hooks compiled in but disabled — journaling must be invisible.
+    let reference = captured_sweep(&base, None)?;
+    let ckpt = scratch.join("chaos.ckpt");
+    let journaled = captured_sweep(&base, Some(&ckpt))?;
+    check(journaled == reference, "journaled sweep output differs from reference");
+    let journal_bytes =
+        std::fs::read(&ckpt).map_err(|e| ArgsError(format!("{}: {e}", ckpt.display())))?;
+    let resumed = captured_sweep(&base, Some(&ckpt))?;
+    check(resumed == reference, "fully-resumed sweep output differs from reference");
+    let after = std::fs::read(&ckpt).map_err(|e| ArgsError(format!("{}: {e}", ckpt.display())))?;
+    check(after == journal_bytes, "fully-resumed sweep rewrote the journal");
+    let _ = writeln!(
+        out,
+        "chaos: reference sweep captured; journal is {} bytes, journaling invisible",
+        journal_bytes.len()
+    );
+
+    // Phase 2: crash-point matrix over journal prefixes. Line boundaries
+    // model a clean kill between appends; evenly spaced interior offsets
+    // land mid-line (torn tails, split CRC frames, a cut header).
+    let len = journal_bytes.len();
+    let mut offsets: Vec<usize> = (1..=points).map(|i| i * len.saturating_sub(1) / (points + 1)).collect();
+    let boundaries: Vec<usize> = journal_bytes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let step = (boundaries.len() / points).max(1);
+    offsets.extend(boundaries.iter().step_by(step).copied());
+    offsets.retain(|&k| k > 0 && k < len);
+    offsets.sort_unstable();
+    offsets.dedup();
+    let mut matrix_ok = 0usize;
+    for &k in &offsets {
+        let path = scratch.join(format!("crash-{k}.ckpt"));
+        std::fs::write(&path, &journal_bytes[..k])
+            .map_err(|e| ArgsError(format!("{}: {e}", path.display())))?;
+        let output = captured_sweep(&base, Some(&path))?;
+        if output == reference {
+            matrix_ok += 1;
+        }
+        check(output == reference, &format!("resume from journal cut at byte {k} diverged"));
+    }
+    let _ = writeln!(
+        out,
+        "chaos: crash-point matrix: {matrix_ok}/{} resumed grids byte-identical",
+        offsets.len()
+    );
+
+    // Phase 3: live faults against the journal writer. The sweep must
+    // finish with reference output (persistence degrades, results do not),
+    // and an unarmed resume must heal whatever the fault left behind.
+    let mut plans: Vec<(String, FaultPlan)> = FaultKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut plan = FaultPlan::new();
+            plan.push("journal", kind, (len / 3) as u64);
+            plan.push("journal", kind, (2 * len / 3) as u64);
+            (kind.name().to_owned(), plan)
+        })
+        .collect();
+    plans.push((
+        "seeded-mix".to_owned(),
+        FaultPlan::seeded(fault_seed, "journal", len as u64, points),
+    ));
+    let mut live_ok = 0usize;
+    let total_plans = plans.len();
+    for (name, plan) in plans {
+        let path = scratch.join(format!("fault-{name}.ckpt"));
+        chaos::arm(plan);
+        let armed = captured_sweep(&base, Some(&path));
+        chaos::disarm();
+        let armed = armed?;
+        let healed = captured_sweep(&base, Some(&path))?;
+        if armed == reference && healed == reference {
+            live_ok += 1;
+        }
+        check(armed == reference, &format!("sweep under {name} faults diverged"));
+        check(healed == reference, &format!("resume after {name} faults diverged"));
+    }
+    let _ = writeln!(out, "chaos: live fault plans: {live_ok}/{total_plans} recovered byte-identical");
+
+    // Phase 4: atomic artifacts. A bench snapshot that crashes mid-write
+    // must not appear at its final path at all.
+    let bench_path = scratch.join("bench.json");
+    let bench_tokens: Vec<String> = [
+        "bench", "--quick", "--refs", "300", "--procs", "2", "--out",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .chain([bench_path.display().to_string()])
+    .collect();
+    let mut crash_plan = FaultPlan::new();
+    crash_plan.push("bench", FaultKind::Crash, 64);
+    chaos::arm(crash_plan);
+    let crashed = bench(&Args::parse(bench_tokens.clone())?, &mut Vec::new());
+    chaos::disarm();
+    check(crashed.is_err(), "bench --out under a crash fault must report the failure");
+    check(!bench_path.exists(), "crashed bench snapshot must not appear at its final path");
+    bench(&Args::parse(bench_tokens)?, &mut Vec::new())?;
+    let snapshot = std::fs::read_to_string(&bench_path)
+        .map_err(|e| ArgsError(format!("{}: {e}", bench_path.display())))?;
+    check(
+        snapshot.trim_start().starts_with('{') && snapshot.trim_end().ends_with('}'),
+        "healthy bench snapshot must be complete JSON",
+    );
+    let _ = writeln!(out, "chaos: atomic bench snapshot: crash leaves no partial file");
+
+    drop(check);
+    if failures == 0 {
+        std::fs::remove_dir_all(&scratch).ok();
+        let _ = writeln!(out, "chaos: OK ({checks} checks)");
+        Ok(())
+    } else {
+        let _ = writeln!(
+            out,
+            "chaos: {failures} of {checks} checks FAILED (scratch kept at {})",
+            scratch.display()
+        );
+        Err(ArgsError(format!("{failures} durability check(s) failed")))
+    }
 }

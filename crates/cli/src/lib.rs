@@ -76,10 +76,23 @@ COMMANDS:
                    --quick          ~8x smaller slice (the CI smoke size)
                    --label NAME     label the snapshot (default quick/full)
                    --out FILE       write the snapshot as JSON to FILE
+                                    (atomically: temp file + rename)
                    --baseline FILE  compare events/sec against FILE
                                     (runs.quick_baseline when --quick, else
                                     runs.after) and fail on a >20% regression
                    [--refs N --procs N --seed N]
+  chaos          durability exercise: runs a reference sweep, then proves a
+                 crash-point matrix over truncated journals, live injected
+                 I/O faults (short/torn/enospc/eio/bitflip/crash), and
+                 atomic snapshot writes all reproduce the reference output
+                 byte-for-byte; exits nonzero on any divergence
+                   --points K       crash points / seeded faults per phase
+                                    (default 8)
+                   --fault-seed N   seed for the mixed fault plan
+                   --dir DIR        scratch directory (default under /tmp;
+                                    kept on failure for forensics)
+                   [--workload … --refs N --procs N --seed N --layout …
+                    --jobs N]
   help           print this text
 
 OPTIONS:
@@ -94,6 +107,14 @@ ENVIRONMENT:
   CHARLIE_DEBUG_LINE=HEX streams coherence trace events touching that line
   address to stderr (shorthand for --trace-out /dev/stderr --trace-cats
   coherence plus a line filter).
+  CHARLIE_WALL_LIMIT_MS aborts any single run exceeding that many wall-clock
+  milliseconds (0/unset = off; the deterministic event budget stays armed
+  either way).
+  CHARLIE_CHAOS=tag:kind@offset[,...] injects write faults into tagged
+  persistence writers (journal, trace, report, bench) for ad-hoc durability
+  experiments; kinds: short, torn, enospc, eio, bitflip, crash.
+  CHARLIE_JOURNAL_SYNC=1 makes checkpoint-journal appends fsync (default:
+  flush-only; see DESIGN.md \"Chaos testing & durability\").
 ";
 
 /// Runs the CLI on `argv` (without the program name), writing to `out`.
@@ -119,6 +140,7 @@ pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
         Some("run-trace") => commands::run_trace(&parsed, out),
         Some("experiments") => commands::experiments(&parsed, out),
         Some("bench") => commands::bench(&parsed, out),
+        Some("chaos") => commands::chaos(&parsed, out),
         Some(other) => Err(ArgsError(format!("unknown command {other:?}; try `charlie help`"))),
         None => {
             let _ = write!(out, "{HELP}");
@@ -489,5 +511,23 @@ mod tests {
         assert!(text.contains("--sample-interval N"));
         assert!(text.contains("--trace-out"));
         assert!(text.contains("CHARLIE_DEBUG_LINE"));
+    }
+
+    #[test]
+    fn help_documents_chaos() {
+        let (code, text) = run(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("chaos"));
+        assert!(text.contains("--points K"));
+        assert!(text.contains("CHARLIE_CHAOS"));
+        assert!(text.contains("CHARLIE_JOURNAL_SYNC"));
+        assert!(text.contains("CHARLIE_WALL_LIMIT_MS"));
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_option() {
+        let (code, text) = run(&["chaos", "--fault-sede", "42"]);
+        assert_eq!(code, 2);
+        assert!(text.contains("--fault-sede"), "{text}");
     }
 }

@@ -1,0 +1,661 @@
+//! Deterministic fault injection for the persistence surface.
+//!
+//! Every writer that matters for durability — checkpoint journals, event
+//! traces, exported reports, `BENCH_charlie.json` — funnels its bytes
+//! through a [`ChaosWriter`]. When no [`FaultPlan`] is armed the wrapper is
+//! a passthrough (no buffering, no extra syscalls, byte-identical output);
+//! when one is armed, the plan's fault points fire at exact byte offsets,
+//! so a given `(plan, workload)` pair always corrupts the same byte of the
+//! same file. That determinism is what turns "we survive filesystem
+//! faults" from a hope into a replayable test
+//! (`tests/chaos_props.rs`, `charlie chaos`).
+//!
+//! ## Fault taxonomy
+//!
+//! | kind      | behaviour at offset *k*                                        |
+//! |-----------|----------------------------------------------------------------|
+//! | `short`   | honest partial write: accepts only the bytes up to *k*         |
+//! | `torn`    | claims success but silently drops the bytes from *k* onward    |
+//! | `enospc`  | persists up to *k*, then fails with the real `ENOSPC` errno    |
+//! | `eio`     | persists up to *k*, then fails with the real `EIO` errno       |
+//! | `bitflip` | flips one bit in the byte at *k*, reports success              |
+//! | `crash`   | persists up to *k*, then the writer is frozen forever          |
+//!
+//! `short` exercises `write_all` retry loops; `torn` grafts the next write
+//! directly after the dropped tail (a torn tail *inside* a line — exactly
+//! the corruption per-line CRCs exist to catch); `crash` leaves the file in
+//! the same state a process killed at byte *k* would, without killing the
+//! process, which is what makes an exhaustive crash-point matrix cheap.
+//!
+//! Offsets are logical per-writer offsets: byte 0 is the first byte written
+//! through *this* wrapper, regardless of pre-existing file content.
+//!
+//! ## Arming
+//!
+//! Plans arrive two ways: programmatically via [`arm`]/[`disarm`] (used by
+//! `charlie chaos` and the test suite), or from the `CHARLIE_CHAOS`
+//! environment variable (spec format below) for ad-hoc experiments. An
+//! armed plan takes precedence over the environment.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — used for journal line framing.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE) of `bytes` — the checksum in checkpoint-journal line frames.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// What goes wrong at a fault point. See the module docs for semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FaultKind {
+    /// Honest partial write (`Ok(n)` with `n < buf.len()`).
+    ShortWrite,
+    /// Claims the full buffer was written but silently drops a tail.
+    TornWrite,
+    /// Partial write, then the real `ENOSPC` errno.
+    Enospc,
+    /// Partial write, then the real `EIO` errno.
+    Eio,
+    /// One bit of one byte is flipped; the write reports success.
+    BitFlip,
+    /// Bytes up to the offset persist; every later operation fails.
+    Crash,
+}
+
+impl FaultKind {
+    /// Every kind, in spec order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::ShortWrite,
+        FaultKind::TornWrite,
+        FaultKind::Enospc,
+        FaultKind::Eio,
+        FaultKind::BitFlip,
+        FaultKind::Crash,
+    ];
+
+    /// The spec-string name (`short`, `torn`, `enospc`, `eio`, `bitflip`,
+    /// `crash`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortWrite => "short",
+            FaultKind::TornWrite => "torn",
+            FaultKind::Enospc => "enospc",
+            FaultKind::Eio => "eio",
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::Crash => "crash",
+        }
+    }
+
+    fn parse(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One scheduled fault: `kind` fires when the writer tagged `tag` reaches
+/// byte `offset`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPoint {
+    /// Which writer this targets (`journal`, `trace`, `report`, `bench`).
+    pub tag: String,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Logical byte offset (bytes written through the wrapper so far).
+    pub offset: u64,
+}
+
+/// A deterministic schedule of fault points.
+///
+/// Spec grammar (also what `CHARLIE_CHAOS` accepts):
+/// `tag:kind@offset[,tag:kind@offset...]`, e.g.
+/// `journal:crash@1234,trace:enospc@4096`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    points: Vec<FaultPoint>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault point.
+    pub fn push(&mut self, tag: &str, kind: FaultKind, offset: u64) {
+        self.points.push(FaultPoint { tag: tag.to_string(), kind, offset });
+    }
+
+    /// All scheduled points, in insertion order.
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Parses a `tag:kind@offset[,...]` spec. An empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (tag, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault point {part:?}: expected tag:kind@offset"))?;
+            let (kind, offset) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("fault point {part:?}: expected tag:kind@offset"))?;
+            let kind = FaultKind::parse(kind).ok_or_else(|| {
+                format!(
+                    "fault point {part:?}: unknown kind {kind:?} (expected one of {})",
+                    FaultKind::ALL.map(FaultKind::name).join(", ")
+                )
+            })?;
+            let offset = offset
+                .parse()
+                .map_err(|e| format!("fault point {part:?}: bad offset {offset:?}: {e}"))?;
+            if tag.is_empty() {
+                return Err(format!("fault point {part:?}: empty tag"));
+            }
+            plan.push(tag, kind, offset);
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into the spec format `parse` accepts.
+    pub fn render(&self) -> String {
+        self.points
+            .iter()
+            .map(|p| format!("{}:{}@{}", p.tag, p.kind.name(), p.offset))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// A seeded plan: `count` points for `tag`, kinds and offsets drawn
+    /// from an LCG over `0..len_hint`. Same seed, same plan — forever.
+    pub fn seeded(seed: u64, tag: &str, len_hint: u64, count: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let span = len_hint.max(1);
+        for _ in 0..count {
+            let kind = FaultKind::ALL[(next() % FaultKind::ALL.len() as u64) as usize];
+            plan.push(tag, kind, next() % span);
+        }
+        plan
+    }
+
+    /// The pending `(offset, kind)` queue for one writer tag, sorted by
+    /// offset (stable for equal offsets).
+    fn faults_for(&self, tag: &str) -> Vec<(u64, FaultKind)> {
+        let mut faults: Vec<(u64, FaultKind)> = self
+            .points
+            .iter()
+            .filter(|p| p.tag == tag)
+            .map(|p| (p.offset, p.kind))
+            .collect();
+        faults.sort_by_key(|&(offset, _)| offset);
+        faults
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient plan: armed programmatically or via CHARLIE_CHAOS.
+// ---------------------------------------------------------------------------
+
+fn armed_plan() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static ARMED: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    ARMED.get_or_init(|| Mutex::new(None))
+}
+
+fn env_plan() -> Option<Arc<FaultPlan>> {
+    static ENV: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let spec = std::env::var("CHARLIE_CHAOS").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(plan) if !plan.is_empty() => Some(Arc::new(plan)),
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("warning: ignoring CHARLIE_CHAOS: {e}");
+                None
+            }
+        }
+    })
+    .clone()
+}
+
+/// Arms `plan` process-wide: every [`ChaosWriter`] created afterwards picks
+/// it up. Replaces any previously armed plan.
+pub fn arm(plan: FaultPlan) {
+    *armed_plan().lock().unwrap() = Some(Arc::new(plan));
+}
+
+/// Disarms the programmatic plan. A `CHARLIE_CHAOS` plan (if any) becomes
+/// visible again — the environment is the outermost layer, not a casualty
+/// of a test's cleanup.
+pub fn disarm() {
+    *armed_plan().lock().unwrap() = None;
+}
+
+/// The currently ambient plan: the armed one, else `CHARLIE_CHAOS`.
+pub fn ambient() -> Option<Arc<FaultPlan>> {
+    armed_plan().lock().unwrap().clone().or_else(env_plan)
+}
+
+/// `true` when some plan (armed or environment) is ambient.
+pub fn is_armed() -> bool {
+    ambient().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// The faultable writer
+// ---------------------------------------------------------------------------
+
+fn errno(code: i32, context: String) -> io::Error {
+    let os = io::Error::from_raw_os_error(code);
+    io::Error::new(os.kind(), format!("{context}: {os}"))
+}
+
+/// A `Write` wrapper that injects the ambient [`FaultPlan`]'s faults for
+/// its tag at exact byte offsets. With no ambient plan (the production
+/// default) every call forwards untouched — reports stay bit-identical.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    tag: String,
+    /// Logical offset: bytes this wrapper has accepted (claimed written).
+    written: u64,
+    /// Pending faults, sorted by offset; popped from the front as they fire.
+    faults: Vec<(u64, FaultKind)>,
+    crashed: bool,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner`, drawing faults for `tag` from the ambient plan.
+    pub fn new(inner: W, tag: &str) -> ChaosWriter<W> {
+        let faults = ambient().map(|plan| plan.faults_for(tag)).unwrap_or_default();
+        ChaosWriter { inner, tag: tag.to_string(), written: 0, faults, crashed: false }
+    }
+
+    /// Wraps `inner` with an explicit plan (tests), bypassing the ambient one.
+    pub fn with_plan(inner: W, tag: &str, plan: &FaultPlan) -> ChaosWriter<W> {
+        ChaosWriter {
+            inner,
+            tag: tag.to_string(),
+            written: 0,
+            faults: plan.faults_for(tag),
+            crashed: false,
+        }
+    }
+
+    /// Bytes accepted so far (the logical offset faults are scheduled
+    /// against). After a torn write this exceeds what the inner writer saw.
+    pub fn offset(&self) -> u64 {
+        self.written
+    }
+
+    /// `true` once a `crash` fault froze this writer.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    fn crash_error(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!("chaos[{}]: simulated crash froze the writer at byte {}", self.tag, self.written),
+        )
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        let Some(&(offset, kind)) = self.faults.first() else {
+            let n = self.inner.write(buf)?;
+            self.written += n as u64;
+            return Ok(n);
+        };
+        let end = self.written + buf.len() as u64;
+        if buf.is_empty() || offset >= end {
+            // Fault point not reached inside this buffer.
+            let n = self.inner.write(buf)?;
+            self.written += n as u64;
+            return Ok(n);
+        }
+        self.faults.remove(0);
+        let split = (offset - self.written) as usize;
+        let context = format!("chaos[{}]: injected {} at byte {offset}", self.tag, kind.name());
+        match kind {
+            FaultKind::ShortWrite => {
+                // Honest partial write; accept at least one byte so callers
+                // never see the pathological Ok(0).
+                let take = split.max(1);
+                self.inner.write_all(&buf[..take])?;
+                self.written += take as u64;
+                Ok(take)
+            }
+            FaultKind::TornWrite => {
+                // Claim the whole buffer landed; silently drop the tail.
+                // The next write grafts straight onto the hole.
+                self.inner.write_all(&buf[..split])?;
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            FaultKind::Enospc => {
+                self.inner.write_all(&buf[..split])?;
+                self.written += split as u64;
+                Err(errno(28, context)) // ENOSPC
+            }
+            FaultKind::Eio => {
+                self.inner.write_all(&buf[..split])?;
+                self.written += split as u64;
+                Err(errno(5, context)) // EIO
+            }
+            FaultKind::BitFlip => {
+                let mut flipped = buf.to_vec();
+                flipped[split] ^= 1 << (offset & 7);
+                self.inner.write_all(&flipped)?;
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            FaultKind::Crash => {
+                self.inner.write_all(&buf[..split])?;
+                let _ = self.inner.flush();
+                self.written += split as u64;
+                self.crashed = true;
+                Err(self.crash_error())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        self.inner.flush()
+    }
+}
+
+impl ChaosWriter<File> {
+    /// `fsync`-lite passthrough for the journal's opt-in sync mode; a
+    /// crashed writer refuses, like every other operation.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(self.crash_error());
+        }
+        self.inner.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic replace: temp file + rename, for final reports.
+// ---------------------------------------------------------------------------
+
+fn annotate(e: io::Error, path: &Path) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+/// A file that only appears at its final path on [`commit`](AtomicFile::commit):
+/// bytes stream into a sibling temp file (through a [`ChaosWriter`]), and
+/// commit flushes, fsyncs and renames into place. Readers therefore see
+/// either the old complete file or the new complete file — never a torn
+/// report. Dropped uncommitted, the temp file is removed.
+#[derive(Debug)]
+pub struct AtomicFile {
+    final_path: PathBuf,
+    temp_path: PathBuf,
+    writer: Option<ChaosWriter<BufWriter<File>>>,
+}
+
+impl AtomicFile {
+    /// Starts an atomic write of `path`; `tag` names the chaos target.
+    pub fn create(path: impl AsRef<Path>, tag: &str) -> io::Result<AtomicFile> {
+        let final_path = path.as_ref().to_path_buf();
+        let mut name = final_path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".tmp.{}", std::process::id()));
+        let temp_path = final_path.with_file_name(name);
+        let file = File::create(&temp_path).map_err(|e| annotate(e, &temp_path))?;
+        Ok(AtomicFile {
+            final_path,
+            temp_path,
+            writer: Some(ChaosWriter::new(BufWriter::new(file), tag)),
+        })
+    }
+
+    /// Flushes, fsyncs and renames the temp file into place.
+    pub fn commit(mut self) -> io::Result<()> {
+        let mut writer = self.writer.take().expect("commit consumes the writer");
+        writer.flush().map_err(|e| annotate(e, &self.temp_path))?;
+        if writer.crashed() {
+            return Err(annotate(writer.crash_error(), &self.temp_path));
+        }
+        let file = match writer.inner.into_inner() {
+            Ok(file) => file,
+            Err(e) => return Err(annotate(io::Error::new(io::ErrorKind::Other, e.to_string()), &self.temp_path)),
+        };
+        file.sync_all().map_err(|e| annotate(e, &self.temp_path))?;
+        drop(file);
+        fs::rename(&self.temp_path, &self.final_path).map_err(|e| annotate(e, &self.final_path))
+        // self drops with writer == None: nothing to clean up.
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let temp = &self.temp_path;
+        match self.writer.as_mut().expect("write before commit").write(buf) {
+            Ok(n) => Ok(n),
+            Err(e) => Err(annotate(e, temp)),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let temp = &self.temp_path;
+        self.writer.as_mut().expect("flush before commit").flush().map_err(|e| annotate(e, temp))
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Never committed: leave no temp droppings behind.
+            let _ = fs::remove_file(&self.temp_path);
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp + fsync + rename). The
+/// standard path for final artifacts: reports, benchmark baselines,
+/// rendered timelines.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8], tag: &str) -> io::Result<()> {
+    let mut file = AtomicFile::create(path, tag)?;
+    file.write_all(bytes)?;
+    file.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn plan_spec_round_trips() {
+        let spec = "journal:crash@1234,trace:enospc@4096,bench:bitflip@7";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.points().len(), 3);
+        assert_eq!(plan.render(), spec);
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_spec_rejects_garbage() {
+        for bad in ["journal", "journal:frobnicate@3", "journal:crash@x", ":crash@3"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, "journal", 10_000, 8);
+        let b = FaultPlan::seeded(42, "journal", 10_000, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.points().len(), 8);
+        assert!(a.points().iter().all(|p| p.offset < 10_000));
+        assert_ne!(FaultPlan::seeded(43, "journal", 10_000, 8), a);
+    }
+
+    #[test]
+    fn disarmed_writer_is_a_passthrough() {
+        let mut w = ChaosWriter::with_plan(Vec::new(), "journal", &FaultPlan::new());
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.get_ref(), b"hello world");
+        assert_eq!(w.offset(), 11);
+    }
+
+    #[test]
+    fn faults_only_fire_for_their_tag() {
+        let plan = FaultPlan::parse("other:crash@0").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "journal", &plan);
+        w.write_all(b"untouched").unwrap();
+        assert_eq!(w.get_ref(), b"untouched");
+    }
+
+    #[test]
+    fn short_write_is_an_honest_partial() {
+        let plan = FaultPlan::parse("t:short@4").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "t", &plan);
+        assert_eq!(w.write(b"abcdefgh").unwrap(), 4);
+        // write_all-style retry completes the line.
+        w.write_all(b"efgh").unwrap();
+        assert_eq!(w.get_ref(), b"abcdefgh");
+    }
+
+    #[test]
+    fn torn_write_silently_drops_a_tail() {
+        let plan = FaultPlan::parse("t:torn@4").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "t", &plan);
+        assert_eq!(w.write(b"abcdefgh").unwrap(), 8, "claims success");
+        w.write_all(b"NEXT").unwrap();
+        assert_eq!(w.get_ref(), b"abcdNEXT", "tail dropped, next write grafted");
+        assert_eq!(w.offset(), 12, "logical offset counts the dropped bytes");
+    }
+
+    #[test]
+    fn enospc_and_eio_persist_the_prefix_then_fail() {
+        for (spec, code) in [("t:enospc@3", 28), ("t:eio@3", 5)] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let mut w = ChaosWriter::with_plan(Vec::new(), "t", &plan);
+            let err = w.write(b"abcdef").unwrap_err();
+            assert_eq!(err.raw_os_error(), None, "wrapped error keeps context, not errno");
+            assert!(err.to_string().contains("chaos[t]"), "{err}");
+            assert_eq!(w.get_ref(), b"abc");
+            // The fault is one-shot: the retry goes through.
+            w.write_all(b"def").unwrap();
+            assert_eq!(w.get_ref(), b"abcdef");
+            let _ = code;
+        }
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_one_bit() {
+        let plan = FaultPlan::parse("t:bitflip@2").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "t", &plan);
+        w.write_all(b"aaaa").unwrap();
+        let got = w.get_ref();
+        assert_eq!(got.len(), 4);
+        let diff: Vec<usize> = (0..4).filter(|&i| got[i] != b'a').collect();
+        assert_eq!(diff, vec![2]);
+        assert_eq!((got[2] ^ b'a').count_ones(), 1);
+    }
+
+    #[test]
+    fn crash_freezes_the_writer_at_the_exact_byte() {
+        let plan = FaultPlan::parse("t:crash@5").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "t", &plan);
+        assert!(w.write(b"abcdefgh").is_err());
+        assert!(w.crashed());
+        assert_eq!(w.get_ref(), b"abcde", "exactly 5 bytes persisted");
+        assert!(w.write(b"more").is_err(), "stays frozen");
+        assert!(w.flush().is_err());
+        assert_eq!(w.get_ref(), b"abcde");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("charlie-chaos-atomic-{}.txt", std::process::id()));
+        write_atomic(&path, b"first", "report").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second", "report").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp droppings next to the file.
+        let dir = path.parent().unwrap();
+        let strays: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("charlie-chaos-atomic-") && n.contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "leftover temp files: {strays:?}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncommitted_atomic_file_leaves_no_trace() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("charlie-chaos-abort-{}.txt", std::process::id()));
+        {
+            let mut file = AtomicFile::create(&path, "report").unwrap();
+            file.write_all(b"doomed").unwrap();
+            // dropped without commit
+        }
+        assert!(!path.exists(), "final path must not appear");
+    }
+}

@@ -12,16 +12,32 @@
 //! * every field of a [`SimReport`] is an integer (latency distributions
 //!   expose raw counters via `to_raw`/`from_raw`), so the round-trip through
 //!   text is lossless — a resumed campaign renders byte-identical output;
-//! * a final line without a trailing newline (the signature of a process
-//!   killed mid-write) is silently dropped; that cell simply re-runs.
-//!   Malformed *complete* lines are an error: they mean corruption, not
-//!   interruption, and silently skipping them would quietly re-run cells
-//!   the user believes are done.
+//! * damage is classified, not guessed at. Every line carries a CRC32
+//!   frame (`crc32-hex SP json NL`) and the first line is a header naming
+//!   the journal version and the campaign config key, so [`Journal::open`]
+//!   can tell *torn* (a final line without a newline — a process killed
+//!   mid-write; dropped and truncated) from *corrupt* (a complete line
+//!   whose checksum fails — bit rot or a torn write grafted inside a line;
+//!   dropped with a warning and compacted away via temp-file + rename).
+//!   Either way the damaged cell simply re-runs. What never recovers
+//!   silently: a version or config-key mismatch (refused — resuming a
+//!   foreign journal would replay the wrong cells), and a CRC-valid line
+//!   that fails to decode (that is a writer bug, not wire damage).
+//!
+//! Durability policy: `append` writes and flushes each line, so a process
+//! crash immediately after loses nothing; against *machine* crashes (power
+//! loss before kernel writeback) an opt-in sync mode
+//! ([`JournalOptions::sync`] or `CHARLIE_JOURNAL_SYNC=1`) fsyncs after
+//! every append. All journal bytes pass through
+//! [`chaos::ChaosWriter`](crate::chaos::ChaosWriter), which is how
+//! `tests/chaos_props.rs` and `charlie chaos` prove these recovery paths
+//! at every injected fault offset.
 //!
 //! The format is hand-rolled (no serde in the dependency tree): a tiny
 //! recursive-descent JSON reader over a byte cursor, ~150 lines, checked by
 //! round-trip tests here and end-to-end in `tests/fault_tolerance.rs`.
 
+use crate::chaos::{self, ChaosWriter};
 use crate::lab::{Experiment, RunSummary};
 use charlie_bus::BusStats;
 use charlie_prefetch::Strategy;
@@ -35,8 +51,9 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any encoding change so a stale journal
-/// fails loudly instead of resuming garbage.
-const VERSION: u64 = 1;
+/// fails loudly instead of resuming garbage. Version 2 added the per-line
+/// CRC32 frame and the header line.
+const VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value + parser (only what the journal needs: non-negative
@@ -150,7 +167,8 @@ impl<'a> Parser<'a> {
         while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("invalid utf-8 in number at byte {start}: {e}"))?;
         text.parse().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
     }
 
@@ -572,71 +590,294 @@ pub fn decode_keyed_report(line: &str) -> Result<(String, SimReport), String> {
 }
 
 // ---------------------------------------------------------------------------
+// Line framing (v2): `crc32-hex SP json NL` per line, header line first.
+// ---------------------------------------------------------------------------
+
+/// Frames one journal payload as a full line: eight lowercase hex digits of
+/// [`chaos::crc32`] over the payload, one space, the payload, a newline.
+/// Shared by [`Journal`] and the keyed journal in the `config_sweep` binary.
+pub fn frame_line(json: &str) -> String {
+    format!("{:08x} {json}\n", chaos::crc32(json.as_bytes()))
+}
+
+/// Verifies and strips a line frame, returning the payload. The error says
+/// *why* the frame failed (missing, malformed, or checksum mismatch) so
+/// recovery diagnostics can quote it.
+pub fn unframe_line(line: &str) -> Result<&str, String> {
+    let Some((crc_text, json)) = line.split_once(' ') else {
+        return Err("missing checksum frame".into());
+    };
+    if crc_text.len() != 8 || !crc_text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("bad checksum field {crc_text:?}"));
+    }
+    let stored = u32::from_str_radix(crc_text, 16).expect("validated as 8 hex digits");
+    let computed = chaos::crc32(json.as_bytes());
+    if stored != computed {
+        return Err(format!("checksum mismatch (stored {stored:08x}, computed {computed:08x})"));
+    }
+    Ok(json)
+}
+
+/// Encodes the framed header line: journal version plus the campaign
+/// config key the journal was created for.
+pub fn encode_journal_header(config: &str) -> String {
+    let mut s = String::with_capacity(64);
+    let _ = write!(s, "{{\"charlie_journal\":{VERSION},");
+    push_str_field(&mut s, "config", config);
+    s.pop(); // push_str_field leaves a trailing comma
+    s.push('}');
+    frame_line(&s)
+}
+
+/// Decodes an unframed header payload into `(version, config key)`.
+pub fn decode_journal_header(json: &str) -> Result<(u64, String), String> {
+    let v = parse_line(json)?;
+    let version = v
+        .field("charlie_journal")
+        .map_err(|_| "first line is not a journal header".to_string())?
+        .num()?;
+    Ok((version, v.field("config")?.str()?.to_owned()))
+}
+
+// ---------------------------------------------------------------------------
 // The journal file
 // ---------------------------------------------------------------------------
 
-/// Splits journal content into complete lines, dropping a trailing partial
-/// line (no final newline — the process died mid-write; that cell re-runs).
-fn complete_lines(content: &str) -> impl Iterator<Item = &str> {
-    let complete = match content.rfind('\n') {
-        Some(last) => &content[..=last],
-        None => "",
-    };
-    complete.lines().filter(|l| !l.trim().is_empty())
+/// What [`Journal::open`] had to recover from. All-zero for a clean journal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct JournalDiag {
+    /// Bytes of a torn final line (no trailing newline — killed mid-write)
+    /// that were dropped and compacted away.
+    pub torn_tail_bytes: u64,
+    /// Complete lines whose CRC frame failed (bit rot, or a torn write
+    /// grafted inside a line) — dropped with a warning; those cells re-run.
+    pub corrupt_lines: u64,
+    /// The header line itself was unreadable: the journal's identity is
+    /// unknown, so every record was discarded and the journal restarted.
+    pub header_discarded: bool,
+}
+
+impl JournalDiag {
+    /// `true` when open found any damage at all.
+    pub fn any(&self) -> bool {
+        self.torn_tail_bytes > 0 || self.corrupt_lines > 0 || self.header_discarded
+    }
+}
+
+/// Knobs for [`Journal::open_with`].
+#[derive(Clone, Debug, Default)]
+pub struct JournalOptions {
+    /// Expected campaign config key. When set, a journal whose header names
+    /// a different key is refused — resuming it would silently replay
+    /// foreign cells. New journals record this key in their header.
+    pub config: Option<String>,
+    /// Sync mode: fsync (`sync_data`) after every append. The default
+    /// (flush only) survives process crashes but can lose accepted lines to
+    /// a machine crash before kernel writeback; chaos tests and paranoid
+    /// campaigns turn this on (also via `CHARLIE_JOURNAL_SYNC=1`).
+    pub sync: bool,
+}
+
+fn invalid_data(path: &Path, line: usize, msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}:{}: {msg}", path.display(), line))
 }
 
 /// Append-only checkpoint journal of completed runs.
 ///
-/// Created by [`Journal::open`], which also returns every summary already
-/// journaled (the resume set). Append failures degrade gracefully: the
-/// journal warns on stderr once and stops persisting — the batch itself
-/// keeps running, it just loses crash protection.
+/// Created by [`Journal::open`]/[`Journal::open_with`], which also return
+/// every summary already journaled (the resume set). Write failures degrade
+/// gracefully: the journal warns on stderr once and stops persisting — the
+/// batch itself keeps running, it just loses crash protection.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
+    /// `None` when even opening an append handle failed (the journal is
+    /// then born broken: resume still works, persistence does not).
+    file: Option<ChaosWriter<File>>,
     broken: bool,
+    sync: bool,
+    diag: JournalDiag,
 }
 
 impl Journal {
-    /// Opens (creating if absent) the journal at `path` and parses every
-    /// complete line already present.
+    /// [`Journal::open_with`] with default options (no config-key check;
+    /// sync only if `CHARLIE_JOURNAL_SYNC=1`).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<RunSummary>)> {
+        Self::open_with(path, JournalOptions::default())
+    }
+
+    /// Opens (creating if absent) the journal at `path`, verifies its
+    /// header, and parses every intact record already present.
+    ///
+    /// Recoverable damage — a torn final line, CRC-failed record lines, or
+    /// an unreadable header — is dropped with a stderr warning, reported in
+    /// [`Journal::diag`], and compacted away on disk (temp file + atomic
+    /// rename), so the damaged cells simply re-run.
     ///
     /// # Errors
     ///
-    /// I/O errors opening or reading the file, and
-    /// [`io::ErrorKind::InvalidData`] (with the line number) for a malformed
-    /// *complete* line — corruption must not silently shrink the resume set.
-    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<RunSummary>)> {
+    /// I/O errors reading the file, and [`io::ErrorKind::InvalidData`]
+    /// (with `path:line`) when resuming would be *wrong* rather than
+    /// wasteful: a version mismatch, a config-key mismatch against
+    /// [`JournalOptions::config`], or a CRC-valid line that fails to decode
+    /// (a writer bug, not wire damage).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        opts: JournalOptions,
+    ) -> io::Result<(Journal, Vec<RunSummary>)> {
         let path = path.as_ref().to_path_buf();
+        let sync = opts.sync || env_sync();
         let mut content = String::new();
-        match File::open(&path) {
+        let existed = match File::open(&path) {
             Ok(mut f) => {
-                f.read_to_string(&mut content)?;
+                f.read_to_string(&mut content)
+                    .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+                true
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        let mut restored = Vec::new();
-        for (i, line) in complete_lines(&content).enumerate() {
-            let summary = decode_summary(line).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{}:{}: {e}", path.display(), i + 1),
-                )
-            })?;
-            restored.push(summary);
-        }
-        // A torn final line (kill mid-append) is dropped from the resume
-        // set above, but the bytes are still in the file: truncate them
-        // away, or the next append would graft a fresh record onto the
-        // torn prefix and corrupt the journal for good.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+            Err(e) => return Err(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+        };
+
         let complete_len = content.rfind('\n').map_or(0, |i| i + 1);
-        if complete_len < content.len() {
-            OpenOptions::new().write(true).open(&path)?.set_len(complete_len as u64)?;
+        let mut diag = JournalDiag {
+            torn_tail_bytes: (content.len() - complete_len) as u64,
+            ..JournalDiag::default()
+        };
+        if diag.torn_tail_bytes > 0 {
+            eprintln!(
+                "warning: {}: dropping torn final line ({} byte(s), killed mid-write); \
+                 that cell re-runs",
+                path.display(),
+                diag.torn_tail_bytes
+            );
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((Journal { path, file, broken: false }, restored))
+        let lines: Vec<&str> =
+            content[..complete_len].lines().filter(|l| !l.trim().is_empty()).collect();
+
+        let mut restored: Vec<RunSummary> = Vec::new();
+        let mut survivors: Vec<&str> = Vec::new();
+        let mut header_config: Option<String> = None;
+        if let Some((&first, records)) = lines.split_first() {
+            match unframe_line(first) {
+                Ok(json) => {
+                    let (version, config) =
+                        decode_journal_header(json).map_err(|e| invalid_data(&path, 1, e))?;
+                    if version != VERSION {
+                        return Err(invalid_data(
+                            &path,
+                            1,
+                            format!("journal version {version} (this build reads {VERSION})"),
+                        ));
+                    }
+                    if let Some(expected) = &opts.config {
+                        if *expected != config {
+                            return Err(invalid_data(
+                                &path,
+                                1,
+                                format!(
+                                    "journal was written for config {config:?} but this \
+                                     campaign is {expected:?}; refusing to resume — delete \
+                                     the journal or point it elsewhere"
+                                ),
+                            ));
+                        }
+                    }
+                    header_config = Some(config);
+                    for (i, &line) in records.iter().enumerate() {
+                        match unframe_line(line) {
+                            Ok(json) => {
+                                let summary = decode_summary(json)
+                                    .map_err(|e| invalid_data(&path, i + 2, e))?;
+                                survivors.push(line);
+                                restored.push(summary);
+                            }
+                            Err(e) => {
+                                diag.corrupt_lines += 1;
+                                eprintln!(
+                                    "warning: {}:{}: dropping corrupt journal line ({e}); \
+                                     that cell re-runs",
+                                    path.display(),
+                                    i + 2
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(frame_err) => {
+                    // A pre-CRC (v1) journal parses as bare JSON with a "v"
+                    // field: refuse it by version, with a precise message.
+                    if let Ok(v) = parse_line(first) {
+                        if let Ok(found) = v.field("v").and_then(Json::num) {
+                            return Err(invalid_data(
+                                &path,
+                                1,
+                                format!(
+                                    "journal version {found} (this build reads {VERSION}; \
+                                     pre-CRC journals cannot be resumed)"
+                                ),
+                            ));
+                        }
+                    }
+                    // Unreadable header: the journal's identity (version,
+                    // config) is unknowable, so no record can be trusted to
+                    // belong to this campaign. Discard everything, restart.
+                    diag.header_discarded = true;
+                    diag.corrupt_lines = lines.len() as u64;
+                    eprintln!(
+                        "warning: {}: journal header unreadable ({frame_err}); discarding \
+                         {} line(s) and starting fresh",
+                        path.display(),
+                        lines.len()
+                    );
+                }
+            }
+        }
+        if diag.header_discarded {
+            restored.clear();
+            survivors.clear();
+            header_config = None;
+        }
+
+        // Materialize a clean file when anything was dropped (or the header
+        // is missing entirely): header + surviving records, written to a
+        // temp file and renamed into place so a crash mid-compaction can
+        // never make things worse. Write-side failures here (and below)
+        // degrade to a broken journal instead of killing the campaign: the
+        // resume set is already in hand, we just lose crash protection.
+        let config = opts.config.or(header_config.clone()).unwrap_or_default();
+        let needs_rewrite = diag.any() || header_config.is_none() || !existed;
+        let mut broken = false;
+        if needs_rewrite {
+            let mut out = String::with_capacity(
+                64 + survivors.iter().map(|l| l.len() + 1).sum::<usize>(),
+            );
+            out.push_str(&encode_journal_header(&config));
+            for line in &survivors {
+                out.push_str(line);
+                out.push('\n');
+            }
+            if let Err(e) = chaos::write_atomic(&path, out.as_bytes(), "journal") {
+                eprintln!(
+                    "warning: checkpoint journal {}: {e}; journaling disabled for this run",
+                    path.display()
+                );
+                broken = true;
+            }
+        }
+        let file = match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(f) => Some(ChaosWriter::new(f, "journal")),
+            Err(e) => {
+                if !broken {
+                    eprintln!(
+                        "warning: checkpoint journal {}: {e}; journaling disabled for this run",
+                        path.display()
+                    );
+                }
+                broken = true;
+                None
+            }
+        };
+        Ok((Journal { path, file, broken, sync, diag }, restored))
     }
 
     /// The journal's on-disk path.
@@ -644,16 +885,29 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one completed summary (line + flush, so a kill immediately
-    /// after loses nothing). After the first write failure the journal goes
-    /// inert: one stderr warning, then appends become no-ops.
+    /// What [`Journal::open_with`] recovered from (all-zero when clean).
+    pub fn diag(&self) -> JournalDiag {
+        self.diag
+    }
+
+    /// Appends one completed summary as a CRC-framed line, then flushes
+    /// (and fsyncs in sync mode) so a kill immediately after loses nothing.
+    /// After the first write failure the journal goes inert: one stderr
+    /// warning, then appends become no-ops.
     pub fn append(&mut self, summary: &RunSummary) {
         if self.broken {
             return;
         }
-        let mut line = encode_summary(summary);
-        line.push('\n');
-        if let Err(e) = self.file.write_all(line.as_bytes()).and_then(|()| self.file.flush()) {
+        let Some(file) = self.file.as_mut() else {
+            return;
+        };
+        let line = frame_line(&encode_summary(summary));
+        let sync = self.sync;
+        let result = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .and_then(|()| if sync { file.sync_data() } else { Ok(()) });
+        if let Err(e) = result {
             eprintln!(
                 "warning: checkpoint journal {} stopped recording: {e}",
                 self.path.display()
@@ -662,10 +916,14 @@ impl Journal {
         }
     }
 
-    /// `true` once an append has failed and journaling has been disabled.
+    /// `true` once a write has failed and journaling has been disabled.
     pub fn is_broken(&self) -> bool {
         self.broken
     }
+}
+
+fn env_sync() -> bool {
+    std::env::var("CHARLIE_JOURNAL_SYNC").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -755,12 +1013,14 @@ mod tests {
     fn trailing_partial_line_is_dropped() {
         let path = temp_path("partial");
         let summary = sample_summary();
-        let mut content = encode_summary(&summary);
-        content.push('\n');
-        content.push_str("{\"v\":1,\"workload\":\"Wat"); // killed mid-write
+        let mut content = encode_journal_header("");
+        content.push_str(&frame_line(&encode_summary(&summary)));
+        content.push_str("0000dead {\"v\":2,\"workload\":\"Wat"); // killed mid-write
         std::fs::write(&path, &content).unwrap();
-        let (_journal, restored) = Journal::open(&path).unwrap();
+        let (journal, restored) = Journal::open(&path).unwrap();
         assert_eq!(restored.len(), 1, "complete line kept, partial dropped");
+        assert!(journal.diag().torn_tail_bytes > 0);
+        assert_eq!(journal.diag().corrupt_lines, 0, "torn is not corrupt");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -768,39 +1028,152 @@ mod tests {
     fn append_after_torn_tail_yields_parseable_journal() {
         let path = temp_path("torn-append");
         let summary = sample_summary();
-        let mut content = encode_summary(&summary);
-        content.push('\n');
-        content.push_str("{\"v\":1,\"workload\":\"Wat"); // killed mid-write
+        let mut content = encode_journal_header("");
+        content.push_str(&frame_line(&encode_summary(&summary)));
+        content.push_str("0000dead {\"v\":2,\"workload\":\"Wat"); // killed mid-write
         std::fs::write(&path, &content).unwrap();
-        // Opening must truncate the torn bytes so this append starts on a
-        // fresh line instead of grafting onto them.
+        // Opening must compact the torn bytes away so this append starts on
+        // a fresh line instead of grafting onto them.
         let (mut journal, restored) = Journal::open(&path).unwrap();
         assert_eq!(restored.len(), 1);
         journal.append(&summary);
         drop(journal);
-        let (_journal, restored) = Journal::open(&path).unwrap();
+        let (journal, restored) = Journal::open(&path).unwrap();
         assert_eq!(restored.len(), 2, "torn tail replaced by a clean record");
         assert_eq!(restored[0], restored[1]);
+        assert!(!journal.diag().any(), "compaction left a clean journal");
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn malformed_complete_line_is_an_error() {
-        let path = temp_path("corrupt");
-        std::fs::write(&path, "{\"v\":1,\"workload\":\"NoSuch\"}\n").unwrap();
+    fn corrupt_complete_line_is_dropped_and_compacted() {
+        let path = temp_path("bitrot");
+        let summary = sample_summary();
+        let good = frame_line(&encode_summary(&summary));
+        let mut content = encode_journal_header("");
+        content.push_str(&good);
+        // Same record again, with one payload bit flipped: a *complete*
+        // line whose CRC no longer matches.
+        let mut rotted = good.clone().into_bytes();
+        let target = good.len() / 2;
+        rotted[target] ^= 0x01;
+        content.extend(String::from_utf8(rotted).unwrap().chars());
+        content.push_str(&good);
+        std::fs::write(&path, &content).unwrap();
+
+        let (journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 2, "intact records survive around the rot");
+        assert_eq!(journal.diag().corrupt_lines, 1);
+        assert_eq!(journal.diag().torn_tail_bytes, 0, "corrupt is not torn");
+        drop(journal);
+        // The compaction rewrote the file: reopening finds it clean.
+        let (journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert!(!journal.diag().any());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc_valid_but_undecodable_line_is_an_error() {
+        // A line that passes its checksum but fails to decode was *written*
+        // wrong — that is a bug, not wire damage, and must not be skipped.
+        let path = temp_path("writer-bug");
+        let mut content = encode_journal_header("");
+        content.push_str(&frame_line("{\"v\":2,\"workload\":\"NoSuch\"}"));
+        std::fs::write(&path, &content).unwrap();
         let err = Journal::open(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        assert!(err.to_string().contains(":1:"), "{err}");
+        assert!(err.to_string().contains(":2:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_corruption_discards_records_but_recovers() {
+        let path = temp_path("bad-header");
+        let summary = sample_summary();
+        let mut content = encode_journal_header("");
+        content.push_str(&frame_line(&encode_summary(&summary)));
+        let mut bytes = content.into_bytes();
+        bytes[3] ^= 0x10; // rot inside the header's CRC field
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut journal, restored) = Journal::open(&path).unwrap();
+        assert!(restored.is_empty(), "untrusted header discards every record");
+        assert!(journal.diag().header_discarded);
+        journal.append(&summary);
+        drop(journal);
+        let (journal, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 1, "journal restarted cleanly");
+        assert!(!journal.diag().any());
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn version_mismatch_is_an_error() {
         let path = temp_path("version");
-        std::fs::write(&path, "{\"v\":99}\n").unwrap();
+        std::fs::write(&path, frame_line("{\"charlie_journal\":99,\"config\":\"\"}")).unwrap();
         let err = Journal::open(&path).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_crc_v1_journal_is_refused_by_version() {
+        let path = temp_path("v1");
+        std::fs::write(&path, "{\"v\":1,\"workload\":\"water\"}\n").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_key_mismatch_is_refused() {
+        let path = temp_path("config-key");
+        let opts = |key: &str| JournalOptions { config: Some(key.to_string()), sync: false };
+        {
+            let (mut journal, _) = Journal::open_with(&path, opts("sweep/water/p2")).unwrap();
+            journal.append(&sample_summary());
+        }
+        let err = Journal::open_with(&path, opts("sweep/mp3d/p8")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let text = err.to_string();
+        assert!(text.contains("sweep/water/p2") && text.contains("sweep/mp3d/p8"), "{text}");
+        assert!(text.contains("refusing to resume"), "{text}");
+        // The matching key still resumes, and an un-keyed open stays
+        // compatible with any journal.
+        let (_, restored) = Journal::open_with(&path, opts("sweep/water/p2")).unwrap();
+        assert_eq!(restored.len(), 1);
+        let (_, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_mode_appends_are_readable_back() {
+        let path = temp_path("sync");
+        let summary = sample_summary();
+        {
+            let (mut journal, _) = Journal::open_with(
+                &path,
+                JournalOptions { config: None, sync: true },
+            )
+            .unwrap();
+            journal.append(&summary);
+            assert!(!journal.is_broken());
+        }
+        let (_, restored) = Journal::open(&path).unwrap();
+        assert_eq!(restored, vec![summary]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_damage() {
+        let line = frame_line("{\"k\":1}");
+        assert!(line.ends_with('\n'));
+        assert_eq!(unframe_line(line.trim_end()).unwrap(), "{\"k\":1}");
+        assert!(unframe_line("{\"k\":1}").is_err(), "unframed line rejected");
+        assert!(unframe_line("deadbeef {\"k\":1}").unwrap_err().contains("mismatch"));
+        assert!(unframe_line("xyz {\"k\":1}").is_err(), "short checksum rejected");
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct RunConfig {
     /// 32 KB direct-mapped with 32-byte blocks; §3.3 discusses other
     /// configurations, reproduced by the `config_sweep` binary).
     pub geometry: CacheGeometry,
+    /// Per-run wall-clock watchdog in milliseconds
+    /// ([`SimConfig::wall_limit_ms`]); 0 (the default, overridable with the
+    /// `CHARLIE_WALL_LIMIT_MS` environment variable) disables it. The
+    /// deterministic event budget ([`watchdog_budget`]) stays armed either
+    /// way; this additionally catches runs wedged cheaply in wall time.
+    pub wall_limit_ms: u64,
 }
 
 impl Default for RunConfig {
@@ -90,11 +96,16 @@ impl Default for RunConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(160_000);
+        let wall_limit_ms = std::env::var("CHARLIE_WALL_LIMIT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         RunConfig {
             procs: 8,
             refs_per_proc: refs,
             seed: 0xC0FFEE,
             geometry: CacheGeometry::paper_default(),
+            wall_limit_ms,
         }
     }
 }
@@ -135,10 +146,10 @@ impl ObserveSpec {
                 let file = std::fs::File::create(dir.join(&name)).map_err(|e| {
                     RunError::Trace(format!("creating trace file {name}: {e}"))
                 })?;
-                Some(TraceEmitter::new(
-                    Box::new(std::io::BufWriter::new(file)),
-                    self.trace_cats,
-                ))
+                // Chaos tag `trace`: per-run JSONL traces are a faultable
+                // persistence surface like every other writer.
+                let sink = crate::chaos::ChaosWriter::new(std::io::BufWriter::new(file), "trace");
+                Some(TraceEmitter::new(Box::new(sink), self.trace_cats))
             }
         };
         Ok(Observability { sample: self.sample_interval.map(SampleConfig::every), tracer })
@@ -205,6 +216,17 @@ impl From<SimError> for RunError {
 impl From<charlie_trace::io::ReadTraceError> for RunError {
     fn from(e: charlie_trace::io::ReadTraceError) -> Self {
         RunError::Trace(e.to_string())
+    }
+}
+
+impl RunError {
+    /// Whether this failure is plausibly transient I/O and therefore worth
+    /// a backed-off retry ladder instead of a single diagnostic re-run.
+    /// Trace-stream failures qualify (a loaded filesystem can drop a read
+    /// mid-campaign and succeed seconds later); simulator errors and worker
+    /// panics are deterministic functions of the trace and never do.
+    pub fn is_transient_io(&self) -> bool {
+        matches!(self, RunError::Trace(_))
     }
 }
 
@@ -346,6 +368,43 @@ fn watchdog_budget(cfg: &RunConfig) -> u64 {
     WATCHDOG_EVENT_FLOOR.saturating_add(WATCHDOG_EVENTS_PER_ACCESS.saturating_mul(accesses))
 }
 
+/// Retry attempts granted to a failure classified as transient I/O
+/// ([`RunError::is_transient_io`]). Deterministic failures get exactly one
+/// diagnostic re-run regardless.
+const TRANSIENT_RETRIES: u32 = 3;
+
+/// First-retry backoff for transient I/O failures, in milliseconds.
+const RETRY_BASE_MS: u64 = 5;
+
+/// Backoff ceiling: doubling stops here, so the full ladder waits roughly
+/// 5 + 10 + 20 ms (± jitter) before giving up.
+const RETRY_CAP_MS: u64 = 80;
+
+/// Stable per-experiment salt (FNV-1a over the display form) seeding the
+/// retry jitter, so the schedule is reproducible for a given cell yet
+/// different cells never back off in lockstep.
+fn experiment_salt(exp: Experiment) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{exp}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Capped exponential backoff with deterministic ±25% jitter: attempt `n`
+/// waits `RETRY_BASE_MS * 2^n` capped at [`RETRY_CAP_MS`], scaled into
+/// `[0.75, 1.25)` of itself by an LCG step over `salt`.
+fn retry_delay(attempt: u32, salt: u64) -> std::time::Duration {
+    let exp = (RETRY_BASE_MS << attempt.min(16)).min(RETRY_CAP_MS);
+    let mix = salt
+        .wrapping_add(u64::from(attempt))
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    let frac = (mix >> 33) % 512;
+    std::time::Duration::from_millis(exp * (768 + frac) / 1024)
+}
+
 /// Workload-generator settings for the lab's machine at a given layout —
 /// the only experiment axis (besides the workload itself) that changes the
 /// raw trace. Strategy and transfer latency do not.
@@ -372,6 +431,7 @@ fn run_on_prepared(
     let sim_cfg = SimConfig {
         geometry: cfg.geometry,
         max_events: watchdog_budget(cfg),
+        wall_limit_ms: cfg.wall_limit_ms,
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
     let obs = observe.observability_for(exp)?;
@@ -764,12 +824,42 @@ impl Lab {
                     self.runs.insert(exp, summary);
                 }
                 Err(error) => {
-                    // Bounded diagnosis: one serial re-run distinguishes a
-                    // deterministic failure from harness nondeterminism, and
-                    // rescues transient ones.
-                    let retry =
-                        match run_cell(&self.cfg, exp, self.injector.as_deref(), &self.observe) {
-                        Ok(summary) => {
+                    // Bounded diagnosis: serial re-runs distinguish a
+                    // deterministic failure from harness nondeterminism and
+                    // rescue transient ones. Failures classified as
+                    // transient I/O get a capped exponential-backoff ladder
+                    // (the filesystem gets time to recover); everything
+                    // else gets exactly one immediate re-run.
+                    let transient = error.is_transient_io();
+                    let attempts = if transient { TRANSIENT_RETRIES } else { 1 };
+                    let salt = experiment_salt(exp);
+                    let mut recovered = None;
+                    let mut last = error.clone();
+                    for attempt in 0..attempts {
+                        if transient {
+                            std::thread::sleep(retry_delay(attempt, salt));
+                        }
+                        match run_cell(&self.cfg, exp, self.injector.as_deref(), &self.observe)
+                        {
+                            Ok(summary) => {
+                                recovered = Some(summary);
+                                break;
+                            }
+                            Err(second) => {
+                                let diverged = second != last;
+                                last = second;
+                                // A deterministic failure that re-fails
+                                // *differently* is already diagnosed as
+                                // nondeterminism; further attempts add
+                                // nothing.
+                                if diverged && !transient {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    match recovered {
+                        Some(summary) => {
                             executed += 1;
                             if let Some(cb) = on_complete.as_deref_mut() {
                                 cb(&summary);
@@ -779,13 +869,15 @@ impl Lab {
                                 RunMeta { wall_nanos: nanos, worker, via_batch: jobs > 1 },
                             );
                             self.runs.insert(exp, summary);
-                            RetryOutcome::Recovered
                         }
-                        Err(second) if second == error => RetryOutcome::Reproduced,
-                        Err(second) => RetryOutcome::DivergedError(second),
-                    };
-                    if retry != RetryOutcome::Recovered {
-                        failures.push(RunFailure { experiment: exp, error, retry });
+                        None => {
+                            let retry = if last == error {
+                                RetryOutcome::Reproduced
+                            } else {
+                                RetryOutcome::DivergedError(last)
+                            };
+                            failures.push(RunFailure { experiment: exp, error, retry });
+                        }
                     }
                 }
             }
@@ -1104,6 +1196,84 @@ mod tests {
         assert!(report.is_complete(), "transient failure rescued by retry");
         assert_eq!(report.executed, 1);
         assert!(lab.runs.contains_key(&exp), "recovered cell is memoized");
+    }
+
+    /// The transient-I/O ladder survives *consecutive* faults: two flaky
+    /// reads in a row still recover on the third attempt, where the old
+    /// single blind retry would have given up after one.
+    #[test]
+    fn transient_io_ladder_survives_consecutive_faults() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(move |_| {
+            (seen.fetch_add(1, Ordering::SeqCst) < 2)
+                .then(|| RunError::Trace("flaky read".into()))
+        });
+        let report = lab.run_batch(&[exp], 1);
+        assert!(report.is_complete(), "two consecutive transient faults rescued");
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "batch run + two ladder attempts");
+        assert!(lab.runs.contains_key(&exp));
+    }
+
+    /// Deterministic failures (anything but `RunError::Trace`) still get
+    /// exactly one diagnostic re-run — the ladder is reserved for I/O.
+    #[test]
+    fn deterministic_failure_gets_single_rerun() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let mut lab = tiny_lab();
+        lab.set_fault_injector(move |_| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Some(RunError::Panic("always".into()))
+        });
+        let report = lab.run_batch(&[exp], 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].retry, RetryOutcome::Reproduced);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "batch run + one diagnostic re-run only");
+    }
+
+    /// The backoff schedule is deterministic per cell, capped, and jittered
+    /// within ±25% of the nominal exponential step.
+    #[test]
+    fn retry_delay_is_capped_and_jittered() {
+        let salt = experiment_salt(Experiment::paper(Workload::Mp3d, Strategy::Pref, 8));
+        for attempt in 0..10u32 {
+            let nominal = (RETRY_BASE_MS << attempt.min(16)).min(RETRY_CAP_MS);
+            let ms = retry_delay(attempt, salt).as_millis() as u64;
+            assert!(
+                ms >= nominal * 3 / 4 && ms < nominal + nominal / 4 + 1,
+                "attempt {attempt}: {ms}ms outside ±25% of {nominal}ms"
+            );
+            assert_eq!(retry_delay(attempt, salt), retry_delay(attempt, salt));
+        }
+        let other = experiment_salt(Experiment::paper(Workload::Water, Strategy::NoPrefetch, 16));
+        assert_ne!(salt, other, "distinct cells seed distinct jitter streams");
+    }
+
+    /// An ample wall-clock limit flows through to the simulator without
+    /// perturbing results; a 1 ms limit against a debug-build run (invariant
+    /// checker on every transaction) trips [`SimError::WallClockExceeded`].
+    #[test]
+    fn wall_limit_threads_through_lab() {
+        let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
+        let base = tiny_lab().run(exp).clone();
+        let cfg = RunConfig { wall_limit_ms: 600_000, ..*tiny_lab().config() };
+        let ample = Lab::new(cfg).run(exp).clone();
+        assert_eq!(base, ample, "an unhit wall limit is invisible in the report");
+        let cfg = RunConfig { wall_limit_ms: 1, ..*tiny_lab().config() };
+        match Lab::new(cfg).try_run(exp) {
+            Err(RunError::Sim(SimError::WallClockExceeded { limit_ms, .. })) => {
+                assert_eq!(limit_ms, 1);
+            }
+            other => panic!("expected WallClockExceeded, got {other:?}"),
+        }
     }
 
     #[test]

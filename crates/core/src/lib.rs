@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bench;
+pub mod chaos;
 mod chart;
 pub mod checkpoint;
 pub mod experiments;

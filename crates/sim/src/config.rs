@@ -74,6 +74,17 @@ pub struct SimConfig {
     ///
     /// [`SimError::BudgetExceeded`]: crate::SimError::BudgetExceeded
     pub max_events: u64,
+    /// Wall-clock watchdog: abort the run with
+    /// [`SimError::WallClockExceeded`] once it has been executing longer
+    /// than this many milliseconds. 0 (the default) disables it. This
+    /// complements [`max_events`](SimConfig::max_events): the event budget
+    /// is deterministic but cannot catch a run that is wedged *cheaply*
+    /// (few events, each pathologically slow — a paging host, a spinning
+    /// I/O layer), while the wall clock catches exactly those. The check
+    /// runs every 4096 events, so failure timing is approximate — and
+    /// inherently nondeterministic, which is why campaigns that require
+    /// bit-reproducible *failures* leave it off.
+    pub wall_limit_ms: u64,
     /// Apply snoops only to the caches the engine's sharer table says can
     /// hold the line, instead of probing all `num_procs` caches on every
     /// bus grant. Pure strength reduction — results are bit-identical
@@ -107,6 +118,7 @@ impl SimConfig {
             protocol: Protocol::WriteInvalidate,
             snoop_filter: true,
             max_events: 0,
+            wall_limit_ms: 0,
             check_invariants: false,
         }
     }
@@ -168,6 +180,7 @@ mod tests {
     fn paper_config_has_no_budget_and_no_forced_checking() {
         let c = SimConfig::paper(8, 8);
         assert_eq!(c.max_events, 0);
+        assert_eq!(c.wall_limit_ms, 0, "wall-clock watchdog off by default");
         assert!(!c.check_invariants);
         assert!(c.snoop_filter, "snoop filtering is on by default");
     }

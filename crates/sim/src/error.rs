@@ -38,6 +38,25 @@ pub enum SimError {
         /// Processors blocked (not running, not done) at abort time.
         blocked: usize,
     },
+    /// The run outlived its wall-clock limit
+    /// ([`SimConfig::wall_limit_ms`]); the watchdog aborted it. Unlike
+    /// [`SimError::BudgetExceeded`] this catches runs that are wedged
+    /// *cheaply* — few events, each pathologically slow — at the price of
+    /// nondeterministic trip timing.
+    ///
+    /// [`SimConfig::wall_limit_ms`]: crate::SimConfig::wall_limit_ms
+    WallClockExceeded {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+        /// Scheduler events processed when the limit tripped.
+        events: u64,
+        /// Simulated time of the last event.
+        cycles: u64,
+        /// Trace events retired across all processors.
+        retired: u64,
+        /// Processors blocked (not running, not done) at abort time.
+        blocked: usize,
+    },
     /// The coherence invariant checker ([`crate::check`]) found illegal
     /// protocol state after a bus transaction.
     InvariantViolation(CoherenceViolation),
@@ -55,6 +74,11 @@ impl fmt::Display for SimError {
             SimError::BudgetExceeded { events, cycles, retired, blocked } => write!(
                 f,
                 "event budget exceeded after {events} events \
+                 (cycle {cycles}, {retired} trace events retired, {blocked} procs blocked)"
+            ),
+            SimError::WallClockExceeded { limit_ms, events, cycles, retired, blocked } => write!(
+                f,
+                "wall-clock limit of {limit_ms}ms exceeded after {events} events \
                  (cycle {cycles}, {retired} trace events retired, {blocked} procs blocked)"
             ),
             SimError::InvariantViolation(v) => write!(f, "coherence invariant violated: {v}"),
@@ -90,5 +114,14 @@ mod tests {
             SimError::BudgetExceeded { events: 100, cycles: 42, retired: 7, blocked: 3 };
         let text = budget.to_string();
         assert!(text.contains("100") && text.contains("42") && text.contains("7"), "{text}");
+        let wall = SimError::WallClockExceeded {
+            limit_ms: 250,
+            events: 99,
+            cycles: 41,
+            retired: 6,
+            blocked: 2,
+        };
+        let text = wall.to_string();
+        assert!(text.contains("250ms") && text.contains("99") && text.contains("6"), "{text}");
     }
 }

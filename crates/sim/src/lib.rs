@@ -698,6 +698,44 @@ mod tests {
         assert_eq!(plain, budgeted);
     }
 
+    /// The wall-clock watchdog aborts a run that outlives its limit. A 1 ms
+    /// limit against a trace large enough to need far longer (every access
+    /// contends for one hot line, and debug builds run the invariant checker
+    /// per transaction) trips reliably; the exact event count is timing-
+    /// dependent, so only the error's shape is asserted.
+    #[test]
+    fn wall_clock_watchdog_trips() {
+        let procs = 4;
+        let mut b = TraceBuilder::new(procs);
+        for p in 0..procs {
+            let mut pb = b.proc(p);
+            for i in 0..6000u64 {
+                pb.read(Addr::new(0x1000 + (i % 64) * 32)).write(Addr::new(0x9000));
+            }
+        }
+        let mut wcfg = SimConfig::paper(procs, 8);
+        wcfg.wall_limit_ms = 1;
+        match simulate(&wcfg, &b.build()) {
+            Err(SimError::WallClockExceeded { limit_ms, events, .. }) => {
+                assert_eq!(limit_ms, 1);
+                assert!(events >= 4096, "first check happens at event 4096, got {events}");
+            }
+            other => panic!("expected WallClockExceeded, got {other:?}"),
+        }
+    }
+
+    /// An ample wall-clock limit must not perturb the run: the report is
+    /// bit-identical to an unlimited one.
+    #[test]
+    fn ample_wall_limit_changes_nothing() {
+        let t = watchdog_trace();
+        let plain = simulate(&cfg(2), &t).unwrap();
+        let mut wcfg = cfg(2);
+        wcfg.wall_limit_ms = 600_000;
+        let limited = simulate(&wcfg, &t).unwrap();
+        assert_eq!(plain, limited);
+    }
+
     /// Invariant checking enabled explicitly: a healthy run passes and the
     /// report is bit-identical to an unchecked one (the checker only reads).
     #[test]

@@ -166,6 +166,9 @@ pub(crate) struct Machine<'t> {
     /// `SimConfig::max_events` with the 0-disables-it sentinel folded into
     /// `u64::MAX`, so the watchdog is a single branch-predictable compare.
     event_budget: u64,
+    /// Wall-clock deadline from `SimConfig::wall_limit_ms` (`None` = off),
+    /// checked every 4096 events so the hot loop never reads the clock.
+    wall_deadline: Option<std::time::Instant>,
 }
 
 impl<'t> Machine<'t> {
@@ -239,6 +242,9 @@ impl<'t> Machine<'t> {
             sample_next_at,
             debug_events: std::env::var_os("CHARLIE_DEBUG_EVENTS").is_some(),
             event_budget: if cfg.max_events == 0 { u64::MAX } else { cfg.max_events },
+            wall_deadline: (cfg.wall_limit_ms > 0).then(|| {
+                std::time::Instant::now() + std::time::Duration::from_millis(cfg.wall_limit_ms)
+            }),
         })
     }
 
@@ -286,6 +292,27 @@ impl<'t> Machine<'t> {
                     retired,
                     blocked,
                 });
+            }
+            // Wall-clock watchdog: sampled every 4096 events so the hot loop
+            // only reads the clock when a deadline is actually armed.
+            if events_processed & 0xFFF == 0 {
+                if let Some(deadline) = self.wall_deadline {
+                    if std::time::Instant::now() >= deadline {
+                        let retired: u64 = self.procs.iter().map(|p| p.cursor as u64).sum();
+                        let blocked = self
+                            .procs
+                            .iter()
+                            .filter(|p| !matches!(p.status, ProcStatus::Running | ProcStatus::Done))
+                            .count();
+                        return Err(SimError::WallClockExceeded {
+                            limit_ms: self.cfg.wall_limit_ms,
+                            events: events_processed,
+                            cycles: time,
+                            retired,
+                            blocked,
+                        });
+                    }
+                }
             }
             match kind {
                 EventKind::Wake { proc, epoch } => self.on_wake(time, proc as usize, epoch),

@@ -210,7 +210,12 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, ReadTraceError> {
     let mut current: Option<usize> = None;
     while let Some((pos, content)) = lines.next_meaningful()? {
         let mut parts = content.split_whitespace();
-        let tag = parts.next().expect("non-empty line has a first token");
+        // `next_meaningful` only yields non-blank content, so a missing
+        // first token is unreachable — but a parse error pointing at the
+        // line beats a panic if that invariant ever slips.
+        let Some(tag) = parts.next() else {
+            return Err(pos.err("expected an event tag, found a blank line".into()));
+        };
         let arg = parts.next();
         if parts.next().is_some() {
             return Err(pos.err(format!(

@@ -87,8 +87,67 @@ proptest! {
 
     /// …including near-miss inputs that start like real traces.
     #[test]
-    fn parser_survives_near_misses(lines in proptest::collection::vec("[a-zA-Z0-9 #x]{0,20}", 0..30)) {
+    fn parser_survives_near_misses(lines in proptest::collection::vec("[a-zA-Z0-9 #x]{0,30}", 0..30)) {
         let text = format!("charlie-trace v1\nprocs 2\n{}", lines.join("\n"));
         let _ = read_trace(text.as_bytes());
+    }
+
+    /// Corruption properties over *real* serialized traces: whatever damage
+    /// a faulty disk inflicts, the parser errors or parses — it never
+    /// panics, and it never silently returns a trace with more events than
+    /// the original (no phantom reads out of garbage).
+    #[test]
+    fn bit_flip_never_panics(trace in arb_trace(), at in 0usize..1_000_000, bit in 0u8..8) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write succeeds");
+        if !buf.is_empty() {
+            let i = at % buf.len();
+            buf[i] ^= 1 << bit;
+            if let Ok(parsed) = read_trace(buf.as_slice()) {
+                // A surviving parse may differ (the flip can hit an address
+                // digit) but must stay structurally sane.
+                prop_assert!(parsed.num_procs() <= 64);
+            }
+        }
+    }
+
+    /// Mid-record truncation (a partial write / torn tail at any byte) is
+    /// reported as an error or parses as a shorter trace — never a panic,
+    /// never events the prefix does not contain.
+    #[test]
+    fn truncation_never_panics(trace in arb_trace(), at in 0usize..1_000_000) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write succeeds");
+        let cut = at % (buf.len() + 1);
+        if let Ok(parsed) = read_trace(&buf[..cut]) {
+            prop_assert!(
+                parsed.total_accesses() <= trace.total_accesses(),
+                "a prefix cannot contain more accesses than the whole"
+            );
+        }
+    }
+
+    /// A garbage suffix appended to a valid trace (the flush-then-crash
+    /// graft) must surface as a parse error pointing past the valid bytes,
+    /// or parse only if the suffix happens to be valid event syntax — never
+    /// panic, never corrupt the prefix events.
+    #[test]
+    fn garbage_suffix_never_panics(trace in arb_trace(), suffix in proptest::collection::vec(0u8..=255, 1..64)) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write succeeds");
+        let clean_accesses = trace.total_accesses();
+        buf.extend_from_slice(&suffix);
+        match read_trace(buf.as_slice()) {
+            Ok(parsed) => prop_assert!(parsed.total_accesses() >= clean_accesses),
+            Err(e) => {
+                // Diagnostics must carry position context for I/O-free
+                // parse failures (Io covers invalid UTF-8 from read_line).
+                let text = e.to_string();
+                prop_assert!(
+                    text.contains("byte offset") || text.contains("i/o error"),
+                    "undiagnosed error: {}", text
+                );
+            }
+        }
     }
 }
