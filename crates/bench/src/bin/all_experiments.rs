@@ -27,8 +27,16 @@ fn main() {
             // resuming with a different CHARLIE_REFS/procs/seed refuses
             // instead of silently mixing grids.
             let cfg = lab.config();
+            // The hw suffix appears only when an on-line prefetcher is
+            // configured, so journals from plain paper campaigns keep their
+            // historical keys (and stay resumable by this build).
+            let hw = if cfg.hw_prefetch.is_enabled() {
+                format!("/hw={}", cfg.hw_prefetch)
+            } else {
+                String::new()
+            };
             let config = format!(
-                "all_experiments/p{}/r{}/s{:#x}",
+                "all_experiments/p{}/r{}/s{:#x}{hw}",
                 cfg.procs, cfg.refs_per_proc, cfg.seed
             );
             let opts = JournalOptions { config: Some(config), sync: false };

@@ -19,6 +19,7 @@ use charlie::checkpoint::{
     decode_journal_header, decode_keyed_report, encode_journal_header, encode_keyed_report,
     frame_line, unframe_line,
 };
+use charlie::prefetch::HwPrefetchConfig;
 use charlie::sim::SimReport;
 use charlie::{chaos, parallel, Experiment, Lab, RunConfig, Strategy, Table, Workload};
 use std::collections::HashMap;
@@ -163,8 +164,16 @@ fn main() {
     let base_cfg = *base.config();
     drop(base);
     let jobs = Lab::resolve_jobs(charlie_bench::jobs_from_env());
+    // The hw suffix appears only when CHARLIE_HW_PREFETCH configures an
+    // on-line prefetcher (it changes every cell through `base_cfg`), so
+    // journals from plain campaigns keep their historical keys.
+    let hw = if base_cfg.hw_prefetch.is_enabled() {
+        format!("/hw={}", base_cfg.hw_prefetch)
+    } else {
+        String::new()
+    };
     let config = format!(
-        "config_sweep/p{}/r{}/s{:#x}",
+        "config_sweep/p{}/r{}/s{:#x}{hw}",
         base_cfg.procs, base_cfg.refs_per_proc, base_cfg.seed
     );
     let mut journal =
@@ -245,4 +254,45 @@ fn main() {
         ]);
     }
     charlie_bench::emit(&block_table);
+    println!();
+
+    // On-line hardware prefetcher sweep (post-paper): the three predictor
+    // families against a streaming workload (Mp3d) and the pointer-chase
+    // stress workload. Like geometry, the prefetcher lives in `RunConfig`,
+    // so each cell gets its own private lab; the knob indexes HW_CONFIGS.
+    const HW_CONFIGS: [HwPrefetchConfig; 3] =
+        [HwPrefetchConfig::stride(2, 4), HwPrefetchConfig::sms(2), HwPrefetchConfig::markov(2)];
+    let hw_cells: Vec<(Workload, u64)> = [Workload::Mp3d, Workload::PointerChase]
+        .into_iter()
+        .flat_map(|w| (0..HW_CONFIGS.len() as u64).map(move |i| (w, i)))
+        .collect();
+    let hw_reports = sweep_cells(
+        &hw_cells,
+        jobs,
+        &mut journal,
+        |w, i| format!("hw/{}/{}", w.name(), HW_CONFIGS[i as usize]),
+        |w, i| {
+            let mut lab =
+                Lab::new(RunConfig { hw_prefetch: HW_CONFIGS[i as usize], ..base_cfg });
+            lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone()
+        },
+    );
+
+    let mut hw_table = Table::new(
+        "Hardware-prefetcher sweep (NP demand stream, 8-cycle transfer)",
+        vec!["Workload", "Prefetcher", "Issued", "Useful", "Late", "Accuracy", "adj CPU MR"],
+    );
+    for (&(w, i), r) in hw_cells.iter().zip(&hw_reports) {
+        let h = r.hw_prefetch;
+        hw_table.row(vec![
+            w.name().to_owned(),
+            HW_CONFIGS[i as usize].to_string(),
+            h.issued.to_string(),
+            h.useful.to_string(),
+            h.late.to_string(),
+            format!("{:.0}%", 100.0 * h.accuracy()),
+            format!("{:.2}%", 100.0 * r.adjusted_cpu_miss_rate()),
+        ]);
+    }
+    charlie_bench::emit(&hw_table);
 }

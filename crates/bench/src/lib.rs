@@ -6,10 +6,15 @@
 //! `CHARLIE_PROCS` (default 8); pass `--csv` to any binary for
 //! machine-readable output.
 
+use charlie::prefetch::HwPrefetchConfig;
 use charlie::{BatchReport, Lab, RunConfig, Table};
 
 /// Builds the lab from the environment (`CHARLIE_REFS`, `CHARLIE_PROCS`,
-/// `CHARLIE_SEED`).
+/// `CHARLIE_SEED`, `CHARLIE_HW_PREFETCH`).
+///
+/// `CHARLIE_HW_PREFETCH` takes the CLI's `--hw-prefetch` syntax
+/// (`kind[:degree[:distance]]`, e.g. `stride:2:4`); an unparsable value
+/// aborts loudly rather than silently running the wrong machine.
 pub fn lab_from_env() -> Lab {
     let mut cfg = RunConfig::default();
     if let Some(procs) = std::env::var("CHARLIE_PROCS").ok().and_then(|v| v.parse().ok()) {
@@ -17,6 +22,15 @@ pub fn lab_from_env() -> Lab {
     }
     if let Some(seed) = std::env::var("CHARLIE_SEED").ok().and_then(|v| v.parse().ok()) {
         cfg.seed = seed;
+    }
+    if let Ok(spec) = std::env::var("CHARLIE_HW_PREFETCH") {
+        match HwPrefetchConfig::parse(&spec) {
+            Ok(hw) => cfg.hw_prefetch = hw,
+            Err(e) => {
+                eprintln!("error: CHARLIE_HW_PREFETCH={spec:?}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     Lab::new(cfg)
 }

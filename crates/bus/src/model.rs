@@ -173,6 +173,16 @@ impl Bus {
         false
     }
 
+    /// Whether `id` is still waiting in an arbitration queue (submitted but
+    /// not yet granted). Returns `false` for granted, completed, or unknown
+    /// transactions.
+    pub fn is_queued(&self, id: TxnId) -> bool {
+        self.demand
+            .iter()
+            .chain(self.prefetch.iter())
+            .any(|q| q.iter().any(|r| r.id == id))
+    }
+
     /// Attempts to start the next transaction at time `now`.
     pub fn try_grant(&mut self, now: u64) -> GrantOutcome {
         if self.busy_until > now {

@@ -4,7 +4,7 @@ use crate::args::{Args, ArgsError};
 use crate::json::{report_json, JsonObject};
 use charlie::bus::BusConfig;
 use charlie::cache::CacheGeometry;
-use charlie::prefetch::{apply, Strategy};
+use charlie::prefetch::{apply, HwPrefetchConfig, Strategy};
 use charlie::sim::{
     simulate_observed, Observability, Protocol, SampleConfig, SimConfig, TraceCategories,
     TraceEmitter,
@@ -19,7 +19,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 fn parse_workload(name: &str) -> Result<Workload, ArgsError> {
-    Workload::ALL
+    Workload::EXTENDED
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| ArgsError(format!("unknown workload {name:?}")))
@@ -61,6 +61,7 @@ struct MachineOpts {
     warmup: u64,
     victim: usize,
     protocol: Protocol,
+    hw_prefetch: HwPrefetchConfig,
     check: bool,
 }
 
@@ -75,11 +76,17 @@ impl MachineOpts {
                 )))
             }
         };
+        let hw_prefetch = match args.get("hw-prefetch") {
+            None => HwPrefetchConfig::OFF,
+            Some(spec) => HwPrefetchConfig::parse(spec)
+                .map_err(|e| ArgsError(format!("--hw-prefetch: {e}")))?,
+        };
         Ok(MachineOpts {
             transfer: args.get_or("transfer", 8u64)?,
             warmup: args.get_or("warmup", 0u64)?,
             victim: args.get_or("victim", 0usize)?,
             protocol,
+            hw_prefetch,
             check: args.switch("check"),
         })
     }
@@ -101,6 +108,7 @@ fn prepare_cell(
         warmup_accesses: opts.warmup,
         victim_entries: opts.victim,
         protocol: opts.protocol,
+        hw_prefetch: opts.hw_prefetch,
         check_invariants: opts.check,
         ..SimConfig::paper(raw.num_procs(), transfer)
     };
@@ -168,7 +176,7 @@ fn simulate_prepared<W: Write>(
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
-        "victim", "protocol", "sample-interval", "trace-out", "trace-cats",
+        "victim", "protocol", "hw-prefetch", "sample-interval", "trace-out", "trace-cats",
     ])?;
     let (cfg, workload) = workload_config(args)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("pref"))?;
@@ -186,7 +194,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
 pub fn profile<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
-        "victim", "protocol", "sample-interval", "trace-out", "trace-cats",
+        "victim", "protocol", "hw-prefetch", "sample-interval", "trace-out", "trace-cats",
     ])?;
     if args.positional.len() > 1 {
         return Err(ArgsError(format!(
@@ -414,7 +422,9 @@ pub fn export_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError>
 
 /// `charlie run-trace`.
 pub fn run_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
-    args.expect_known(&["file", "transfer", "strategy", "warmup", "victim", "protocol"])?;
+    args.expect_known(&[
+        "file", "transfer", "strategy", "warmup", "victim", "protocol", "hw-prefetch",
+    ])?;
     let path = args.get("file").ok_or_else(|| ArgsError("--file FILE is required".into()))?;
     let file = File::open(path).map_err(|e| ArgsError(format!("opening {path}: {e}")))?;
     // Route parse failures through RunError, the same classification the
@@ -474,6 +484,13 @@ pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> 
             "table4" => emit(out, &exhibits::table4(&mut lab)),
             "table5" => emit(out, &exhibits::table5(&mut lab)),
             "proc-util" => emit(out, &exhibits::processor_utilization(&mut lab)),
+            // Post-paper exhibit; deliberately not part of "all", whose
+            // output is pinned byte-for-byte to the paper grid.
+            "hw-prefetch" => {
+                for table in exhibits::hw_prefetch_head_to_head(&mut lab) {
+                    emit(out, &table);
+                }
+            }
             "all" => {
                 emit(out, &exhibits::table1(&mut lab));
                 emit(out, &exhibits::figure1(&mut lab));

@@ -112,6 +112,20 @@ pub fn report_json(label: &str, report: &SimReport, prefetches_inserted: u64) ->
         .num("buffer_stalls", pf.buffer_stalls);
     o.raw("prefetch", prefetch.finish());
 
+    // Omitted entirely when the hardware prefetcher never ran, so existing
+    // consumers of the disabled path keep seeing byte-identical documents.
+    let h = report.hw_prefetch;
+    if !h.is_empty() {
+        let mut hw = JsonObject::new();
+        hw.num("trained", h.trained)
+            .num("issued", h.issued)
+            .num("useful", h.useful)
+            .num("late", h.late)
+            .num("useless", h.useless)
+            .float("accuracy", h.accuracy());
+        o.raw("hw_prefetch", hw.finish());
+    }
+
     let b = report.bus;
     let mut bus = JsonObject::new();
     bus.num("busy_cycles", b.busy_cycles)

@@ -20,7 +20,8 @@ USAGE:
 
 COMMANDS:
   run            simulate one workload/strategy/architecture cell
-                   --workload topopt|pverify|locusroute|mp3d|water (default mp3d)
+                   --workload topopt|pverify|locusroute|mp3d|water|pointerchase
+                                                                  (default mp3d)
                    --strategy np|pref|excl|lpd|pws|excl-rmw        (default pref)
                    --transfer 4..32      contended data-transfer cycles (default 8)
                    --procs N             processors (default 8)
@@ -30,6 +31,10 @@ COMMANDS:
                    --warmup N            exclude the first N accesses from stats
                    --victim N            per-processor victim-buffer entries
                    --protocol invalidate|update  coherence policy
+                   --hw-prefetch KIND[:DEGREE[:DISTANCE]]
+                                         on-line hardware prefetcher
+                                         (off|stride|sms|markov; default off;
+                                         degree 2, stride distance 4)
                    --check               assert coherence invariants after
                                          every bus transaction (always on in
                                          debug builds)
@@ -51,7 +56,8 @@ COMMANDS:
                    --trace-cats LIST     comma-set of bus,coherence,prefetch
                                          (default all)
                    [--strategy … --transfer N --procs N --refs N --seed N
-                    --layout … --warmup N --victim N --protocol …]
+                    --layout … --warmup N --victim N --protocol …
+                    --hw-prefetch …]
   sweep          Figure-2 panel: relative execution time across latencies
                    --workload …  [--json --jobs N --resume FILE]
                    --resume FILE  journal completed cells to FILE and skip
@@ -67,10 +73,13 @@ COMMANDS:
                    --strategy …  --layout …]
   run-trace      simulate a text trace file
                    --file FILE  [--transfer N --strategy np|pref|… --warmup N
-                   --victim N --protocol … --check --json]
+                   --victim N --protocol … --hw-prefetch … --check --json]
   experiments    regenerate paper exhibits
                    positional: table1 figure1 table2 figure2 figure3 table3
                                table4 table5 proc-util all   [--csv --jobs N]
+                   hw-prefetch: on-line stride/SMS/Markov hardware
+                               prefetchers vs the oracle PREF strategy
+                               (post-paper; not included in \"all\")
   bench          time the representative grid slice (Mp3d x all strategies x
                  all latencies) and print a BENCH_charlie.json-style snapshot
                    --quick          ~8x smaller slice (the CI smoke size)
@@ -529,5 +538,62 @@ mod tests {
         let (code, text) = run(&["chaos", "--fault-sede", "42"]);
         assert_eq!(code, 2);
         assert!(text.contains("--fault-sede"), "{text}");
+    }
+
+    #[test]
+    fn help_documents_hw_prefetch() {
+        let (code, text) = run(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("--hw-prefetch"));
+        assert!(text.contains("pointerchase"));
+        assert!(text.contains("hw-prefetch:"));
+    }
+
+    #[test]
+    fn run_pointer_chase_with_hw_prefetcher() {
+        let (code, text) = run(&[
+            "run", "--workload", "pointerchase", "--strategy", "np", "--refs", "4000", "--procs",
+            "2", "--hw-prefetch", "markov", "--check", "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"cpu_miss_rate\""), "{text}");
+    }
+
+    #[test]
+    fn run_rejects_bad_hw_prefetch_spec() {
+        let (code, text) = run(&[
+            "run", "--refs", "100", "--procs", "1", "--hw-prefetch", "nextline",
+        ]);
+        assert_eq!(code, 2);
+        assert!(text.contains("--hw-prefetch"), "{text}");
+    }
+
+    #[test]
+    fn hw_prefetch_off_run_output_is_byte_identical() {
+        // Degree 0 disables the prefetcher entirely: the run must be
+        // bit-identical to one with no --hw-prefetch at all.
+        let base = ["run", "--workload", "mp3d", "--refs", "1200", "--procs", "2", "--json"];
+        let (code_a, plain) = run(&base);
+        let mut off_args = base.to_vec();
+        off_args.extend(["--hw-prefetch", "stride:0"]);
+        let (code_b, off) = run(&off_args);
+        assert_eq!((code_a, code_b), (0, 0), "{plain}{off}");
+        assert_eq!(plain, off, "disabled hardware prefetcher must cost nothing");
+    }
+
+    #[test]
+    fn run_with_stride_prefetcher_traces_prefetch_events() {
+        let dir = std::env::temp_dir().join(format!("charlie-cli-hwtrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hw.jsonl");
+        let path_s = path.to_str().unwrap();
+        let (code, _) = run(&[
+            "run", "--workload", "mp3d", "--strategy", "np", "--refs", "1500", "--procs", "2",
+            "--hw-prefetch", "stride:2:4", "--trace-out", path_s, "--trace-cats", "prefetch",
+        ]);
+        assert_eq!(code, 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"ev\":\"issued\""), "hardware issues traced: {body:.200}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

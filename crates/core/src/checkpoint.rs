@@ -42,7 +42,8 @@ use crate::lab::{Experiment, RunSummary};
 use charlie_bus::BusStats;
 use charlie_prefetch::Strategy;
 use charlie_sim::{
-    LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, Timeline, WindowSample,
+    HwPrefetchStats, LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, Timeline,
+    WindowSample,
 };
 use charlie_workloads::{Layout, Workload};
 use std::fmt::Write as _;
@@ -341,7 +342,19 @@ fn encode_report(report: &SimReport) -> String {
             proc.measured_from,
         );
     }
-    s.push_str("]}");
+    s.push(']');
+    // Omitted when the on-line hardware prefetcher is off so journals from
+    // paper-grid campaigns stay byte-identical to the version-2 format.
+    let h = &report.hw_prefetch;
+    if !h.is_empty() {
+        let _ = write!(
+            s,
+            ",\"hw_prefetch\":{{\"trained\":{},\"issued\":{},\"useful\":{},\
+             \"late\":{},\"useless\":{}}}",
+            h.trained, h.issued, h.useful, h.late, h.useless,
+        );
+    }
+    s.push('}');
     s
 }
 
@@ -448,6 +461,16 @@ fn decode_latency(v: &Json) -> Result<LatencyStats, String> {
 fn decode_report(v: &Json) -> Result<SimReport, String> {
     let p = v.field("prefetch")?;
     let b = v.field("bus")?;
+    let hw_prefetch = match v.opt_field("hw_prefetch") {
+        Some(h) => HwPrefetchStats {
+            trained: h.field("trained")?.num()?,
+            issued: h.field("issued")?.num()?,
+            useful: h.field("useful")?.num()?,
+            late: h.field("late")?.num()?,
+            useless: h.field("useless")?.num()?,
+        },
+        None => HwPrefetchStats::default(),
+    };
     let mut per_proc = Vec::new();
     for proc in v.field("per_proc")?.arr()? {
         per_proc.push(ProcStats {
@@ -479,6 +502,7 @@ fn decode_report(v: &Json) -> Result<SimReport, String> {
             wasted_invalidated: p.field("wasted_invalidated")?.num()?,
             buffer_stalls: p.field("buffer_stalls")?.num()?,
         },
+        hw_prefetch,
         bus: BusStats {
             busy_cycles: b.field("busy_cycles")?.num()?,
             reads: b.field("reads")?.num()?,
@@ -493,7 +517,7 @@ fn decode_report(v: &Json) -> Result<SimReport, String> {
 }
 
 fn decode_workload(name: &str) -> Result<Workload, String> {
-    Workload::ALL
+    Workload::EXTENDED
         .into_iter()
         .find(|w| w.name() == name)
         .ok_or_else(|| format!("unknown workload {name:?}"))
@@ -992,6 +1016,36 @@ mod tests {
         let mut summary = sample_summary();
         summary.report.fill_latency = LatencyStats::default();
         let back = decode_summary(&encode_summary(&summary)).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn hw_prefetch_stats_round_trip_and_stay_invisible_when_empty() {
+        // Off runs must serialize exactly as the version-2 format did.
+        let summary = sample_summary();
+        assert!(summary.report.hw_prefetch.is_empty());
+        assert!(!encode_summary(&summary).contains("hw_prefetch"));
+
+        let mut with_hw = summary.clone();
+        with_hw.report.hw_prefetch =
+            HwPrefetchStats { trained: 7, issued: 41, useful: 23, late: 5, useless: 13 };
+        let line = encode_summary(&with_hw);
+        assert!(line.contains("\"hw_prefetch\""));
+        let back = decode_summary(&line).expect("round trip");
+        assert_eq!(back, with_hw);
+    }
+
+    #[test]
+    fn pointer_chase_summaries_round_trip() {
+        let mut lab = Lab::new(RunConfig {
+            procs: 2,
+            refs_per_proc: 500,
+            seed: 11,
+            ..RunConfig::default()
+        });
+        let summary =
+            lab.run(Experiment::paper(Workload::PointerChase, Strategy::NoPrefetch, 16)).clone();
+        let back = decode_summary(&encode_summary(&summary)).expect("round trip");
         assert_eq!(back, summary);
     }
 

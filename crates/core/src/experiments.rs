@@ -15,10 +15,10 @@
 //! | [`table5`] | Table 5 — execution times, restructured programs |
 //! | [`processor_utilization`] | §4.2 — NP processor utilizations |
 
-use crate::lab::{Experiment, Lab};
+use crate::lab::{Experiment, Lab, RunConfig};
 use crate::report::{format_rate, Table};
 use charlie_bus::BusConfig;
-use charlie_prefetch::Strategy;
+use charlie_prefetch::{HwPrefetchConfig, Strategy};
 use charlie_trace::TraceStats;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 
@@ -31,6 +31,14 @@ pub const FIGURE3_WORKLOADS: [Workload; 3] = [Workload::Topopt, Workload::Pverif
 /// The strategies Tables 4 and 5 report for restructured programs.
 pub const RESTRUCTURED_STRATEGIES: [Strategy; 3] =
     [Strategy::NoPrefetch, Strategy::Pref, Strategy::Pws];
+
+/// The on-line hardware prefetcher configurations the head-to-head exhibit
+/// compares against the oracle software strategies: each of the three
+/// predictor families at degree 2 (the stride prefetcher at the paper
+/// buffer's native lookahead of 4).
+pub fn hw_prefetch_configs() -> [HwPrefetchConfig; 3] {
+    [HwPrefetchConfig::stride(2, 4), HwPrefetchConfig::sms(2), HwPrefetchConfig::markov(2)]
+}
 
 fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
@@ -128,6 +136,15 @@ pub fn grid_for(exhibit: &str) -> Vec<Experiment> {
                 for lat in [4, 32] {
                     grid.push(Experiment::paper(w, Strategy::NoPrefetch, lat));
                 }
+            }
+        }
+        "hw-prefetch" => {
+            // Only the cells the *shared* lab serves: the NP baselines and
+            // the oracle PREF runs. The hardware-prefetcher runs live in
+            // private per-configuration labs built by the exhibit itself.
+            for w in Workload::EXTENDED {
+                grid.push(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY));
+                grid.push(Experiment::paper(w, Strategy::Pref, FIGURE_LATENCY));
             }
         }
         "all" => grid = full_grid(),
@@ -381,6 +398,64 @@ pub fn processor_utilization(lab: &mut Lab) -> Table {
     t
 }
 
+/// Post-paper exhibit: the on-line hardware prefetchers (per-PC stride,
+/// SMS-style spatial patterns, Markov correlation — see DESIGN.md §15)
+/// head-to-head against the paper's oracle PREF strategy, on the five paper
+/// workloads plus the pointer-chase stress workload.
+///
+/// The software strategies rewrite the trace off-line with perfect
+/// knowledge; the hardware prefetchers observe the demand stream on-line and
+/// must earn their fills. Returns two tables: execution time relative to the
+/// NP baseline, and the hardware training/accuracy counters behind it.
+///
+/// Hardware runs use one private [`Lab`] per prefetcher configuration —
+/// `hw_prefetch` is a lab-wide knob, not an [`Experiment`] axis, so the
+/// shared lab's paper grid stays exactly the paper's.
+pub fn hw_prefetch_head_to_head(lab: &mut Lab) -> Vec<Table> {
+    let base = *lab.config();
+    let mut hw_labs: Vec<(HwPrefetchConfig, Lab)> = hw_prefetch_configs()
+        .into_iter()
+        .map(|hw| (hw, Lab::new(RunConfig { hw_prefetch: hw, ..base })))
+        .collect();
+
+    let mut time = Table::new(
+        format!(
+            "Hardware vs oracle prefetching: time relative to NP ({FIGURE_LATENCY}-cycle transfer)"
+        ),
+        vec!["Workload", "PREF (oracle)", "HW-STRIDE", "HW-SMS", "HW-MARKOV"],
+    );
+    let mut counters = Table::new(
+        "Hardware prefetcher training and accuracy",
+        vec![
+            "Workload", "Prefetcher", "Trained", "Issued", "Useful", "Late", "Useless", "Accuracy",
+        ],
+    );
+    for w in Workload::EXTENDED {
+        let np =
+            lab.run(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY)).report.cycles;
+        let pref = lab.run(Experiment::paper(w, Strategy::Pref, FIGURE_LATENCY)).report.cycles;
+        let mut cells =
+            vec![w.name().to_owned(), format!("{:.3}", pref as f64 / np.max(1) as f64)];
+        for (hw, hw_lab) in &mut hw_labs {
+            let r = &hw_lab.run(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY)).report;
+            cells.push(format!("{:.3}", r.cycles as f64 / np.max(1) as f64));
+            let h = r.hw_prefetch;
+            counters.row(vec![
+                w.name().to_owned(),
+                hw.kind.label().to_owned(),
+                h.trained.to_string(),
+                h.issued.to_string(),
+                h.useful.to_string(),
+                h.late.to_string(),
+                h.useless.to_string(),
+                pct(h.accuracy()),
+            ]);
+        }
+        time.row(cells);
+    }
+    vec![time, counters]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +524,42 @@ mod tests {
     fn processor_utilization_sane() {
         let t = processor_utilization(&mut tiny_lab());
         assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn hw_head_to_head_covers_extended_workloads() {
+        let mut lab =
+            Lab::new(RunConfig { procs: 2, refs_per_proc: 800, seed: 3, ..RunConfig::default() });
+        let tables = hw_prefetch_head_to_head(&mut lab);
+        assert_eq!(tables.len(), 2);
+        let (time, counters) = (&tables[0], &tables[1]);
+        assert_eq!(time.num_rows(), Workload::EXTENDED.len());
+        assert_eq!(counters.num_rows(), Workload::EXTENDED.len() * 3);
+        let rendered = counters.to_string();
+        for label in ["HW-STRIDE", "HW-SMS", "HW-MARKOV"] {
+            assert!(rendered.contains(label), "{label} missing");
+        }
+        assert!(time.to_string().contains("PointerChase"));
+        // The hardware runs actually prefetched: some configuration issued
+        // and some fills were useful somewhere in the grid.
+        let mut issued = 0u64;
+        let mut useful = 0u64;
+        for r in 0..counters.num_rows() {
+            issued += counters.cell(r, 3).unwrap().parse::<u64>().unwrap();
+            useful += counters.cell(r, 4).unwrap().parse::<u64>().unwrap();
+        }
+        assert!(issued > 0, "no hardware prefetches issued");
+        assert!(useful > 0, "no hardware prefetch was useful");
+    }
+
+    #[test]
+    fn hw_prefetch_grid_is_disjoint_from_paper_grid_cells() {
+        let g = grid_for("hw-prefetch");
+        assert_eq!(g.len(), Workload::EXTENDED.len() * 2);
+        assert!(grid_for("all").len() == full_grid().len());
+        assert!(
+            !full_grid().iter().any(|e| e.workload == Workload::PointerChase),
+            "paper grid must stay 5 workloads"
+        );
     }
 }

@@ -12,8 +12,8 @@
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
 use charlie_sim::{
-    simulate_observed_prevalidated, Observability, SampleConfig, SimConfig, SimError, SimReport,
-    Timeline, TraceCategories, TraceEmitter,
+    simulate_observed_prevalidated, HwPrefetchConfig, Observability, SampleConfig, SimConfig,
+    SimError, SimReport, Timeline, TraceCategories, TraceEmitter,
 };
 use charlie_trace::Trace;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
@@ -88,6 +88,13 @@ pub struct RunConfig {
     /// deterministic event budget ([`watchdog_budget`]) stays armed either
     /// way; this additionally catches runs wedged cheaply in wall time.
     pub wall_limit_ms: u64,
+    /// On-line hardware prefetcher every run of this lab simulates with
+    /// ([`SimConfig::hw_prefetch`]). Off by default — the paper's machine
+    /// has no hardware prefetcher, and the full grid must stay bit-identical
+    /// to the published output when this is disabled. A lab-wide knob rather
+    /// than an [`Experiment`] axis: head-to-head exhibits build one private
+    /// lab per prefetcher configuration.
+    pub hw_prefetch: HwPrefetchConfig,
 }
 
 impl Default for RunConfig {
@@ -106,6 +113,7 @@ impl Default for RunConfig {
             seed: 0xC0FFEE,
             geometry: CacheGeometry::paper_default(),
             wall_limit_ms,
+            hw_prefetch: HwPrefetchConfig::OFF,
         }
     }
 }
@@ -432,6 +440,7 @@ fn run_on_prepared(
         geometry: cfg.geometry,
         max_events: watchdog_budget(cfg),
         wall_limit_ms: cfg.wall_limit_ms,
+        hw_prefetch: cfg.hw_prefetch,
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
     let obs = observe.observability_for(exp)?;

@@ -1,0 +1,697 @@
+//! On-line *hardware* prefetchers — the counterpart to the off-line oracle
+//! family in [`crate::Strategy`].
+//!
+//! The paper's five strategies all assume perfect off-line knowledge of the
+//! miss stream. A real machine has to predict misses from the access stream
+//! it has already seen. This module provides three classic predictors the
+//! simulator can drive *on-line*, issuing real bus transactions into the
+//! prefetch buffers (ROADMAP open item 1):
+//!
+//! * [`HwPrefetcherKind::Stride`] — a reference-prediction table (RPT) in
+//!   the style of Chen & Baer: per-stream entries with a last address, a
+//!   stride and a 2-bit confidence counter. Once a stream's stride repeats,
+//!   `degree` lines are prefetched `distance` strides ahead of each access.
+//!   Traces carry no program counters, so entries are keyed on the 4 KB
+//!   *address region* of the access — a stream through an array trains one
+//!   entry per region it crosses, which behaves like a PC key for the
+//!   array-walking loops the stride family targets.
+//! * [`HwPrefetcherKind::Sms`] — a spatial-memory-streaming style
+//!   footprint predictor: accesses are grouped into 64-line spatial regions;
+//!   an active-generation table accumulates the bit-vector of lines touched
+//!   per region, commits it to a pattern-history table when the generation
+//!   ends (its tracking slot is reclaimed), and replays the recorded
+//!   footprint the next time the region is re-entered.
+//! * [`HwPrefetcherKind::Markov`] — a correlation (Markov) predictor for
+//!   linked data: a table keyed on *miss* line address records the miss
+//!   lines that followed it; on a miss the recorded successors (and their
+//!   successors, up to `degree`) are prefetched. This is the only family
+//!   with a chance on pointer chasing, where strides carry no information.
+//!
+//! All three are deterministic, integer-only, and bounded: tables are
+//! direct-mapped fixed-size arrays (never iterated hash maps), so identical
+//! access streams always produce identical prefetch streams.
+
+use charlie_trace::{Addr, LineAddr};
+
+/// Which on-line prefetcher a simulation runs, if any.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum HwPrefetcherKind {
+    /// No hardware prefetcher (the default; the zero-cost path).
+    #[default]
+    Off,
+    /// Per-region stride/stream prefetcher (reference-prediction table).
+    Stride,
+    /// Spatial-pattern (SMS-style footprint) prefetcher.
+    Sms,
+    /// Markov / pointer-chase correlation prefetcher.
+    Markov,
+}
+
+impl HwPrefetcherKind {
+    /// Every kind, reporting order.
+    pub const ALL: [HwPrefetcherKind; 4] = [
+        HwPrefetcherKind::Off,
+        HwPrefetcherKind::Stride,
+        HwPrefetcherKind::Sms,
+        HwPrefetcherKind::Markov,
+    ];
+
+    /// The kinds that actually prefetch, reporting order.
+    pub const ONLINE: [HwPrefetcherKind; 3] =
+        [HwPrefetcherKind::Stride, HwPrefetcherKind::Sms, HwPrefetcherKind::Markov];
+
+    /// Stable lower-case name (CLI/env spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            HwPrefetcherKind::Off => "off",
+            HwPrefetcherKind::Stride => "stride",
+            HwPrefetcherKind::Sms => "sms",
+            HwPrefetcherKind::Markov => "markov",
+        }
+    }
+
+    /// Exhibit label ("HW-STRIDE" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            HwPrefetcherKind::Off => "OFF",
+            HwPrefetcherKind::Stride => "HW-STRIDE",
+            HwPrefetcherKind::Sms => "HW-SMS",
+            HwPrefetcherKind::Markov => "HW-MARKOV",
+        }
+    }
+
+    /// Parses a kind from its [`HwPrefetcherKind::name`] spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        HwPrefetcherKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown hardware prefetcher '{s}' (expected off, stride, sms, or markov)"))
+    }
+}
+
+impl std::fmt::Display for HwPrefetcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the on-line prefetcher attached to each processor.
+///
+/// The default ([`HwPrefetchConfig::OFF`]) disables the subsystem entirely;
+/// a `degree` of 0 is equivalent to [`HwPrefetcherKind::Off`] regardless of
+/// kind, so every "degree 0" spelling takes the identical zero-cost path.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct HwPrefetchConfig {
+    /// Predictor family.
+    pub kind: HwPrefetcherKind,
+    /// Maximum prefetches issued per triggering access (0 disables).
+    pub degree: u8,
+    /// Lookahead in strides for the stride prefetcher (how far ahead of the
+    /// demand stream predictions run); ignored by SMS and Markov.
+    pub distance: u8,
+}
+
+impl HwPrefetchConfig {
+    /// The disabled configuration (also the [`Default`]).
+    pub const OFF: HwPrefetchConfig =
+        HwPrefetchConfig { kind: HwPrefetcherKind::Off, degree: 0, distance: 0 };
+
+    /// A stride prefetcher with the given degree and lookahead distance.
+    pub const fn stride(degree: u8, distance: u8) -> Self {
+        HwPrefetchConfig { kind: HwPrefetcherKind::Stride, degree, distance }
+    }
+
+    /// An SMS-style footprint prefetcher with the given degree.
+    pub const fn sms(degree: u8) -> Self {
+        HwPrefetchConfig { kind: HwPrefetcherKind::Sms, degree, distance: 0 }
+    }
+
+    /// A Markov correlation prefetcher with the given degree.
+    pub const fn markov(degree: u8) -> Self {
+        HwPrefetchConfig { kind: HwPrefetcherKind::Markov, degree, distance: 0 }
+    }
+
+    /// `true` when a predictor is configured *and* allowed to issue
+    /// anything. Everything else — including any kind at degree 0 — is the
+    /// zero-cost disabled path.
+    pub fn is_enabled(self) -> bool {
+        self.kind != HwPrefetcherKind::Off && self.degree > 0
+    }
+
+    /// Parses `kind[:degree[:distance]]`, e.g. `stride:2:4`, `markov:2`,
+    /// `off`. Omitted degree defaults to 2, omitted distance to 4.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let kind = HwPrefetcherKind::parse(parts.next().unwrap_or(""))?;
+        let parse_u8 = |part: Option<&str>, what: &str, default: u8| -> Result<u8, String> {
+            match part {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| format!("invalid {what} '{v}' (expected 0-255)")),
+            }
+        };
+        let degree = parse_u8(parts.next(), "degree", 2)?;
+        let distance = parse_u8(parts.next(), "distance", 4)?;
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing '{extra}' in hardware-prefetcher spec '{s}'"));
+        }
+        Ok(HwPrefetchConfig { kind, degree, distance })
+    }
+}
+
+impl std::fmt::Display for HwPrefetchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.kind, self.degree, self.distance)
+    }
+}
+
+/// An on-line hardware prefetcher: one instance per processor, driven by
+/// that processor's retired demand accesses.
+///
+/// The simulator calls [`Prefetcher::on_access`] once per retired demand
+/// access (with `is_miss` telling whether it missed the cache), collects the
+/// predicted lines from `out`, and issues them through the ordinary
+/// prefetch-buffer/bus path. Predictions the machine cannot use (already
+/// resident, already in flight, buffer full) are silently dropped — a
+/// hardware prefetcher never stalls the processor. [`Prefetcher::on_invalidate`]
+/// reports remote invalidations of cached lines so predictors can drop
+/// stale state.
+///
+/// Implementations must be deterministic: the same call sequence must
+/// produce the same predictions (no ambient randomness, no iteration over
+/// unordered containers).
+pub trait Prefetcher: Send {
+    /// Observes one retired demand access and appends predicted prefetch
+    /// lines to `out` (never more than the configured degree's worth).
+    /// Returns `true` when a training-table entry was created or updated,
+    /// so the machine can count/trace `trained` events.
+    fn on_access(&mut self, addr: Addr, line: LineAddr, is_miss: bool, out: &mut Vec<LineAddr>)
+        -> bool;
+
+    /// Observes the invalidation of `line` in this processor's cache by a
+    /// remote writer. The default does nothing.
+    fn on_invalidate(&mut self, _line: LineAddr) {}
+}
+
+/// Builds the configured predictor, or `None` for the disabled path.
+/// `block_bytes` is the cache-line size predictions are expressed in.
+pub fn new_prefetcher(cfg: HwPrefetchConfig, block_bytes: u64) -> Option<Box<dyn Prefetcher>> {
+    if !cfg.is_enabled() {
+        return None;
+    }
+    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    match cfg.kind {
+        HwPrefetcherKind::Off => None,
+        HwPrefetcherKind::Stride => Some(Box::new(StridePrefetcher::new(cfg, block_bytes))),
+        HwPrefetcherKind::Sms => Some(Box::new(SmsPrefetcher::new(cfg, block_bytes))),
+        HwPrefetcherKind::Markov => Some(Box::new(MarkovPrefetcher::new(cfg))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stride / stream: reference-prediction table.
+// ---------------------------------------------------------------------------
+
+/// Address bits identifying an RPT stream (4 KB regions stand in for the
+/// program counter, which traces do not carry).
+const STRIDE_REGION_SHIFT: u32 = 12;
+/// RPT size (direct-mapped).
+const STRIDE_TABLE: usize = 256;
+/// Confidence ceiling (2-bit counter) and prediction threshold.
+const STRIDE_CONF_MAX: u8 = 3;
+const STRIDE_CONF_THRESHOLD: u8 = 2;
+
+#[derive(Copy, Clone, Debug)]
+struct StrideEntry {
+    tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Chen–Baer style stride prefetcher over a direct-mapped RPT.
+pub struct StridePrefetcher {
+    cfg: HwPrefetchConfig,
+    block_bytes: u64,
+    table: Vec<Option<StrideEntry>>,
+}
+
+impl StridePrefetcher {
+    /// Creates an RPT-based stride prefetcher.
+    pub fn new(cfg: HwPrefetchConfig, block_bytes: u64) -> Self {
+        StridePrefetcher { cfg, block_bytes, table: vec![None; STRIDE_TABLE] }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_access(
+        &mut self,
+        addr: Addr,
+        line: LineAddr,
+        _is_miss: bool,
+        out: &mut Vec<LineAddr>,
+    ) -> bool {
+        let region = addr.raw() >> STRIDE_REGION_SHIFT;
+        let slot = (region as usize) % STRIDE_TABLE;
+        let entry = match &mut self.table[slot] {
+            Some(e) if e.tag == region => e,
+            other => {
+                *other = Some(StrideEntry {
+                    tag: region,
+                    last_addr: addr.raw(),
+                    stride: 0,
+                    confidence: 0,
+                });
+                return true;
+            }
+        };
+        let observed = addr.raw() as i64 - entry.last_addr as i64;
+        entry.last_addr = addr.raw();
+        if observed == 0 {
+            // Same word re-touched: no stream information either way.
+            return true;
+        }
+        if observed == entry.stride {
+            entry.confidence = (entry.confidence + 1).min(STRIDE_CONF_MAX);
+        } else if entry.confidence > 0 {
+            entry.confidence -= 1;
+        } else {
+            entry.stride = observed;
+        }
+        if entry.confidence >= STRIDE_CONF_THRESHOLD {
+            // Predict `degree` consecutive stream elements, `distance`
+            // strides ahead; collapse to distinct lines past the current one.
+            let stride = entry.stride;
+            let base = addr.raw() as i64;
+            for k in 0..u64::from(self.cfg.degree) {
+                let ahead = i64::from(self.cfg.distance) + k as i64 + 1;
+                let Some(pred) = base.checked_add(stride.saturating_mul(ahead)) else { break };
+                if pred < 0 {
+                    break;
+                }
+                let pline = Addr::new(pred as u64).line(self.block_bytes);
+                if pline != line && !out.contains(&pline) {
+                    out.push(pline);
+                }
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMS: spatial footprints per region.
+// ---------------------------------------------------------------------------
+
+/// Lines per spatial region (bit-vector width).
+const SMS_REGION_LINES: u64 = 64;
+/// Active-generation table size (direct-mapped); reclaiming a slot ends
+/// that generation and commits its footprint.
+const SMS_AGT: usize = 64;
+/// Pattern-history table size (direct-mapped).
+const SMS_PHT: usize = 256;
+
+#[derive(Copy, Clone, Debug)]
+struct SmsGeneration {
+    region: u64,
+    bits: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct SmsPattern {
+    region: u64,
+    bits: u64,
+}
+
+/// Spatial-pattern prefetcher: trains region footprints on generation end,
+/// replays them on the trigger access that re-enters the region.
+pub struct SmsPrefetcher {
+    cfg: HwPrefetchConfig,
+    active: Vec<Option<SmsGeneration>>,
+    patterns: Vec<Option<SmsPattern>>,
+}
+
+impl SmsPrefetcher {
+    /// Creates an SMS-style footprint prefetcher. Predictions are
+    /// line-granular, so the cache-line size does not matter here; the
+    /// constructor takes it anyway for signature uniformity.
+    pub fn new(cfg: HwPrefetchConfig, _block_bytes: u64) -> Self {
+        SmsPrefetcher { cfg, active: vec![None; SMS_AGT], patterns: vec![None; SMS_PHT] }
+    }
+
+    fn commit(&mut self, generation: SmsGeneration) {
+        // Footprints of a single line predict nothing; don't displace a
+        // richer stored pattern with one.
+        if generation.bits.count_ones() < 2 {
+            return;
+        }
+        let slot = (generation.region as usize) % SMS_PHT;
+        self.patterns[slot] = Some(SmsPattern { region: generation.region, bits: generation.bits });
+    }
+}
+
+impl Prefetcher for SmsPrefetcher {
+    fn on_access(
+        &mut self,
+        _addr: Addr,
+        line: LineAddr,
+        _is_miss: bool,
+        out: &mut Vec<LineAddr>,
+    ) -> bool {
+        let region = line.raw() / SMS_REGION_LINES;
+        let offset = line.raw() % SMS_REGION_LINES;
+        let slot = (region as usize) % SMS_AGT;
+        match self.active[slot] {
+            Some(ref mut g) if g.region == region => {
+                let bit = 1u64 << offset;
+                if g.bits & bit != 0 {
+                    return false; // already recorded; nothing learned
+                }
+                g.bits |= bit;
+                true
+            }
+            displaced => {
+                // A new generation starts: commit whatever this slot was
+                // tracking, then replay the stored footprint (if any) around
+                // the trigger line.
+                if let Some(g) = displaced {
+                    self.commit(g);
+                }
+                self.active[slot] =
+                    Some(SmsGeneration { region, bits: 1u64 << offset });
+                let pslot = (region as usize) % SMS_PHT;
+                if let Some(p) = self.patterns[pslot] {
+                    if p.region == region {
+                        // Replay in ascending offset order starting after the
+                        // trigger, wrapping, capped at 4x degree.
+                        let cap = 4 * usize::from(self.cfg.degree);
+                        let base = region * SMS_REGION_LINES;
+                        for step in 1..SMS_REGION_LINES {
+                            if out.len() >= cap {
+                                break;
+                            }
+                            let off = (offset + step) % SMS_REGION_LINES;
+                            if p.bits & (1u64 << off) != 0 {
+                                out.push(LineAddr::from_raw(base + off));
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, line: LineAddr) {
+        // A remote write to the region makes the in-flight footprint stale;
+        // drop the bit so it is not committed as part of this generation.
+        let region = line.raw() / SMS_REGION_LINES;
+        let offset = line.raw() % SMS_REGION_LINES;
+        let slot = (region as usize) % SMS_AGT;
+        if let Some(g) = &mut self.active[slot] {
+            if g.region == region {
+                g.bits &= !(1u64 << offset);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Markov: miss-address correlation.
+// ---------------------------------------------------------------------------
+
+/// Correlation-table size (direct-mapped) and successors kept per entry
+/// (MRU order). Correlation predictors need capacity on the order of the
+/// miss working set (Joseph & Grunwald sized theirs in megabytes): with a
+/// pointer chase over a few thousand lines, a few-hundred-entry table is
+/// displaced faster than any successor pair can be reused, and the
+/// predictor never fires at all. 8 Ki entries comfortably holds the
+/// linked-structure working sets the paper-scale workloads produce.
+const MARKOV_TABLE: usize = 8192;
+const MARKOV_SUCCESSORS: usize = 2;
+
+#[derive(Copy, Clone, Debug)]
+struct MarkovEntry {
+    tag: LineAddr,
+    succ: [Option<LineAddr>; MARKOV_SUCCESSORS],
+}
+
+/// Markov (correlation) prefetcher trained on the miss-line stream.
+pub struct MarkovPrefetcher {
+    cfg: HwPrefetchConfig,
+    table: Vec<Option<MarkovEntry>>,
+    last_miss: Option<LineAddr>,
+}
+
+impl MarkovPrefetcher {
+    /// Creates a miss-correlation prefetcher.
+    pub fn new(cfg: HwPrefetchConfig) -> Self {
+        MarkovPrefetcher { cfg, table: vec![None; MARKOV_TABLE], last_miss: None }
+    }
+
+    fn slot(line: LineAddr) -> usize {
+        (line.raw() as usize) % MARKOV_TABLE
+    }
+
+    /// Records `next` as the most-recent successor of `prev`.
+    fn train(&mut self, prev: LineAddr, next: LineAddr) {
+        let slot = Self::slot(prev);
+        let entry = match &mut self.table[slot] {
+            Some(e) if e.tag == prev => e,
+            other => {
+                *other = Some(MarkovEntry { tag: prev, succ: [Some(next), None] });
+                return;
+            }
+        };
+        if entry.succ[0] == Some(next) {
+            return;
+        }
+        entry.succ[1] = entry.succ[0];
+        entry.succ[0] = Some(next);
+    }
+
+    fn successors(&self, line: LineAddr) -> Option<&MarkovEntry> {
+        match &self.table[Self::slot(line)] {
+            Some(e) if e.tag == line => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn on_access(
+        &mut self,
+        _addr: Addr,
+        line: LineAddr,
+        is_miss: bool,
+        out: &mut Vec<LineAddr>,
+    ) -> bool {
+        if !is_miss {
+            return false;
+        }
+        let trained = match self.last_miss.take() {
+            Some(prev) if prev != line => {
+                self.train(prev, line);
+                true
+            }
+            _ => false,
+        };
+        self.last_miss = Some(line);
+        // Walk the correlation chain breadth-first from this miss, up to
+        // `degree` predictions.
+        let degree = usize::from(self.cfg.degree);
+        let mut cur = line;
+        while out.len() < degree {
+            let Some(entry) = self.successors(cur) else { break };
+            let mut advanced = false;
+            for s in entry.succ.into_iter().flatten() {
+                if out.len() < degree && s != line && !out.contains(&s) {
+                    out.push(s);
+                    advanced = true;
+                }
+            }
+            let Some(next) = entry.succ[0] else { break };
+            if !advanced {
+                break; // cycle: everything here is already predicted
+            }
+            cur = next;
+        }
+        trained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(out: &[LineAddr]) -> Vec<u64> {
+        out.iter().map(|l| l.raw()).collect()
+    }
+
+    #[test]
+    fn config_parsing_round_trips() {
+        assert_eq!(
+            HwPrefetchConfig::parse("off"),
+            Ok(HwPrefetchConfig { kind: HwPrefetcherKind::Off, degree: 2, distance: 4 })
+        );
+        assert_eq!(
+            HwPrefetchConfig::parse("stride:2:4"),
+            Ok(HwPrefetchConfig::stride(2, 4))
+        );
+        assert_eq!(HwPrefetchConfig::parse("markov:3"), Ok(HwPrefetchConfig {
+            kind: HwPrefetcherKind::Markov,
+            degree: 3,
+            distance: 4,
+        }));
+        assert!(HwPrefetchConfig::parse("bogus").is_err());
+        assert!(HwPrefetchConfig::parse("stride:x").is_err());
+        assert!(HwPrefetchConfig::parse("stride:1:2:3").is_err());
+        for k in HwPrefetcherKind::ALL {
+            assert_eq!(HwPrefetcherKind::parse(k.name()), Ok(k));
+        }
+    }
+
+    #[test]
+    fn degree_zero_is_disabled() {
+        assert!(!HwPrefetchConfig::stride(0, 4).is_enabled());
+        assert!(!HwPrefetchConfig::sms(0).is_enabled());
+        assert!(!HwPrefetchConfig::markov(0).is_enabled());
+        assert!(!HwPrefetchConfig::OFF.is_enabled());
+        assert!(HwPrefetchConfig::stride(1, 1).is_enabled());
+        assert!(new_prefetcher(HwPrefetchConfig::stride(0, 4), 32).is_none());
+        assert!(new_prefetcher(HwPrefetchConfig::OFF, 32).is_none());
+        assert!(new_prefetcher(HwPrefetchConfig::markov(2), 32).is_some());
+    }
+
+    #[test]
+    fn stride_locks_onto_stream() {
+        let mut p = StridePrefetcher::new(HwPrefetchConfig::stride(2, 1), 32);
+        let mut out = Vec::new();
+        // Stride of one line (32 bytes): confidence builds after 3 accesses.
+        for i in 0..8u64 {
+            out.clear();
+            let addr = Addr::new(0x1000 + i * 32);
+            p.on_access(addr, addr.line(32), true, &mut out);
+        }
+        // Last access at 0x10e0 (line 0x87); distance 1, degree 2 →
+        // predictions two and three strides ahead.
+        assert_eq!(lines(&out), vec![0x89, 0x8a]);
+    }
+
+    #[test]
+    fn stride_ignores_random_stream() {
+        let mut p = StridePrefetcher::new(HwPrefetchConfig::stride(2, 1), 32);
+        let mut out = Vec::new();
+        // A pointer-chase-looking sequence with no repeating stride.
+        for a in [0x1000u64, 0x5204, 0x2a30, 0x9158, 0x3c7c, 0x60a0] {
+            let addr = Addr::new(a);
+            p.on_access(addr, addr.line(32), true, &mut out);
+        }
+        assert!(out.is_empty(), "no confident stride, no predictions: {out:?}");
+    }
+
+    #[test]
+    fn stride_sub_line_stride_collapses_to_lines() {
+        let mut p = StridePrefetcher::new(HwPrefetchConfig::stride(4, 0), 32);
+        let mut out = Vec::new();
+        for i in 0..16u64 {
+            out.clear();
+            let addr = Addr::new(0x2000 + i * 4);
+            p.on_access(addr, addr.line(32), true, &mut out);
+        }
+        // 4-byte strides predict within-line addresses that collapse to at
+        // most two distinct lines, none equal to the current one.
+        let last_line = Addr::new(0x2000 + 15 * 4).line(32);
+        assert!(!out.is_empty());
+        assert!(!out.contains(&last_line));
+        let mut dedup = out.clone();
+        dedup.dedup();
+        assert_eq!(dedup, out, "no duplicate lines in one prediction batch");
+    }
+
+    #[test]
+    fn sms_replays_footprint_on_reentry() {
+        let mut p = SmsPrefetcher::new(HwPrefetchConfig::sms(2), 32);
+        let mut out = Vec::new();
+        // Generation 1: touch lines {0, 3, 7} of region 0.
+        for l in [0u64, 3, 7] {
+            p.on_access(Addr::new(l * 32), LineAddr::from_raw(l), true, &mut out);
+        }
+        assert!(out.is_empty(), "first generation has nothing to replay");
+        // Conflicting region (same AGT slot: region 64) ends generation 1.
+        p.on_access(
+            Addr::new(64 * SMS_REGION_LINES * 32),
+            LineAddr::from_raw(64 * SMS_REGION_LINES),
+            true,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // Re-enter region 0 at line 3: the stored footprint replays.
+        p.on_access(Addr::new(3 * 32), LineAddr::from_raw(3), true, &mut out);
+        assert_eq!(lines(&out), vec![7, 0], "offsets after the trigger, wrapping");
+    }
+
+    #[test]
+    fn sms_invalidate_drops_footprint_bit() {
+        let mut p = SmsPrefetcher::new(HwPrefetchConfig::sms(2), 32);
+        let mut out = Vec::new();
+        for l in [0u64, 3, 7] {
+            p.on_access(Addr::new(l * 32), LineAddr::from_raw(l), true, &mut out);
+        }
+        p.on_invalidate(LineAddr::from_raw(7));
+        // End the generation, re-enter: line 7 is no longer in the pattern.
+        p.on_access(
+            Addr::new(64 * SMS_REGION_LINES * 32),
+            LineAddr::from_raw(64 * SMS_REGION_LINES),
+            true,
+            &mut out,
+        );
+        p.on_access(Addr::new(0), LineAddr::from_raw(0), true, &mut out);
+        assert_eq!(lines(&out), vec![3]);
+    }
+
+    #[test]
+    fn markov_predicts_recorded_successors() {
+        let mut p = MarkovPrefetcher::new(HwPrefetchConfig::markov(2));
+        let mut out = Vec::new();
+        let chase = [0x10u64, 0x95, 0x42, 0x10, 0x95, 0x42];
+        for l in chase {
+            out.clear();
+            p.on_access(Addr::new(l * 32), LineAddr::from_raw(l), true, &mut out);
+        }
+        // After one full revisit, 0x42's successor (0x10) and its successor
+        // (0x95) are both predicted.
+        assert_eq!(lines(&out), vec![0x10, 0x95]);
+    }
+
+    #[test]
+    fn markov_trains_only_on_misses() {
+        let mut p = MarkovPrefetcher::new(HwPrefetchConfig::markov(2));
+        let mut out = Vec::new();
+        assert!(!p.on_access(Addr::new(0x100), LineAddr::from_raw(8), false, &mut out));
+        assert!(out.is_empty());
+        // First miss establishes last_miss but trains nothing yet.
+        assert!(!p.on_access(Addr::new(0x200), LineAddr::from_raw(16), true, &mut out));
+        // Second miss records the 16 → 24 transition.
+        assert!(p.on_access(Addr::new(0x300), LineAddr::from_raw(24), true, &mut out));
+    }
+
+    #[test]
+    fn markov_chain_walk_stops_on_cycle() {
+        let mut p = MarkovPrefetcher::new(HwPrefetchConfig::markov(8));
+        let mut out = Vec::new();
+        // Two-node cycle A → B → A → B …
+        for l in [1u64, 2, 1, 2, 1] {
+            out.clear();
+            p.on_access(Addr::new(l * 32), LineAddr::from_raw(l), true, &mut out);
+        }
+        // Degree 8 must not loop forever; the cycle yields one prediction.
+        assert_eq!(lines(&out), vec![2]);
+    }
+
+    #[test]
+    fn display_and_labels() {
+        assert_eq!(HwPrefetchConfig::stride(2, 4).to_string(), "stride:2:4");
+        assert_eq!(HwPrefetcherKind::Markov.label(), "HW-MARKOV");
+        assert_eq!(HwPrefetcherKind::Off.to_string(), "off");
+    }
+}

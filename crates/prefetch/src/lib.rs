@@ -32,12 +32,14 @@
 //!
 //! [`TraceEvent::Prefetch`]: charlie_trace::TraceEvent::Prefetch
 
+pub mod hw;
 mod insert;
 mod oracle;
 mod pws;
 pub mod rmw;
 mod strategy;
 
+pub use hw::{new_prefetcher, HwPrefetchConfig, HwPrefetcherKind, Prefetcher};
 pub use insert::{insert_prefetches, PrefetchMark};
 pub use oracle::oracle_miss_marks;
 pub use pws::pws_extra_marks;

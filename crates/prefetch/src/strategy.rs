@@ -123,4 +123,32 @@ mod tests {
     fn display_uses_name() {
         assert_eq!(Strategy::Pws.to_string(), "PWS");
     }
+
+    /// Exhibit ordering contract: `ALL` is `EXTENDED` minus the extension,
+    /// `PREFETCHING` is `ALL` minus the baseline, and every name round-trips
+    /// through the `EXTENDED` lookup the CLI and checkpoint decoder use.
+    /// Adding a strategy family must extend these arrays at the *end* — a
+    /// reorder would silently permute every rendered exhibit.
+    #[test]
+    fn strategy_constants_agree_and_names_round_trip() {
+        assert_eq!(Strategy::EXTENDED[..Strategy::ALL.len()], Strategy::ALL);
+        assert_eq!(Strategy::ALL[1..], Strategy::PREFETCHING);
+        assert_eq!(Strategy::ALL[0], Strategy::NoPrefetch);
+        assert_eq!(
+            *Strategy::EXTENDED.last().unwrap(),
+            Strategy::ExclRmw,
+            "the extension stays last"
+        );
+        for s in Strategy::EXTENDED {
+            let found = Strategy::EXTENDED
+                .into_iter()
+                .find(|c| c.name() == s.name())
+                .expect("every name resolves");
+            assert_eq!(found, s, "name {:?} resolves to its own variant", s.name());
+        }
+        let mut names: Vec<_> = Strategy::EXTENDED.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Strategy::EXTENDED.len(), "names are distinct");
+    }
 }

@@ -2,6 +2,7 @@
 
 use charlie_bus::BusConfig;
 use charlie_cache::CacheGeometry;
+use charlie_prefetch::HwPrefetchConfig;
 use charlie_trace::{Addr, BarrierId, LockId};
 use std::fmt;
 
@@ -67,6 +68,11 @@ pub struct SimConfig {
     pub victim_entries: usize,
     /// Coherence policy (the paper's machine is write-invalidate).
     pub protocol: Protocol,
+    /// On-line hardware prefetcher attached to each processor (see
+    /// `charlie_prefetch::hw`). [`HwPrefetchConfig::OFF`] — the default and
+    /// the paper's machine — takes the zero-cost path: behaviour and
+    /// reports are bit-identical to a build without the hooks.
+    pub hw_prefetch: HwPrefetchConfig,
     /// Watchdog: abort the run with [`SimError::BudgetExceeded`] once the
     /// scheduler has processed this many events. 0 (the default) disables
     /// the budget. The count is deterministic, so a budgeted re-run of the
@@ -116,6 +122,7 @@ impl SimConfig {
             warmup_accesses: 0,
             victim_entries: 0,
             protocol: Protocol::WriteInvalidate,
+            hw_prefetch: HwPrefetchConfig::OFF,
             snoop_filter: true,
             max_events: 0,
             wall_limit_ms: 0,

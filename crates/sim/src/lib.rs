@@ -68,7 +68,11 @@ pub use check::CoherenceViolation;
 pub use config::{Protocol, SimConfig, BARRIER_REGION_BASE, LOCK_REGION_BASE};
 pub use sharers::SharerTable;
 pub use error::SimError;
-pub use metrics::{LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, LATENCY_BUCKET_BOUNDS};
+pub use charlie_prefetch::{HwPrefetchConfig, HwPrefetcherKind};
+pub use metrics::{
+    HwPrefetchStats, LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport,
+    LATENCY_BUCKET_BOUNDS,
+};
 pub use sample::{
     Observability, SampleConfig, Timeline, TraceCategories, TraceEmitter, WindowSample,
 };
@@ -899,6 +903,102 @@ mod tests {
         let busy_sum: u64 = tl.windows.iter().map(|w| w.proc_busy_cycles).sum();
         let busy_final: u64 = observed.per_proc.iter().map(|p| p.busy_cycles).sum();
         assert_eq!(busy_sum, busy_final);
+    }
+
+    /// A disabled hardware prefetcher (kind Off, or any kind at degree 0) is
+    /// the zero-cost path: reports are bit-identical to the default config
+    /// and the hardware counters stay empty.
+    #[test]
+    fn hw_prefetch_off_is_bit_identical() {
+        let (n, t) = contended_mixed_trace(7);
+        let plain = simulate(&SimConfig::paper(n, 32), &t).unwrap();
+        assert!(plain.hw_prefetch.is_empty());
+        for off in [
+            HwPrefetchConfig::OFF,
+            HwPrefetchConfig { kind: HwPrefetcherKind::Stride, degree: 0, distance: 4 },
+            HwPrefetchConfig { kind: HwPrefetcherKind::Markov, degree: 0, distance: 0 },
+        ] {
+            let mut hcfg = SimConfig::paper(n, 32);
+            hcfg.hw_prefetch = off;
+            let r = simulate(&hcfg, &t).unwrap();
+            assert_eq!(plain, r, "disabled hw prefetcher must not perturb anything ({off})");
+        }
+    }
+
+    /// A stride prefetcher on a pure sequential stream covers most misses
+    /// and speeds the run up; the accuracy accounting stays exact.
+    #[test]
+    fn hw_stride_covers_sequential_stream() {
+        let mut b = TraceBuilder::new(1);
+        {
+            let mut p = b.proc(0);
+            for i in 0..200u64 {
+                p.work(20).read(Addr::new(0x10_0000 + i * 32));
+            }
+        }
+        let t = b.build();
+        let plain = simulate(&cfg(1), &t).unwrap();
+        assert_eq!(plain.miss.cpu_misses(), 200, "every line is cold without prefetching");
+
+        let mut hcfg = cfg(1);
+        hcfg.hw_prefetch = HwPrefetchConfig::stride(2, 4);
+        let r = simulate(&hcfg, &t).unwrap();
+        assert!(r.hw_prefetch.issued > 100, "the stream trains the stride table");
+        assert!(
+            r.hw_prefetch.covered() > r.hw_prefetch.issued / 2,
+            "most prefetches are demanded: {:?}",
+            r.hw_prefetch
+        );
+        assert_eq!(
+            r.hw_prefetch.useful + r.hw_prefetch.late + r.hw_prefetch.useless,
+            r.hw_prefetch.issued,
+            "every issued hardware prefetch is classified exactly once"
+        );
+        assert!(
+            r.miss.adjusted_cpu_misses() < plain.miss.cpu_misses() / 2,
+            "coverage must cut the adjusted miss count: {} vs {}",
+            r.miss.adjusted_cpu_misses(),
+            plain.miss.cpu_misses()
+        );
+        assert!(r.cycles < plain.cycles, "hidden latency shortens the run");
+    }
+
+    /// Every hardware prefetcher keeps both the accuracy identity and the
+    /// machine-wide bus-balance identity on contended multi-processor
+    /// workloads (which exercise invalidation and eviction of unused
+    /// hardware fills), with and without a warm-up window.
+    #[test]
+    fn hw_prefetchers_keep_accounting_identities() {
+        for kind in HwPrefetcherKind::ONLINE {
+            for seed in [0u64, 12, 17] {
+                let (n, t) = contended_mixed_trace(seed);
+                let mut hcfg = SimConfig::paper(n, 32);
+                hcfg.hw_prefetch =
+                    HwPrefetchConfig { kind, degree: 2, distance: 4 };
+                for warmup in [0u64, 40] {
+                    hcfg.warmup_accesses = warmup;
+                    let r = simulate(&hcfg, &t).unwrap();
+                    let h = r.hw_prefetch;
+                    assert_eq!(
+                        h.useful + h.late + h.useless,
+                        h.issued,
+                        "{kind:?} seed {seed} warmup {warmup}: classification must partition {h:?}"
+                    );
+                    // The bus-balance identity is exact only without a
+                    // warm-up window (fills issued before but granted after
+                    // the boundary smear the windowed counters).
+                    if warmup == 0 {
+                        assert_eq!(
+                            r.bus.reads + r.bus.read_exclusives,
+                            r.miss.adjusted_cpu_misses() + r.prefetch.fills + r.demand_refills,
+                            "{kind:?} seed {seed}: bus balance must hold"
+                        );
+                    }
+                    // Deterministic like everything else in the machine.
+                    assert_eq!(r, simulate(&hcfg, &t).unwrap());
+                }
+            }
+        }
     }
 }
 

@@ -28,7 +28,7 @@
 use crate::check::{self, CoherenceViolation};
 use crate::config::{Protocol, SimConfig};
 use crate::error::SimError;
-use crate::metrics::{MissBreakdown, PrefetchStats, SimReport};
+use crate::metrics::{HwPrefetchStats, MissBreakdown, PrefetchStats, SimReport};
 use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
 use crate::sample::{CounterSnapshot, Gauges, Observability, Sampler, Timeline, TraceEmitter};
 use crate::sharers::SharerTable;
@@ -36,6 +36,7 @@ use crate::sync::{BarrierState, LockTable};
 use charlie_bus::{Bus, GrantOutcome, Priority, TxnId};
 use charlie_cache::protocol::{self, BusOp, LocalAction};
 use charlie_cache::{CacheArray, Probe};
+use charlie_prefetch::{new_prefetcher, Prefetcher};
 use charlie_trace::{Access, LineAddr, ProcId, Trace, TraceEvent};
 use crate::wheel::EventWheel;
 use fxhash::FxHashSet;
@@ -97,6 +98,22 @@ struct Tallies {
     victim_hits: u64,
     fill_latency: crate::metrics::LatencyStats,
     prefetch: PrefetchStats,
+    hw: HwPrefetchStats,
+}
+
+/// On-line hardware-prefetcher state, present only when
+/// [`SimConfig::hw_prefetch`] is enabled. The disabled path costs a single
+/// `Option` branch at each hook site and changes no behaviour — reports stay
+/// bit-identical to a build without the hooks.
+struct HwState {
+    /// One predictor per processor (hardware sits beside each cache).
+    preds: Vec<Box<dyn Prefetcher>>,
+    /// Per processor: hardware-prefetched lines filled but not yet touched
+    /// by a demand access. A line leaves as `useful` (demand hit) or
+    /// `useless` (invalidated, evicted, or still here at end of run).
+    unused: Vec<FxHashSet<LineAddr>>,
+    /// Reusable prediction scratch buffer.
+    candidates: Vec<LineAddr>,
 }
 
 /// The complete simulated machine for one run.
@@ -128,6 +145,9 @@ pub(crate) struct Machine<'t> {
     /// demand use (so a later tag-mismatch miss can be classified
     /// "prefetched").
     ghosts: Vec<FxHashSet<LineAddr>>,
+    /// On-line hardware prefetchers; `None` (the default) is the zero-cost
+    /// disabled path.
+    hw: Option<HwState>,
     tallies: Tallies,
     done_count: usize,
     finish_time: u64,
@@ -208,6 +228,20 @@ impl<'t> Machine<'t> {
         let n = cfg.num_procs;
         let sampler = obs.sample.map(Sampler::new);
         let sample_next_at = sampler.as_ref().map_or(u64::MAX, Sampler::next_at);
+        let hw = if cfg.hw_prefetch.is_enabled() {
+            Some(HwState {
+                preds: (0..n)
+                    .map(|_| {
+                        new_prefetcher(cfg.hw_prefetch, cfg.geometry.block_bytes())
+                            .expect("enabled config yields a prefetcher")
+                    })
+                    .collect(),
+                unused: vec![FxHashSet::default(); n],
+                candidates: Vec::new(),
+            })
+        } else {
+            None
+        };
         Ok(Machine {
             cfg,
             trace,
@@ -229,6 +263,7 @@ impl<'t> Machine<'t> {
             snoop_filter: cfg.snoop_filter
                 && std::env::var_os("CHARLIE_NO_SNOOP_FILTER").is_none(),
             ghosts: vec![FxHashSet::default(); n],
+            hw,
             tallies: Tallies::default(),
             done_count: 0,
             finish_time: 0,
@@ -402,6 +437,30 @@ impl<'t> Machine<'t> {
     }
 
     fn into_report(mut self) -> (SimReport, Option<Timeline>) {
+        // Settle hardware-prefetch accounting so that
+        // `useful + late + useless == issued` holds in every report:
+        // still-unused fills end up useless, as do in-flight prefetches the
+        // bus already granted. One still *queued* at end of run never
+        // reached the bus — cancel its issue/fill charges instead, keeping
+        // the bus-balance identity (reads == misses + fills + refills)
+        // exact (bus operations are counted at grant time).
+        if let Some(hw) = self.hw.as_mut() {
+            for set in &mut hw.unused {
+                self.tallies.hw.useless += set.len() as u64;
+                set.clear();
+            }
+            for proc in &self.procs {
+                for slot in proc.outstanding.slots().filter(|s| s.hw) {
+                    if self.bus.is_queued(slot.txn) {
+                        self.tallies.prefetch.executed -= 1;
+                        self.tallies.prefetch.fills -= 1;
+                        self.tallies.hw.issued -= 1;
+                    } else {
+                        self.tallies.hw.useless += 1;
+                    }
+                }
+            }
+        }
         // Close the trailing partial window before reading final counters
         // (a no-op if the run ended exactly on a boundary).
         let timeline = if self.sampler.is_some() {
@@ -445,6 +504,7 @@ impl<'t> Machine<'t> {
             victim_hits: self.tallies.victim_hits,
             fill_latency: self.tallies.fill_latency,
             prefetch: self.tallies.prefetch,
+            hw_prefetch: self.tallies.hw,
             bus,
             per_proc: self.procs.into_iter().map(|p| p.stats).collect(),
         };
@@ -657,11 +717,99 @@ impl<'t> Machine<'t> {
         if let Some(tr) = &mut self.tracer {
             tr.prefetch_with(now, p, line, "executed", "outcome", "issued");
         }
-        self.procs[p].outstanding.insert(line, OutstandingPrefetch { txn, cpu_waiting: false });
+        self.procs[p]
+            .outstanding
+            .insert(line, OutstandingPrefetch { txn, cpu_waiting: false, hw: false });
         self.verify_prefetch_buffer(p);
         self.schedule_bus_check(now);
         self.procs[p].cursor += 1;
         Flow::Continue
+    }
+
+    // ---- on-line hardware prefetching -----------------------------------
+
+    /// Lets processor `p`'s hardware prefetcher observe a retiring demand
+    /// access (`was_miss`: it missed when first dispatched), then issues
+    /// whatever the predictor proposes. No-op when hardware prefetching is
+    /// off.
+    fn hw_observe(&mut self, p: usize, addr: charlie_trace::Addr, line: LineAddr, was_miss: bool) {
+        let Some(hw) = self.hw.as_mut() else { return };
+        let mut candidates = std::mem::take(&mut hw.candidates);
+        let trained = hw.preds[p].on_access(addr, line, was_miss, &mut candidates);
+        if trained {
+            self.tallies.hw.trained += 1;
+            if self.tracer.is_some() {
+                let t = self.procs[p].t;
+                if let Some(tr) = &mut self.tracer {
+                    tr.prefetch(t, p, line, "trained");
+                }
+            }
+        }
+        for i in 0..candidates.len() {
+            self.hw_issue(p, candidates[i]);
+        }
+        candidates.clear();
+        if let Some(hw) = self.hw.as_mut() {
+            hw.candidates = candidates;
+        }
+    }
+
+    /// Issues one hardware-predicted prefetch. Unlike the software path, a
+    /// hardware engine never stalls the processor: predictions that find the
+    /// buffer full, the line resident (main array or victim buffer), or a
+    /// prefetch already outstanding are silently dropped.
+    fn hw_issue(&mut self, p: usize, line: LineAddr) {
+        if self.procs[p].outstanding.len() >= self.cfg.prefetch_buffer_depth
+            || self.procs[p].outstanding.contains(line)
+            || self.caches[p].probe_line(line).is_hit()
+            || self.caches[p].probe_victim(line)
+        {
+            return;
+        }
+        // Hardware fills flow through the same prefetch counters as software
+        // fills, preserving the bus-balance identity
+        // (bus reads == misses + prefetch fills + demand refills).
+        self.tallies.prefetch.executed += 1;
+        self.tallies.prefetch.fills += 1;
+        self.tallies.hw.issued += 1;
+        let now = self.procs[p].t;
+        let priority = if self.cfg.prefetch_demand_priority {
+            Priority::Demand
+        } else {
+            Priority::Prefetch
+        };
+        let txn = self.bus.submit(now, ProcId(p as u8), line, BusOp::Read, priority);
+        self.register_txn(
+            txn,
+            TxnInfo {
+                issued_at: now,
+                action: TxnAction::PrefetchFill { proc: ProcId(p as u8), line, op: BusOp::Read },
+                word: 0,
+                others_have_copy: false,
+                aborted: false,
+            },
+        );
+        if let Some(tr) = &mut self.tracer {
+            tr.prefetch(now, p, line, "issued");
+        }
+        self.procs[p]
+            .outstanding
+            .insert(line, OutstandingPrefetch { txn, cpu_waiting: false, hw: true });
+        self.verify_prefetch_buffer(p);
+        self.schedule_bus_check(now);
+    }
+
+    /// A demand access touched `line` in processor `p`'s cache: if a
+    /// hardware prefetch brought it in and it had not been used yet, that
+    /// prefetch graduates to `useful`.
+    fn hw_note_useful(&mut self, p: usize, line: LineAddr, now: u64) {
+        let Some(hw) = self.hw.as_mut() else { return };
+        if hw.unused[p].remove(&line) {
+            self.tallies.hw.useful += 1;
+            if let Some(tr) = &mut self.tracer {
+                tr.prefetch(now, p, line, "useful");
+            }
+        }
     }
 
     /// Attempts to retire the pending access; blocks on misses/upgrades.
@@ -684,6 +832,9 @@ impl<'t> Machine<'t> {
                             }
                         }
                     }
+                    if self.hw.is_some() {
+                        self.hw_note_useful(p, line, now);
+                    }
                     let frame = self.caches[p].frame_mut(line, way);
                     if is_write {
                         frame.record_write_retire(word);
@@ -692,6 +843,12 @@ impl<'t> Machine<'t> {
                     }
                     self.charge_access_cycles(p);
                     self.count_access(p, is_write);
+                    // The predictor observes every retiring demand access
+                    // (`counted` records whether it originally missed) and
+                    // may issue prefetches for what it expects next.
+                    if self.hw.is_some() && matches!(pa.purpose, Purpose::Demand) {
+                        self.hw_observe(p, addr, line, pa.counted);
+                    }
                     self.retire_pending(p)
                 }
                 LocalAction::HitNeedsUpgrade => {
@@ -700,10 +857,16 @@ impl<'t> Machine<'t> {
                     // updated in the broadcast).
                     if pa.update_complete {
                         debug_assert_eq!(self.cfg.protocol, Protocol::WriteUpdate);
+                        if self.hw.is_some() {
+                            self.hw_note_useful(p, line, now);
+                        }
                         let frame = self.caches[p].frame_mut(line, way);
                         frame.record_access(word, charlie_cache::LineState::Shared);
                         self.charge_access_cycles(p);
                         self.count_access(p, is_write);
+                        if self.hw.is_some() && matches!(pa.purpose, Purpose::Demand) {
+                            self.hw_observe(p, addr, line, pa.counted);
+                        }
                         return self.retire_pending(p);
                     }
                     self.tallies.upgrades += 1;
@@ -739,8 +902,17 @@ impl<'t> Machine<'t> {
                 }
                 // Own prefetch in flight for this line?
                 if let Some(slot) = self.procs[p].outstanding.get_mut(line) {
+                    // A hardware prefetch the demand stream catches up with
+                    // was issued too late to hide the full latency.
+                    let hw_late = slot.hw && !slot.cpu_waiting;
                     slot.cpu_waiting = true;
                     let txn = slot.txn;
+                    if hw_late {
+                        self.tallies.hw.late += 1;
+                        if let Some(tr) = &mut self.tracer {
+                            tr.prefetch(now, p, line, "late");
+                        }
+                    }
                     if !pa.counted {
                         self.tallies.miss.prefetch_in_progress += 1;
                         self.procs[p].pending.as_mut().expect("pending").counted = true;
@@ -828,6 +1000,20 @@ impl<'t> Machine<'t> {
             proc.stats.stall_cycles = 0;
             proc.stats.accesses = 0;
             proc.stats.measured_from = now;
+        }
+        if let Some(hw) = self.hw.as_mut() {
+            // Hardware prefetches issued during warm-up must not classify
+            // inside the window (their `issued` count was just zeroed):
+            // forget unused fills and strip the hw flag off in-flight slots,
+            // keeping `useful + late + useless == issued` exact per window.
+            for set in &mut hw.unused {
+                set.clear();
+            }
+            for proc in &mut self.procs {
+                for slot in proc.outstanding.slots_mut() {
+                    slot.hw = false;
+                }
+            }
         }
     }
 
@@ -1163,6 +1349,17 @@ impl<'t> Machine<'t> {
                     tr.prefetch(now, q, line, "wasted_invalidated");
                 }
             }
+            if let Some(hw) = self.hw.as_mut() {
+                if hw.unused[q].remove(&line) {
+                    self.tallies.hw.useless += 1;
+                    if let Some(tr) = &mut self.tracer {
+                        tr.prefetch(now, q, line, "useless");
+                    }
+                }
+                // The predictor watches its cache lose lines (SMS untrains
+                // the bit; others ignore it).
+                hw.preds[q].on_invalidate(line);
+            }
             true
         } else {
             false
@@ -1196,6 +1393,13 @@ impl<'t> Machine<'t> {
                     tr.prefetch(now, p, line, "filled");
                 }
                 let slot = self.procs[p].outstanding.remove(line).expect("slot exists");
+                if slot.hw && !slot.cpu_waiting {
+                    // Landed ahead of demand: await its verdict (a `late`
+                    // prefetch was already classified when promoted).
+                    if let Some(hw) = self.hw.as_mut() {
+                        hw.unused[p].insert(line);
+                    }
+                }
                 if slot.cpu_waiting {
                     let woke = self.wake_if_waiting(now, p, id);
                     debug_assert!(woke, "in-progress waiter must still be stalled on the prefetch");
@@ -1309,6 +1513,14 @@ impl<'t> Machine<'t> {
             self.ghosts[p].insert(evicted.line);
             if let Some(tr) = &mut self.tracer {
                 tr.prefetch(now, p, evicted.line, "wasted_evicted");
+            }
+        }
+        if let Some(hw) = self.hw.as_mut() {
+            if hw.unused[p].remove(&evicted.line) {
+                self.tallies.hw.useless += 1;
+                if let Some(tr) = &mut self.tracer {
+                    tr.prefetch(now, p, evicted.line, "useless");
+                }
             }
         }
     }

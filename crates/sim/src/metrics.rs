@@ -213,6 +213,51 @@ pub struct PrefetchStats {
     pub buffer_stalls: u64,
 }
 
+/// On-line hardware-prefetcher accuracy counters (all zero unless
+/// `SimConfig::hw_prefetch` enables a predictor).
+///
+/// Every issued prefetch is eventually classified exactly once, so at
+/// report time `useful + late + useless == issued` — the invariant the
+/// property suite pins. `trained` counts predictor-table updates and is
+/// independent of the issue stream.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct HwPrefetchStats {
+    /// Predictor training-table updates (entry created or modified).
+    pub trained: u64,
+    /// Prefetches issued to the bus by the hardware prefetcher.
+    pub issued: u64,
+    /// Issued prefetches whose line served a demand access after filling.
+    pub useful: u64,
+    /// Issued prefetches a demand access caught still in flight (the
+    /// prefetch was correct but not timely; the access pays the residue).
+    pub late: u64,
+    /// Issued prefetches whose line was invalidated, replaced, or still
+    /// unused when the run (or measurement window) ended.
+    pub useless: u64,
+}
+
+impl HwPrefetchStats {
+    /// Fraction of issued prefetches that were useful or late — i.e.
+    /// predicted a line a demand access really wanted (0 when none issued).
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            (self.useful + self.late) as f64 / self.issued as f64
+        }
+    }
+
+    /// Issued prefetches that covered a would-be demand miss.
+    pub fn covered(&self) -> u64 {
+        self.useful + self.late
+    }
+
+    /// `true` when no counter ever moved (the disabled path).
+    pub fn is_empty(&self) -> bool {
+        *self == HwPrefetchStats::default()
+    }
+}
+
 /// Complete result of one simulation run.
 ///
 /// # Window semantics
@@ -262,8 +307,11 @@ pub struct SimReport {
     /// Distribution of demand-fill latencies (miss begin → data installed);
     /// 100 cycles unloaded, everything above is bus queueing.
     pub fill_latency: LatencyStats,
-    /// Prefetch machinery counters.
+    /// Prefetch machinery counters (software and hardware prefetches alike
+    /// share the buffers, so both populations land here).
     pub prefetch: PrefetchStats,
+    /// On-line hardware-prefetcher accuracy counters (zero when disabled).
+    pub hw_prefetch: HwPrefetchStats,
     /// Bus counters.
     pub bus: BusStats,
     /// Per-processor stats.
@@ -361,7 +409,18 @@ impl fmt::Display for SimReport {
             self.prefetch.fills,
             self.prefetch.wasted_evicted,
             self.prefetch.wasted_invalidated
-        )
+        )?;
+        // The hardware-prefetcher line only exists when the subsystem ran,
+        // so disabled-path output stays byte-identical to older builds.
+        if !self.hw_prefetch.is_empty() {
+            let h = &self.hw_prefetch;
+            write!(
+                f,
+                "\n  hw prefetch: trained {}, issued {} (useful {}, late {}, useless {}, accuracy {:.3})",
+                h.trained, h.issued, h.useful, h.late, h.useless, h.accuracy()
+            )?;
+        }
+        Ok(())
     }
 }
 

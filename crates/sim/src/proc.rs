@@ -74,6 +74,9 @@ pub(crate) struct OutstandingPrefetch {
     /// A demand access is stalled waiting for this prefetch
     /// (prefetch-in-progress miss).
     pub cpu_waiting: bool,
+    /// Issued by the on-line hardware prefetcher rather than a trace
+    /// prefetch instruction; drives the hardware accuracy accounting.
+    pub hw: bool,
 }
 
 /// The outstanding-prefetch window: line → slot, capacity enforced by the
@@ -113,6 +116,16 @@ impl PrefetchWindow {
     /// Occupied lines, in insertion order.
     pub(crate) fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.slots.iter().map(|(l, _)| *l)
+    }
+
+    /// Occupied slots, in insertion order.
+    pub(crate) fn slots(&self) -> impl Iterator<Item = &OutstandingPrefetch> + '_ {
+        self.slots.iter().map(|(_, s)| s)
+    }
+
+    /// Mutable view of the occupied slots, in insertion order.
+    pub(crate) fn slots_mut(&mut self) -> impl Iterator<Item = &mut OutstandingPrefetch> + '_ {
+        self.slots.iter_mut().map(|(_, s)| s)
     }
 }
 

@@ -1,0 +1,236 @@
+//! Pointer-chase workload: linked-list and binary-tree traversal over
+//! per-processor node pools with allocation churn.
+//!
+//! The paper's five applications are array-structured; their miss streams
+//! carry either spatial regularity (streams, grids) or temporal regularity
+//! (hot sets). Linked structures have neither: the address of the next node
+//! lives *in* the current node, so the miss stream follows the allocation
+//! order of the heap — exactly the access pattern the on-line hardware
+//! prefetchers in `charlie-prefetch::hw` disagree about. A stride prefetcher
+//! sees no stable delta; a Markov (correlation) prefetcher can replay the
+//! miss-successor pairs of earlier traversals.
+//!
+//! The generator models that structure without simulating a real allocator:
+//!
+//! * each processor owns a private **node pool** twice the cache size, so a
+//!   full traversal misses on most nodes every pass;
+//! * the **list order** is a deterministic shuffle of the pool (allocation
+//!   churn at program start scrambles the heap), and every node is *written*
+//!   (initialized) before anything reads it;
+//! * each pass walks the whole list reading the pointer word (and sometimes
+//!   a payload word), then descends a private binary **tree** a few times
+//!   (branchy pointer chasing: successors are data-dependent);
+//! * between passes a **churn** step reallocates a few nodes: the relinked
+//!   node and its predecessor are rewritten, and the traversal order changes
+//!   under the prefetcher's feet;
+//! * passes are separated by barriers (every processor emits the same
+//!   episode count), mirroring the phase structure of the mix workloads.
+
+use crate::mix::RegionMap;
+use crate::WorkloadConfig;
+use charlie_trace::{Addr, ProcTraceBuilder, Trace, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Line size every node is laid out for (one node per 32-byte line).
+const BLOCK: u64 = 32;
+/// Payload words per node (word 0 is the next pointer).
+const WORDS: u64 = BLOCK / 4;
+
+/// Nodes in the list pool: 2048 lines = 64 KB, twice the paper's cache, so
+/// steady-state traversals are capacity-miss streams.
+const LIST_NODES: usize = 2048;
+/// Nodes in the implicit binary tree: 1024 lines = one full cache.
+const TREE_NODES: usize = 1024;
+/// Root-to-leaf descents per pass.
+const TREE_DESCENTS: usize = 32;
+/// Nodes reallocated (relinked) between passes.
+const CHURN_PER_PASS: usize = 64;
+/// Offset of the list pool inside a processor's private region (disjoint
+/// from the mix generator's stream/conflict offsets).
+const LIST_OFFSET: u64 = 0x00C0_0000;
+/// Offset of the tree inside a processor's private region.
+const TREE_OFFSET: u64 = 0x00E0_0000;
+
+/// Per-processor generator state.
+struct ChaseGen {
+    rng: StdRng,
+    /// Current list order: `order[i]` is the node stored at list position
+    /// `i`; traversals visit positions in sequence, so the address stream is
+    /// the (churned) allocation order.
+    order: Vec<u32>,
+    refs_done: usize,
+}
+
+impl ChaseGen {
+    fn work(&mut self, proc: &mut ProcTraceBuilder<'_>) {
+        proc.work(self.rng.random_range(1..8u32));
+    }
+
+    fn read(&mut self, proc: &mut ProcTraceBuilder<'_>, addr: u64) {
+        proc.read(Addr::new(addr));
+        self.refs_done += 1;
+    }
+
+    fn write(&mut self, proc: &mut ProcTraceBuilder<'_>, addr: u64) {
+        proc.write(Addr::new(addr));
+        self.refs_done += 1;
+    }
+}
+
+fn list_addr(map: &RegionMap, p: usize, node: u32, word: u64) -> u64 {
+    map.private(p, LIST_OFFSET + u64::from(node) * BLOCK + word * 4)
+}
+
+fn tree_addr(map: &RegionMap, p: usize, node: u32, word: u64) -> u64 {
+    map.private(p, TREE_OFFSET + u64::from(node) * BLOCK + word * 4)
+}
+
+/// Generates the pointer-chase trace for `cfg`. Deterministic in the seed;
+/// every processor emits the same number of barrier episodes; all data stays
+/// inside the private regions far below the reserved sync space.
+pub fn generate_chase(cfg: &WorkloadConfig) -> Trace {
+    let map = RegionMap::default();
+    let mut builder = TraceBuilder::new(cfg.procs);
+
+    // Fixed per-run phase structure: the per-pass cost is deterministic
+    // enough to size the pass count from the reference budget, and a final
+    // budget-filling partial walk emits no barriers, so every processor's
+    // episode count is identical by construction.
+    let init_cost = LIST_NODES + TREE_NODES;
+    let pass_cost = LIST_NODES + TREE_DESCENTS * 10 + CHURN_PER_PASS * 2;
+    let passes = 1 + cfg.refs_per_proc.saturating_sub(init_cost) / pass_cost;
+
+    for p in 0..cfg.procs {
+        let mut st = ChaseGen {
+            rng: StdRng::seed_from_u64(
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1)),
+            ),
+            order: (0..LIST_NODES as u32).collect(),
+            refs_done: 0,
+        };
+        let mut proc = builder.proc(p);
+
+        // Allocation: Fisher–Yates churn of the heap order, then every node
+        // is initialized (written) in that order before any traversal reads
+        // it — the "no references before allocation" contract.
+        for i in (1..LIST_NODES).rev() {
+            let j = st.rng.random_range(0..(i + 1) as u64) as usize;
+            st.order.swap(i, j);
+        }
+        for i in 0..LIST_NODES {
+            let node = st.order[i];
+            st.work(&mut proc);
+            st.write(&mut proc, list_addr(&map, p, node, 0));
+        }
+        for node in 0..TREE_NODES as u32 {
+            st.work(&mut proc);
+            st.write(&mut proc, tree_addr(&map, p, node, 0));
+        }
+
+        for pass in 0..passes {
+            // List traversal: read each node's pointer word; sometimes a
+            // payload word of the same node.
+            for i in 0..LIST_NODES {
+                let node = st.order[i];
+                st.work(&mut proc);
+                st.read(&mut proc, list_addr(&map, p, node, 0));
+                if st.rng.random_range(0..100u32) < 25 {
+                    let word = st.rng.random_range(1..WORDS);
+                    st.read(&mut proc, list_addr(&map, p, node, word));
+                }
+            }
+            // Tree descents: root to a leaf, branch chosen per level.
+            for _ in 0..TREE_DESCENTS {
+                let mut node = 0u32;
+                while (node as usize) < TREE_NODES {
+                    st.work(&mut proc);
+                    st.read(&mut proc, tree_addr(&map, p, node, 0));
+                    node = 2 * node + 1 + st.rng.random_range(0..2u64) as u32;
+                }
+            }
+            // Churn: reallocate a few nodes — swap two list positions and
+            // rewrite the moved node and its predecessor (the relink).
+            for _ in 0..CHURN_PER_PASS {
+                let a = st.rng.random_range(1..LIST_NODES as u64) as usize;
+                let b = st.rng.random_range(1..LIST_NODES as u64) as usize;
+                st.order.swap(a, b);
+                st.work(&mut proc);
+                st.write(&mut proc, list_addr(&map, p, st.order[a], 0));
+                st.write(&mut proc, list_addr(&map, p, st.order[a - 1], 0));
+            }
+            proc.barrier(pass as u32);
+        }
+
+        // Fill any remaining budget with a barrier-free partial walk.
+        let mut i = 0usize;
+        while st.refs_done < cfg.refs_per_proc {
+            let node = st.order[i % LIST_NODES];
+            st.work(&mut proc);
+            st.read(&mut proc, list_addr(&map, p, node, 0));
+            i += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn tiny() -> WorkloadConfig {
+        WorkloadConfig { refs_per_proc: 8_000, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn chase_meets_budget_and_validates() {
+        let t = generate_chase(&tiny());
+        assert!(t.validate().is_ok());
+        for (_, s) in t.iter() {
+            assert!(s.num_accesses() >= 8_000);
+        }
+    }
+
+    #[test]
+    fn chase_is_deterministic_and_seed_sensitive() {
+        assert_eq!(generate_chase(&tiny()), generate_chase(&tiny()));
+        let other = WorkloadConfig { seed: 1, ..tiny() };
+        assert_ne!(generate_chase(&tiny()), generate_chase(&other));
+    }
+
+    #[test]
+    fn every_node_written_before_first_read() {
+        let t = generate_chase(&tiny());
+        for (_, s) in t.iter() {
+            let mut allocated = HashSet::new();
+            for a in s.accesses() {
+                let line = a.addr.line(BLOCK);
+                if a.kind.is_write() {
+                    allocated.insert(line);
+                } else {
+                    assert!(allocated.contains(&line), "read of unallocated node {line:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn list_order_is_not_sequential() {
+        // The churned allocation order must not degenerate into the
+        // stride-friendly sequential walk it is supposed to avoid.
+        let t = generate_chase(&tiny());
+        let s = t.proc(0);
+        let reads: Vec<i64> =
+            s.accesses().filter(|a| !a.kind.is_write()).map(|a| a.addr.raw() as i64).collect();
+        let sequential = reads
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).unsigned_abs() == BLOCK)
+            .count();
+        assert!(
+            sequential < reads.len() / 4,
+            "{sequential}/{} consecutive-line read pairs — too sequential",
+            reads.len()
+        );
+    }
+}

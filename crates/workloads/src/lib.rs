@@ -35,6 +35,7 @@
 //! assert!(trace.validate().is_ok());
 //! ```
 
+mod chase;
 mod locusroute;
 mod mix;
 mod mp3d;
@@ -78,12 +79,28 @@ pub enum Workload {
     /// Liquid-water molecular dynamics: small working set, low miss rate,
     /// mostly private data.
     Water,
+    /// Linked-list and tree traversal with node-allocation churn. Not one of
+    /// the paper's applications: a stress workload for the on-line hardware
+    /// prefetchers, whose miss stream has no spatial regularity.
+    PointerChase,
 }
 
 impl Workload {
-    /// All five workloads, in the paper's reporting order.
+    /// All five workloads, in the paper's reporting order. The paper-grid
+    /// exhibits iterate this set, so it deliberately excludes the
+    /// post-paper [`Workload::PointerChase`].
     pub const ALL: [Workload; 5] =
         [Workload::Topopt, Workload::Mp3d, Workload::LocusRoute, Workload::Pverify, Workload::Water];
+
+    /// The paper's five workloads plus the pointer-chase stress workload.
+    pub const EXTENDED: [Workload; 6] = [
+        Workload::Topopt,
+        Workload::Mp3d,
+        Workload::LocusRoute,
+        Workload::Pverify,
+        Workload::Water,
+        Workload::PointerChase,
+    ];
 
     /// The paper's name for the program.
     pub fn name(self) -> &'static str {
@@ -93,6 +110,7 @@ impl Workload {
             Workload::LocusRoute => "LocusRoute",
             Workload::Mp3d => "Mp3d",
             Workload::Water => "Water",
+            Workload::PointerChase => "PointerChase",
         }
     }
 
@@ -104,6 +122,7 @@ impl Workload {
             Workload::LocusRoute => "commercial-quality VLSI standard cell router",
             Workload::Mp3d => "particle flow at extremely low density",
             Workload::Water => "forces and potentials in liquid water molecules",
+            Workload::PointerChase => "linked-list and tree traversal with allocation churn",
         }
     }
 
@@ -115,6 +134,12 @@ impl Workload {
     }
 
     /// Generator parameters for the given layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Workload::PointerChase`], which is generated by a
+    /// dedicated linked-structure generator rather than the statistical mix
+    /// and has no [`MixParams`].
     pub fn params(self, layout: Layout) -> MixParams {
         match self {
             Workload::Topopt => topopt::params(layout),
@@ -122,6 +147,9 @@ impl Workload {
             Workload::LocusRoute => locusroute::params(layout),
             Workload::Mp3d => mp3d::params(layout),
             Workload::Water => water::params(layout),
+            Workload::PointerChase => {
+                panic!("PointerChase uses the linked-structure generator, not the mix")
+            }
         }
     }
 }
@@ -164,7 +192,10 @@ impl Default for WorkloadConfig {
 /// Panics if `cfg.procs` is 0 or greater than 64.
 pub fn generate(workload: Workload, cfg: &WorkloadConfig) -> Trace {
     assert!(cfg.procs > 0 && cfg.procs <= 64, "procs must be in 1..=64");
-    mix::generate_mix(&workload.params(cfg.layout), cfg)
+    match workload {
+        Workload::PointerChase => chase::generate_chase(cfg),
+        _ => mix::generate_mix(&workload.params(cfg.layout), cfg),
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +303,132 @@ mod tests {
         assert!(!Workload::Mp3d.restructurable());
         assert!(!Workload::Water.restructurable());
         assert!(!Workload::LocusRoute.restructurable());
+        assert!(!Workload::PointerChase.restructurable());
+    }
+
+    #[test]
+    fn extended_is_all_plus_pointer_chase() {
+        assert_eq!(Workload::EXTENDED[..Workload::ALL.len()], Workload::ALL);
+        assert_eq!(Workload::EXTENDED[Workload::ALL.len()], Workload::PointerChase);
+        assert!(!Workload::ALL.contains(&Workload::PointerChase), "paper grid stays 5 workloads");
+        assert!(!Workload::PointerChase.name().is_empty());
+        assert!(!Workload::PointerChase.description().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "linked-structure generator")]
+    fn pointer_chase_has_no_mix_params() {
+        let _ = Workload::PointerChase.params(Layout::Interleaved);
+    }
+
+    #[test]
+    fn pointer_chase_generates_valid_trace() {
+        let t = small(Workload::PointerChase);
+        assert_eq!(t.num_procs(), 8);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.total_prefetches(), 0);
+        for (_, s) in t.iter() {
+            assert!(s.num_accesses() >= 4_000);
+            for a in s.accesses() {
+                assert!(a.addr.raw() < 0xF000_0000, "{} in reserved region", a.addr);
+            }
+        }
+    }
+
+    /// FNV-1a over a stable byte encoding of every event. Any change to the
+    /// pointer-chase generator — constants, RNG draws, emission order —
+    /// shows up here; the reference digest below is the checked-in golden
+    /// output for the default seed.
+    fn trace_digest(t: &Trace) -> u64 {
+        use charlie_trace::TraceEvent;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (pid, s) in t.iter() {
+            eat(&[0xff, pid.0]);
+            for ev in s.events() {
+                match ev {
+                    TraceEvent::Work(n) => {
+                        eat(&[1]);
+                        eat(&n.to_le_bytes());
+                    }
+                    TraceEvent::Access(a) => {
+                        eat(&[if a.kind.is_write() { 3 } else { 2 }]);
+                        eat(&a.addr.raw().to_le_bytes());
+                    }
+                    TraceEvent::Prefetch { addr, exclusive } => {
+                        eat(&[4, u8::from(*exclusive)]);
+                        eat(&addr.raw().to_le_bytes());
+                    }
+                    TraceEvent::LockAcquire(id) => {
+                        eat(&[5]);
+                        eat(&id.0.to_le_bytes());
+                    }
+                    TraceEvent::LockRelease(id) => {
+                        eat(&[6]);
+                        eat(&id.0.to_le_bytes());
+                    }
+                    TraceEvent::Barrier(id) => {
+                        eat(&[7]);
+                        eat(&id.0.to_le_bytes());
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn pointer_chase_matches_golden_digest() {
+        let cfg = WorkloadConfig { refs_per_proc: 8_000, ..WorkloadConfig::default() };
+        let digest = trace_digest(&generate(Workload::PointerChase, &cfg));
+        assert_eq!(
+            digest, 0xb01c_83a6_1709_c376,
+            "pointer-chase output changed (digest {digest:#018x}); if intended, update the golden"
+        );
+    }
+
+    mod chase_props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// Pointer-chase traces are well-formed for arbitrary seeds and
+            /// sizes: they validate (PIDs and barrier episodes in order),
+            /// all addresses are word-aligned and outside the reserved sync
+            /// region, every processor meets its reference budget, and no
+            /// node line is read before its allocating write.
+            #[test]
+            fn chase_traces_are_well_formed(
+                seed in 0u64..u64::MAX,
+                procs in 1usize..=8,
+                refs in 1_000usize..6_000,
+            ) {
+                let cfg = WorkloadConfig { procs, refs_per_proc: refs, seed, ..WorkloadConfig::default() };
+                let t = generate(Workload::PointerChase, &cfg);
+                prop_assert_eq!(t.num_procs(), procs);
+                prop_assert!(t.validate().is_ok());
+                for (_, s) in t.iter() {
+                    prop_assert!(s.num_accesses() >= refs);
+                    let mut allocated = HashSet::new();
+                    for a in s.accesses() {
+                        prop_assert_eq!(a.addr.raw() % 4, 0, "unaligned {}", a.addr);
+                        prop_assert!(a.addr.raw() < 0xF000_0000, "{} in reserved region", a.addr);
+                        let line = a.addr.line(32);
+                        if a.kind.is_write() {
+                            allocated.insert(line);
+                        } else {
+                            prop_assert!(allocated.contains(&line), "read before allocation");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

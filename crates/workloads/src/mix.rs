@@ -60,7 +60,8 @@ impl Default for RegionMap {
 }
 
 impl RegionMap {
-    fn private(&self, proc: usize, offset: u64) -> u64 {
+    /// Byte address `offset` inside processor `proc`'s private region.
+    pub(crate) fn private(&self, proc: usize, offset: u64) -> u64 {
         self.private_base + proc as u64 * self.private_stride + offset
     }
 }

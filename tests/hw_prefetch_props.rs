@@ -1,0 +1,166 @@
+//! Property and contract tests for the on-line hardware prefetchers
+//! (`charlie::prefetch::hw`) as driven by the full machine.
+//!
+//! The three families (stride RPT, SMS footprints, Markov correlation) run
+//! *inside* the simulator — issuing real bus transactions into the prefetch
+//! buffers — so their guarantees are stated against whole-machine runs:
+//!
+//! * every issued prefetch is classified exactly once
+//!   (`useful + late + useless == issued`),
+//! * the coherence invariant checker stays silent under random
+//!   multiprocessor interleavings,
+//! * the stride prefetcher covers a pure-stride stream,
+//! * the Markov prefetcher beats the stride prefetcher on pointer chasing
+//!   (the one workload where strides carry no information).
+
+use charlie::sim::{simulate, HwPrefetchConfig, HwPrefetcherKind, SimConfig};
+use charlie::trace::{Addr, Trace, TraceBuilder};
+use charlie::workloads::{generate, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+fn checked_cfg(procs: usize, hw: HwPrefetchConfig) -> SimConfig {
+    let mut cfg = SimConfig::paper(procs, 8);
+    cfg.check_invariants = true; // run sim::check even in release builds
+    cfg.hw_prefetch = hw;
+    cfg
+}
+
+/// A random 3-processor trace mixing private streams with a contended
+/// shared region (reads and writes), so hardware prefetches get invalidated
+/// and evicted, not just consumed. Work amounts vary per access, which
+/// varies the bus interleaving across cases.
+fn arb_contended_trace() -> impl proptest::strategy::Strategy<Value = Trace> {
+    let per_proc = proptest::collection::vec(
+        // (work, write, shared, line, word)
+        (1u32..60, any::<bool>(), any::<bool>(), 0u64..96, 0u64..8),
+        20..120,
+    );
+    proptest::collection::vec(per_proc, 3..=3).prop_map(|streams| {
+        let mut b = TraceBuilder::new(streams.len());
+        for (p, stream) in streams.iter().enumerate() {
+            let mut pb = b.proc(p);
+            for &(work, write, shared, line, word) in stream {
+                pb.work(work);
+                let base = if shared { 0x8000 } else { 0x40_0000 + (p as u64) * 0x10_0000 };
+                let addr = Addr::new(base + line * 32 + word * 4);
+                if write {
+                    pb.write(addr);
+                } else {
+                    pb.read(addr);
+                }
+            }
+            // A closing barrier forces every processor to drain, exercising
+            // the end-of-run settlement of still-queued hardware prefetches.
+            pb.barrier(0);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every hardware prefetcher keeps the classification partition
+    /// (`useful + late + useless == issued`) and never trips the coherence
+    /// invariant checker, across random contended interleavings.
+    #[test]
+    fn classification_partitions_and_no_violations(trace in arb_contended_trace()) {
+        for kind in HwPrefetcherKind::ONLINE {
+            let hw = HwPrefetchConfig { kind, degree: 2, distance: 4 };
+            let r = simulate(&checked_cfg(3, hw), &trace)
+                .expect("checked run must be violation-free");
+            let h = r.hw_prefetch;
+            prop_assert_eq!(
+                h.useful + h.late + h.useless,
+                h.issued,
+                "{:?}: every issued prefetch classified exactly once: {:?}",
+                kind,
+                h
+            );
+            // Deterministic: the same trace re-simulates identically.
+            prop_assert_eq!(&r, &simulate(&checked_cfg(3, hw), &trace).unwrap());
+        }
+    }
+
+    /// A disabled prefetcher — kind Off or any kind at degree 0 — is
+    /// bit-identical to the default machine on random traces (the unit-level
+    /// statement of the full-grid differential guarantee in `ci.sh`).
+    #[test]
+    fn degree_zero_is_bit_identical_to_off(trace in arb_contended_trace()) {
+        let plain = simulate(&checked_cfg(3, HwPrefetchConfig::OFF), &trace).unwrap();
+        prop_assert!(plain.hw_prefetch.is_empty());
+        for kind in HwPrefetcherKind::ONLINE {
+            let hw = HwPrefetchConfig { kind, degree: 0, distance: 4 };
+            let r = simulate(&checked_cfg(3, hw), &trace).unwrap();
+            prop_assert_eq!(&plain, &r, "{:?} at degree 0 must be the zero-cost path", kind);
+        }
+    }
+}
+
+/// On a pure-stride stream the RPT locks on almost immediately: at least
+/// 90% of the would-be demand misses are covered by a hardware prefetch
+/// (useful or late), and the adjusted miss count collapses.
+#[test]
+fn stride_covers_pure_stride_stream() {
+    let mut b = TraceBuilder::new(1);
+    {
+        let mut p = b.proc(0);
+        for i in 0..400u64 {
+            p.work(20).read(Addr::new(0x10_0000 + i * 32));
+        }
+    }
+    let t = b.build();
+
+    let plain = simulate(&checked_cfg(1, HwPrefetchConfig::OFF), &t).unwrap();
+    assert_eq!(plain.miss.cpu_misses(), 400, "every line is cold without prefetching");
+
+    let r = simulate(&checked_cfg(1, HwPrefetchConfig::stride(2, 4)), &t).unwrap();
+    let h = r.hw_prefetch;
+    let coverage = h.covered() as f64 / plain.miss.cpu_misses() as f64;
+    assert!(
+        coverage >= 0.90,
+        "stride must cover >=90% of a pure-stride miss stream, got {:.1}% ({h:?})",
+        100.0 * coverage
+    );
+    assert_eq!(h.useful + h.late + h.useless, h.issued);
+    assert!(
+        r.miss.adjusted_cpu_misses() <= plain.miss.cpu_misses() / 10,
+        "coverage must collapse the adjusted miss count: {} vs {}",
+        r.miss.adjusted_cpu_misses(),
+        plain.miss.cpu_misses()
+    );
+}
+
+/// On the pointer-chase workload the stride prefetcher is nearly blind
+/// (shuffled node order defeats stride prediction) while the Markov
+/// correlation predictor learns the chase in one pass and replays it:
+/// more useful prefetches, fewer residual demand misses, a shorter run.
+#[test]
+fn markov_beats_stride_on_pointer_chase() {
+    let wcfg = WorkloadConfig { procs: 4, refs_per_proc: 16_000, seed: 42, ..Default::default() };
+    let trace = generate(Workload::PointerChase, &wcfg);
+
+    let stride =
+        simulate(&checked_cfg(4, HwPrefetchConfig::stride(2, 4)), &trace).unwrap();
+    let markov = simulate(&checked_cfg(4, HwPrefetchConfig::markov(2)), &trace).unwrap();
+
+    let (hs, hm) = (stride.hw_prefetch, markov.hw_prefetch);
+    assert!(hm.issued > 0, "markov must fire on a repeated chase: {hm:?}");
+    assert!(
+        hm.useful > 10 * hs.useful.max(1),
+        "markov must find an order of magnitude more useful prefetches \
+         (markov {hm:?} vs stride {hs:?})"
+    );
+    assert!(
+        markov.miss.adjusted_cpu_misses() < stride.miss.adjusted_cpu_misses(),
+        "markov must leave fewer residual misses ({} vs {})",
+        markov.miss.adjusted_cpu_misses(),
+        stride.miss.adjusted_cpu_misses()
+    );
+    assert!(
+        markov.cycles < stride.cycles,
+        "markov must finish the chase sooner ({} vs {})",
+        markov.cycles,
+        stride.cycles
+    );
+}
