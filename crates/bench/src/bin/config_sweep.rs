@@ -15,113 +15,15 @@
 //! sweep/workload/knob) and skip already-journaled cells on a re-run.
 
 use charlie::cache::CacheGeometry;
-use charlie::checkpoint::{
-    decode_journal_header, decode_keyed_report, encode_journal_header, encode_keyed_report,
-    frame_line, unframe_line,
-};
+use charlie::checkpoint::KeyedJournal;
 use charlie::prefetch::HwPrefetchConfig;
 use charlie::sim::SimReport;
-use charlie::{chaos, parallel, Experiment, Lab, RunConfig, Strategy, Table, Workload};
-use std::collections::HashMap;
-use std::io::{Read as _, Write as _};
-use std::path::Path;
+use charlie::{parallel, Experiment, Lab, RunConfig, Strategy, Table, Workload};
 
 /// Simulates one NP cell under a private geometry and returns its report.
 fn np_cell(base_cfg: &RunConfig, w: Workload, geometry: CacheGeometry) -> SimReport {
     let mut lab = Lab::new(RunConfig { geometry, ..*base_cfg });
     lab.run(Experiment::paper(w, Strategy::NoPrefetch, 8)).report.clone()
-}
-
-/// Keyed checkpoint journal for cells whose knobs live outside
-/// [`Experiment`]: `{done, file}` where `done` maps cell keys to restored
-/// reports and `file` is the append handle for new completions.
-struct KeyedJournal {
-    done: HashMap<String, SimReport>,
-    file: chaos::ChaosWriter<std::fs::File>,
-}
-
-impl KeyedJournal {
-    /// Opens the keyed journal, sharing the checkpoint line framing
-    /// (CRC32 frame per line, version/config header first): torn tails and
-    /// CRC-failed lines are dropped with a warning and compacted away; a
-    /// version or config-key mismatch refuses to resume.
-    fn open(path: &Path, config: &str) -> KeyedJournal {
-        fn bail(path: &Path, msg: impl std::fmt::Display) -> ! {
-            eprintln!("error: checkpoint {}: {msg}", path.display());
-            std::process::exit(2);
-        }
-        let mut content = String::new();
-        match std::fs::File::open(path) {
-            Ok(mut f) => {
-                if let Err(e) = f.read_to_string(&mut content) {
-                    bail(path, e);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => bail(path, e),
-        }
-        // A trailing line without '\n' is a kill mid-write: drop it (that
-        // cell re-runs). A complete line failing its CRC is corruption:
-        // drop it too, with a distinct warning.
-        let complete_len = content.rfind('\n').map_or(0, |i| i + 1);
-        let mut damaged = complete_len < content.len();
-        let lines: Vec<&str> =
-            content[..complete_len].lines().filter(|l| !l.trim().is_empty()).collect();
-        let mut done = HashMap::new();
-        let mut survivors: Vec<&str> = Vec::new();
-        if let Some((&first, records)) = lines.split_first() {
-            match unframe_line(first).map_err(|e| e.to_string()).and_then(|json| {
-                decode_journal_header(json)
-            }) {
-                Ok((_version, found)) if found == config => {}
-                Ok((_version, found)) => bail(path, format!(
-                    "journal was written for config {found:?} but this sweep is {config:?}; \
-                     refusing to resume — delete the checkpoint or point it elsewhere"
-                )),
-                Err(e) => bail(path, format!("bad journal header ({e})")),
-            }
-            for (i, &line) in records.iter().enumerate() {
-                match unframe_line(line).and_then(decode_keyed_report) {
-                    Ok((key, report)) => {
-                        done.insert(key, report);
-                        survivors.push(line);
-                    }
-                    Err(e) => {
-                        damaged = true;
-                        eprintln!(
-                            "warning: checkpoint {}:{}: dropping corrupt line ({e}); \
-                             that cell re-runs",
-                            path.display(),
-                            i + 2
-                        );
-                    }
-                }
-            }
-        }
-        // Compact damage away (and stamp the header on a fresh journal)
-        // before appending, so the file never grafts onto torn bytes.
-        if damaged || lines.is_empty() {
-            let mut out = encode_journal_header(config);
-            for line in &survivors {
-                out.push_str(line);
-                out.push('\n');
-            }
-            if let Err(e) = chaos::write_atomic(path, out.as_bytes(), "journal") {
-                bail(path, e);
-            }
-        }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .unwrap_or_else(|e| bail(path, e));
-        KeyedJournal { done, file: chaos::ChaosWriter::new(file, "journal") }
-    }
-
-    fn append(&mut self, key: &str, report: &SimReport) {
-        let line = frame_line(&encode_keyed_report(key, report));
-        let _ = self.file.write_all(line.as_bytes()).and_then(|()| self.file.flush());
-    }
 }
 
 /// Runs every cell not already in the journal, appending each completion
@@ -136,7 +38,7 @@ fn sweep_cells(
     let keys: Vec<String> = cells.iter().map(|&(w, knob)| key(w, knob)).collect();
     let mut slots: Vec<Option<SimReport>> = keys
         .iter()
-        .map(|k| journal.as_ref().and_then(|j| j.done.get(k).cloned()))
+        .map(|k| journal.as_ref().and_then(|j| j.done().get(k).cloned()))
         .collect();
     let todo: Vec<usize> =
         (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
@@ -176,11 +78,15 @@ fn main() {
         "config_sweep/p{}/r{}/s{:#x}{hw}",
         base_cfg.procs, base_cfg.refs_per_proc, base_cfg.seed
     );
-    let mut journal =
-        charlie_bench::checkpoint_from_env().map(|path| KeyedJournal::open(&path, &config));
+    let mut journal = charlie_bench::checkpoint_from_env().map(|path| {
+        KeyedJournal::open(&path, &config).unwrap_or_else(|e| {
+            eprintln!("error: opening checkpoint {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
     if let Some(j) = &journal {
-        if !j.done.is_empty() {
-            eprintln!("resuming: {} cells restored from checkpoint", j.done.len());
+        if !j.done().is_empty() {
+            eprintln!("resuming: {} cells restored from checkpoint", j.done().len());
         }
     }
 

@@ -28,7 +28,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Known boolean switches (flags that take no value).
-const SWITCHES: &[&str] = &["json", "csv", "help", "check", "quick"];
+const SWITCHES: &[&str] = &["json", "csv", "help", "check", "quick", "stats", "ping", "shutdown"];
 
 impl Args {
     /// Parses a raw token stream (without the program name).

@@ -646,11 +646,12 @@ pub fn chaos<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     let ckpt = scratch.join("chaos.ckpt");
     let journaled = captured_sweep(&base, Some(&ckpt))?;
     check(journaled == reference, "journaled sweep output differs from reference");
-    let journal_bytes =
-        std::fs::read(&ckpt).map_err(|e| ArgsError(format!("{}: {e}", ckpt.display())))?;
+    let journal_bytes = std::fs::read(&ckpt)
+        .map_err(|e| ArgsError(format!("reading journal {}: {e}", ckpt.display())))?;
     let resumed = captured_sweep(&base, Some(&ckpt))?;
     check(resumed == reference, "fully-resumed sweep output differs from reference");
-    let after = std::fs::read(&ckpt).map_err(|e| ArgsError(format!("{}: {e}", ckpt.display())))?;
+    let after = std::fs::read(&ckpt)
+        .map_err(|e| ArgsError(format!("reading journal {}: {e}", ckpt.display())))?;
     check(after == journal_bytes, "fully-resumed sweep rewrote the journal");
     let _ = writeln!(
         out,
@@ -678,7 +679,7 @@ pub fn chaos<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     for &k in &offsets {
         let path = scratch.join(format!("crash-{k}.ckpt"));
         std::fs::write(&path, &journal_bytes[..k])
-            .map_err(|e| ArgsError(format!("{}: {e}", path.display())))?;
+            .map_err(|e| ArgsError(format!("writing truncated journal {}: {e}", path.display())))?;
         let output = captured_sweep(&base, Some(&path))?;
         if output == reference {
             matrix_ok += 1;
@@ -743,7 +744,7 @@ pub fn chaos<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     check(!bench_path.exists(), "crashed bench snapshot must not appear at its final path");
     bench(&Args::parse(bench_tokens)?, &mut Vec::new())?;
     let snapshot = std::fs::read_to_string(&bench_path)
-        .map_err(|e| ArgsError(format!("{}: {e}", bench_path.display())))?;
+        .map_err(|e| ArgsError(format!("reading bench snapshot {}: {e}", bench_path.display())))?;
     check(
         snapshot.trim_start().starts_with('{') && snapshot.trim_end().ends_with('}'),
         "healthy bench snapshot must be complete JSON",

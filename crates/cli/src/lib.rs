@@ -6,6 +6,7 @@
 pub mod args;
 pub mod commands;
 pub mod json;
+pub mod serve;
 
 use args::{Args, ArgsError};
 use std::io::Write;
@@ -102,6 +103,42 @@ COMMANDS:
                                     kept on failure for forensics)
                    [--workload … --refs N --procs N --seed N --layout …
                     --jobs N]
+  serve          run the always-on simulation daemon: accepts submitted
+                 campaigns over TCP (newline-delimited JSON; also a minimal
+                 HTTP shim: GET /stats, POST /submit), admission-controls
+                 them against a bounded queue (sheds with a structured
+                 retryable reply and HTTP 429 + Retry-After), coalesces
+                 concurrent duplicate cells onto one simulation, and
+                 journals every campaign so a killed daemon resumes
+                 exactly-once per cell on restart. SIGTERM (or --shutdown)
+                 drains: in-flight cells finish and journal, queued cells
+                 are handed back with a resumable campaign token.
+                   --addr HOST:PORT  listen address (default 127.0.0.1:7077;
+                                     port 0 picks a free port and prints it)
+                   --queue N         campaigns admitted concurrently before
+                                     shedding (default 8)
+                   --deadline-ms N   default per-request wall-clock deadline
+                                     (0 = none; requests may override)
+                   --jobs N          simulation worker threads (0 = cores)
+                   --state-dir DIR   campaign journals (default
+                                     charlie-serve-state)
+                   --stats / --ping / --shutdown
+                                     query or drain a running daemon at
+                                     --addr instead of starting one
+  submit         submit a campaign to a running daemon and render the
+                 streamed cells exactly as the local commands would
+                   --grid paper      the full paper grid; stdout is
+                                     byte-identical to all_experiments
+                   --workload NAME   the Figure-2 sweep grid for NAME;
+                                     stdout is byte-identical to `charlie
+                                     sweep` (honors --layout and --json)
+                   --deadline-ms N   per-request wall-clock deadline; on
+                                     expiry the daemon answers
+                                     WallClockExceeded with progress
+                                     counters and keeps simulating for the
+                                     cache
+                   [--addr HOST:PORT --procs N --refs N --seed N
+                    --layout … --hw-prefetch … --json]
   help           print this text
 
 OPTIONS:
@@ -124,6 +161,10 @@ ENVIRONMENT:
   experiments; kinds: short, torn, enospc, eio, bitflip, crash.
   CHARLIE_JOURNAL_SYNC=1 makes checkpoint-journal appends fsync (default:
   flush-only; see DESIGN.md \"Chaos testing & durability\").
+  CHARLIE_SERVE_ADDR / CHARLIE_SERVE_QUEUE / CHARLIE_SERVE_DEADLINE_MS set
+  the serve daemon's listen address, admission-queue capacity, and default
+  per-request deadline (flags override; see DESIGN.md \"Service
+  architecture\").
 ";
 
 /// Runs the CLI on `argv` (without the program name), writing to `out`.
@@ -150,6 +191,8 @@ pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
         Some("experiments") => commands::experiments(&parsed, out),
         Some("bench") => commands::bench(&parsed, out),
         Some("chaos") => commands::chaos(&parsed, out),
+        Some("serve") => serve::serve(&parsed, out),
+        Some("submit") => serve::submit(&parsed, out),
         Some(other) => Err(ArgsError(format!("unknown command {other:?}; try `charlie help`"))),
         None => {
             let _ = write!(out, "{HELP}");

@@ -1,0 +1,284 @@
+//! `charlie serve` (the daemon and its control plane) and `charlie submit`
+//! (a campaign client that renders daemon-streamed cells exactly like the
+//! local batch commands would).
+//!
+//! `submit --grid paper` reproduces the stdout of the `all_experiments`
+//! binary byte-for-byte, and `submit --workload W` that of `charlie sweep`:
+//! the daemon streams journal-format summaries, the client restores them
+//! into a [`Lab`] memo, and the exhibits render from that memo — the same
+//! code path as a local run, fed from the wire instead of the simulator.
+
+use crate::args::{Args, ArgsError};
+use charlie::bus::BusConfig;
+use charlie::prefetch::{HwPrefetchConfig, Strategy};
+use charlie::workloads::Layout;
+use charlie::{experiments as exhibits, Experiment, Lab, RunConfig};
+use charlie_serve::{client, ServeConfig, Server};
+use std::io::Write;
+
+fn addr_from(args: &Args, cfg: &ServeConfig) -> String {
+    args.get("addr").map(str::to_owned).unwrap_or_else(|| cfg.addr.clone())
+}
+
+/// `charlie serve`.
+pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "addr", "queue", "deadline-ms", "jobs", "state-dir", "stats", "ping", "shutdown",
+    ])?;
+    let mut cfg = ServeConfig::from_env();
+    cfg.addr = addr_from(args, &cfg);
+    cfg.queue = args.get_or("queue", cfg.queue)?;
+    cfg.deadline_ms = args.get_or("deadline-ms", cfg.deadline_ms)?;
+    cfg.jobs = args.get_or("jobs", cfg.jobs)?;
+    if let Some(dir) = args.get("state-dir") {
+        cfg.state_dir = dir.into();
+    }
+
+    // Control-plane queries against a running daemon.
+    if args.switch("stats") {
+        let reply = client::stats(&cfg.addr).map_err(|e| ArgsError(e.to_string()))?;
+        let _ = writeln!(out, "{reply}");
+        return Ok(());
+    }
+    if args.switch("ping") {
+        let reply = client::ping(&cfg.addr).map_err(|e| ArgsError(e.to_string()))?;
+        let _ = writeln!(out, "{reply}");
+        return Ok(());
+    }
+    if args.switch("shutdown") {
+        let reply = client::shutdown(&cfg.addr).map_err(|e| ArgsError(e.to_string()))?;
+        let _ = writeln!(out, "{reply}");
+        return Ok(());
+    }
+
+    if cfg.queue == 0 {
+        return Err(ArgsError("--queue must be at least 1".into()));
+    }
+    let server = Server::bind(cfg).map_err(|e| ArgsError(e.to_string()))?;
+    let addr = server.local_addr().map_err(|e| ArgsError(e.to_string()))?;
+    // Announce the resolved address (port 0 picks a free one) before
+    // blocking, so wrappers can discover where to connect.
+    let _ = writeln!(out, "listening on {addr}");
+    let _ = out.flush();
+    server.run().map_err(|e| ArgsError(e.to_string()))?;
+    let _ = writeln!(out, "drained; exiting");
+    Ok(())
+}
+
+/// The `charlie sweep` grid for one workload (every strategy across the
+/// paper's latency sweep, restructured when the layout is padded).
+fn sweep_grid(workload: charlie::Workload, layout: Layout) -> Vec<Experiment> {
+    Strategy::ALL
+        .into_iter()
+        .flat_map(|s| {
+            BusConfig::PAPER_SWEEP.into_iter().map(move |lat| {
+                let exp = Experiment::paper(workload, s, lat);
+                if layout == Layout::Padded {
+                    exp.restructured()
+                } else {
+                    exp
+                }
+            })
+        })
+        .collect()
+}
+
+/// `charlie submit`.
+pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "addr", "grid", "workload", "layout", "procs", "refs", "seed", "deadline-ms",
+        "hw-prefetch", "json",
+    ])?;
+    let addr = addr_from(args, &ServeConfig::from_env());
+
+    // Resolve every knob client-side with the daemon's own defaults and
+    // send them explicitly: the rendered header and the executed cells
+    // must agree even when the two processes see different environments.
+    let defaults = RunConfig::default();
+    let procs = args.get_or("procs", defaults.procs)?;
+    let refs = args.get_or("refs", defaults.refs_per_proc)?;
+    let seed = args.get_or("seed", defaults.seed)?;
+    let hw_prefetch = match args.get("hw-prefetch") {
+        None => None,
+        Some(spec) => {
+            let hw = HwPrefetchConfig::parse(spec).map_err(ArgsError)?;
+            hw.is_enabled().then_some(hw)
+        }
+    };
+    let deadline_ms = match args.get("deadline-ms") {
+        None => None,
+        Some(v) => {
+            Some(v.parse().map_err(|_| ArgsError(format!("--deadline-ms: cannot parse {v:?}")))?)
+        }
+    };
+
+    let layout = match args.get("layout") {
+        None | Some("interleaved") | Some("original") => Layout::Interleaved,
+        Some("padded") | Some("restructured") => Layout::Padded,
+        Some(other) => {
+            return Err(ArgsError(format!("unknown layout {other:?} (interleaved, padded)")))
+        }
+    };
+    let (grid, workload) = match (args.get("grid"), args.get("workload")) {
+        (Some("paper"), None) => (client::Grid::Paper, None),
+        (Some(other), None) => {
+            return Err(ArgsError(format!("unknown grid {other:?} (expected paper)")))
+        }
+        (None, Some(name)) => {
+            let workload = charlie::Workload::EXTENDED
+                .into_iter()
+                .find(|w| w.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| ArgsError(format!("unknown workload {name:?}")))?;
+            (client::Grid::Cells(sweep_grid(workload, layout)), Some(workload))
+        }
+        _ => {
+            return Err(ArgsError(
+                "exactly one of --grid paper or --workload NAME is required".into(),
+            ))
+        }
+    };
+
+    let request = client::SubmitRequest {
+        grid,
+        procs: Some(procs),
+        refs: Some(refs),
+        seed: Some(seed),
+        deadline_ms,
+        hw_prefetch,
+    };
+
+    let mut lab = Lab::new(RunConfig {
+        procs,
+        refs_per_proc: refs,
+        seed,
+        hw_prefetch: hw_prefetch.unwrap_or(HwPrefetchConfig::OFF),
+        ..RunConfig::default()
+    });
+    let mut campaign = String::new();
+    let mut restored = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    let mut done = false;
+
+    let frames = client::submit(&addr, &request).map_err(|e| ArgsError(e.to_string()))?;
+    for frame in frames {
+        match frame {
+            client::Frame::Opened { campaign: token, restored: r, .. } => {
+                campaign = token;
+                restored = r;
+            }
+            client::Frame::Cell(summary) => lab.restore(summary),
+            client::Frame::CellError { experiment, error } => {
+                let what = experiment.map_or_else(|| "<unknown cell>".to_owned(), |e| e.to_string());
+                failures.push(format!("{what}: {error}"));
+            }
+            client::Frame::Done { cells, completed, failed, .. } => {
+                eprintln!(
+                    "campaign {campaign}: {completed}/{cells} cells \
+                     ({restored} restored, {failed} failed)"
+                );
+                done = true;
+            }
+            client::Frame::Saturated { retry_after_ms } => {
+                return Err(ArgsError(format!(
+                    "daemon saturated; retry in {retry_after_ms}ms"
+                )));
+            }
+            client::Frame::Draining { campaign, completed, remaining } => {
+                return Err(ArgsError(format!(
+                    "daemon draining after {completed} cell(s) ({remaining} journaled for \
+                     later); resubmit after restart to resume campaign {campaign}"
+                )));
+            }
+            client::Frame::DeadlineExceeded { limit_ms, completed, remaining } => {
+                return Err(ArgsError(format!(
+                    "wall-clock limit of {limit_ms}ms exceeded: {completed} cell(s) \
+                     completed, {remaining} remaining (they finish into the daemon cache)"
+                )));
+            }
+            client::Frame::Error { kind, detail } => {
+                return Err(ArgsError(format!("daemon rejected request ({kind}): {detail}")));
+            }
+        }
+    }
+    if !done {
+        return Err(ArgsError(format!(
+            "connection to {addr} ended before the campaign finished"
+        )));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("cell failed: {f}");
+        }
+        return Err(ArgsError(format!(
+            "{} campaign cell(s) failed; see stderr for details",
+            failures.len()
+        )));
+    }
+
+    // Render exactly what the local commands would have printed: the memo
+    // is fully populated, so the exhibits below are pure lookups.
+    match workload {
+        None => render_paper_grid(&mut lab, out),
+        Some(w) => render_sweep(&mut lab, w, layout, args.switch("json"), out),
+    }
+    Ok(())
+}
+
+/// The `all_experiments` stdout, byte-for-byte.
+fn render_paper_grid<W: Write>(lab: &mut Lab, out: &mut W) {
+    let c = *lab.config();
+    let _ = writeln!(
+        out,
+        "== all experiments — {} procs, {} refs/proc, seed {:#x} ==\n",
+        c.procs, c.refs_per_proc, c.seed
+    );
+    let _ = writeln!(out, "{}", exhibits::table1(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::figure1(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::table2(lab));
+    let _ = writeln!(out);
+    for panel in exhibits::figure2(lab) {
+        let _ = writeln!(out, "{panel}");
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "{}", exhibits::figure3(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::table3(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::table4(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::table5(lab));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", exhibits::processor_utilization(lab));
+}
+
+/// The `charlie sweep` stdout, byte-for-byte.
+fn render_sweep<W: Write>(
+    lab: &mut Lab,
+    workload: charlie::Workload,
+    layout: Layout,
+    json: bool,
+    out: &mut W,
+) {
+    if json {
+        let mut rows = Vec::new();
+        for s in Strategy::PREFETCHING {
+            for lat in BusConfig::PAPER_SWEEP {
+                let mut exp = Experiment::paper(workload, s, lat);
+                if layout == Layout::Padded {
+                    exp = exp.restructured();
+                }
+                let rel = lab.relative_time(exp);
+                rows.push(format!(
+                    "{{\"strategy\":\"{}\",\"transfer\":{lat},\"relative_time\":{rel:.6}}}",
+                    s.name()
+                ));
+            }
+        }
+        let _ = writeln!(out, "[{}]", rows.join(","));
+    } else {
+        let table = exhibits::figure2_for(lab, workload);
+        let _ = writeln!(out, "{table}");
+    }
+}

@@ -461,7 +461,8 @@ impl AtomicFile {
         })
     }
 
-    /// Flushes, fsyncs and renames the temp file into place.
+    /// Flushes, fsyncs and renames the temp file into place, then fsyncs
+    /// the parent directory so the rename itself is durable.
     pub fn commit(mut self) -> io::Result<()> {
         let mut writer = self.writer.take().expect("commit consumes the writer");
         writer.flush().map_err(|e| annotate(e, &self.temp_path))?;
@@ -474,7 +475,19 @@ impl AtomicFile {
         };
         file.sync_all().map_err(|e| annotate(e, &self.temp_path))?;
         drop(file);
-        fs::rename(&self.temp_path, &self.final_path).map_err(|e| annotate(e, &self.final_path))
+        fs::rename(&self.temp_path, &self.final_path).map_err(|e| annotate(e, &self.final_path))?;
+        // Without this, a power loss after the rename can resurrect the old
+        // file (the rename lived only in the directory's page cache) — for
+        // a compacted journal that silently un-drops corrupt lines. Best
+        // effort: some filesystems refuse directory fsync, and the rename
+        // has already succeeded at the process level.
+        if let Some(parent) = self.final_path.parent() {
+            let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
         // self drops with writer == None: nothing to clean up.
     }
 }

@@ -38,14 +38,13 @@
 //! round-trip tests here and end-to-end in `tests/fault_tolerance.rs`.
 
 use crate::chaos::{self, ChaosWriter};
-use crate::lab::{Experiment, RunSummary};
+use crate::lab::RunSummary;
+use crate::wire::{self, push_str_field, Json};
 use charlie_bus::BusStats;
-use charlie_prefetch::Strategy;
 use charlie_sim::{
     HwPrefetchStats, LatencyStats, MissBreakdown, PrefetchStats, ProcStats, SimReport, Timeline,
     WindowSample,
 };
-use charlie_workloads::{Layout, Workload};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -56,220 +55,14 @@ use std::path::{Path, PathBuf};
 /// CRC32 frame and the header line.
 const VERSION: u64 = 2;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser (only what the journal needs: non-negative
-// integers, strings, arrays, objects).
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, PartialEq, Debug)]
-enum Json {
-    Num(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn num(&self) -> Result<u64, String> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            other => Err(format!("expected number, found {other:?}")),
-        }
-    }
-
-    fn str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("expected string, found {other:?}")),
-        }
-    }
-
-    fn arr(&self) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("expected array, found {other:?}")),
-        }
-    }
-
-    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, String> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field {name:?}")),
-            other => Err(format!("expected object with field {name:?}, found {other:?}")),
-        }
-    }
-
-    /// Tolerant lookup for fields that newer writers add and older journals
-    /// lack (e.g. `"timeline"`): `None` instead of an error when absent.
-    fn opt_field<'a>(&'a self, name: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        match self.peek() {
-            Some(b) if b == byte => {
-                self.pos += 1;
-                Ok(())
-            }
-            other => Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                byte as char,
-                self.pos,
-                other.map(|b| b as char)
-            )),
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| format!("invalid utf-8 in number at byte {start}: {e}"))?;
-        text.parse().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // Only the two escapes the encoder emits.
-                    match self.bytes.get(self.pos + 1) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        other => {
-                            return Err(format!("unsupported escape {other:?}"));
-                        }
-                    }
-                    self.pos += 2;
-                }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', found {other:?}")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', found {other:?}")),
-            }
-        }
-    }
-}
-
+/// One complete JSON line through the shared [`wire`] reader.
 fn parse_line(line: &str) -> Result<Json, String> {
-    let mut parser = Parser::new(line);
-    let value = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(format!("trailing bytes after value at byte {}", parser.pos));
-    }
-    Ok(value)
+    wire::parse(line)
 }
 
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
-
-fn push_str_field(out: &mut String, key: &str, value: &str) {
-    let _ = write!(out, "\"{key}\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            _ => out.push(c),
-        }
-    }
-    out.push_str("\",");
-}
 
 fn encode_report(report: &SimReport) -> String {
     let mut s = String::with_capacity(1024);
@@ -358,21 +151,16 @@ fn encode_report(report: &SimReport) -> String {
     s
 }
 
-fn encode_summary(summary: &RunSummary) -> String {
+/// Encodes one completed run as the journal's (and the serve protocol's)
+/// summary object — unframed JSON; [`frame_line`] adds the CRC for disk.
+pub fn encode_summary(summary: &RunSummary) -> String {
     let exp = summary.experiment;
     let mut s = String::with_capacity(1280);
     let _ = write!(s, "{{\"v\":{VERSION},");
     push_str_field(&mut s, "workload", exp.workload.name());
     push_str_field(&mut s, "strategy", exp.strategy.name());
     let _ = write!(s, "\"transfer\":{},", exp.transfer_cycles);
-    push_str_field(
-        &mut s,
-        "layout",
-        match exp.layout {
-            Layout::Interleaved => "interleaved",
-            Layout::Padded => "padded",
-        },
-    );
+    push_str_field(&mut s, "layout", wire::layout_name(exp.layout));
     let _ = write!(
         s,
         "\"prefetches_inserted\":{},\"report\":{}",
@@ -516,28 +304,6 @@ fn decode_report(v: &Json) -> Result<SimReport, String> {
     })
 }
 
-fn decode_workload(name: &str) -> Result<Workload, String> {
-    Workload::EXTENDED
-        .into_iter()
-        .find(|w| w.name() == name)
-        .ok_or_else(|| format!("unknown workload {name:?}"))
-}
-
-fn decode_strategy(name: &str) -> Result<Strategy, String> {
-    Strategy::EXTENDED
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| format!("unknown strategy {name:?}"))
-}
-
-fn decode_layout(name: &str) -> Result<Layout, String> {
-    match name {
-        "interleaved" => Ok(Layout::Interleaved),
-        "padded" => Ok(Layout::Padded),
-        other => Err(format!("unknown layout {other:?}")),
-    }
-}
-
 fn check_version(v: &Json) -> Result<(), String> {
     let version = v.field("v")?.num()?;
     if version != VERSION {
@@ -546,17 +312,18 @@ fn check_version(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
-fn decode_summary(line: &str) -> Result<RunSummary, String> {
-    let v = parse_line(line)?;
-    check_version(&v)?;
-    let experiment = Experiment {
-        workload: decode_workload(v.field("workload")?.str()?)?,
-        strategy: decode_strategy(v.field("strategy")?.str()?)?,
-        transfer_cycles: v.field("transfer")?.num()?,
-        layout: decode_layout(v.field("layout")?.str()?)?,
-    };
+/// Decodes a summary line (unframed JSON text) — the inverse of
+/// [`encode_summary`].
+pub fn decode_summary(line: &str) -> Result<RunSummary, String> {
+    decode_summary_value(&parse_line(line)?)
+}
+
+/// Decodes a summary from an already-parsed value — the form the serve
+/// client uses after extracting the object from a stream frame.
+pub fn decode_summary_value(v: &Json) -> Result<RunSummary, String> {
+    check_version(v)?;
     Ok(RunSummary {
-        experiment,
+        experiment: wire::decode_experiment(v)?,
         report: decode_report(v.field("report")?)?,
         prefetches_inserted: v.field("prefetches_inserted")?.num()?,
         timeline: v.opt_field("timeline").map(decode_timeline).transpose()?,
@@ -611,6 +378,105 @@ pub fn decode_keyed_report(line: &str) -> Result<(String, SimReport), String> {
     let v = parse_line(line)?;
     check_version(&v)?;
     Ok((v.field("key")?.str()?.to_owned(), decode_report(v.field("report")?)?))
+}
+
+/// Keyed checkpoint journal for cells whose knobs live outside
+/// [`Experiment`](crate::Experiment) (geometry, trace-length, and hardware
+/// prefetcher sweeps): `done` maps caller-chosen cell keys to restored
+/// reports, and `append` journals new completions. Shares [`Journal`]'s
+/// line framing and recovery classification, and — like `Journal` — routes
+/// every compaction through [`chaos::write_atomic`] (temp + fsync + rename
+/// + parent-directory fsync), so a crash mid-compaction can never lose
+/// CRC-valid completed cells.
+pub struct KeyedJournal {
+    done: std::collections::HashMap<String, SimReport>,
+    file: ChaosWriter<File>,
+}
+
+impl KeyedJournal {
+    /// Opens (or creates) the journal: torn tails and CRC-failed lines are
+    /// dropped with a warning and compacted away; a version or config-key
+    /// mismatch or an unreadable header refuses to resume.
+    pub fn open(path: &Path, config: &str) -> io::Result<KeyedJournal> {
+        let refuse = |line: usize, msg: String| invalid_data(path, line, msg);
+        let mut content = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut content)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        // A trailing line without '\n' is a kill mid-write: drop it (that
+        // cell re-runs). A complete line failing its CRC is corruption:
+        // drop it too, with a distinct warning.
+        let complete_len = content.rfind('\n').map_or(0, |i| i + 1);
+        let mut damaged = complete_len < content.len();
+        let lines: Vec<&str> =
+            content[..complete_len].lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut done = std::collections::HashMap::new();
+        let mut survivors: Vec<&str> = Vec::new();
+        if let Some((&first, records)) = lines.split_first() {
+            match unframe_line(first)
+                .map_err(|e| e.to_string())
+                .and_then(decode_journal_header)
+            {
+                Ok((_version, found)) if found == config => {}
+                Ok((_version, found)) => {
+                    return Err(refuse(
+                        1,
+                        format!(
+                            "journal was written for config {found:?} but this sweep is \
+                             {config:?}; refusing to resume — delete the checkpoint or point \
+                             it elsewhere"
+                        ),
+                    ))
+                }
+                Err(e) => return Err(refuse(1, format!("bad journal header ({e})"))),
+            }
+            for (i, &line) in records.iter().enumerate() {
+                match unframe_line(line).and_then(decode_keyed_report) {
+                    Ok((key, report)) => {
+                        done.insert(key, report);
+                        survivors.push(line);
+                    }
+                    Err(e) => {
+                        damaged = true;
+                        eprintln!(
+                            "warning: checkpoint {}:{}: dropping corrupt line ({e}); \
+                             that cell re-runs",
+                            path.display(),
+                            i + 2
+                        );
+                    }
+                }
+            }
+        }
+        // Compact damage away (and stamp the header on a fresh journal)
+        // before appending, so the file never grafts onto torn bytes.
+        if damaged || lines.is_empty() {
+            let mut out = encode_journal_header(config);
+            for line in &survivors {
+                out.push_str(line);
+                out.push('\n');
+            }
+            chaos::write_atomic(path, out.as_bytes(), "journal")?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(KeyedJournal { done, file: ChaosWriter::new(file, "journal") })
+    }
+
+    /// Cells restored at open, by key.
+    pub fn done(&self) -> &std::collections::HashMap<String, SimReport> {
+        &self.done
+    }
+
+    /// Appends one completed cell (best-effort, like [`Journal::append`]:
+    /// journaling is an optimization over re-running the cell).
+    pub fn append(&mut self, key: &str, report: &SimReport) {
+        let line = frame_line(&encode_keyed_report(key, report));
+        let _ = self.file.write_all(line.as_bytes()).and_then(|()| self.file.flush());
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -953,7 +819,9 @@ fn env_sync() -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lab::{Lab, ObserveSpec, RunConfig};
+    use crate::lab::{Experiment, Lab, ObserveSpec, RunConfig};
+    use charlie_prefetch::Strategy;
+    use charlie_workloads::Workload;
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();

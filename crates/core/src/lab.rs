@@ -9,6 +9,7 @@
 //! filled the cache, and `tests/parallel_equivalence.rs` proves the reports
 //! are bit-identical either way.
 
+use crate::retry::RetryPolicy;
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
 use charlie_sim::{
@@ -376,41 +377,11 @@ fn watchdog_budget(cfg: &RunConfig) -> u64 {
     WATCHDOG_EVENT_FLOOR.saturating_add(WATCHDOG_EVENTS_PER_ACCESS.saturating_mul(accesses))
 }
 
-/// Retry attempts granted to a failure classified as transient I/O
-/// ([`RunError::is_transient_io`]). Deterministic failures get exactly one
-/// diagnostic re-run regardless.
-const TRANSIENT_RETRIES: u32 = 3;
-
-/// First-retry backoff for transient I/O failures, in milliseconds.
-const RETRY_BASE_MS: u64 = 5;
-
-/// Backoff ceiling: doubling stops here, so the full ladder waits roughly
-/// 5 + 10 + 20 ms (± jitter) before giving up.
-const RETRY_CAP_MS: u64 = 80;
-
-/// Stable per-experiment salt (FNV-1a over the display form) seeding the
-/// retry jitter, so the schedule is reproducible for a given cell yet
-/// different cells never back off in lockstep.
+/// Stable per-experiment salt seeding the retry jitter (see
+/// [`RetryPolicy::salt`]): reproducible for a given cell, never in
+/// lockstep across cells.
 fn experiment_salt(exp: Experiment) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{exp}").bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Capped exponential backoff with deterministic ±25% jitter: attempt `n`
-/// waits `RETRY_BASE_MS * 2^n` capped at [`RETRY_CAP_MS`], scaled into
-/// `[0.75, 1.25)` of itself by an LCG step over `salt`.
-fn retry_delay(attempt: u32, salt: u64) -> std::time::Duration {
-    let exp = (RETRY_BASE_MS << attempt.min(16)).min(RETRY_CAP_MS);
-    let mix = salt
-        .wrapping_add(u64::from(attempt))
-        .wrapping_mul(6_364_136_223_846_793_005)
-        .wrapping_add(1_442_695_040_888_963_407);
-    let frac = (mix >> 33) % 512;
-    std::time::Duration::from_millis(exp * (768 + frac) / 1024)
+    RetryPolicy::salt(&format!("{exp}"))
 }
 
 /// Workload-generator settings for the lab's machine at a given layout —
@@ -510,6 +481,16 @@ fn run_cell(
         Ok(result) => result,
         Err(payload) => Err(RunError::Panic(panic_message(payload.as_ref()))),
     }
+}
+
+/// One panic-isolated cell execution independent of any [`Lab`] — the
+/// entry point the serve daemon's worker pool uses. Exactly the unit of
+/// work [`Lab::run_batch`] executes per cell (generate, validate, apply
+/// strategy, simulate), so a served summary is bit-identical to a batch
+/// one; a panicking cell comes back as [`RunError::Panic`] instead of
+/// unwinding the worker.
+pub fn execute_cell(cfg: &RunConfig, exp: Experiment) -> Result<RunSummary, RunError> {
+    run_cell(cfg, exp, None, &ObserveSpec::default())
 }
 
 /// Generates and validates the raw (pre-strategy) trace for one
@@ -840,13 +821,17 @@ impl Lab {
                     // (the filesystem gets time to recover); everything
                     // else gets exactly one immediate re-run.
                     let transient = error.is_transient_io();
-                    let attempts = if transient { TRANSIENT_RETRIES } else { 1 };
+                    let policy = if transient {
+                        RetryPolicy::TRANSIENT_IO
+                    } else {
+                        RetryPolicy::NONE
+                    };
                     let salt = experiment_salt(exp);
                     let mut recovered = None;
                     let mut last = error.clone();
-                    for attempt in 0..attempts {
+                    for attempt in 0..policy.attempts {
                         if transient {
-                            std::thread::sleep(retry_delay(attempt, salt));
+                            std::thread::sleep(policy.delay(attempt, salt));
                         }
                         match run_cell(&self.cfg, exp, self.injector.as_deref(), &self.observe)
                         {
@@ -1248,19 +1233,21 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 2, "batch run + one diagnostic re-run only");
     }
 
-    /// The backoff schedule is deterministic per cell, capped, and jittered
-    /// within ±25% of the nominal exponential step.
+    /// The batch engine's backoff schedule is the shared
+    /// [`RetryPolicy::TRANSIENT_IO`] ladder, seeded per cell: deterministic
+    /// for a given experiment, distinct across experiments.
     #[test]
     fn retry_delay_is_capped_and_jittered() {
+        let policy = RetryPolicy::TRANSIENT_IO;
         let salt = experiment_salt(Experiment::paper(Workload::Mp3d, Strategy::Pref, 8));
         for attempt in 0..10u32 {
-            let nominal = (RETRY_BASE_MS << attempt.min(16)).min(RETRY_CAP_MS);
-            let ms = retry_delay(attempt, salt).as_millis() as u64;
+            let nominal = (policy.base_ms << attempt.min(16)).min(policy.cap_ms);
+            let ms = policy.delay(attempt, salt).as_millis() as u64;
             assert!(
                 ms >= nominal * 3 / 4 && ms < nominal + nominal / 4 + 1,
                 "attempt {attempt}: {ms}ms outside ±25% of {nominal}ms"
             );
-            assert_eq!(retry_delay(attempt, salt), retry_delay(attempt, salt));
+            assert_eq!(policy.delay(attempt, salt), policy.delay(attempt, salt));
         }
         let other = experiment_salt(Experiment::paper(Workload::Water, Strategy::NoPrefetch, 16));
         assert_ne!(salt, other, "distinct cells seed distinct jitter streams");

@@ -45,12 +45,14 @@ pub mod experiments;
 mod lab;
 pub mod parallel;
 mod report;
+pub mod retry;
 pub mod timeline;
+pub mod wire;
 
 pub use chart::AsciiChart;
 pub use lab::{
-    BatchReport, Experiment, Lab, LabStats, ObserveSpec, RetryOutcome, RunConfig, RunError,
-    RunFailure, RunMeta, RunSummary, MAX_JOBS,
+    execute_cell, BatchReport, Experiment, Lab, LabStats, ObserveSpec, RetryOutcome, RunConfig,
+    RunError, RunFailure, RunMeta, RunSummary, MAX_JOBS,
 };
 pub use report::{format_rate, Table};
 

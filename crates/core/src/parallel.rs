@@ -89,6 +89,76 @@ pub fn map_observed<T: Sync, U: Send>(
     results.into_iter().map(|(_, u)| u).collect()
 }
 
+type PoolJob = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// A persistent worker pool for long-lived callers (the serve daemon),
+/// complementing the scoped, batch-shaped [`map`]/[`map_observed`].
+///
+/// Jobs are closures pulled from one shared queue by `jobs` OS threads
+/// (work-stealing in the only sense that matters here: an idle worker
+/// takes the next job regardless of who submitted it). Each job receives
+/// its worker index. Dropping the pool closes the queue and joins every
+/// worker after in-flight jobs finish; a panicking job is caught and
+/// dropped so one bad cell cannot take a worker (or the daemon) down.
+pub struct Pool {
+    tx: Option<mpsc::Sender<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = jobs.max(1);
+        let (tx, rx) = mpsc::channel::<PoolJob>();
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|worker| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Holding the receiver lock only while popping keeps the
+                    // queue available to the other workers during the job.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| job(worker)),
+                            );
+                        }
+                        Err(_) => return, // queue closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        Pool { tx: Some(tx), workers }
+    }
+
+    /// Queues one job; an idle worker picks it up in submission order.
+    pub fn submit(&self, job: impl FnOnce(usize) + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // A closed queue means the pool is mid-drop; the job is dropped,
+            // which callers observe through their own completion signals.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +230,27 @@ mod tests {
         let mut order = Vec::new();
         let _ = map_observed(&[10, 20, 30], 1, |_, &x| x, |i, _| order.push(i));
         assert_eq!(order, vec![0, 1, 2], "serial path observes in input order");
+    }
+
+    #[test]
+    fn pool_runs_every_job_and_survives_panics() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let pool = Pool::new(4);
+        assert_eq!(pool.jobs(), 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=64u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move |_worker| {
+                if i == 13 {
+                    panic!("one bad job");
+                }
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers after the queue drains
+        let expected: u64 = (1..=64).sum::<u64>() - 13;
+        assert_eq!(sum.load(Ordering::SeqCst), expected, "panicking job is isolated");
     }
 
     #[test]

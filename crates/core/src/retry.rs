@@ -1,0 +1,143 @@
+//! Reusable retry policy for failures classified as transient I/O.
+//!
+//! One policy object owns the whole ladder — attempt count, capped
+//! exponential backoff, and deterministic per-cell jitter — so the batch
+//! engine ([`Lab::run_batch`](crate::Lab::run_batch)) and the serve
+//! request path apply byte-for-byte the same schedule instead of each
+//! carrying its own copy of the constants.
+//!
+//! Determinism matters here the same way it does everywhere else in the
+//! lab: given the same cell, the ladder waits the same milliseconds on
+//! every run, yet distinct cells never back off in lockstep (each seeds
+//! its own jitter stream from a stable salt over its display form).
+
+use std::time::Duration;
+
+/// Attempts, backoff, and jitter for retrying transient failures.
+///
+/// Attempt `n` (0-based) waits `base_ms * 2^n` capped at `cap_ms`, scaled
+/// into `[0.75, 1.25)` of itself by an LCG step over the caller's salt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Retry attempts granted to a transient failure.
+    pub attempts: u32,
+    /// First-retry backoff, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling: doubling stops here.
+    pub cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The lab's ladder for transient I/O: 3 attempts waiting roughly
+    /// 5 + 10 + 20 ms (± jitter) before giving up. Deterministic failures
+    /// should get exactly one diagnostic re-run instead (see
+    /// [`RetryPolicy::NONE`]).
+    pub const TRANSIENT_IO: RetryPolicy = RetryPolicy { attempts: 3, base_ms: 5, cap_ms: 80 };
+
+    /// A single immediate re-run with no backoff — the diagnostic policy
+    /// for failures already classified as deterministic.
+    pub const NONE: RetryPolicy = RetryPolicy { attempts: 1, base_ms: 0, cap_ms: 0 };
+
+    /// Stable salt (FNV-1a over `name`) seeding the jitter stream, so the
+    /// schedule is reproducible for a given cell yet different cells never
+    /// back off in lockstep. Callers pass the cell's display form.
+    pub fn salt(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The wait before retry `attempt` (0-based): capped exponential
+    /// backoff with deterministic ±25% jitter.
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = (self.base_ms << attempt.min(16)).min(self.cap_ms);
+        let mix = salt
+            .wrapping_add(u64::from(attempt))
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let frac = (mix >> 33) % 512;
+        Duration::from_millis(exp * (768 + frac) / 1024)
+    }
+
+    /// Runs `op` up to `attempts` times, sleeping [`RetryPolicy::delay`]
+    /// before each attempt after the first, for as long as the error is
+    /// classified transient by `transient`. Returns the first success or
+    /// the last error.
+    pub fn run<T, E>(
+        &self,
+        salt: u64,
+        transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    if attempt + 1 >= self.attempts.max(1) || !transient(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.delay(attempt, salt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff schedule is deterministic per salt, capped, and
+    /// jittered within ±25% of the nominal exponential step.
+    #[test]
+    fn delay_is_capped_and_jittered() {
+        let policy = RetryPolicy::TRANSIENT_IO;
+        let salt = RetryPolicy::salt("Mp3d/PREF @8cy");
+        for attempt in 0..10u32 {
+            let nominal = (policy.base_ms << attempt.min(16)).min(policy.cap_ms);
+            let ms = policy.delay(attempt, salt).as_millis() as u64;
+            assert!(
+                ms >= nominal * 3 / 4 && ms < nominal + nominal / 4 + 1,
+                "attempt {attempt}: {ms}ms outside ±25% of {nominal}ms"
+            );
+            assert_eq!(policy.delay(attempt, salt), policy.delay(attempt, salt));
+        }
+        let other = RetryPolicy::salt("water/NP @16cy");
+        assert_ne!(salt, other, "distinct cells seed distinct jitter streams");
+    }
+
+    /// `run` stops on the first success, retries only transient errors,
+    /// and never exceeds the attempt budget.
+    #[test]
+    fn run_honors_classification_and_budget() {
+        let policy = RetryPolicy { attempts: 3, base_ms: 0, cap_ms: 0 };
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(0, |_| true, || {
+            calls += 1;
+            if calls < 3 { Err("flaky") } else { Ok(7) }
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(0, |_| false, || {
+            calls += 1;
+            Err("deterministic")
+        });
+        assert_eq!(out, Err("deterministic"));
+        assert_eq!(calls, 1, "non-transient errors are not retried");
+
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(0, |_| true, || {
+            calls += 1;
+            Err("always")
+        });
+        assert_eq!(out, Err("always"));
+        assert_eq!(calls, 3, "attempt budget bounds transient retries");
+    }
+}

@@ -1,0 +1,342 @@
+//! Minimal JSON value, parser, and experiment-field codecs shared by the
+//! checkpoint journal and the serve protocol.
+//!
+//! The workspace is fully vendored (no serde), so persistence and the
+//! daemon wire format share one hand-rolled recursive-descent reader over
+//! a byte cursor — only what those formats need: non-negative integers,
+//! strings, arrays, objects, and the two string escapes the encoders emit
+//! (`\"` and `\\`). Keeping the journal and the socket on the same codec
+//! is what makes a streamed [`RunSummary`] lossless end to end: the bytes
+//! a client decodes are the bytes a resumed daemon would replay.
+//!
+//! [`RunSummary`]: crate::RunSummary
+
+use crate::lab::Experiment;
+use charlie_prefetch::Strategy;
+use charlie_workloads::{Layout, Workload};
+use std::fmt::Write as _;
+
+/// A parsed JSON value (journal lines, serve requests/replies).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// Non-negative integer (every numeric field in the formats).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value as an integer, or a descriptive error.
+    pub fn num(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    /// The value as a string, or a descriptive error.
+    pub fn str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+
+    /// The value as an array, or a descriptive error.
+    pub fn arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+
+    /// Required object field lookup.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}")),
+            other => Err(format!("expected object with field {name:?}, found {other:?}")),
+        }
+    }
+
+    /// Tolerant lookup for fields that newer writers add and older readers
+    /// lack (e.g. `"timeline"`): `None` instead of an error when absent.
+    pub fn opt_field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            // Booleans read as 0/1 — the serve frames use `"ok":true`-style
+            // flags, and a dedicated variant would buy the formats nothing.
+            Some(b't') => self.literal("true", Json::Num(1)),
+            Some(b'f') => self.literal("false", Json::Num(0)),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("unexpected literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("invalid utf-8 in number at byte {start}: {e}"))?;
+        text.parse().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Only the two escapes the encoder emits.
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!("unsupported escape {other:?}"));
+                        }
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value, rejecting trailing bytes.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after value at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Appends `"key":"escaped-value",` to an object under construction.
+pub fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, "\"{key}\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push_str("\",");
+}
+
+/// Inverts [`Workload::name`] over the extended suite.
+pub fn decode_workload(name: &str) -> Result<Workload, String> {
+    Workload::EXTENDED
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))
+}
+
+/// Inverts [`Strategy::name`] over the extended suite.
+pub fn decode_strategy(name: &str) -> Result<Strategy, String> {
+    Strategy::EXTENDED
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy {name:?}"))
+}
+
+/// Inverts the layout's wire name (`"interleaved"` / `"padded"`).
+pub fn decode_layout(name: &str) -> Result<Layout, String> {
+    match name {
+        "interleaved" => Ok(Layout::Interleaved),
+        "padded" => Ok(Layout::Padded),
+        other => Err(format!("unknown layout {other:?}")),
+    }
+}
+
+/// The layout's wire name.
+pub fn layout_name(layout: Layout) -> &'static str {
+    match layout {
+        Layout::Interleaved => "interleaved",
+        Layout::Padded => "padded",
+    }
+}
+
+/// Encodes one experiment's identifying fields — the same field names and
+/// spellings the journal uses, so request cells and journal lines agree.
+pub fn encode_experiment(exp: Experiment) -> String {
+    let mut s = String::with_capacity(96);
+    s.push('{');
+    push_str_field(&mut s, "workload", exp.workload.name());
+    push_str_field(&mut s, "strategy", exp.strategy.name());
+    let _ = write!(s, "\"transfer\":{},", exp.transfer_cycles);
+    push_str_field(&mut s, "layout", layout_name(exp.layout));
+    s.pop(); // trailing comma from the last field
+    s.push('}');
+    s
+}
+
+/// Decodes an experiment from an object carrying the fields
+/// [`encode_experiment`] emits (extra fields are ignored, so a journal
+/// summary line decodes too).
+pub fn decode_experiment(v: &Json) -> Result<Experiment, String> {
+    Ok(Experiment {
+        workload: decode_workload(v.field("workload")?.str()?)?,
+        strategy: decode_strategy(v.field("strategy")?.str()?)?,
+        transfer_cycles: v.field("transfer")?.num()?,
+        layout: decode_layout(v.field("layout")?.str()?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_trailing_bytes_and_bad_escapes() {
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"\\n\"").is_err(), "only the emitted escapes are accepted");
+        assert!(parse("").is_err());
+        assert_eq!(parse("42").unwrap().num().unwrap(), 42);
+        assert_eq!(parse("true").unwrap().num().unwrap(), 1);
+        assert_eq!(parse("false").unwrap().num().unwrap(), 0);
+        assert!(parse("trueX").is_err());
+        assert!(parse("tru").is_err());
+    }
+
+    #[test]
+    fn experiment_round_trips_through_the_wire_fields() {
+        for exp in [
+            Experiment::paper(Workload::Mp3d, Strategy::Pref, 8),
+            Experiment::paper(Workload::Pverify, Strategy::Pws, 32).restructured(),
+        ] {
+            let v = parse(&encode_experiment(exp)).unwrap();
+            assert_eq!(decode_experiment(&v).unwrap(), exp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_names() {
+        assert!(decode_workload("nope").is_err());
+        assert!(decode_strategy("nope").is_err());
+        assert!(decode_layout("diagonal").is_err());
+    }
+}
