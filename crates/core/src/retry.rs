@@ -15,11 +15,14 @@ use std::time::Duration;
 
 /// Attempts, backoff, and jitter for retrying transient failures.
 ///
-/// Attempt `n` (0-based) waits `base_ms * 2^n` capped at `cap_ms`, scaled
+/// Retry `n` (0-based) waits `base_ms * 2^n` capped at `cap_ms`, scaled
 /// into `[0.75, 1.25)` of itself by an LCG step over the caller's salt.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct RetryPolicy {
-    /// Retry attempts granted to a transient failure.
+    /// Retries granted *after* the initial execution: a transient failure
+    /// runs `1 + attempts` times in total, sleeping
+    /// [`delay`](RetryPolicy::delay)`(0..attempts)` between runs. The batch
+    /// engine and [`RetryPolicy::run`] both count this way.
     pub attempts: u32,
     /// First-retry backoff, in milliseconds.
     pub base_ms: u64,
@@ -28,10 +31,10 @@ pub struct RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The lab's ladder for transient I/O: 3 attempts waiting roughly
-    /// 5 + 10 + 20 ms (± jitter) before giving up. Deterministic failures
-    /// should get exactly one diagnostic re-run instead (see
-    /// [`RetryPolicy::NONE`]).
+    /// The lab's ladder for transient I/O: the initial run plus 3 retries,
+    /// waiting roughly 5 + 10 + 20 ms (± jitter) before giving up.
+    /// Deterministic failures should get exactly one diagnostic re-run
+    /// instead (see [`RetryPolicy::NONE`]).
     pub const TRANSIENT_IO: RetryPolicy = RetryPolicy { attempts: 3, base_ms: 5, cap_ms: 80 };
 
     /// A single immediate re-run with no backoff — the diagnostic policy
@@ -50,8 +53,9 @@ impl RetryPolicy {
         h
     }
 
-    /// The wait before retry `attempt` (0-based): capped exponential
-    /// backoff with deterministic ±25% jitter.
+    /// The wait before retry `attempt` (0-based, counting retries after
+    /// the initial run): capped exponential backoff with deterministic
+    /// ±25% jitter.
     pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
         let exp = (self.base_ms << attempt.min(16)).min(self.cap_ms);
         let mix = salt
@@ -62,10 +66,12 @@ impl RetryPolicy {
         Duration::from_millis(exp * (768 + frac) / 1024)
     }
 
-    /// Runs `op` up to `attempts` times, sleeping [`RetryPolicy::delay`]
-    /// before each attempt after the first, for as long as the error is
-    /// classified transient by `transient`. Returns the first success or
-    /// the last error.
+    /// Runs `op` once plus up to `attempts` retries, sleeping
+    /// [`RetryPolicy::delay`]`(0..attempts)` before each retry, for as
+    /// long as the error is classified transient by `transient`. Returns
+    /// the first success or the last error. This is the same
+    /// initial-run-plus-`attempts`-retries schedule the batch engine's
+    /// ladder applies, so both paths wait the same milliseconds.
     pub fn run<T, E>(
         &self,
         salt: u64,
@@ -77,7 +83,7 @@ impl RetryPolicy {
             match op() {
                 Ok(value) => return Ok(value),
                 Err(e) => {
-                    if attempt + 1 >= self.attempts.max(1) || !transient(&e) {
+                    if attempt >= self.attempts || !transient(&e) {
                         return Err(e);
                     }
                     std::thread::sleep(self.delay(attempt, salt));
@@ -112,7 +118,8 @@ mod tests {
     }
 
     /// `run` stops on the first success, retries only transient errors,
-    /// and never exceeds the attempt budget.
+    /// and executes exactly the initial run plus the retry budget — the
+    /// same count the batch engine's ladder performs.
     #[test]
     fn run_honors_classification_and_budget() {
         let policy = RetryPolicy { attempts: 3, base_ms: 0, cap_ms: 0 };
@@ -138,6 +145,14 @@ mod tests {
             Err("always")
         });
         assert_eq!(out, Err("always"));
-        assert_eq!(calls, 3, "attempt budget bounds transient retries");
+        assert_eq!(calls, 4, "initial run plus `attempts` retries, like the batch ladder");
+
+        let mut calls = 0;
+        let out: Result<u32, &str> = RetryPolicy::NONE.run(0, |_| true, || {
+            calls += 1;
+            Err("always")
+        });
+        assert_eq!(out, Err("always"));
+        assert_eq!(calls, 2, "NONE grants exactly one re-run");
     }
 }

@@ -76,14 +76,22 @@ impl Json {
     }
 }
 
+/// Deepest container nesting [`parse`] accepts. The formats nest three
+/// levels at most; the cap exists because the parser is recursive descent
+/// and fed untrusted socket bytes — without it, a line of consecutive `[`
+/// bytes overflows the connection thread's stack, which `catch_unwind`
+/// cannot contain and which would abort the whole daemon.
+pub const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser { bytes: text.as_bytes(), pos: 0, depth: 0 }
     }
 
     fn skip_ws(&mut self) {
@@ -114,8 +122,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b'0'..=b'9') => self.number(),
             // Booleans read as 0/1 — the serve frames use `"ok":true`-style
@@ -128,6 +136,19 @@ impl<'a> Parser<'a> {
                 self.pos
             )),
         }
+    }
+
+    fn nested(
+        &mut self,
+        container: fn(&mut Self) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        self.depth += 1;
+        let value = container(self);
+        self.depth -= 1;
+        value
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
@@ -154,13 +175,25 @@ impl<'a> Parser<'a> {
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
+        let mut run_start = self.pos;
+        // Unescaped runs are copied as whole UTF-8 slices (the delimiters
+        // `"` and `\` are ASCII, so they never split a multi-byte char) —
+        // per-byte `as char` would mangle non-ASCII into Latin-1.
+        let bytes = self.bytes;
+        let flush_run = |out: &mut String, start: usize, end: usize| {
+            std::str::from_utf8(&bytes[start..end])
+                .map(|s| out.push_str(s))
+                .map_err(|e| format!("invalid utf-8 in string at byte {start}: {e}"))
+        };
         loop {
             match self.bytes.get(self.pos) {
                 Some(b'"') => {
+                    flush_run(&mut out, run_start, self.pos)?;
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'\\') => {
+                    flush_run(&mut out, run_start, self.pos)?;
                     // Only the two escapes the encoder emits.
                     match self.bytes.get(self.pos + 1) {
                         Some(b'"') => out.push('"'),
@@ -170,11 +203,9 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.pos += 2;
+                    run_start = self.pos;
                 }
-                Some(&b) => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
+                Some(_) => self.pos += 1,
                 None => return Err("unterminated string".into()),
             }
         }
@@ -320,6 +351,37 @@ mod tests {
         assert_eq!(parse("false").unwrap().num().unwrap(), 0);
         assert!(parse("trueX").is_err());
         assert!(parse("tru").is_err());
+    }
+
+    /// Hostile deep nesting is rejected by the depth cap instead of
+    /// recursing the stack into the ground (the daemon feeds this parser
+    /// untrusted socket bytes, and a stack overflow aborts the process).
+    #[test]
+    fn parse_rejects_hostile_nesting_depth() {
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}0{}", open.repeat(100_000), close.repeat(100_000));
+            let err = parse(&deep).unwrap_err();
+            assert!(err.contains("nesting deeper than"), "{err}");
+        }
+        // At-the-cap nesting still parses.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+    }
+
+    /// Non-ASCII string values survive an encode/parse round trip —
+    /// `push_str_field` emits real UTF-8, so the parser must read it back
+    /// as UTF-8 rather than byte-at-a-time Latin-1.
+    #[test]
+    fn non_ascii_strings_round_trip() {
+        let value = "pfad/zur/Messung-µßé — キャッシュ \\ \"q\"";
+        let mut obj = String::from("{");
+        push_str_field(&mut obj, "detail", value);
+        obj.pop();
+        obj.push('}');
+        let parsed = parse(&obj).unwrap();
+        assert_eq!(parsed.field("detail").unwrap().str().unwrap(), value);
     }
 
     #[test]

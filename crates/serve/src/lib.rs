@@ -67,6 +67,19 @@ const IDLE_LIMIT: Duration = Duration::from_secs(10);
 /// `Retry-After` the daemon advertises when shedding (milliseconds).
 pub const RETRY_AFTER_MS: u64 = 1000;
 
+/// Largest per-proc reference count one submit may ask for. Admission
+/// control bounds how many campaigns run, not how long each cell runs;
+/// without this ceiling a single `refs`-in-the-billions cell would occupy
+/// a pool worker indefinitely (deadlines act only at the wait level) and
+/// starve every other campaign. The paper's own grid tops out around
+/// 160k refs per proc; 10M leaves two orders of magnitude of headroom.
+pub const MAX_REFS_PER_PROC: usize = 10_000_000;
+
+/// Largest transfer latency a submitted cell may carry — same rationale
+/// as [`MAX_REFS_PER_PROC`]: simulated time per cell must stay bounded.
+/// The paper sweeps 8..=100 cycles.
+pub const MAX_TRANSFER_CYCLES: u64 = 100_000;
+
 /// The error message queued-but-unstarted cells complete with during a
 /// drain; the campaign handler recognizes it and answers a `draining`
 /// frame (with the resumable token) instead of a per-cell error.
@@ -166,26 +179,60 @@ enum Claim {
     Wait(Arc<CellEntry>),
 }
 
+/// Completed cells the memo cache retains before evicting the least
+/// recently used — bounds an always-on daemon's memory instead of growing
+/// one entry per distinct cell forever. Generously above the per-request
+/// cell budget, so a full paper sweep resubmitted back-to-back still hits
+/// on every cell.
+const MEMO_CACHE_CAP: usize = 8192;
+
 struct CacheInner {
-    done: HashMap<CellKey, Arc<RunSummary>>,
+    /// Completed cells, stamped with the tick of their last use.
+    done: HashMap<CellKey, (u64, Arc<RunSummary>)>,
     inflight: HashMap<CellKey, Arc<CellEntry>>,
+    /// Monotonic use counter driving LRU eviction.
+    tick: u64,
+}
+
+impl CacheInner {
+    /// Inserts a completed cell, evicting the least recently used entry
+    /// once the cache is over `cap`.
+    fn store(&mut self, cap: usize, key: CellKey, summary: Arc<RunSummary>) {
+        self.tick += 1;
+        self.done.insert(key, (self.tick, summary));
+        while self.done.len() > cap {
+            let oldest = self
+                .done
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("cache over cap is non-empty");
+            self.done.remove(&oldest);
+        }
+    }
 }
 
 /// The request-level memo/dedup cache: completed cells are shared across
-/// campaigns, concurrent duplicates coalesce onto one simulation, and
-/// errors are *never* cached — a panicking cell degrades only the
-/// campaigns waiting on it, then becomes runnable again.
+/// campaigns (bounded LRU), concurrent duplicates coalesce onto one
+/// simulation, and errors are *never* cached — a panicking cell degrades
+/// only the campaigns waiting on it, then becomes runnable again.
 struct MemoCache {
     inner: Mutex<CacheInner>,
+    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
 }
 
 impl MemoCache {
-    fn new() -> MemoCache {
+    fn new(cap: usize) -> MemoCache {
         MemoCache {
-            inner: Mutex::new(CacheInner { done: HashMap::new(), inflight: HashMap::new() }),
+            inner: Mutex::new(CacheInner {
+                done: HashMap::new(),
+                inflight: HashMap::new(),
+                tick: 0,
+            }),
+            cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -194,9 +241,13 @@ impl MemoCache {
 
     fn claim(&self, key: CellKey) -> Claim {
         let mut inner = self.inner.lock().unwrap();
-        if let Some(sum) = inner.done.get(&key) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((stamp, sum)) = inner.done.get_mut(&key) {
+            *stamp = tick;
+            let sum = Arc::clone(sum);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Claim::Hit(Arc::clone(sum));
+            return Claim::Hit(sum);
         }
         if let Some(entry) = inner.inflight.get(&key) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -213,7 +264,7 @@ impl MemoCache {
             let mut inner = self.inner.lock().unwrap();
             let entry = inner.inflight.remove(&key);
             if let Ok(sum) = &result {
-                inner.done.insert(key, Arc::clone(sum));
+                inner.store(self.cap, key, Arc::clone(sum));
             }
             entry
         };
@@ -226,7 +277,10 @@ impl MemoCache {
     /// Seeds a journal-restored cell; a cell someone is already re-running
     /// keeps the in-flight claim (the restore is then just redundant).
     fn insert_done(&self, key: CellKey, summary: Arc<RunSummary>) {
-        self.inner.lock().unwrap().done.entry(key).or_insert(summary);
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.done.contains_key(&key) {
+            inner.store(self.cap, key, summary);
+        }
     }
 
     /// Blocks until the entry resolves, or `None` at the deadline. The
@@ -362,7 +416,7 @@ impl Server {
             cfg.jobs
         };
         let state = Arc::new(ServerState {
-            cache: MemoCache::new(),
+            cache: MemoCache::new(MEMO_CACHE_CAP),
             pool: Pool::new(jobs),
             registry: Mutex::new(HashMap::new()),
             stats: Stats::default(),
@@ -730,10 +784,11 @@ fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
         }
     }
     if let Some(n) = v.opt_field("refs") {
-        cfg.refs_per_proc = n.num()? as usize;
-        if cfg.refs_per_proc == 0 {
-            return Err("refs must be positive".into());
+        let refs = n.num()?;
+        if refs == 0 || refs > MAX_REFS_PER_PROC as u64 {
+            return Err(format!("refs {refs} out of range 1..={MAX_REFS_PER_PROC}"));
         }
+        cfg.refs_per_proc = refs as usize;
     }
     if let Some(n) = v.opt_field("seed") {
         cfg.seed = n.num()?;
@@ -765,6 +820,12 @@ fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
     if cells.is_empty() {
         return Err("empty cell grid".into());
     }
+    if let Some(exp) = cells.iter().find(|e| e.transfer_cycles > MAX_TRANSFER_CYCLES) {
+        return Err(format!(
+            "transfer {} exceeds the server ceiling {MAX_TRANSFER_CYCLES}",
+            exp.transfer_cycles
+        ));
+    }
     Ok(SubmitSpec { cells, cfg, deadline_ms })
 }
 
@@ -791,19 +852,54 @@ fn campaign_key(cfg: &RunConfig, cells: &[Experiment]) -> (String, String) {
     (key, token)
 }
 
+/// One request's handle on a registry campaign. Dropping the lease evicts
+/// the registry entry once no other request or in-flight pool job still
+/// references it, closing the journal's fd — an always-on daemon must not
+/// pin one open file per campaign it ever served. The on-disk journal
+/// survives eviction; a resubmit reopens and restores it.
+struct CampaignLease {
+    state: Arc<ServerState>,
+    token: String,
+    campaign: Arc<Mutex<Campaign>>,
+}
+
+impl Drop for CampaignLease {
+    fn drop(&mut self) {
+        let mut registry = self.state.registry.lock().unwrap();
+        if let Some(entry) = registry.get(&self.token) {
+            // Exactly two strong refs — the registry's and this lease's —
+            // means no other handler or cell job can still append; holding
+            // the registry lock keeps a new clone from appearing.
+            if Arc::ptr_eq(entry, &self.campaign) && Arc::strong_count(entry) == 2 {
+                registry.remove(&self.token);
+            }
+        }
+    }
+}
+
 /// Opens (or rejoins) the campaign's journal, seeding the memo cache with
-/// every restored cell. Returns the campaign handle and how many cells it
+/// every restored cell. Returns the campaign lease and how many cells it
 /// already holds.
 fn open_campaign(
     state: &Arc<ServerState>,
     token: &str,
     key: &str,
     cell_cfg: &RunConfig,
-) -> io::Result<(Arc<Mutex<Campaign>>, usize)> {
+) -> io::Result<(CampaignLease, usize)> {
+    let lease = |campaign: &Arc<Mutex<Campaign>>| CampaignLease {
+        state: Arc::clone(state),
+        token: token.to_owned(),
+        campaign: Arc::clone(campaign),
+    };
     let mut registry = state.registry.lock().unwrap();
+    // Sweep stragglers: a handler that returned early (deadline, vanished
+    // client) cannot evict while its cell jobs still hold the campaign;
+    // once those finish, the entry sits at one strong ref until collected
+    // here. Re-opening from disk reproduces anything swept too eagerly.
+    registry.retain(|_, entry| Arc::strong_count(entry) > 1);
     if let Some(campaign) = registry.get(token) {
         let present = campaign.lock().unwrap().present.len();
-        return Ok((Arc::clone(campaign), present));
+        return Ok((lease(campaign), present));
     }
     std::fs::create_dir_all(&state.cfg.state_dir).map_err(|e| {
         io::Error::new(
@@ -823,7 +919,7 @@ fn open_campaign(
     state.stats.cells_restored.fetch_add(restored_count as u64, Ordering::Relaxed);
     let campaign = Arc::new(Mutex::new(Campaign { journal, present }));
     registry.insert(token.to_owned(), Arc::clone(&campaign));
-    Ok((campaign, restored_count))
+    Ok((lease(&campaign), restored_count))
 }
 
 fn error_frame(kind: &str, detail: &str) -> String {
@@ -878,7 +974,7 @@ fn handle_submit(state: &Arc<ServerState>, request: &Json, resp: &mut Responder)
 
     let cell_cfg = cell_config(&spec.cfg);
     let (key, token) = campaign_key(&cell_cfg, &spec.cells);
-    let (campaign, restored) = match open_campaign(state, &token, &key, &cell_cfg) {
+    let (lease, restored) = match open_campaign(state, &token, &key, &cell_cfg) {
         Ok(opened) => opened,
         Err(e) => {
             let _ = resp.status(500, "Internal Server Error", "");
@@ -886,6 +982,7 @@ fn handle_submit(state: &Arc<ServerState>, request: &Json, resp: &mut Responder)
             return;
         }
     };
+    let campaign = &lease.campaign;
 
     let total = spec.cells.len();
     if resp
@@ -1049,9 +1146,32 @@ mod tests {
         assert!(key1.starts_with("serve/p2/r600/"));
     }
 
+    /// The done-side of the cache is a bounded LRU: inserting past the cap
+    /// evicts the least recently *used* entry, and a claim refreshes
+    /// recency.
+    #[test]
+    fn cache_evicts_least_recently_used_beyond_cap() {
+        let cache = MemoCache::new(2);
+        let cfg = cell_config(&tiny_cfg());
+        let exps = [
+            Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8),
+            Experiment::paper(Workload::Water, Strategy::Pref, 8),
+            Experiment::paper(Workload::Water, Strategy::Pws, 8),
+        ];
+        let summary = Arc::new(execute_cell(&cfg, exps[0]).unwrap());
+        cache.insert_done((cfg, exps[0]), Arc::clone(&summary));
+        cache.insert_done((cfg, exps[1]), Arc::clone(&summary));
+        // Touch the oldest entry so the *other* one is LRU.
+        assert!(matches!(cache.claim((cfg, exps[0])), Claim::Hit(_)));
+        cache.insert_done((cfg, exps[2]), Arc::clone(&summary));
+        assert_eq!(cache.entries(), 2, "cap bounds the cache");
+        assert!(matches!(cache.claim((cfg, exps[0])), Claim::Hit(_)), "recently used survives");
+        assert!(matches!(cache.claim((cfg, exps[1])), Claim::Run(_)), "LRU entry was evicted");
+    }
+
     #[test]
     fn cache_coalesces_and_never_caches_errors() {
-        let cache = MemoCache::new();
+        let cache = MemoCache::new(MEMO_CACHE_CAP);
         let cfg = cell_config(&tiny_cfg());
         let exp = Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8);
         let key = (cfg, exp);
@@ -1073,7 +1193,7 @@ mod tests {
 
     #[test]
     fn cache_wait_honors_deadline_without_poisoning() {
-        let cache = MemoCache::new();
+        let cache = MemoCache::new(MEMO_CACHE_CAP);
         let cfg = cell_config(&tiny_cfg());
         let exp = Experiment::paper(Workload::Water, Strategy::Pref, 8);
         let key = (cfg, exp);
@@ -1103,7 +1223,7 @@ mod tests {
             state_dir: std::env::temp_dir().join("charlie-serve-test-unused"),
         };
         let state = ServerState {
-            cache: MemoCache::new(),
+            cache: MemoCache::new(MEMO_CACHE_CAP),
             pool: Pool::new(1),
             registry: Mutex::new(HashMap::new()),
             stats: Stats::default(),
@@ -1131,6 +1251,11 @@ mod tests {
             "{\"cmd\":\"submit\",\"grid\":\"nope\"}",
             "{\"cmd\":\"submit\",\"grid\":\"paper\",\"procs\":0}",
             "{\"cmd\":\"submit\",\"grid\":\"paper\",\"hw_prefetch\":\"bogus\"}",
+            // Unbounded work per cell is rejected up front: a refs count in
+            // the billions would pin pool workers past any deadline.
+            "{\"cmd\":\"submit\",\"grid\":\"paper\",\"refs\":99999999999}",
+            "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"Water\",\"strategy\":\"PREF\",\
+             \"transfer\":9999999,\"layout\":\"interleaved\"}]}",
         ] {
             let v = wire::parse(bad).unwrap();
             assert!(decode_submit(&state, &v).is_err(), "{bad} must be rejected");
@@ -1198,6 +1323,17 @@ mod tests {
         let cache = v.field("cache").unwrap();
         assert_eq!(cache.field("misses").unwrap().num().unwrap(), 2);
         assert!(cache.field("hits").unwrap().num().unwrap() >= 2, "second pass hits");
+
+        // Completed campaigns release their registry entry (and journal
+        // fd); the lease drops just after the client sees `done`, so poll.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !server.state.registry.lock().unwrap().is_empty() {
+            assert!(
+                Instant::now() < deadline,
+                "completed campaign must be evicted from the registry"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
 
         client::shutdown(&addr).unwrap();
         runner.join().unwrap();

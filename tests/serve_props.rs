@@ -379,6 +379,32 @@ proptest! {
         let pong = client::ping(addr).unwrap();
         prop_assert!(pong.contains("pong"), "daemon unresponsive after garbage: {pong}");
     }
+
+    /// Deeply nested request bodies never panic (or abort!) the daemon:
+    /// the parser's depth cap answers `bad_request` long before the
+    /// recursion could overflow the connection thread's stack — a stack
+    /// overflow is not catchable and would kill every in-flight campaign.
+    #[test]
+    fn deep_nesting_never_panics_the_daemon(
+        depth in 1usize..30_000,
+        obj in any::<bool>(),
+    ) {
+        let addr = garbage_server_addr();
+        let mut payload = Vec::new();
+        for _ in 0..depth {
+            payload.extend_from_slice(if obj { b"{\"k\":" } else { b"[" });
+        }
+        payload.push(b'0');
+        for _ in 0..depth {
+            payload.push(if obj { b'}' } else { b']' });
+        }
+        let reply = poke(addr, &payload);
+        if depth > 64 {
+            prop_assert!(reply.contains("bad_request"), "expected bad_request: {reply}");
+        }
+        let pong = client::ping(addr).unwrap();
+        prop_assert!(pong.contains("pong"), "daemon unresponsive after deep nesting: {pong}");
+    }
 }
 
 /// Malformed, oversized, or wrong-shape requests never panic the daemon:
