@@ -148,6 +148,27 @@ fi
 rm -f "$grid"
 echo "full grid byte-identical to experiments_output.txt with hw prefetch at degree 0"
 
+echo "== sampled simulation: calibration gate + exact-path identity =="
+# Two-sided gate on the sampled-simulation subsystem (DESIGN.md §17).
+# First: the measured estimation error on the quick calibration grid must
+# stay inside a CI tolerance. 160k refs/proc is ~5x smaller than the scale
+# the defaults are tuned for, so the gate is 10% — loose enough for the
+# extra sampling variance at this size, tight enough to catch estimator
+# regressions (the period-32 phase-aliasing bug measured 75% here).
+"${CLI[@]}" calibrate --grid quick --refs 160000 --jobs 8 --tolerance 10
+# Second: with the sampling code in the tree but --sample-mode absent, the
+# exact path must still reproduce the golden grid byte-for-byte.
+grid=$(mktemp -t charlie-ci-sampled.XXXXXX)
+cargo run -q --release -p charlie-bench --bin all_experiments >"$grid" 2>/dev/null
+if ! cmp -s experiments_output.txt "$grid"; then
+    echo "FAIL: exact path (sampling off) no longer reproduces" >&2
+    echo "      experiments_output.txt" >&2
+    diff experiments_output.txt "$grid" | head -20 >&2 || true
+    exit 1
+fi
+rm -f "$grid"
+echo "calibration inside 10% and exact path byte-identical with sampling off"
+
 echo "== chaos drill: crash-point matrix + live fault plans =="
 # Truncates the checkpoint journal at interior offsets and line boundaries,
 # arms every FaultKind against a live sweep, and crashes a bench snapshot

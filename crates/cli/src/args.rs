@@ -28,7 +28,8 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Known boolean switches (flags that take no value).
-const SWITCHES: &[&str] = &["json", "csv", "help", "check", "quick", "stats", "ping", "shutdown"];
+const SWITCHES: &[&str] =
+    &["json", "csv", "help", "check", "quick", "stats", "ping", "shutdown", "sampled"];
 
 impl Args {
     /// Parses a raw token stream (without the program name).

@@ -13,7 +13,9 @@ use charlie::chaos::{self, FaultKind, FaultPlan};
 use charlie::timeline::{saturation_summary, timeline_csv, timeline_json};
 use charlie::trace::{io as trace_io, Trace};
 use charlie::workloads::{generate, Layout, Workload, WorkloadConfig};
-use charlie::{experiments as exhibits, Experiment, Lab, ObserveSpec, RunConfig};
+use charlie::{
+    experiments as exhibits, Experiment, Lab, ObserveSpec, RunConfig, SamplingConfig, SamplingMode,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -172,18 +174,113 @@ fn simulate_prepared<W: Write>(
     Ok(())
 }
 
+/// Builds a [`SamplingConfig`] from `--sample-mode` plus optional knob
+/// overrides; `None` when `--sample-mode` is absent (the exact path).
+fn sampling_from_args(args: &Args) -> Result<Option<SamplingConfig>, ArgsError> {
+    let Some(mode_name) = args.get("sample-mode") else { return Ok(None) };
+    let mode = SamplingMode::parse(&mode_name.to_ascii_lowercase()).ok_or_else(|| {
+        ArgsError(format!("unknown --sample-mode {mode_name:?} (smarts, simpoint)"))
+    })?;
+    let defaults = match mode {
+        SamplingMode::Smarts => SamplingConfig::smarts(),
+        SamplingMode::Simpoint => SamplingConfig::simpoint(),
+    };
+    let scfg = SamplingConfig {
+        mode,
+        window_accesses: args.get_or("sample-window", defaults.window_accesses)?,
+        period: args.get_or("sample-period", defaults.period)?,
+        warmup: args.get_or("sample-warm", defaults.warmup)?,
+        max_k: args.get_or("sample-k", defaults.max_k)?,
+        seed: args.get_or("sample-seed", defaults.seed)?,
+        cold: args.get_or("sample-cold", defaults.cold)?,
+    };
+    scfg.validate().map_err(ArgsError)?;
+    Ok(Some(scfg))
+}
+
+/// One line summarizing a sampled estimate for text output.
+fn sampled_line(s: &charlie::SampledSummary) -> String {
+    let clusters = if s.mode == SamplingMode::Simpoint {
+        format!(", {} clusters", s.clusters)
+    } else {
+        String::new()
+    };
+    format!(
+        "sampled ({}): est {} ±{} cycles (99% CI, ±{:.1}%), bus util {:.3}; \
+         {} of {} windows detailed{clusters}, {} events",
+        s.mode,
+        s.est_cycles,
+        s.ci_cycles,
+        100.0 * s.relative_ci(),
+        s.bus_utilization(),
+        s.detailed_windows,
+        s.total_windows,
+        s.events
+    )
+}
+
+/// Appends the sampled-estimate fields to a JSON object.
+fn sampled_json(o: &mut JsonObject, s: &charlie::SampledSummary) {
+    let mut inner = JsonObject::new();
+    inner
+        .string("mode", s.mode.name())
+        .num("total_windows", s.total_windows)
+        .num("detailed_windows", s.detailed_windows)
+        .num("clusters", s.clusters)
+        .num("total_accesses", s.total_accesses)
+        .num("est_cycles", s.est_cycles)
+        .num("ci_cycles", s.ci_cycles)
+        .num("est_bus_busy", s.est_bus_busy)
+        .num("ci_bus_busy", s.ci_bus_busy)
+        .float("bus_utilization", s.bus_utilization())
+        .num("events", s.events);
+    o.raw("sampled", inner.finish());
+}
+
 /// `charlie run`.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "workload", "strategy", "transfer", "procs", "refs", "seed", "layout", "warmup",
         "victim", "protocol", "hw-prefetch", "sample-interval", "trace-out", "trace-cats",
+        "sample-mode", "sample-window", "sample-period", "sample-warm", "sample-k",
+        "sample-seed", "sample-cold",
     ])?;
     let (cfg, workload) = workload_config(args)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("pref"))?;
     let opts = MachineOpts::from_args(args)?;
+    let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
+    if let Some(scfg) = sampling_from_args(args)? {
+        // The sampled path owns the windowing machinery, so the
+        // measurement-warm-up and timeline hooks are mutually exclusive
+        // with it.
+        if opts.warmup != 0 {
+            return Err(ArgsError("--warmup cannot be combined with --sample-mode".into()));
+        }
+        if args.get("sample-interval").is_some() || args.get("trace-out").is_some() {
+            return Err(ArgsError(
+                "observability flags (--sample-interval/--trace-out) cannot be \
+                 combined with --sample-mode"
+                    .into(),
+            ));
+        }
+        let raw = generate(workload, &cfg);
+        let (prepared, sim_cfg) = prepare_cell(&raw, strategy, &opts)?;
+        let (report, sampled) = charlie::run_sampled_on_prepared(&sim_cfg, &prepared, &scfg)
+            .map_err(|e| ArgsError(e.to_string()))?;
+        let inserted = prepared.total_prefetches() as u64;
+        if args.switch("json") {
+            let mut o = JsonObject::new();
+            o.raw("report", report_json(&label, &report, inserted));
+            sampled_json(&mut o, &sampled);
+            let _ = writeln!(out, "{}", o.finish());
+        } else {
+            let _ = writeln!(out, "{label}: {report}");
+            let _ = writeln!(out, "{}", sampled_line(&sampled));
+        }
+        return Ok(());
+    }
     let obs = observability_from_args(args)?;
     let raw = generate(workload, &cfg);
-    let label = format!("{workload}/{strategy} @{}cy", opts.transfer);
     simulate_prepared(&label, &raw, strategy, &opts, obs, args.switch("json"), out)
 }
 
@@ -256,7 +353,8 @@ pub fn profile<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
             Some(cycle) => {
                 let _ = writeln!(
                     out,
-                    "bus saturation (>{:.0}% busy) from cycle {cycle}; {} of {} windows saturated",
+                    "bus saturation (>{:.0}% busy) from cycle {cycle}, measured at a \
+                     {interval}-cycle sample interval; {} of {} windows saturated",
                     charlie::timeline::SATURATION_THRESHOLD * 100.0,
                     sat.saturated_windows,
                     sat.windows
@@ -265,7 +363,8 @@ pub fn profile<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
             None => {
                 let _ = writeln!(
                     out,
-                    "bus never saturated (>{:.0}% busy); use --csv or --json for the full timeline",
+                    "bus never saturated (>{:.0}% busy) at a {interval}-cycle sample \
+                     interval; use --csv or --json for the full timeline",
                     charlie::timeline::SATURATION_THRESHOLD * 100.0
                 );
             }
@@ -516,15 +615,28 @@ pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> 
 pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&["label", "out", "baseline", "refs", "procs", "seed"])?;
     let quick = args.switch("quick");
+    let sampled = args.switch("sampled");
     let mut slice_cfg =
         if quick { charlie::bench::SliceConfig::quick() } else { charlie::bench::SliceConfig::full() };
     slice_cfg.refs_per_proc = args.get_or("refs", slice_cfg.refs_per_proc)?;
     slice_cfg.procs = args.get_or("procs", slice_cfg.procs)?;
     slice_cfg.seed = args.get_or("seed", slice_cfg.seed)?;
-    let default_label = if quick { "quick" } else { "full" };
+    let default_label =
+        if sampled { "sampled" } else if quick { "quick" } else { "full" };
     let label = args.get("label").unwrap_or(default_label);
 
-    let snapshot = charlie::bench::run_slice(label, &slice_cfg);
+    if sampled && args.get("baseline").is_some() {
+        // The sampled slice runs ~period-fold fewer events than exact, so
+        // the exact-throughput regression gate is meaningless for it.
+        return Err(ArgsError(
+            "--baseline compares exact-slice throughput; it cannot gate --sampled".into(),
+        ));
+    }
+    let snapshot = if sampled {
+        charlie::bench::run_sampled_slice(label, &slice_cfg, &SamplingConfig::smarts())
+    } else {
+        charlie::bench::run_slice(label, &slice_cfg)
+    };
     let _ = writeln!(out, "{}", snapshot.summary());
 
     if let Some(path) = args.get("out") {
@@ -569,6 +681,128 @@ pub fn bench<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
                 "events/sec regressed more than 20% vs {path} ({:.2}M < 0.8 x {:.2}M)",
                 measured / 1e6,
                 reference / 1e6,
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `charlie calibrate`: runs an experiment grid sampled *and* exact,
+/// reporting per-cell execution-time and bus-utilization error, wall-clock
+/// and event-count speedups, and CI coverage. With `--tolerance`, exits
+/// nonzero when any cell's error exceeds it — the CI gate for the sampled
+/// path.
+pub fn calibrate<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
+    args.expect_known(&[
+        "grid", "refs", "procs", "seed", "jobs", "tolerance", "sample-mode", "sample-window",
+        "sample-period", "sample-warm", "sample-k", "sample-seed", "sample-cold",
+    ])?;
+    let scfg = sampling_from_args(args)?.unwrap_or_else(SamplingConfig::smarts);
+    let grid = match args.get("grid").unwrap_or("quick") {
+        "quick" => charlie::quick_grid(),
+        "paper" | "full" => exhibits::full_grid(),
+        other => {
+            return Err(ArgsError(format!("unknown --grid {other:?} (quick, paper)")))
+        }
+    };
+    let cfg = RunConfig {
+        procs: args.get_or("procs", 8usize)?,
+        refs_per_proc: args.get_or("refs", 160_000usize)?,
+        seed: args.get_or("seed", 0xC0FFEEu64)?,
+        ..RunConfig::default()
+    };
+    let jobs = Lab::resolve_jobs(parse_jobs(args));
+    let cal = charlie::calibrate(&cfg, &scfg, &grid, jobs)
+        .map_err(|e| ArgsError(e.to_string()))?;
+
+    let tolerance: Option<f64> = match args.get("tolerance") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| ArgsError(format!("--tolerance: cannot parse {v:?} as percent")))?
+                / 100.0,
+        ),
+    };
+
+    if args.switch("json") {
+        let mut o = JsonObject::new();
+        o.string("mode", scfg.mode.name())
+            .num("window_accesses", scfg.window_accesses)
+            .num("cells", cal.cells.len() as u64)
+            .float("max_cycles_error", cal.max_cycles_error())
+            .float("mean_cycles_error", cal.mean_cycles_error())
+            .float("max_util_error", cal.max_util_error())
+            .float("mean_speedup", cal.mean_speedup())
+            .float("mean_event_speedup", cal.mean_event_speedup())
+            .float("ci_coverage", cal.ci_coverage());
+        let cells: Vec<String> = cal
+            .cells
+            .iter()
+            .map(|c| {
+                let mut co = JsonObject::new();
+                co.string("experiment", &c.experiment.to_string())
+                    .num("exact_cycles", c.exact_cycles)
+                    .num("est_cycles", c.sampled.est_cycles)
+                    .num("ci_cycles", c.sampled.ci_cycles)
+                    .float("cycles_error", c.cycles_error())
+                    .float("util_error", c.util_error())
+                    .float("speedup", c.speedup())
+                    .float("event_speedup", c.event_speedup())
+                    .raw("ci_contains_exact", c.ci_contains_cycles().to_string());
+                co.finish()
+            })
+            .collect();
+        o.raw("cells_detail", format!("[{}]", cells.join(",")));
+        let _ = writeln!(out, "{}", o.finish());
+    } else {
+        let _ = writeln!(
+            out,
+            "calibrate: {} ({}-access windows) over {} cells, {} refs/proc x {} procs",
+            scfg.mode,
+            scfg.window_accesses,
+            cal.cells.len(),
+            cfg.refs_per_proc,
+            cfg.procs
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>14} {:>14} {:>7} {:>7} {:>8} {:>8}  {}",
+            "cell", "exact cycles", "est cycles", "terr%", "uerr%", "speedup", "ev-spdup", "CI"
+        );
+        for c in &cal.cells {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>14} {:>14} {:>6.2} {:>6.2} {:>7.1}x {:>7.1}x  {}",
+                c.experiment.to_string(),
+                c.exact_cycles,
+                c.sampled.est_cycles,
+                100.0 * c.cycles_error(),
+                100.0 * c.util_error(),
+                c.speedup(),
+                c.event_speedup(),
+                if c.ci_contains_cycles() { "ok" } else { "MISS" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "summary: max time error {:.2}% (mean {:.2}%), max util error {:.2}%; \
+             geomean speedup {:.1}x wall, {:.1}x events; CI coverage {:.0}%",
+            100.0 * cal.max_cycles_error(),
+            100.0 * cal.mean_cycles_error(),
+            100.0 * cal.max_util_error(),
+            cal.mean_speedup(),
+            cal.mean_event_speedup(),
+            100.0 * cal.ci_coverage()
+        );
+    }
+
+    if let Some(tol) = tolerance {
+        let worst = cal.max_cycles_error().max(cal.max_util_error());
+        if worst > tol {
+            return Err(ArgsError(format!(
+                "sampling error {:.2}% exceeds tolerance {:.2}%",
+                100.0 * worst,
+                100.0 * tol
             )));
         }
     }

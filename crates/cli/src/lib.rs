@@ -43,6 +43,27 @@ COMMANDS:
                    --sample-interval N --trace-out FILE --trace-cats LIST
                                          observability hooks (see profile);
                                          run output stays byte-identical
+                   --sample-mode smarts|simpoint
+                                         sampled simulation: fast-forward
+                                         most windows functionally, simulate
+                                         a representative fraction in detail,
+                                         and report execution time and bus
+                                         utilization as estimates with a 99%
+                                         confidence interval (10-100x faster
+                                         on long traces; exact path untouched
+                                         when absent)
+                   --sample-window N     accesses per window (default 4096)
+                   --sample-period N     smarts: windows per detailed sample
+                                         (default 37; prime, so it cannot
+                                         alias with periodic workload phases)
+                   --sample-warm N       warm windows before each detailed
+                                         one (default 2)
+                   --sample-cold N       smarts: detailed cold-start windows
+                                         measured exactly, not extrapolated
+                                         (default 8)
+                   --sample-k N          simpoint: max clusters for the BIC
+                                         sweep (default 8)
+                   --sample-seed N       simpoint: k-means seed
   profile        time-resolved profile of one cell: a per-window timeline
                  (bus utilization/queueing, per-processor busy and stall,
                  fill latencies, prefetch-buffer occupancy) plus the
@@ -84,13 +105,30 @@ COMMANDS:
   bench          time the representative grid slice (Mp3d x all strategies x
                  all latencies) and print a BENCH_charlie.json-style snapshot
                    --quick          ~8x smaller slice (the CI smoke size)
-                   --label NAME     label the snapshot (default quick/full)
+                   --sampled        run the slice under SMARTS sampling
+                                    (DESIGN.md 17) instead of exact; the
+                                    snapshot's events count the sampled
+                                    run's (incompatible with --baseline)
+                   --label NAME     label the snapshot (default
+                                    quick/full/sampled)
                    --out FILE       write the snapshot as JSON to FILE
                                     (atomically: temp file + rename)
                    --baseline FILE  compare events/sec against FILE
                                     (runs.quick_baseline when --quick, else
                                     runs.after) and fail on a >20% regression
                    [--refs N --procs N --seed N]
+  calibrate      measure the sampled-simulation error empirically: run a
+                 grid sampled AND exact, print per-cell execution-time and
+                 bus-utilization error, wall-clock/event speedups, and
+                 whether each confidence interval contains the exact value;
+                 with --tolerance, exit nonzero when any error exceeds it
+                   --grid quick|paper  12-cell smoke grid or the full
+                                       149-cell paper grid (default quick)
+                   --tolerance PCT     error gate in percent (e.g. 2)
+                   [--refs N --procs N --seed N --jobs N --json
+                    --sample-mode … --sample-window N --sample-period N
+                    --sample-warm N --sample-cold N --sample-k N
+                    --sample-seed N]
   chaos          durability exercise: runs a reference sweep, then proves a
                  crash-point matrix over truncated journals, live injected
                  I/O faults (short/torn/enospc/eio/bitflip/crash), and
@@ -190,6 +228,7 @@ pub fn run_cli<W: Write>(argv: Vec<String>, out: &mut W) -> i32 {
         Some("run-trace") => commands::run_trace(&parsed, out),
         Some("experiments") => commands::experiments(&parsed, out),
         Some("bench") => commands::bench(&parsed, out),
+        Some("calibrate") => commands::calibrate(&parsed, out),
         Some("chaos") => commands::chaos(&parsed, out),
         Some("serve") => serve::serve(&parsed, out),
         Some("submit") => serve::submit(&parsed, out),

@@ -151,6 +151,73 @@ pub fn run_slice(label: &str, cfg: &SliceConfig) -> Snapshot {
     }
 }
 
+/// Runs the grid slice under SMARTS sampling (DESIGN.md §17) and measures
+/// it — the `sampled` entry in `BENCH_charlie.json`. Same 25 cells and
+/// shared-trace pipeline as [`run_slice`], but each cell simulates through
+/// [`crate::sampling::run_sampled_on_prepared`], so `events` counts the
+/// sampled run's scheduler events (period-fold fewer than exact) and
+/// `cycles_checksum` sums the *estimated* cycle counts: it proves two
+/// sampled snapshots estimated identically, not that they match exact.
+pub fn run_sampled_slice(
+    label: &str,
+    cfg: &SliceConfig,
+    scfg: &crate::SamplingConfig,
+) -> Snapshot {
+    let exps = slice_experiments();
+    let mut cell_ms: Vec<f64> = Vec::with_capacity(exps.len());
+    let mut sim_nanos: u128 = 0;
+    let mut events: u64 = 0;
+    let mut checksum: u64 = 0;
+    let slice_start = Instant::now();
+    let wcfg = WorkloadConfig {
+        procs: cfg.procs,
+        refs_per_proc: cfg.refs_per_proc,
+        seed: cfg.seed,
+        layout: Layout::Interleaved,
+    };
+    let gen_start = Instant::now();
+    let raw = generate(Workload::Mp3d, &wcfg);
+    raw.validate().expect("generated trace is valid");
+    let gen_share_ns = gen_start.elapsed().as_nanos() as f64 / exps.len() as f64;
+    for strategy in Strategy::ALL {
+        let apply_start = Instant::now();
+        let prepared =
+            charlie_prefetch::apply(strategy, &raw, charlie_cache::CacheGeometry::paper_default());
+        let cells: Vec<&Experiment> =
+            exps.iter().filter(|e| e.strategy == strategy).collect();
+        let apply_share_ns = apply_start.elapsed().as_nanos() as f64 / cells.len() as f64;
+        for exp in cells {
+            let sim_cfg = SimConfig::paper(cfg.procs, exp.transfer_cycles);
+            let sim_start = Instant::now();
+            let (report, summary) =
+                crate::sampling::run_sampled_on_prepared(&sim_cfg, &prepared, scfg)
+                    .unwrap_or_else(|e| panic!("sampled bench cell {exp}: {e}"));
+            sim_nanos += sim_start.elapsed().as_nanos();
+            events += summary.events;
+            checksum =
+                checksum.wrapping_add(report.cycles).wrapping_add(report.miss.cpu_misses());
+            let cell_nanos =
+                sim_start.elapsed().as_nanos() as f64 + apply_share_ns + gen_share_ns;
+            cell_ms.push(cell_nanos / 1e6);
+        }
+    }
+    let total_ms = slice_start.elapsed().as_nanos() as f64 / 1e6;
+    let sim_ms = sim_nanos as f64 / 1e6;
+    Snapshot {
+        label: label.to_owned(),
+        cells: exps.len(),
+        procs: cfg.procs,
+        refs_per_proc: cfg.refs_per_proc,
+        median_cell_ms: median(&mut cell_ms),
+        total_ms,
+        sim_ms,
+        events,
+        events_per_sec: if sim_ms > 0.0 { events as f64 * 1e3 / sim_ms } else { 0.0 },
+        peak_rss_kb: peak_rss_kb(),
+        cycles_checksum: checksum,
+    }
+}
+
 fn median(samples: &mut [f64]) -> f64 {
     if samples.is_empty() {
         return 0.0;

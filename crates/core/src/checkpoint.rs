@@ -172,6 +172,27 @@ pub fn encode_summary(summary: &RunSummary) -> String {
     if let Some(timeline) = &summary.timeline {
         let _ = write!(s, ",\"timeline\":{}", encode_timeline(timeline));
     }
+    // Optional field with the same compatibility contract: only
+    // sampled-simulation runs carry an estimate.
+    if let Some(sm) = &summary.sampled {
+        let _ = write!(
+            s,
+            ",\"sampled\":{{\"mode\":\"{}\",\"total_windows\":{},\
+             \"detailed_windows\":{},\"clusters\":{},\"total_accesses\":{},\
+             \"est_cycles\":{},\"ci_cycles\":{},\"est_bus_busy\":{},\
+             \"ci_bus_busy\":{},\"events\":{}}}",
+            sm.mode,
+            sm.total_windows,
+            sm.detailed_windows,
+            sm.clusters,
+            sm.total_accesses,
+            sm.est_cycles,
+            sm.ci_cycles,
+            sm.est_bus_busy,
+            sm.ci_bus_busy,
+            sm.events
+        );
+    }
     s.push('}');
     s
 }
@@ -327,6 +348,25 @@ pub fn decode_summary_value(v: &Json) -> Result<RunSummary, String> {
         report: decode_report(v.field("report")?)?,
         prefetches_inserted: v.field("prefetches_inserted")?.num()?,
         timeline: v.opt_field("timeline").map(decode_timeline).transpose()?,
+        sampled: v.opt_field("sampled").map(decode_sampled).transpose()?,
+    })
+}
+
+fn decode_sampled(v: &Json) -> Result<crate::sampling::SampledSummary, String> {
+    let mode_name = v.field("mode")?.str()?;
+    let mode = crate::sampling::SamplingMode::parse(mode_name)
+        .ok_or_else(|| format!("unknown sampling mode {mode_name:?}"))?;
+    Ok(crate::sampling::SampledSummary {
+        mode,
+        total_windows: v.field("total_windows")?.num()?,
+        detailed_windows: v.field("detailed_windows")?.num()?,
+        clusters: v.field("clusters")?.num()?,
+        total_accesses: v.field("total_accesses")?.num()?,
+        est_cycles: v.field("est_cycles")?.num()?,
+        ci_cycles: v.field("ci_cycles")?.num()?,
+        est_bus_busy: v.field("est_bus_busy")?.num()?,
+        ci_bus_busy: v.field("ci_bus_busy")?.num()?,
+        events: v.field("events")?.num()?,
     })
 }
 

@@ -96,6 +96,14 @@ pub struct RunConfig {
     /// than an [`Experiment`] axis: head-to-head exhibits build one private
     /// lab per prefetcher configuration.
     pub hw_prefetch: HwPrefetchConfig,
+    /// Sampled-simulation mode ([`crate::sampling`]). `None` (the default)
+    /// runs every cell fully detailed and is byte-identical to builds
+    /// without the feature. `Some` trades exact timing for a 10–100x
+    /// cheaper estimate with a confidence interval
+    /// ([`RunSummary::sampled`]); functional counters stay exact either
+    /// way. Sampled runs carry no [`Timeline`] — per-window observability
+    /// and sampled estimation own the same windowing machinery.
+    pub sampling: Option<crate::sampling::SamplingConfig>,
 }
 
 impl Default for RunConfig {
@@ -115,6 +123,7 @@ impl Default for RunConfig {
             geometry: CacheGeometry::paper_default(),
             wall_limit_ms,
             hw_prefetch: HwPrefetchConfig::OFF,
+            sampling: None,
         }
     }
 }
@@ -179,6 +188,13 @@ pub struct RunSummary {
     /// enabled ([`Lab::set_observe`]). `None` on unsampled runs — and on
     /// summaries restored from journals written by unsampled campaigns.
     pub timeline: Option<Timeline>,
+    /// Sampled-simulation estimate, present when the run executed under
+    /// [`RunConfig::sampling`]. `None` on exact runs — and on summaries
+    /// restored from journals written before the sampled mode existed.
+    /// When present, `report.cycles` and `report.bus.busy_cycles` are the
+    /// estimates (see [`crate::sampling`]); everything else in the report
+    /// is the sampled run's exact functional outcome.
+    pub sampled: Option<crate::sampling::SampledSummary>,
 }
 
 /// Why one experiment run failed.
@@ -414,9 +430,21 @@ fn run_on_prepared(
         hw_prefetch: cfg.hw_prefetch,
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
+    if let Some(scfg) = cfg.sampling {
+        let (report, sampled) =
+            crate::sampling::run_sampled_on_prepared(&sim_cfg, prepared, &scfg)
+                .map_err(RunError::Sim)?;
+        return Ok(RunSummary {
+            experiment: exp,
+            report,
+            prefetches_inserted,
+            timeline: None,
+            sampled: Some(sampled),
+        });
+    }
     let obs = observe.observability_for(exp)?;
     let (report, timeline) = simulate_observed_prevalidated(&sim_cfg, prepared, obs)?;
-    Ok(RunSummary { experiment: exp, report, prefetches_inserted, timeline })
+    Ok(RunSummary { experiment: exp, report, prefetches_inserted, timeline, sampled: None })
 }
 
 /// Runs one experiment against an already-validated raw trace.

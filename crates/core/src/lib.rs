@@ -46,6 +46,7 @@ mod lab;
 pub mod parallel;
 mod report;
 pub mod retry;
+pub mod sampling;
 pub mod timeline;
 pub mod wire;
 
@@ -55,6 +56,10 @@ pub use lab::{
     RunError, RunFailure, RunMeta, RunSummary, MAX_JOBS,
 };
 pub use report::{format_rate, Table};
+pub use sampling::{
+    calibrate, quick_grid, run_sampled_on_prepared, Calibration, CalibrationCell, SampledSummary,
+    SamplingConfig, SamplingMode,
+};
 
 /// Re-export: trace infrastructure.
 pub use charlie_trace as trace;

@@ -60,6 +60,9 @@ pub enum SimError {
     /// The coherence invariant checker ([`crate::check`]) found illegal
     /// protocol state after a bus transaction.
     InvariantViolation(CoherenceViolation),
+    /// A sampled-simulation plan failed structural validation (see
+    /// [`crate::SamplePlan::validate`]).
+    InvalidSamplePlan(String),
 }
 
 impl fmt::Display for SimError {
@@ -82,6 +85,7 @@ impl fmt::Display for SimError {
                  (cycle {cycles}, {retired} trace events retired, {blocked} procs blocked)"
             ),
             SimError::InvariantViolation(v) => write!(f, "coherence invariant violated: {v}"),
+            SimError::InvalidSamplePlan(e) => write!(f, "invalid sample plan: {e}"),
         }
     }
 }

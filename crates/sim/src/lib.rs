@@ -60,6 +60,7 @@ mod machine;
 mod metrics;
 mod proc;
 pub mod sample;
+pub mod sampling;
 pub mod sharers;
 mod sync;
 mod wheel;
@@ -76,6 +77,7 @@ pub use metrics::{
 pub use sample::{
     Observability, SampleConfig, Timeline, TraceCategories, TraceEmitter, WindowSample,
 };
+pub use sampling::{SamplePlan, SampledWindow, Schedule, WindowKind};
 
 use charlie_trace::Trace;
 
@@ -87,7 +89,7 @@ use charlie_trace::Trace;
 /// does not match the configuration, or the machine deadlocks (which a
 /// validated trace cannot cause).
 pub fn simulate(cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
-    Ok(machine::Machine::new(*cfg, trace)?.run()?.0)
+    Ok(machine::Machine::new(*cfg, trace)?.run()?.report)
 }
 
 /// [`simulate`], but additionally returns the number of scheduler events the
@@ -99,8 +101,8 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
 ///
 /// Same failure modes as [`simulate`].
 pub fn simulate_counted(cfg: &SimConfig, trace: &Trace) -> Result<(SimReport, u64), SimError> {
-    let (report, _, events) = machine::Machine::new(*cfg, trace)?.run()?;
-    Ok((report, events))
+    let out = machine::Machine::new(*cfg, trace)?.run()?;
+    Ok((out.report, out.events))
 }
 
 /// [`simulate`] with opt-in observability attachments (see
@@ -117,8 +119,8 @@ pub fn simulate_observed(
     trace: &Trace,
     obs: Observability,
 ) -> Result<(SimReport, Option<Timeline>), SimError> {
-    let (report, timeline, _) = machine::Machine::new_observed(*cfg, trace, obs)?.run()?;
-    Ok((report, timeline))
+    let out = machine::Machine::new_observed(*cfg, trace, obs)?.run()?;
+    Ok((out.report, out.timeline))
 }
 
 /// [`simulate_observed`] on a caller-validated trace (the `Lab` batch path).
@@ -131,9 +133,8 @@ pub fn simulate_observed_prevalidated(
     trace: &Trace,
     obs: Observability,
 ) -> Result<(SimReport, Option<Timeline>), SimError> {
-    let (report, timeline, _) =
-        machine::Machine::new_prevalidated_observed(*cfg, trace, obs)?.run()?;
-    Ok((report, timeline))
+    let out = machine::Machine::new_prevalidated_observed(*cfg, trace, obs)?.run()?;
+    Ok((out.report, out.timeline))
 }
 
 /// [`simulate`] minus the upfront `trace.validate()` pass: the caller vouches
@@ -146,7 +147,7 @@ pub fn simulate_observed_prevalidated(
 ///
 /// Same failure modes as [`simulate`] except [`SimError::InvalidTrace`].
 pub fn simulate_prevalidated(cfg: &SimConfig, trace: &Trace) -> Result<SimReport, SimError> {
-    Ok(machine::Machine::new_prevalidated(*cfg, trace)?.run()?.0)
+    Ok(machine::Machine::new_prevalidated(*cfg, trace)?.run()?.report)
 }
 
 /// [`simulate_counted`] on a caller-validated trace — the combination the
@@ -160,8 +161,71 @@ pub fn simulate_counted_prevalidated(
     cfg: &SimConfig,
     trace: &Trace,
 ) -> Result<(SimReport, u64), SimError> {
-    let (report, _, events) = machine::Machine::new_prevalidated(*cfg, trace)?.run()?;
-    Ok((report, events))
+    let out = machine::Machine::new_prevalidated(*cfg, trace)?.run()?;
+    Ok((out.report, out.events))
+}
+
+/// The result of one sampled simulation pass: the (approximate) report, the
+/// per-window records the estimator and phase clustering consume, and the
+/// number of scheduler events processed (the sampled-speedup numerator).
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// The machine's report. In sampled mode its timing mixes detailed and
+    /// fast-forward windows — use the window records, not this, for
+    /// estimates; its *functional* counters (misses, access mix) are exact.
+    pub report: SimReport,
+    /// One record per access window, in order, tagged Fast/Warm/Detailed.
+    pub windows: Vec<SampledWindow>,
+    /// Scheduler events processed.
+    pub events: u64,
+}
+
+/// Runs `trace` under sampled simulation: windows execute detailed or
+/// functional-fast-forward according to `plan` (see [`SamplePlan`]), and one
+/// [`SampledWindow`] is recorded per window. The machine's functional state
+/// (caches, coherence, synchronization order) is maintained exactly in every
+/// mode; only timing fidelity varies by window kind.
+///
+/// The configuration must have `warmup_accesses == 0`: sampled runs replace
+/// the statistics warm-up with warm windows.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`], plus [`SimError::InvalidTrace`]-style
+/// validation of the plan itself (degenerate plans are rejected).
+pub fn simulate_sampled(
+    cfg: &SimConfig,
+    trace: &Trace,
+    plan: &SamplePlan,
+) -> Result<SampledRun, SimError> {
+    plan.validate().map_err(SimError::InvalidSamplePlan)?;
+    if cfg.warmup_accesses != 0 {
+        return Err(SimError::InvalidSamplePlan(
+            "sampled simulation requires warmup_accesses == 0 (warm windows replace it)".into(),
+        ));
+    }
+    let out = machine::Machine::new(*cfg, trace)?.with_plan(plan.clone()).run()?;
+    Ok(SampledRun { report: out.report, windows: out.windows, events: out.events })
+}
+
+/// [`simulate_sampled`] on a caller-validated trace (the batch path).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_sampled`] except trace validation.
+pub fn simulate_sampled_prevalidated(
+    cfg: &SimConfig,
+    trace: &Trace,
+    plan: &SamplePlan,
+) -> Result<SampledRun, SimError> {
+    plan.validate().map_err(SimError::InvalidSamplePlan)?;
+    if cfg.warmup_accesses != 0 {
+        return Err(SimError::InvalidSamplePlan(
+            "sampled simulation requires warmup_accesses == 0 (warm windows replace it)".into(),
+        ));
+    }
+    let out = machine::Machine::new_prevalidated(*cfg, trace)?.with_plan(plan.clone()).run()?;
+    Ok(SampledRun { report: out.report, windows: out.windows, events: out.events })
 }
 
 #[cfg(test)]
@@ -999,6 +1063,149 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---- sampled simulation ------------------------------------------
+
+    /// An all-detailed plan adds only window bookkeeping: the report must be
+    /// bit-identical to the plain path's on contended multiprocessor runs.
+    #[test]
+    fn sampled_all_detailed_is_exact() {
+        for seed in 0..20 {
+            let (n, t) = contended_mixed_trace(seed);
+            let cfg = SimConfig { num_procs: n, warmup_accesses: 0, ..SimConfig::default() };
+            let exact = simulate(&cfg, &t).unwrap();
+            let plan = SamplePlan::periodic(37, 1, 0);
+            let run = simulate_sampled(&cfg, &t, &plan).unwrap();
+            assert_eq!(run.report, exact, "seed {seed}: all-detailed must match exact");
+            let total: u64 = run.windows.iter().map(|w| w.accesses).sum();
+            assert_eq!(total, exact.reads + exact.writes, "seed {seed}: windows must tile");
+            assert!(run.windows.iter().all(|w| w.kind == WindowKind::Detailed));
+        }
+    }
+
+    /// Sampled runs keep functional state exact: window records tile the
+    /// demand-access stream, every mode appears, the coherence checker stays
+    /// green, and the run is deterministic.
+    #[test]
+    fn sampled_mixed_plan_is_consistent_and_deterministic() {
+        for seed in 0..20 {
+            let (n, t) = contended_mixed_trace(seed);
+            let cfg = SimConfig {
+                num_procs: n,
+                warmup_accesses: 0,
+                check_invariants: true,
+                ..SimConfig::default()
+            };
+            let plan = SamplePlan::periodic(23, 4, 1);
+            let a = simulate_sampled(&cfg, &t, &plan).unwrap();
+            let b = simulate_sampled(&cfg, &t, &plan).unwrap();
+            assert_eq!(a.report, b.report, "seed {seed}: sampled runs must be deterministic");
+            assert_eq!(a.windows, b.windows, "seed {seed}");
+            let total: u64 = a.windows.iter().map(|w| w.accesses).sum();
+            assert_eq!(total, a.report.reads + a.report.writes, "seed {seed}: windows tile");
+            // Every full window holds exactly the plan quota.
+            for w in &a.windows[..a.windows.len() - 1] {
+                assert_eq!(w.accesses, 23, "seed {seed} window {}", w.index);
+            }
+            // Fast windows submit no bus transactions of their own; the only
+            // bus traffic they can carry is the preceding detailed window's
+            // in-flight stragglers draining (plus rare conflict fallbacks),
+            // so across the run the detailed/warm windows must account for
+            // the overwhelming share of bus operations.
+            let (fast_ops, slow_ops): (u64, u64) = a.windows.iter().fold((0, 0), |(f, s), w| {
+                if w.kind == WindowKind::Fast {
+                    (f + w.bus_ops, s)
+                } else {
+                    (f, s + w.bus_ops)
+                }
+            });
+            assert!(
+                fast_ops <= slow_ops,
+                "seed {seed}: fast windows carried {fast_ops} bus ops vs {slow_ops} detailed"
+            );
+        }
+    }
+
+    /// Pure fast-forward: functionally complete (every access retires, the
+    /// checker stays green) with zero bus traffic, and much cheaper in
+    /// scheduler events than the detailed run.
+    #[test]
+    fn pure_fast_forward_is_functional_and_cheap() {
+        for seed in 0..10 {
+            let (n, t) = contended_mixed_trace(seed);
+            let cfg = SimConfig {
+                num_procs: n,
+                warmup_accesses: 0,
+                check_invariants: true,
+                ..SimConfig::default()
+            };
+            let exact = simulate_counted(&cfg, &t).unwrap();
+            let ff = simulate_sampled(&cfg, &t, &SamplePlan::fast_forward(16)).unwrap();
+            assert_eq!(
+                ff.report.reads + ff.report.writes,
+                exact.0.reads + exact.0.writes,
+                "seed {seed}: every access retires under fast-forward"
+            );
+            assert_eq!(ff.report.bus.total_ops(), 0, "seed {seed}: no bus traffic in pure FF");
+            assert!(
+                ff.events < exact.1,
+                "seed {seed}: FF must process fewer events ({} vs {})",
+                ff.events,
+                exact.1
+            );
+        }
+    }
+
+    /// Software prefetching under fast-forward: the oracle trace's prefetch
+    /// accounting stays a partition and the run completes.
+    #[test]
+    fn fast_forward_handles_prefetch_traces() {
+        let mut b = TraceBuilder::new(2);
+        for p in 0..2 {
+            let mut pb = b.proc(p);
+            for i in 0..40u64 {
+                pb.prefetch(Addr::new(0x4000 + p as u64 * 0x100_000 + i * 32));
+                pb.work(3);
+                pb.read(Addr::new(0x4000 + p as u64 * 0x100_000 + i * 32));
+                pb.write(Addr::new(0x9000 + (i % 4) * 32));
+            }
+        }
+        let t = b.build();
+        let cfg = SimConfig {
+            num_procs: 2,
+            warmup_accesses: 0,
+            check_invariants: true,
+            ..SimConfig::default()
+        };
+        let run = simulate_sampled(&cfg, &t, &SamplePlan::periodic(16, 3, 1)).unwrap();
+        let pf = run.report.prefetch;
+        assert_eq!(pf.executed, 80, "every prefetch dispatches");
+        assert_eq!(
+            pf.hits + pf.duplicates + pf.fills,
+            pf.executed,
+            "prefetch outcomes partition: {pf:?}"
+        );
+    }
+
+    /// Degenerate plans and leftover statistics warm-up are rejected up
+    /// front, not at panic depth.
+    #[test]
+    fn sampled_rejects_bad_plans() {
+        let mut b = TraceBuilder::new(1);
+        b.proc(0).read(Addr::new(0x100));
+        let t = b.build();
+        let cfg = SimConfig::default();
+        let bad = SamplePlan::periodic(0, 4, 1);
+        assert!(matches!(
+            simulate_sampled(&cfg, &t, &bad),
+            Err(SimError::InvalidSamplePlan(_))
+        ));
+        let warm = SimConfig { warmup_accesses: 10, ..SimConfig::default() };
+        assert!(matches!(
+            simulate_sampled(&warm, &t, &SamplePlan::periodic(8, 2, 0)),
+            Err(SimError::InvalidSamplePlan(_))
+        ));
     }
 }
 

@@ -31,6 +31,7 @@ use crate::error::SimError;
 use crate::metrics::{HwPrefetchStats, MissBreakdown, PrefetchStats, SimReport};
 use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
 use crate::sample::{CounterSnapshot, Gauges, Observability, Sampler, Timeline, TraceEmitter};
+use crate::sampling::{SamplePlan, SampledWindow, WindowKind};
 use crate::sharers::SharerTable;
 use crate::sync::{BarrierState, LockTable};
 use charlie_bus::{Bus, GrantOutcome, Priority, TxnId};
@@ -99,6 +100,32 @@ struct Tallies {
     fill_latency: crate::metrics::LatencyStats,
     prefetch: PrefetchStats,
     hw: HwPrefetchStats,
+}
+
+/// How far (in cycles) a processor may run ahead of the next scheduled
+/// event before yielding, *in fast-forward windows only*. Detailed windows
+/// keep the strict `t_next <= t` yield that serializes coherence actions in
+/// global time order; fast-forward trades that precision for long
+/// uninterrupted bursts of trace execution. Local clocks therefore diverge
+/// by at most this many cycles during fast-forward, which bounds the
+/// approximation error of functional snoop ordering.
+const FF_RUN_AHEAD: u64 = 4096;
+
+/// State of an attached [`SamplePlan`]: the current window's position and
+/// counter base, plus the per-window records handed back to the estimator.
+struct PlanState {
+    plan: SamplePlan,
+    /// Index of the window currently filling.
+    win_idx: u64,
+    /// Demand accesses left before the current window closes.
+    win_left: u64,
+    /// Cycle the current window opened (monotone).
+    win_start: u64,
+    /// Counter base at the window open.
+    base: CounterSnapshot,
+    /// Classified-miss counter at the window open.
+    base_misses: u64,
+    records: Vec<SampledWindow>,
 }
 
 /// On-line hardware-prefetcher state, present only when
@@ -189,6 +216,31 @@ pub(crate) struct Machine<'t> {
     /// Wall-clock deadline from `SimConfig::wall_limit_ms` (`None` = off),
     /// checked every 4096 events so the hot loop never reads the clock.
     wall_deadline: Option<std::time::Instant>,
+    /// Sampled-simulation plan; `None` (the default) is the zero-cost path
+    /// (one `Option` branch per retired access) and keeps every report
+    /// bit-identical to a build without the hooks.
+    plan: Option<PlanState>,
+    /// The current plan window is fast-forward: misses fill functionally at
+    /// the unloaded latency instead of queueing on the bus. Always `false`
+    /// without a plan, so the detailed path is untouched.
+    ff_active: bool,
+    /// Transactions registered but not yet completed; lets the fast-forward
+    /// conflict check skip the slab scan in the (dominant) drained case.
+    live_txns: usize,
+    /// Reusable barrier-release buffer: `retire_pending` drains the barrier
+    /// waiter list into this instead of allocating a fresh `Vec` per
+    /// barrier episode (the last per-episode allocation in the hot path).
+    barrier_scratch: Vec<ProcId>,
+}
+
+/// Everything one machine run produces.
+pub(crate) struct MachineOutput {
+    pub report: SimReport,
+    pub timeline: Option<Timeline>,
+    /// Per-window records of an attached [`SamplePlan`]; empty without one.
+    pub windows: Vec<SampledWindow>,
+    /// Scheduler events processed (the throughput denominator).
+    pub events: u64,
 }
 
 impl<'t> Machine<'t> {
@@ -280,10 +332,43 @@ impl<'t> Machine<'t> {
             wall_deadline: (cfg.wall_limit_ms > 0).then(|| {
                 std::time::Instant::now() + std::time::Duration::from_millis(cfg.wall_limit_ms)
             }),
+            plan: None,
+            ff_active: false,
+            live_txns: 0,
+            barrier_scratch: Vec::new(),
         })
     }
 
-    pub(crate) fn run(mut self) -> Result<(SimReport, Option<Timeline>, u64), SimError> {
+    /// Attaches a sampled-simulation plan. Must be called before `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid plan (see [`SamplePlan::validate`])
+    /// or when combined with statistics warm-up (`warmup_accesses > 0`):
+    /// warm-up zeroes the tallies mid-run, which would corrupt the plan's
+    /// counter deltas — sampled runs use warm windows instead.
+    pub(crate) fn with_plan(mut self, plan: SamplePlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid sample plan: {e}");
+        }
+        assert_eq!(
+            self.cfg.warmup_accesses, 0,
+            "sampled simulation replaces statistics warm-up with warm windows"
+        );
+        self.ff_active = plan.kind_of(0) == WindowKind::Fast;
+        self.plan = Some(PlanState {
+            win_left: plan.window_accesses,
+            win_idx: 0,
+            win_start: 0,
+            base: CounterSnapshot::default(),
+            base_misses: 0,
+            records: Vec::new(),
+            plan,
+        });
+        self
+    }
+
+    pub(crate) fn run(mut self) -> Result<MachineOutput, SimError> {
         for p in 0..self.cfg.num_procs {
             let e = self.epochs[p];
             self.push(0, EventKind::Wake { proc: p as u8, epoch: e });
@@ -372,8 +457,19 @@ impl<'t> Machine<'t> {
                 .map_err(SimError::InvariantViolation)?;
             }
         }
+        // Close the trailing partial plan window (a no-op when the run
+        // ended exactly on a window boundary).
+        let windows = if self.plan.is_some() {
+            let finish = self.finish_time;
+            if self.plan.as_ref().is_some_and(|ps| ps.win_left < ps.plan.window_accesses) {
+                self.close_plan_window_at(finish);
+            }
+            std::mem::take(&mut self.plan.as_mut().expect("checked above").records)
+        } else {
+            Vec::new()
+        };
         let (report, timeline) = self.into_report();
-        Ok((report, timeline, events_processed))
+        Ok(MachineOutput { report, timeline, windows, events: events_processed })
     }
 
     /// Reads the monotone counters the sampler windows over.
@@ -413,6 +509,59 @@ impl<'t> Machine<'t> {
             s.close_at(boundary, snap, gauges);
             self.sample_next_at = s.next_at();
         }
+    }
+
+    /// One retired demand access under an attached plan: close the window
+    /// when its access quota is exhausted.
+    #[inline]
+    fn plan_count(&mut self, p: usize) {
+        let ps = self.plan.as_mut().expect("plan_count requires a plan");
+        ps.win_left -= 1;
+        if ps.win_left == 0 {
+            let now = self.procs[p].t;
+            self.close_plan_window_at(now);
+        }
+    }
+
+    /// Closes the current plan window at cycle `now`: records its counter
+    /// deltas, opens the next window, and switches the execution mode to
+    /// the next window's kind. Out of the per-access hot path.
+    #[cold]
+    fn close_plan_window_at(&mut self, now: u64) {
+        let snap = self.counter_snapshot();
+        let misses = self.tallies.miss.cpu_misses();
+        let ps = self.plan.as_mut().expect("closing a plan window without a plan");
+        // Processor-local clocks diverge during fast-forward, so the close
+        // cycle is clamped monotone; spans stay well-defined.
+        let end = now.max(ps.win_start);
+        let b = &ps.base;
+        let mut fill_buckets = [0u64; 7];
+        for (d, (n, o)) in
+            fill_buckets.iter_mut().zip(snap.fill_buckets.iter().zip(b.fill_buckets.iter()))
+        {
+            *d = n - o;
+        }
+        ps.records.push(SampledWindow {
+            index: ps.win_idx,
+            kind: ps.plan.kind_of(ps.win_idx),
+            start: ps.win_start,
+            end,
+            accesses: snap.accesses - b.accesses,
+            misses: misses - ps.base_misses,
+            proc_busy: snap.proc_busy - b.proc_busy,
+            proc_stall: snap.proc_stall - b.proc_stall,
+            bus_busy: snap.bus_busy - b.bus_busy,
+            bus_ops: snap.bus_ops - b.bus_ops,
+            bus_queueing: snap.bus_queueing - b.bus_queueing,
+            fills: snap.fills - b.fills,
+            fill_buckets,
+        });
+        ps.base = snap;
+        ps.base_misses = misses;
+        ps.win_start = end;
+        ps.win_idx += 1;
+        ps.win_left = ps.plan.window_accesses;
+        self.ff_active = ps.plan.kind_of(ps.win_idx) == WindowKind::Fast;
     }
 
     /// Re-derives invariants 1–2 for `line` after a coherence action,
@@ -530,6 +679,7 @@ impl<'t> Machine<'t> {
         }
         debug_assert!(self.txns[idx].is_none(), "slab slot of {id} still occupied");
         self.txns[idx] = Some(info);
+        self.live_txns += 1;
     }
 
     /// Schedules a wake that is valid only while the target's epoch is
@@ -584,9 +734,14 @@ impl<'t> Machine<'t> {
                 Flow::Continue => {}
             }
             // Yield whenever any other event is due at or before local time.
+            // Fast-forward windows relax the check by a run-ahead quantum:
+            // with misses filling functionally there is no bus state to keep
+            // in lockstep, and long uninterrupted bursts of trace execution
+            // are where the fast-forward speedup comes from.
             let t = self.procs[p].t;
             if let Some(t_next) = self.heap.next_time() {
-                if t_next <= t {
+                let slack = if self.ff_active { FF_RUN_AHEAD } else { 0 };
+                if t_next + slack <= t {
                     self.push_wake(t, p);
                     return;
                 }
@@ -684,6 +839,12 @@ impl<'t> Machine<'t> {
             self.procs[p].cursor += 1;
             return Flow::Continue;
         }
+        if self.ff_ready(line) {
+            // Fast-forward fills install instantly and never occupy a buffer
+            // slot, so a full buffer (detailed-era stragglers) cannot stall.
+            let word = self.cfg.geometry.word_index(addr);
+            return self.ff_prefetch(p, line, exclusive, word);
+        }
         if outstanding_full {
             self.tallies.prefetch.buffer_stalls += 1;
             self.block_proc(p, ProcStatus::WaitPrefetchSlot);
@@ -772,6 +933,22 @@ impl<'t> Machine<'t> {
         self.tallies.prefetch.executed += 1;
         self.tallies.prefetch.fills += 1;
         self.tallies.hw.issued += 1;
+        if self.ff_ready(line) {
+            // Fast-forward: the prediction lands instantly, ahead of demand
+            // by construction — it awaits a useful/useless verdict like a
+            // detailed fill that completed before the demand stream arrived.
+            let others = self.ff_apply_snoops(p, line, BusOp::Read, 0);
+            let now = self.procs[p].t;
+            if let Some(tr) = &mut self.tracer {
+                tr.prefetch(now, p, line, "issued");
+            }
+            self.install_fill(p, line, BusOp::Read, others, true, now);
+            if let Some(hw) = self.hw.as_mut() {
+                hw.unused[p].insert(line);
+            }
+            self.verify_line(line);
+            return;
+        }
         let now = self.procs[p].t;
         let priority = if self.cfg.prefetch_demand_priority {
             Priority::Demand
@@ -870,6 +1047,9 @@ impl<'t> Machine<'t> {
                         return self.retire_pending(p);
                     }
                     self.tallies.upgrades += 1;
+                    if self.ff_ready(line) {
+                        return self.ff_upgrade(p, line, word);
+                    }
                     let txn =
                         self.bus.submit(now, ProcId(p as u8), line, BusOp::Upgrade, Priority::Demand);
                     self.register_txn(
@@ -934,6 +1114,9 @@ impl<'t> Machine<'t> {
                     // a bus transaction.
                     self.tallies.demand_refills += 1;
                 }
+                if self.ff_ready(line) {
+                    return self.ff_fill(p, line, is_write, word);
+                }
                 let op = if is_write && self.cfg.protocol == Protocol::WriteInvalidate {
                     BusOp::ReadExclusive
                 } else {
@@ -961,6 +1144,159 @@ impl<'t> Machine<'t> {
         }
     }
 
+    // ---- functional fast-forward --------------------------------------
+    //
+    // Fast-forward windows keep the machine's *state* exact — caches,
+    // coherence, sharer table, lock/barrier order, prefetch classification —
+    // while replacing every bus interaction with its immediate functional
+    // effect: snoops apply at the requestor's local time, fills install
+    // instantly, and the processor is charged the fixed unloaded latency.
+    // No bus transaction is submitted, so the contended-timing machinery
+    // (arbitration, queueing, transfer occupancy) is skipped entirely.
+    // Transactions submitted in a preceding detailed window keep draining
+    // through the event loop, so mode transitions need no flush.
+
+    /// True when `line` may be handled functionally right now: fast-forward
+    /// is on and no detailed-era transaction is in flight for it. A granted
+    /// transaction snoops at grant time but installs at completion — an
+    /// instant functional install interleaved between the two would leave
+    /// stale coherence state behind (e.g. a Shared install racing a
+    /// ReadExclusive), so conflicting accesses fall back to the detailed
+    /// path and serialize on the bus. The slab drains within a few accesses
+    /// of entering a fast window, after which this is a single compare.
+    fn ff_ready(&self, line: LineAddr) -> bool {
+        self.ff_active
+            && (self.live_txns == 0
+                || !self.txns.iter().flatten().any(|info| match info.action {
+                    // A write-back carries no install and no snoop effect.
+                    TxnAction::WriteBack => false,
+                    TxnAction::DemandFill { line: l, .. }
+                    | TxnAction::PrefetchFill { line: l, .. }
+                    | TxnAction::Upgrade { line: l, .. } => l == line,
+                }))
+    }
+
+    /// Applies the functional coherence effect of `op` by `p` on `line` to
+    /// every other holder; returns the Illinois sharing wire (whether any
+    /// other cache held a valid copy).
+    fn ff_apply_snoops(&mut self, p: usize, line: LineAddr, op: BusOp, word: u32) -> bool {
+        self.verify_sharer_mask(line);
+        let now = self.procs[p].t;
+        let mut others = false;
+        let mut holders = self.snoop_candidates(line) & !(1u64 << p);
+        while holders != 0 {
+            let q = holders.trailing_zeros() as usize;
+            holders &= holders - 1;
+            match op {
+                BusOp::Read => {
+                    // A dirty owner supplies the data; the reflective
+                    // memory update is free in fast-forward (no posted
+                    // write-back occupies a bus that is not being timed).
+                    if self.caches[q].snoop_downgrade(line).is_some() {
+                        others = true;
+                    }
+                }
+                BusOp::ReadExclusive => {
+                    if self.invalidate_in(now, q, line, word) {
+                        others = true;
+                    }
+                }
+                BusOp::Upgrade | BusOp::WriteBack => unreachable!("fills only"),
+            }
+        }
+        others
+    }
+
+    /// Fast-forward demand miss: snoop functionally, install the fill, and
+    /// charge the unloaded fill latency as stall. The still-pending access
+    /// re-dispatches immediately and hits.
+    fn ff_fill(&mut self, p: usize, line: LineAddr, is_write: bool, word: u32) -> Flow {
+        let op = if is_write && self.cfg.protocol == Protocol::WriteInvalidate {
+            BusOp::ReadExclusive
+        } else {
+            BusOp::Read
+        };
+        let others = self.ff_apply_snoops(p, line, op, word);
+        let lat = self.cfg.bus.total_latency;
+        let proc = &mut self.procs[p];
+        proc.t += lat;
+        proc.stats.stall_cycles += lat;
+        let now = proc.t;
+        self.tallies.fill_latency.record(lat);
+        self.install_fill(p, line, op, others, false, now);
+        self.verify_line(line);
+        Flow::Continue
+    }
+
+    /// Fast-forward upgrade: the coherence effect of the invalidation (or
+    /// word broadcast) applies immediately and the store pays only the
+    /// address-slot occupancy as stall.
+    fn ff_upgrade(&mut self, p: usize, line: LineAddr, word: u32) -> Flow {
+        let lat = self.cfg.bus.invalidate_cycles;
+        let proc = &mut self.procs[p];
+        proc.t += lat;
+        proc.stats.stall_cycles += lat;
+        let now = proc.t;
+        match self.cfg.protocol {
+            Protocol::WriteInvalidate => {
+                let mut holders = self.snoop_candidates(line) & !(1u64 << p);
+                while holders != 0 {
+                    let q = holders.trailing_zeros() as usize;
+                    holders &= holders - 1;
+                    self.invalidate_in(now, q, line, word);
+                }
+                if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                    self.caches[p]
+                        .frame_mut(line, way)
+                        .downgrade(charlie_cache::LineState::PrivateDirty);
+                }
+            }
+            Protocol::WriteUpdate => {
+                let others = if self.snoop_filter {
+                    self.sharers.mask(line) & !(1u64 << p) != 0
+                } else {
+                    (0..self.cfg.num_procs)
+                        .any(|q| q != p && self.caches[q].state_of(line).is_some())
+                };
+                if others {
+                    // Sharers remain: the retried store observes the
+                    // completed broadcast and retires shared.
+                    if let Some(pa) = self.procs[p].pending.as_mut() {
+                        pa.update_complete = true;
+                    }
+                } else if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                    self.caches[p]
+                        .frame_mut(line, way)
+                        .downgrade(charlie_cache::LineState::PrivateDirty);
+                }
+            }
+        }
+        self.verify_line(line);
+        Flow::Continue
+    }
+
+    /// Fast-forward software prefetch: the fill installs instantly (the
+    /// buffer is never occupied, so the processor cannot stall on a slot).
+    fn ff_prefetch(&mut self, p: usize, line: LineAddr, exclusive: bool, word: u32) -> Flow {
+        self.charge_dispatch_cycle(p);
+        self.tallies.prefetch.executed += 1;
+        self.tallies.prefetch.fills += 1;
+        let op = if exclusive && self.cfg.protocol == Protocol::WriteInvalidate {
+            BusOp::ReadExclusive
+        } else {
+            BusOp::Read
+        };
+        let others = self.ff_apply_snoops(p, line, op, word);
+        let now = self.procs[p].t;
+        if let Some(tr) = &mut self.tracer {
+            tr.prefetch_with(now, p, line, "executed", "outcome", "issued");
+        }
+        self.install_fill(p, line, op, others, true, now);
+        self.verify_line(line);
+        self.procs[p].cursor += 1;
+        Flow::Continue
+    }
+
     fn count_access(&mut self, p: usize, is_write: bool) {
         if is_write {
             self.tallies.writes += 1;
@@ -974,6 +1310,9 @@ impl<'t> Machine<'t> {
                 let now = self.procs[p].t;
                 self.open_stats_window(now);
             }
+        }
+        if self.plan.is_some() {
+            self.plan_count(p);
         }
     }
 
@@ -1118,7 +1457,11 @@ impl<'t> Machine<'t> {
                 }
             }
             Purpose::BarrierFlagWrite(id) => {
-                for q in self.barrier.drain_waiters() {
+                // Reuse one scratch buffer per machine for the waiter list so
+                // barrier-heavy workloads never allocate per episode.
+                let mut waiters = std::mem::take(&mut self.barrier_scratch);
+                self.barrier.drain_waiters_into(&mut waiters);
+                for &q in &waiters {
                     let qi = q.index();
                     if matches!(self.procs[qi].status, ProcStatus::WaitBarrier) {
                         let addr = self.cfg.barrier_flag_addr(id);
@@ -1133,6 +1476,7 @@ impl<'t> Machine<'t> {
                         self.procs[qi].early_release = true;
                     }
                 }
+                self.barrier_scratch = waiters;
                 self.procs[p].cursor += 1;
                 Flow::Continue
             }
@@ -1368,6 +1712,7 @@ impl<'t> Machine<'t> {
 
     fn on_txn_done(&mut self, now: u64, id: TxnId) {
         let info = self.txns[id.index()].take().expect("completed txn is registered");
+        self.live_txns -= 1;
         // The id is fully retired: no queue entry, no pending completion.
         // Give its slot back so the slab stays at the concurrency high-water
         // mark (anything submitted below may legitimately reuse it).
@@ -1488,7 +1833,9 @@ impl<'t> Machine<'t> {
     /// record prefetch waste.
     fn handle_eviction(&mut self, p: usize, evicted: charlie_cache::EvictedLine, now: u64) {
         self.sharers.remove(p, evicted.line);
-        if evicted.state.is_dirty() {
+        // Fast-forward: the memory update is functional and free — no posted
+        // write-back is submitted to the (untimed) bus.
+        if evicted.state.is_dirty() && !self.ff_active {
             let txn = self.bus.submit(
                 now,
                 ProcId(p as u8),

@@ -1,0 +1,314 @@
+//! Sampled-simulation plans: which access windows run detailed, which run
+//! functional fast-forward.
+//!
+//! A [`SamplePlan`] divides a run into fixed-size *access windows*
+//! (machine-wide demand accesses, the same unit as `warmup_accesses`). Each
+//! window executes in one of three modes:
+//!
+//! * **Fast** — functional fast-forward: caches, coherence state, locks and
+//!   barriers are updated exactly, but misses complete instantly at the
+//!   unloaded latency instead of queueing on the contended bus. 10–20x
+//!   cheaper than detailed simulation; its timing is approximate by design.
+//! * **Warm** — full detailed simulation whose measurements are *discarded*:
+//!   it exists to refill the bus pipeline and in-flight transaction state
+//!   with realistic contention before a measured window starts.
+//! * **Detailed** — full detailed simulation; its per-window counters (one
+//!   [`SampledWindow`] each) are the measurements the estimator extrapolates
+//!   from.
+//!
+//! The machine records one [`SampledWindow`] per window *regardless of
+//! kind* — fast-forward windows still carry the functional counters (miss
+//! counts, busy/stall composition) that phase-clustering featurizes, while
+//! their bus columns stay zero (no bus transactions are issued in FF mode).
+//!
+//! Two schedules cover the SMARTS and SimPoint methodologies:
+//!
+//! * [`Schedule::Periodic`] — systematic sampling: every `period`-th window
+//!   is detailed, preceded by `warmup` warm windows, everything else fast.
+//! * [`Schedule::Explicit`] — simulate exactly the listed window indices in
+//!   detail (each preceded by `warmup` warm windows); used for the
+//!   representative intervals SimPoint-style clustering selects. An empty
+//!   list is the pure fast-forward signature pass.
+
+/// Execution mode of one access window.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum WindowKind {
+    /// Functional fast-forward: state exact, timing approximate, no bus.
+    Fast,
+    /// Detailed simulation, measurements discarded (pipeline warm-up).
+    Warm,
+    /// Detailed simulation, measurements kept.
+    Detailed,
+}
+
+/// Which windows run detailed; see the module docs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Schedule {
+    /// Every `period`-th window is detailed, preceded by `warmup` warm
+    /// windows; the rest fast-forward. Window `warmup` of each period is the
+    /// measured one, so the run starts with its warm-up prefix.
+    Periodic {
+        /// Windows per sampling unit (≥ 1). `period == 1` is all-detailed.
+        period: u64,
+        /// Warm windows before each detailed window (< `period`).
+        warmup: u64,
+        /// The first `cold` windows are all detailed regardless of phase:
+        /// the cold-start stratum. Cache-fill transients concentrate there
+        /// and are grossly unrepresentative of the steady state, so the
+        /// estimator measures them exactly instead of extrapolating them
+        /// (0 = no cold stratum).
+        cold: u64,
+    },
+    /// Exactly these window indices (sorted ascending, deduplicated) run
+    /// detailed, each preceded by `warmup` warm windows; the rest
+    /// fast-forward. Empty = pure fast-forward pass.
+    Explicit {
+        /// Sorted, deduplicated detailed window indices.
+        detailed: Vec<u64>,
+        /// Warm windows before each detailed window.
+        warmup: u64,
+    },
+}
+
+/// A full sampled-simulation plan.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SamplePlan {
+    /// Machine-wide demand accesses per window (≥ 1).
+    pub window_accesses: u64,
+    /// Which windows run detailed.
+    pub schedule: Schedule,
+}
+
+impl SamplePlan {
+    /// Systematic (SMARTS-style) plan: one detailed window per `period`
+    /// windows of `window_accesses` accesses, `warmup` warm windows before
+    /// each.
+    pub fn periodic(window_accesses: u64, period: u64, warmup: u64) -> Self {
+        SamplePlan {
+            window_accesses,
+            schedule: Schedule::Periodic { period, warmup, cold: 0 },
+        }
+    }
+
+    /// [`SamplePlan::periodic`] with a detailed cold-start stratum: the
+    /// first `cold` windows run detailed so cache-fill transients are
+    /// measured exactly rather than extrapolated.
+    pub fn periodic_with_cold(window_accesses: u64, period: u64, warmup: u64, cold: u64) -> Self {
+        SamplePlan {
+            window_accesses,
+            schedule: Schedule::Periodic { period, warmup, cold },
+        }
+    }
+
+    /// Explicit (SimPoint-style) plan detailing `detailed` (sorted window
+    /// indices), each preceded by `warmup` warm windows.
+    pub fn explicit(window_accesses: u64, detailed: Vec<u64>, warmup: u64) -> Self {
+        SamplePlan { window_accesses, schedule: Schedule::Explicit { detailed, warmup } }
+    }
+
+    /// Pure functional fast-forward: every window fast, nothing measured.
+    /// The records still carry the functional phase signature.
+    pub fn fast_forward(window_accesses: u64) -> Self {
+        SamplePlan::explicit(window_accesses, Vec::new(), 0)
+    }
+
+    /// Checks structural validity; the machine asserts this on attach.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_accesses == 0 {
+            return Err("sample plan window_accesses must be >= 1".into());
+        }
+        match &self.schedule {
+            Schedule::Periodic { period, warmup, .. } => {
+                if *period == 0 {
+                    return Err("sample plan period must be >= 1".into());
+                }
+                if warmup >= period {
+                    return Err(format!(
+                        "sample plan warmup ({warmup}) must be < period ({period})"
+                    ));
+                }
+            }
+            Schedule::Explicit { detailed, .. } => {
+                if detailed.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("explicit detailed windows must be sorted and unique".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execution mode of window `index`.
+    pub fn kind_of(&self, index: u64) -> WindowKind {
+        match &self.schedule {
+            Schedule::Periodic { period, warmup, cold } => {
+                if index < *cold {
+                    return WindowKind::Detailed;
+                }
+                let phase = index % period;
+                if phase == *warmup {
+                    WindowKind::Detailed
+                } else if phase < *warmup {
+                    WindowKind::Warm
+                } else {
+                    WindowKind::Fast
+                }
+            }
+            Schedule::Explicit { detailed, warmup } => {
+                if detailed.binary_search(&index).is_ok() {
+                    WindowKind::Detailed
+                } else if (1..=*warmup)
+                    .any(|k| detailed.binary_search(&(index + k)).is_ok())
+                {
+                    WindowKind::Warm
+                } else {
+                    WindowKind::Fast
+                }
+            }
+        }
+    }
+}
+
+/// Per-window counters recorded by a sampled run: deltas of the machine's
+/// monotone counters over one access window, tagged with the window's
+/// execution mode. Fast windows carry functional counters only (their bus
+/// columns are zero); detailed windows carry the full set.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SampledWindow {
+    /// Window index (0-based, in access order).
+    pub index: u64,
+    /// How the window executed.
+    pub kind: WindowKind,
+    /// Cycle the window opened (monotone across windows; in fast-forward
+    /// stretches processor-local clocks diverge by up to the run-ahead
+    /// quantum, so spans are approximate there).
+    pub start: u64,
+    /// Cycle the window closed.
+    pub end: u64,
+    /// Demand accesses retired (equals the plan's `window_accesses` except
+    /// for the trailing partial window).
+    pub accesses: u64,
+    /// Demand misses classified.
+    pub misses: u64,
+    /// Processor busy cycles, summed over processors.
+    pub proc_busy: u64,
+    /// Processor stall cycles, summed over processors (fast-forward windows
+    /// charge the unloaded latency per miss here).
+    pub proc_stall: u64,
+    /// Bus-occupied cycles (zero in fast windows).
+    pub bus_busy: u64,
+    /// Bus transactions granted (zero in fast windows).
+    pub bus_ops: u64,
+    /// Bus queueing cycles (zero in fast windows).
+    pub bus_queueing: u64,
+    /// Demand fills whose latency was recorded.
+    pub fills: u64,
+    /// Fill-latency histogram delta (same buckets as `LatencyStats`).
+    pub fill_buckets: [u64; 7],
+}
+
+impl SampledWindow {
+    /// Window span in cycles.
+    pub fn span(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_kinds_cycle() {
+        let p = SamplePlan::periodic(1000, 4, 1);
+        assert!(p.validate().is_ok());
+        let kinds: Vec<WindowKind> = (0..8).map(|i| p.kind_of(i)).collect();
+        use WindowKind::*;
+        assert_eq!(kinds, vec![Warm, Detailed, Fast, Fast, Warm, Detailed, Fast, Fast]);
+    }
+
+    #[test]
+    fn periodic_no_warmup_starts_detailed() {
+        let p = SamplePlan::periodic(100, 3, 0);
+        use WindowKind::*;
+        let kinds: Vec<WindowKind> = (0..6).map(|i| p.kind_of(i)).collect();
+        assert_eq!(kinds, vec![Detailed, Fast, Fast, Detailed, Fast, Fast]);
+    }
+
+    #[test]
+    fn cold_stratum_is_all_detailed() {
+        let p = SamplePlan::periodic_with_cold(100, 4, 1, 6);
+        assert!(p.validate().is_ok());
+        use WindowKind::*;
+        // Windows 0..6 detailed regardless of phase, then the periodic
+        // pattern (phase = index % 4, detailed at phase 1) takes over.
+        let kinds: Vec<WindowKind> = (0..12).map(|i| p.kind_of(i)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Detailed, Detailed, Detailed, Detailed, Detailed, Detailed, Fast, Fast, Warm,
+                Detailed, Fast, Fast
+            ]
+        );
+    }
+
+    #[test]
+    fn all_detailed_period_one() {
+        let p = SamplePlan::periodic(100, 1, 0);
+        assert!(p.validate().is_ok());
+        assert!((0..10).all(|i| p.kind_of(i) == WindowKind::Detailed));
+    }
+
+    #[test]
+    fn explicit_marks_reps_and_warmups() {
+        let p = SamplePlan::explicit(500, vec![3, 7], 2);
+        use WindowKind::*;
+        let kinds: Vec<WindowKind> = (0..9).map(|i| p.kind_of(i)).collect();
+        assert_eq!(kinds, vec![Fast, Warm, Warm, Detailed, Fast, Warm, Warm, Detailed, Fast]);
+    }
+
+    #[test]
+    fn fast_forward_is_all_fast() {
+        let p = SamplePlan::fast_forward(2048);
+        assert!((0..100).all(|i| p.kind_of(i) == WindowKind::Fast));
+    }
+
+    #[test]
+    fn validation_rejects_degenerates() {
+        assert!(SamplePlan::periodic(0, 4, 1).validate().is_err());
+        assert!(SamplePlan::periodic(100, 0, 0).validate().is_err());
+        assert!(SamplePlan::periodic(100, 4, 4).validate().is_err());
+        assert!(SamplePlan::explicit(100, vec![5, 3], 1).validate().is_err());
+        assert!(SamplePlan::explicit(100, vec![3, 3], 1).validate().is_err());
+        assert!(SamplePlan::explicit(100, vec![3, 5], 1).validate().is_ok());
+    }
+
+    #[test]
+    fn adjacent_explicit_reps_prefer_detailed() {
+        // A window that is both a rep and inside another rep's warm-up
+        // prefix counts as detailed.
+        let p = SamplePlan::explicit(100, vec![4, 5], 1);
+        assert_eq!(p.kind_of(4), WindowKind::Detailed);
+        assert_eq!(p.kind_of(5), WindowKind::Detailed);
+        assert_eq!(p.kind_of(3), WindowKind::Warm);
+    }
+
+    #[test]
+    fn window_span_saturates() {
+        let w = SampledWindow {
+            index: 0,
+            kind: WindowKind::Fast,
+            start: 100,
+            end: 40,
+            accesses: 0,
+            misses: 0,
+            proc_busy: 0,
+            proc_stall: 0,
+            bus_busy: 0,
+            bus_ops: 0,
+            bus_queueing: 0,
+            fills: 0,
+            fill_buckets: [0; 7],
+        };
+        assert_eq!(w.span(), 0);
+    }
+}

@@ -121,9 +121,20 @@ impl BarrierState {
     }
 
     /// Takes the parked waiters and resets the episode.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn drain_waiters(&mut self) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        self.drain_waiters_into(&mut out);
+        out
+    }
+
+    /// Drains the parked waiters into a caller-owned scratch buffer (cleared
+    /// first) and resets the episode. The allocation-free form the machine's
+    /// hot loop uses: one scratch vector serves every barrier episode.
+    pub fn drain_waiters_into(&mut self, out: &mut Vec<ProcId>) {
         self.arrived = 0;
-        std::mem::take(&mut self.waiters)
+        out.clear();
+        out.append(&mut self.waiters);
     }
 
     /// Processors arrived in the current episode.
