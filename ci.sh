@@ -28,6 +28,34 @@ echo "== coherence invariant checker (release, --check) =="
 "${CLI[@]}" sweep --workload topopt --refs 2000 --procs 2 --json --check >/dev/null
 echo "release runs pass with invariant checking enabled"
 
+echo "== coherence protocols: four-way exhibit + per-protocol checkers =="
+# DESIGN.md §18: the protocols exhibit must render every protocol for every
+# workload (5 workloads x 4 protocols in the traffic table), the update
+# protocols must eliminate invalidation misses by construction, and each
+# protocol's release-mode invariant checker must stay green.
+protocols_out=$("${CLI[@]}" experiments protocols --jobs 8)
+for proto in illinois firefly dragon moesi; do
+    rows=$(grep -c "^[A-Za-z0-9]*  *$proto " <<<"$protocols_out") || true
+    if [[ "$rows" -ne 5 ]]; then
+        echo "FAIL: protocols exhibit has $rows traffic rows for $proto (expected 5)" >&2
+        echo "$protocols_out" >&2
+        exit 1
+    fi
+done
+if grep -E "^[A-Za-z0-9]*  *(firefly|dragon) " <<<"$protocols_out" \
+    | awk '{ if ($3 != 0) exit 1 }'; then
+    echo "update protocols show zero invalidation misses in the exhibit"
+else
+    echo "FAIL: an update-protocol row reports invalidation misses:" >&2
+    grep -E "^[A-Za-z0-9]*  *(firefly|dragon) " <<<"$protocols_out" >&2
+    exit 1
+fi
+for proto in dragon moesi; do
+    "${CLI[@]}" run --workload mp3d --strategy pref --refs 4000 --procs 4 \
+        --protocol "$proto" --check >/dev/null
+done
+echo "protocols exhibit renders 4x5 and dragon/moesi pass --check in release"
+
 echo "== hardware-prefetcher property suite (release) =="
 # The debug run is part of `cargo test -q` above (where the invariant
 # checker is unconditional); the release run proves the --check opt-in

@@ -18,6 +18,10 @@ pub struct BusStats {
     pub read_exclusives: u64,
     /// Invalidation-only upgrades granted.
     pub upgrades: u64,
+    /// Word-broadcast updates granted (write-update protocols). Like
+    /// upgrades these move no cache block: they occupy the bus for the
+    /// short invalidation slot, not a data transfer.
+    pub updates: u64,
     /// Dirty-victim write-backs granted.
     pub writebacks: u64,
     /// Grants that came from the prefetch class.
@@ -30,7 +34,7 @@ pub struct BusStats {
 impl BusStats {
     /// Total transactions granted.
     pub fn total_ops(&self) -> u64 {
-        self.reads + self.read_exclusives + self.upgrades + self.writebacks
+        self.reads + self.read_exclusives + self.upgrades + self.updates + self.writebacks
     }
 
     /// Transactions that invalidate remote copies (the paper reports the
@@ -148,7 +152,7 @@ impl Bus {
         };
         let ready_at = match op {
             BusOp::Read | BusOp::ReadExclusive => now + self.config.uncontended_cycles(),
-            BusOp::Upgrade | BusOp::WriteBack => now,
+            BusOp::Upgrade | BusOp::Update | BusOp::WriteBack => now,
         };
         let req = BusRequest { id, proc, line, op, priority, ready_at };
         match priority {
@@ -210,6 +214,7 @@ impl Bus {
                 BusOp::Read => self.stats.reads += 1,
                 BusOp::ReadExclusive => self.stats.read_exclusives += 1,
                 BusOp::Upgrade => self.stats.upgrades += 1,
+                BusOp::Update => self.stats.updates += 1,
                 BusOp::WriteBack => self.stats.writebacks += 1,
             }
             if req.priority == Priority::Prefetch {
@@ -546,5 +551,22 @@ mod tests {
         let s = BusStats { read_exclusives: 3, upgrades: 2, reads: 10, ..BusStats::default() };
         assert_eq!(s.invalidating_ops(), 5);
         assert_eq!(s.total_ops(), 15);
+    }
+
+    #[test]
+    fn update_broadcast_is_immediate_short_and_counted() {
+        let mut b = bus();
+        b.submit(10, ProcId(1), line(2), BusOp::Update, Priority::Demand);
+        match b.try_grant(10) {
+            GrantOutcome::Granted { completes_at, .. } => {
+                assert_eq!(completes_at, 12, "word broadcast occupies the invalidation slot")
+            }
+            o => panic!("expected grant, got {o:?}"),
+        }
+        assert_eq!(b.stats().updates, 1);
+        assert_eq!(b.stats().upgrades, 0, "broadcasts are not upgrades");
+        assert_eq!(b.stats().busy_cycles, 2);
+        assert_eq!(b.stats().total_ops(), 1);
+        assert_eq!(b.stats().invalidating_ops(), 0, "an update invalidates nothing");
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::geometry::CacheGeometry;
 use crate::line::CacheLine;
+use crate::protocol::{self, Protocol};
 use crate::state::LineState;
 use crate::victim::{VictimBuffer, VictimEntry};
 use charlie_trace::LineAddr;
@@ -321,12 +322,30 @@ impl CacheArray {
     }
 
     /// Comprehensive remote-read downgrade snoop covering the main array and
-    /// the victim buffer; returns the pre-snoop state of a valid copy.
-    pub fn snoop_downgrade(&mut self, line: LineAddr) -> Option<LineState> {
-        if let Some(prev) = self.downgrade_remote(line) {
+    /// the victim buffer; returns the pre-snoop state of a valid copy. The
+    /// target state is protocol-dependent (dirty suppliers keep ownership
+    /// under Dragon/MOESI — see [`protocol::read_snoop_state`]).
+    pub fn snoop_downgrade(&mut self, line: LineAddr, proto: Protocol) -> Option<LineState> {
+        if let Some(prev) = self.downgrade_remote(line, proto) {
             return Some(prev);
         }
-        self.victim.downgrade(line)
+        self.victim.downgrade(line, proto)
+    }
+
+    /// Applies an update-broadcast snoop to a peer copy of `line` (main
+    /// array and victim buffer): the copy absorbs the word and, under
+    /// Dragon, an `Sm` peer cedes ownership to the writer. Returns the
+    /// pre-snoop state of a valid copy.
+    pub fn snoop_update(&mut self, line: LineAddr, proto: Protocol) -> Option<LineState> {
+        let tag = self.geom.tag(line);
+        let set_idx = self.set_of(line);
+        if let SetFind::Hit(way) = self.sets[set_idx].find(tag) {
+            let frame = &mut self.sets[set_idx].ways[way as usize];
+            let prev = frame.state();
+            frame.downgrade(protocol::update_snoop_state(proto, prev));
+            return Some(prev);
+        }
+        self.victim.update(line, proto)
     }
 
     /// Applies a remote invalidation (read-exclusive or upgrade snoop) for
@@ -346,16 +365,18 @@ impl CacheArray {
         Some(prev)
     }
 
-    /// Applies a remote-read downgrade snoop for `line` (valid copy becomes
-    /// shared). Returns the pre-snoop state if a valid copy was present.
-    pub fn downgrade_remote(&mut self, line: LineAddr) -> Option<LineState> {
+    /// Applies a remote-read downgrade snoop for `line` (valid copy drops to
+    /// the protocol's read-snoop state — `Shared`, or `Sm`/`O` for a dirty
+    /// supplier under Dragon/MOESI). Returns the pre-snoop state if a valid
+    /// copy was present.
+    pub fn downgrade_remote(&mut self, line: LineAddr, proto: Protocol) -> Option<LineState> {
         let tag = self.geom.tag(line);
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
         let SetFind::Hit(way) = set.find(tag) else { return None };
         let frame = &mut set.ways[way as usize];
         let prev = frame.state();
-        frame.downgrade(LineState::Shared);
+        frame.downgrade(protocol::read_snoop_state(proto, prev));
         Some(prev)
     }
 
@@ -473,10 +494,45 @@ mod tests {
         let mut c = dm_cache();
         let line = Addr::new(0x40).line(32);
         c.fill(line, LineState::PrivateDirty, false);
-        assert_eq!(c.downgrade_remote(line), Some(LineState::PrivateDirty));
+        assert_eq!(
+            c.downgrade_remote(line, Protocol::WriteInvalidate),
+            Some(LineState::PrivateDirty)
+        );
         assert_eq!(c.state_of(line), Some(LineState::Shared));
         // Missing line: no-op.
-        assert_eq!(c.downgrade_remote(Addr::new(0x9000).line(32)), None);
+        assert_eq!(c.downgrade_remote(Addr::new(0x9000).line(32), Protocol::WriteInvalidate), None);
+    }
+
+    #[test]
+    fn downgrade_remote_keeps_ownership_under_moesi_and_dragon() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::PrivateDirty, false);
+        assert_eq!(c.downgrade_remote(line, Protocol::Moesi), Some(LineState::PrivateDirty));
+        assert_eq!(c.state_of(line), Some(LineState::Owned));
+
+        let mut c = dm_cache();
+        c.fill(line, LineState::PrivateDirty, false);
+        assert_eq!(c.downgrade_remote(line, Protocol::Dragon), Some(LineState::PrivateDirty));
+        assert_eq!(c.state_of(line), Some(LineState::SharedModified));
+    }
+
+    #[test]
+    fn snoop_update_transfers_dragon_ownership() {
+        let mut c = dm_cache();
+        let line = Addr::new(0x40).line(32);
+        c.fill(line, LineState::Shared, false);
+        // Simulate an earlier local write that left this peer as Sm.
+        if let Probe::Hit { way, .. } = c.probe_line(line) {
+            c.frame_mut(line, way).downgrade(LineState::SharedModified);
+        }
+        assert_eq!(c.snoop_update(line, Protocol::Dragon), Some(LineState::SharedModified));
+        assert_eq!(c.state_of(line), Some(LineState::Shared));
+        // Firefly peers keep their shared copies untouched.
+        assert_eq!(c.snoop_update(line, Protocol::WriteUpdate), Some(LineState::Shared));
+        assert_eq!(c.state_of(line), Some(LineState::Shared));
+        // Missing line: no-op.
+        assert_eq!(c.snoop_update(Addr::new(0x9000).line(32), Protocol::Dragon), None);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! Provides the building blocks the simulator composes:
 //!
 //! * [`CacheGeometry`] — parametric size/block/associativity address math;
-//! * [`LineState`] and the [`protocol`] module — the Illinois write-invalidate
-//!   coherence protocol (MESI with a private-clean fill on unshared reads),
-//!   after Papamarcos & Patel (ISCA 1984), as used in the paper;
+//! * [`LineState`] and the [`protocol`] module — the snooping coherence
+//!   protocols ([`Protocol`]): the paper's Illinois write-invalidate (MESI
+//!   with a private-clean fill on unshared reads, after Papamarcos & Patel,
+//!   ISCA 1984), a Firefly-style write-update, Dragon write-update, and
+//!   MOESI, as pure transition functions dispatched on the protocol enum;
 //! * [`CacheArray`] — a set-associative (or direct-mapped) cache of
 //!   [`CacheLine`] metadata with LRU replacement, per-word access bitmaps for
 //!   false-sharing classification, and prefetch-provenance tracking;
@@ -42,4 +44,5 @@ pub use array::{CacheArray, EvictedLine, Probe};
 pub use filter::FilterCache;
 pub use geometry::{CacheGeometry, GeometryError};
 pub use line::{CacheLine, WordMask};
+pub use protocol::Protocol;
 pub use state::LineState;

@@ -1,14 +1,21 @@
-//! Coherence states of the Illinois protocol.
+//! Coherence states shared by every protocol the simulator models.
 
 use std::fmt;
 
-/// State of a cache line under the Illinois write-invalidate protocol
-/// (Papamarcos & Patel, ISCA 1984).
+/// State of a cache line. The set is the union of the states used by the
+/// supported protocols (see [`crate::protocol::Protocol`]); each protocol
+/// uses a subset:
 ///
-/// Illinois is MESI with the feature the paper highlights (§3.3): a read miss
-/// fills in the *private-clean* (exclusive) state when no other cache holds
-/// the line, so later writes need no bus operation. Exclusive prefetches also
-/// land in [`LineState::PrivateClean`].
+/// * **Illinois** (Papamarcos & Patel, ISCA 1984) — MESI with the feature
+///   the paper highlights (§3.3): a read miss fills in the *private-clean*
+///   (exclusive) state when no other cache holds the line, so later writes
+///   need no bus operation. Uses `I/S/PC/PD`.
+/// * **Firefly-style write-update** — same four states; reflective memory
+///   keeps shared copies clean.
+/// * **Dragon write-update** — adds [`LineState::SharedModified`] ("Sm"):
+///   the one dirty sharer responsible for the eventual write-back.
+/// * **MOESI** — adds [`LineState::Owned`] ("O"): dirty *and* shared, the
+///   owner supplies data cache-to-cache without updating memory.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum LineState {
     /// No valid copy (or invalidated by a remote write).
@@ -20,6 +27,12 @@ pub enum LineState {
     PrivateClean,
     /// Valid, modified, guaranteed not cached elsewhere ("M"); memory stale.
     PrivateDirty,
+    /// Valid, modified, shared (MOESI "O"): this cache supplies data on
+    /// snoops and owes the write-back; memory stale; peers hold `Shared`.
+    Owned,
+    /// Valid, modified, shared (Dragon "Sm"): the last writer among the
+    /// sharers, responsible for the write-back; memory stale.
+    SharedModified,
 }
 
 impl LineState {
@@ -37,7 +50,10 @@ impl LineState {
     /// `true` when this cache must supply/flush data on a snoop hit
     /// (memory's copy is stale).
     pub const fn is_dirty(self) -> bool {
-        matches!(self, LineState::PrivateDirty)
+        matches!(
+            self,
+            LineState::PrivateDirty | LineState::Owned | LineState::SharedModified
+        )
     }
 
     /// `true` when no other cache may hold the line.
@@ -53,6 +69,8 @@ impl fmt::Display for LineState {
             LineState::Shared => "S",
             LineState::PrivateClean => "PC",
             LineState::PrivateDirty => "PD",
+            LineState::Owned => "O",
+            LineState::SharedModified => "SM",
         };
         f.write_str(s)
     }
@@ -76,10 +94,17 @@ mod tests {
 
         assert!(LineState::PrivateDirty.is_dirty());
         assert!(!LineState::PrivateClean.is_dirty());
+        assert!(LineState::Owned.is_dirty());
+        assert!(LineState::SharedModified.is_dirty());
 
         assert!(LineState::PrivateClean.is_exclusive());
         assert!(LineState::PrivateDirty.is_exclusive());
         assert!(!LineState::Shared.is_exclusive());
+        assert!(!LineState::Owned.is_exclusive());
+        assert!(!LineState::SharedModified.is_exclusive());
+
+        assert!(!LineState::Owned.can_write_silently());
+        assert!(!LineState::SharedModified.can_write_silently());
     }
 
     #[test]
@@ -91,5 +116,7 @@ mod tests {
     fn display_abbreviations() {
         assert_eq!(LineState::Invalid.to_string(), "I");
         assert_eq!(LineState::PrivateDirty.to_string(), "PD");
+        assert_eq!(LineState::Owned.to_string(), "O");
+        assert_eq!(LineState::SharedModified.to_string(), "SM");
     }
 }

@@ -12,6 +12,7 @@
 //! non-sharing. The main array's invalidation-miss taxonomy is unaffected.
 
 use crate::line::CacheLine;
+use crate::protocol::{self, Protocol};
 use crate::state::LineState;
 use charlie_trace::LineAddr;
 
@@ -67,11 +68,20 @@ impl VictimBuffer {
         self.entries.iter().any(|e| e.line == line)
     }
 
-    /// Applies a remote-read downgrade in place; returns the prior state.
-    pub(crate) fn downgrade(&mut self, line: LineAddr) -> Option<LineState> {
+    /// Applies a remote-read downgrade in place (to the protocol's
+    /// read-snoop state); returns the prior state.
+    pub(crate) fn downgrade(&mut self, line: LineAddr, proto: Protocol) -> Option<LineState> {
         let entry = self.entries.iter_mut().find(|e| e.line == line)?;
         let prev = entry.frame.state();
-        entry.frame.downgrade(LineState::Shared);
+        entry.frame.downgrade(protocol::read_snoop_state(proto, prev));
+        Some(prev)
+    }
+
+    /// Applies an update-broadcast snoop in place; returns the prior state.
+    pub(crate) fn update(&mut self, line: LineAddr, proto: Protocol) -> Option<LineState> {
+        let entry = self.entries.iter_mut().find(|e| e.line == line)?;
+        let prev = entry.frame.state();
+        entry.frame.downgrade(protocol::update_snoop_state(proto, prev));
         Some(prev)
     }
 
@@ -130,10 +140,24 @@ mod tests {
     fn downgrade_in_place() {
         let mut v = VictimBuffer::new(2);
         v.insert(entry(1, LineState::PrivateDirty));
-        assert_eq!(v.downgrade(LineAddr::from_raw(1)), Some(LineState::PrivateDirty));
+        assert_eq!(
+            v.downgrade(LineAddr::from_raw(1), Protocol::WriteInvalidate),
+            Some(LineState::PrivateDirty)
+        );
         let (line, state) = v.iter().next().unwrap();
         assert_eq!(line, LineAddr::from_raw(1));
         assert_eq!(state, LineState::Shared);
+    }
+
+    #[test]
+    fn downgrade_keeps_moesi_ownership() {
+        let mut v = VictimBuffer::new(2);
+        v.insert(entry(1, LineState::PrivateDirty));
+        assert_eq!(
+            v.downgrade(LineAddr::from_raw(1), Protocol::Moesi),
+            Some(LineState::PrivateDirty)
+        );
+        assert_eq!(v.iter().next().unwrap().1, LineState::Owned);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the cache array: random operation sequences must
 //! preserve structural invariants, with and without a victim buffer.
 
-use charlie_cache::{CacheArray, CacheGeometry, LineState, Probe};
+use charlie_cache::{CacheArray, CacheGeometry, LineState, Probe, Protocol};
 use charlie_trace::Addr;
 use proptest::prelude::*;
 
@@ -75,7 +75,7 @@ proptest! {
                 }
                 Op::Downgrade { line } => {
                     let l = Addr::new(line * 32).line(32);
-                    if cache.snoop_downgrade(l).is_some() {
+                    if cache.snoop_downgrade(l, Protocol::WriteInvalidate).is_some() {
                         prop_assert_eq!(cache.state_of(l), Some(LineState::Shared));
                     }
                 }

@@ -69,15 +69,10 @@ struct MachineOpts {
 
 impl MachineOpts {
     fn from_args(args: &Args) -> Result<MachineOpts, ArgsError> {
-        let protocol = match args.get("protocol").unwrap_or("invalidate") {
-            p if p.eq_ignore_ascii_case("invalidate") => Protocol::WriteInvalidate,
-            p if p.eq_ignore_ascii_case("update") => Protocol::WriteUpdate,
-            other => {
-                return Err(ArgsError(format!(
-                    "unknown protocol {other:?} (invalidate, update)"
-                )))
-            }
-        };
+        let spec = args.get("protocol").unwrap_or("invalidate");
+        let protocol = Protocol::parse(&spec.to_ascii_lowercase()).ok_or_else(|| {
+            ArgsError(format!("unknown protocol {spec:?} ({})", Protocol::CHOICES))
+        })?;
         let hw_prefetch = match args.get("hw-prefetch") {
             None => HwPrefetchConfig::OFF,
             Some(spec) => HwPrefetchConfig::parse(spec)
@@ -406,14 +401,19 @@ fn bail_on_failures(report: &charlie::BatchReport) -> Result<(), ArgsError> {
 pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "workload", "procs", "refs", "seed", "layout", "jobs", "resume", "sample-interval",
-        "trace-out", "trace-cats",
+        "trace-out", "trace-cats", "protocol",
     ])?;
     let (wcfg, workload) = workload_config(args)?;
     let jobs = parse_jobs(args);
+    let proto_spec = args.get("protocol").unwrap_or("invalidate");
+    let protocol = Protocol::parse(&proto_spec.to_ascii_lowercase()).ok_or_else(|| {
+        ArgsError(format!("unknown protocol {proto_spec:?} ({})", Protocol::CHOICES))
+    })?;
     let mut lab = Lab::new(RunConfig {
         procs: wcfg.procs,
         refs_per_proc: wcfg.refs_per_proc,
         seed: wcfg.seed,
+        protocol,
         ..RunConfig::default()
     });
     let mut observe = ObserveSpec::default();
@@ -452,7 +452,7 @@ pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         // finish. A resumed sweep renders byte-identical output. The journal
         // header pins the campaign shape, so resuming with a different
         // workload/layout/procs/refs/seed refuses instead of mixing grids.
-        let config = format!(
+        let mut config = format!(
             "sweep/{}/{:?}/p{}/r{}/s{:#x}",
             workload.name(),
             wcfg.layout,
@@ -460,6 +460,14 @@ pub fn sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
             wcfg.refs_per_proc,
             wcfg.seed
         );
+        // Appended only for non-default protocols so Illinois journals stay
+        // byte-identical to campaigns written before the knob existed; a
+        // resume across a protocol change refuses with a config mismatch
+        // naming both keys.
+        if protocol != Protocol::WriteInvalidate {
+            config.push_str("/proto=");
+            config.push_str(protocol.key_name());
+        }
         let opts = charlie::checkpoint::JournalOptions { config: Some(config), sync: false };
         let (mut journal, restored) = charlie::checkpoint::Journal::open_with(Path::new(path), opts)
             .map_err(|e| ArgsError(format!("--resume {path}: {e}")))?;
@@ -587,6 +595,11 @@ pub fn experiments<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> 
             // output is pinned byte-for-byte to the paper grid.
             "hw-prefetch" => {
                 for table in exhibits::hw_prefetch_head_to_head(&mut lab) {
+                    emit(out, &table);
+                }
+            }
+            "protocols" => {
+                for table in exhibits::protocol_head_to_head(&mut lab) {
                     emit(out, &table);
                 }
             }

@@ -31,7 +31,11 @@ COMMANDS:
                    --layout interleaved|padded   (§4.4 restructuring)
                    --warmup N            exclude the first N accesses from stats
                    --victim N            per-processor victim-buffer entries
-                   --protocol invalidate|update  coherence policy
+                   --protocol invalidate|update|dragon|moesi
+                                         coherence policy (Illinois
+                                         write-invalidate, Firefly-style
+                                         write-update, Dragon write-update,
+                                         MOESI; default invalidate)
                    --hw-prefetch KIND[:DEGREE[:DISTANCE]]
                                          on-line hardware prefetcher
                                          (off|stride|sms|markov; default off;
@@ -81,11 +85,13 @@ COMMANDS:
                     --layout … --warmup N --victim N --protocol …
                     --hw-prefetch …]
   sweep          Figure-2 panel: relative execution time across latencies
-                   --workload …  [--json --jobs N --resume FILE]
+                   --workload …  [--json --jobs N --resume FILE --protocol …]
                    --resume FILE  journal completed cells to FILE and skip
                                   cells already journaled there, so a killed
                                   sweep picks up where it left off (the
-                                  resumed output is byte-identical)
+                                  resumed output is byte-identical); the
+                                  journal key pins the protocol, so resuming
+                                  under a different --protocol refuses
                    --sample-interval N   record a timeline per cell (kept in
                                          the --resume journal)
                    --trace-out DIR       one JSONL event trace per cell
@@ -101,6 +107,9 @@ COMMANDS:
                                table4 table5 proc-util all   [--csv --jobs N]
                    hw-prefetch: on-line stride/SMS/Markov hardware
                                prefetchers vs the oracle PREF strategy
+                               (post-paper; not included in \"all\")
+                   protocols:  Illinois vs Firefly vs Dragon vs MOESI
+                               coherence, NP and PREF, all five workloads
                                (post-paper; not included in \"all\")
   bench          time the representative grid slice (Mp3d x all strategies x
                  all latencies) and print a BENCH_charlie.json-style snapshot
@@ -342,10 +351,59 @@ mod tests {
     }
 
     #[test]
-    fn run_rejects_bad_protocol() {
+    fn run_rejects_bad_protocol_listing_choices() {
         let (code, text) = run(&["run", "--protocol", "dragonfly", "--refs", "100", "--procs", "1"]);
         assert_eq!(code, 2);
-        assert!(text.contains("unknown protocol"));
+        assert!(text.contains("unknown protocol"), "{text}");
+        // The error names every valid choice, not a stale subset.
+        for choice in ["invalidate", "update", "dragon", "moesi"] {
+            assert!(text.contains(choice), "choice {choice} missing from {text:?}");
+        }
+    }
+
+    #[test]
+    fn run_with_dragon_protocol_eliminates_invalidation_misses() {
+        let (code, text) = run(&[
+            "run", "--workload", "topopt", "--refs", "1500", "--procs", "2", "--protocol",
+            "dragon", "--check", "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"invalidation_miss_rate\":0.000000"), "{text}");
+    }
+
+    #[test]
+    fn run_with_moesi_protocol_checks_clean() {
+        let (code, text) = run(&[
+            "run", "--workload", "mp3d", "--refs", "1500", "--procs", "2", "--protocol", "moesi",
+            "--check", "--json",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"cpu_miss_rate\""), "{text}");
+    }
+
+    #[test]
+    fn sweep_resume_refuses_protocol_change_naming_both_keys() {
+        let dir =
+            std::env::temp_dir().join(format!("charlie-cli-proto-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sweep.ckpt");
+        let ckpt_s = ckpt.to_str().unwrap().to_owned();
+
+        let mut dragon_args = sweep_args("2");
+        dragon_args.extend(["--resume", &ckpt_s, "--protocol", "dragon"]);
+        let (code, text) = run(&dragon_args);
+        assert_eq!(code, 0, "{text}");
+
+        // Resuming the same journal under a different protocol must refuse,
+        // and the mismatch error names both campaign keys.
+        let mut moesi_args = sweep_args("2");
+        moesi_args.extend(["--resume", &ckpt_s, "--protocol", "moesi"]);
+        let (code, text) = run(&moesi_args);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("refusing to resume"), "{text}");
+        assert!(text.contains("proto=dragon"), "{text}");
+        assert!(text.contains("proto=moesi"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

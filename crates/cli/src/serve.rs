@@ -87,7 +87,7 @@ fn sweep_grid(workload: charlie::Workload, layout: Layout) -> Vec<Experiment> {
 pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "addr", "grid", "workload", "layout", "procs", "refs", "seed", "deadline-ms",
-        "hw-prefetch", "json",
+        "hw-prefetch", "protocol", "json",
     ])?;
     let addr = addr_from(args, &ServeConfig::from_env());
 
@@ -103,6 +103,15 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         Some(spec) => {
             let hw = HwPrefetchConfig::parse(spec).map_err(ArgsError)?;
             hw.is_enabled().then_some(hw)
+        }
+    };
+    let protocol = match args.get("protocol") {
+        None => None,
+        Some(spec) => {
+            let p = charlie::Protocol::parse(&spec.to_ascii_lowercase()).ok_or_else(|| {
+                ArgsError(format!("unknown protocol {spec:?} ({})", charlie::Protocol::CHOICES))
+            })?;
+            (p != charlie::Protocol::WriteInvalidate).then_some(p)
         }
     };
     let deadline_ms = match args.get("deadline-ms") {
@@ -145,6 +154,7 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         seed: Some(seed),
         deadline_ms,
         hw_prefetch,
+        protocol,
     };
 
     let mut lab = Lab::new(RunConfig {
@@ -152,6 +162,7 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         refs_per_proc: refs,
         seed,
         hw_prefetch: hw_prefetch.unwrap_or(HwPrefetchConfig::OFF),
+        protocol: protocol.unwrap_or(charlie::Protocol::WriteInvalidate),
         ..RunConfig::default()
     });
     let mut campaign = String::new();

@@ -80,8 +80,7 @@ fn encode_report(report: &SimReport) -> String {
          \"buckets\":[{},{},{},{},{},{},{}]}},\
          \"prefetch\":{{\"executed\":{},\"hits\":{},\"duplicates\":{},\"fills\":{},\
          \"wasted_evicted\":{},\"wasted_invalidated\":{},\"buffer_stalls\":{}}},\
-         \"bus\":{{\"busy_cycles\":{},\"reads\":{},\"read_exclusives\":{},\"upgrades\":{},\
-         \"writebacks\":{},\"prefetch_grants\":{},\"queueing_cycles\":{}}},\"per_proc\":[",
+         \"bus\":{{\"busy_cycles\":{},\"reads\":{},\"read_exclusives\":{},\"upgrades\":{},",
         report.cycles,
         report.measured_from,
         report.reads,
@@ -118,9 +117,16 @@ fn encode_report(report: &SimReport) -> String {
         b.reads,
         b.read_exclusives,
         b.upgrades,
-        b.writebacks,
-        b.prefetch_grants,
-        b.queueing_cycles,
+    );
+    // Omitted when zero (write-update protocols only) so journals from
+    // invalidation-protocol campaigns stay byte-identical to older formats.
+    if b.updates != 0 {
+        let _ = write!(s, "\"updates\":{},", b.updates);
+    }
+    let _ = write!(
+        s,
+        "\"writebacks\":{},\"prefetch_grants\":{},\"queueing_cycles\":{}}},\"per_proc\":[",
+        b.writebacks, b.prefetch_grants, b.queueing_cycles,
     );
     for (i, proc) in report.per_proc.iter().enumerate() {
         let _ = write!(
@@ -317,6 +323,12 @@ fn decode_report(v: &Json) -> Result<SimReport, String> {
             reads: b.field("reads")?.num()?,
             read_exclusives: b.field("read_exclusives")?.num()?,
             upgrades: b.field("upgrades")?.num()?,
+            // Omitted-when-zero (write-update protocols only), like
+            // hw_prefetch: old journals decode with 0.
+            updates: match b.opt_field("updates") {
+                Some(u) => u.num()?,
+                None => 0,
+            },
             writebacks: b.field("writebacks")?.num()?,
             prefetch_grants: b.field("prefetch_grants")?.num()?,
             queueing_cycles: b.field("queueing_cycles")?.num()?,
@@ -941,6 +953,30 @@ mod tests {
         assert!(line.contains("\"hw_prefetch\""));
         let back = decode_summary(&line).expect("round trip");
         assert_eq!(back, with_hw);
+    }
+
+    #[test]
+    fn update_broadcasts_round_trip_and_stay_invisible_when_zero() {
+        // Write-invalidate runs must serialize exactly as before the
+        // `updates` counter existed.
+        let summary = sample_summary();
+        assert_eq!(summary.report.bus.updates, 0);
+        assert!(!encode_summary(&summary).contains("\"updates\""));
+
+        // An update-protocol run carries the counter and round-trips it.
+        let mut lab = Lab::new(RunConfig {
+            procs: 2,
+            refs_per_proc: 500,
+            seed: 11,
+            protocol: charlie_sim::Protocol::Dragon,
+            ..RunConfig::default()
+        });
+        let dragon = lab.run(Experiment::paper(Workload::Mp3d, Strategy::Pref, 16)).clone();
+        assert!(dragon.report.bus.updates > 0, "shared stores broadcast under Dragon");
+        let line = encode_summary(&dragon);
+        assert!(line.contains("\"updates\""));
+        let back = decode_summary(&line).expect("round trip");
+        assert_eq!(back, dragon);
     }
 
     #[test]

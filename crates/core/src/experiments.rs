@@ -19,6 +19,7 @@ use crate::lab::{Experiment, Lab, RunConfig};
 use crate::report::{format_rate, Table};
 use charlie_bus::BusConfig;
 use charlie_prefetch::{HwPrefetchConfig, Strategy};
+use charlie_sim::Protocol;
 use charlie_trace::TraceStats;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
 
@@ -143,6 +144,15 @@ pub fn grid_for(exhibit: &str) -> Vec<Experiment> {
             // the oracle PREF runs. The hardware-prefetcher runs live in
             // private per-configuration labs built by the exhibit itself.
             for w in Workload::EXTENDED {
+                grid.push(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY));
+                grid.push(Experiment::paper(w, Strategy::Pref, FIGURE_LATENCY));
+            }
+        }
+        "protocols" => {
+            // Only the Illinois cells the *shared* lab serves; the other
+            // protocols' runs live in private per-protocol labs built by
+            // the exhibit itself (protocol is a lab-wide knob).
+            for w in Workload::ALL {
                 grid.push(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY));
                 grid.push(Experiment::paper(w, Strategy::Pref, FIGURE_LATENCY));
             }
@@ -456,6 +466,86 @@ pub fn hw_prefetch_head_to_head(lab: &mut Lab) -> Vec<Table> {
     vec![time, counters]
 }
 
+/// Post-paper exhibit: does prefetching help or hurt differently under
+/// update-based coherence? The paper's grid is all Illinois write-invalidate,
+/// where invalidation misses are prefetching's fundamental limit (§4.2); this
+/// reruns its NP and PREF cells under Firefly- and Dragon-style write-update
+/// (no invalidation misses exist at all — the cost moves onto word-broadcast
+/// bus traffic) and MOESI (dirty cache-to-cache supply without the reflective
+/// write-back), across all five paper workloads.
+///
+/// Returns two tables: execution time relative to the Illinois NP baseline,
+/// and the coherence traffic (invalidation misses, upgrades, word updates,
+/// write-backs, bus utilization) behind it.
+///
+/// Non-Illinois runs use one private [`Lab`] per protocol — like
+/// `hw_prefetch`, `protocol` is a lab-wide knob, not an [`Experiment`] axis,
+/// so the shared lab's paper grid stays exactly the paper's.
+pub fn protocol_head_to_head(lab: &mut Lab) -> Vec<Table> {
+    let base = *lab.config();
+    let mut proto_labs: Vec<(Protocol, Lab)> = Protocol::ALL
+        .into_iter()
+        .filter(|&p| p != Protocol::WriteInvalidate)
+        .map(|p| (p, Lab::new(RunConfig { protocol: p, ..base })))
+        .collect();
+
+    let mut time = Table::new(
+        format!(
+            "Coherence protocols: time relative to Illinois NP ({FIGURE_LATENCY}-cycle transfer)"
+        ),
+        vec![
+            "Workload",
+            "ILLINOIS NP",
+            "ILLINOIS PREF",
+            "FIREFLY NP",
+            "FIREFLY PREF",
+            "DRAGON NP",
+            "DRAGON PREF",
+            "MOESI NP",
+            "MOESI PREF",
+        ],
+    );
+    let mut traffic = Table::new(
+        "Coherence traffic under prefetching (PREF)",
+        vec![
+            "Workload", "Protocol", "Inval misses", "Upgrades", "Updates", "Writebacks", "Bus util",
+        ],
+    );
+    for w in Workload::ALL {
+        let np =
+            lab.run(Experiment::paper(w, Strategy::NoPrefetch, FIGURE_LATENCY)).report.cycles;
+        let np = np.max(1);
+        let mut cells = vec![w.name().to_owned()];
+        let mut traffic_row = |proto: Protocol, lab: &mut Lab| -> Vec<u64> {
+            let mut cycles = Vec::with_capacity(2);
+            for s in [Strategy::NoPrefetch, Strategy::Pref] {
+                let r = &lab.run(Experiment::paper(w, s, FIGURE_LATENCY)).report;
+                cycles.push(r.cycles);
+                if s == Strategy::Pref {
+                    let inval = r.miss.invalidation_not_prefetched + r.miss.invalidation_prefetched;
+                    traffic.row(vec![
+                        w.name().to_owned(),
+                        proto.key_name().to_owned(),
+                        inval.to_string(),
+                        r.bus.upgrades.to_string(),
+                        r.bus.updates.to_string(),
+                        r.bus.writebacks.to_string(),
+                        format_rate(r.bus_utilization().min(1.0)),
+                    ]);
+                }
+            }
+            cycles
+        };
+        let mut all_cycles = traffic_row(Protocol::WriteInvalidate, lab);
+        for (proto, proto_lab) in &mut proto_labs {
+            all_cycles.extend(traffic_row(*proto, proto_lab));
+        }
+        cells.extend(all_cycles.iter().map(|&c| format!("{:.3}", c as f64 / np as f64)));
+        time.row(cells);
+    }
+    vec![time, traffic]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +640,34 @@ mod tests {
         }
         assert!(issued > 0, "no hardware prefetches issued");
         assert!(useful > 0, "no hardware prefetch was useful");
+    }
+
+    #[test]
+    fn protocol_head_to_head_covers_all_workloads_and_protocols() {
+        let mut lab =
+            Lab::new(RunConfig { procs: 2, refs_per_proc: 800, seed: 3, ..RunConfig::default() });
+        let tables = protocol_head_to_head(&mut lab);
+        assert_eq!(tables.len(), 2);
+        let (time, traffic) = (&tables[0], &tables[1]);
+        assert_eq!(time.num_rows(), Workload::ALL.len());
+        assert_eq!(traffic.num_rows(), Workload::ALL.len() * Protocol::ALL.len());
+        let rendered = traffic.to_string();
+        for name in ["illinois", "firefly", "dragon", "moesi"] {
+            assert!(rendered.contains(name), "{name} missing from traffic table");
+        }
+        // The update-based protocols actually broadcast somewhere in the
+        // grid, and the invalidation protocols never do.
+        let mut updates_by_proto = std::collections::HashMap::new();
+        for r in 0..traffic.num_rows() {
+            let proto = traffic.cell(r, 1).unwrap().to_owned();
+            let updates: u64 = traffic.cell(r, 4).unwrap().parse().unwrap();
+            *updates_by_proto.entry(proto).or_insert(0u64) += updates;
+        }
+        assert!(updates_by_proto["firefly"] > 0, "Firefly never broadcast");
+        assert!(updates_by_proto["dragon"] > 0, "Dragon never broadcast");
+        assert_eq!(updates_by_proto["illinois"], 0);
+        assert_eq!(updates_by_proto["moesi"], 0);
+        assert_eq!(grid_for("protocols").len(), Workload::ALL.len() * 2);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::retry::RetryPolicy;
 use charlie_cache::CacheGeometry;
 use charlie_prefetch::Strategy;
 use charlie_sim::{
-    simulate_observed_prevalidated, HwPrefetchConfig, Observability, SampleConfig, SimConfig,
-    SimError, SimReport, Timeline, TraceCategories, TraceEmitter,
+    simulate_observed_prevalidated, HwPrefetchConfig, Observability, Protocol, SampleConfig,
+    SimConfig, SimError, SimReport, Timeline, TraceCategories, TraceEmitter,
 };
 use charlie_trace::Trace;
 use charlie_workloads::{generate, Layout, Workload, WorkloadConfig};
@@ -96,6 +96,12 @@ pub struct RunConfig {
     /// than an [`Experiment`] axis: head-to-head exhibits build one private
     /// lab per prefetcher configuration.
     pub hw_prefetch: HwPrefetchConfig,
+    /// Coherence protocol every run of this lab simulates with
+    /// ([`SimConfig::protocol`]). The paper's Illinois write-invalidate by
+    /// default; like [`hw_prefetch`](RunConfig::hw_prefetch) it is a
+    /// lab-wide knob — the `protocols` exhibit builds one private lab per
+    /// protocol rather than adding an [`Experiment`] axis.
+    pub protocol: Protocol,
     /// Sampled-simulation mode ([`crate::sampling`]). `None` (the default)
     /// runs every cell fully detailed and is byte-identical to builds
     /// without the feature. `Some` trades exact timing for a 10–100x
@@ -123,6 +129,7 @@ impl Default for RunConfig {
             geometry: CacheGeometry::paper_default(),
             wall_limit_ms,
             hw_prefetch: HwPrefetchConfig::OFF,
+            protocol: Protocol::WriteInvalidate,
             sampling: None,
         }
     }
@@ -428,6 +435,7 @@ fn run_on_prepared(
         max_events: watchdog_budget(cfg),
         wall_limit_ms: cfg.wall_limit_ms,
         hw_prefetch: cfg.hw_prefetch,
+        protocol: cfg.protocol,
         ..SimConfig::paper(cfg.procs, exp.transfer_cycles)
     };
     if let Some(scfg) = cfg.sampling {

@@ -77,5 +77,5 @@ pub use charlie_workloads as workloads;
 pub use charlie_bus::BusConfig;
 pub use charlie_cache::CacheGeometry;
 pub use charlie_prefetch::Strategy;
-pub use charlie_sim::{SimConfig, SimReport};
+pub use charlie_sim::{Protocol, SimConfig, SimReport};
 pub use charlie_workloads::{Layout, Workload, WorkloadConfig};

@@ -12,7 +12,7 @@ use std::time::Duration;
 use charlie::checkpoint::decode_summary_value;
 use charlie::prefetch::HwPrefetchConfig;
 use charlie::wire;
-use charlie::{Experiment, RunSummary};
+use charlie::{Experiment, Protocol, RunSummary};
 
 /// Which cells a submit asks for.
 #[derive(Clone, Debug)]
@@ -38,6 +38,8 @@ pub struct SubmitRequest {
     pub deadline_ms: Option<u64>,
     /// Online hardware prefetcher; off when `None`.
     pub hw_prefetch: Option<HwPrefetchConfig>,
+    /// Coherence protocol; the daemon default (Illinois) when `None`.
+    pub protocol: Option<Protocol>,
 }
 
 impl SubmitRequest {
@@ -50,6 +52,7 @@ impl SubmitRequest {
             seed: None,
             deadline_ms: None,
             hw_prefetch: None,
+            protocol: None,
         }
     }
 
@@ -83,6 +86,9 @@ impl SubmitRequest {
         }
         if let Some(hw) = self.hw_prefetch {
             wire::push_str_field(&mut s, "hw_prefetch", &hw.to_string());
+        }
+        if let Some(proto) = self.protocol {
+            wire::push_str_field(&mut s, "protocol", proto.key_name());
         }
         s.pop();
         s.push('}');
@@ -270,11 +276,13 @@ mod tests {
             seed: Some(7),
             deadline_ms: Some(5000),
             hw_prefetch: Some(HwPrefetchConfig::stride(2, 4)),
+            protocol: Some(Protocol::Dragon),
         };
         let v = wire::parse(&req.encode()).unwrap();
         assert_eq!(v.field("cmd").unwrap().str().unwrap(), "submit");
         assert_eq!(v.field("procs").unwrap().num().unwrap(), 2);
         assert_eq!(v.field("hw_prefetch").unwrap().str().unwrap(), "stride:2:4");
+        assert_eq!(v.field("protocol").unwrap().str().unwrap(), "dragon");
         let cells = v.field("cells").unwrap().arr().unwrap();
         assert_eq!(
             wire::decode_experiment(&cells[0]).unwrap(),

@@ -52,7 +52,7 @@ use charlie::parallel::Pool;
 use charlie::prefetch::HwPrefetchConfig;
 use charlie::retry::RetryPolicy;
 use charlie::wire::{self, Json};
-use charlie::{execute_cell, experiments, Experiment, RunConfig, RunError, RunSummary};
+use charlie::{execute_cell, experiments, Experiment, Protocol, RunConfig, RunError, RunSummary};
 
 pub mod client;
 
@@ -796,6 +796,11 @@ fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
     if let Some(s) = v.opt_field("hw_prefetch") {
         cfg.hw_prefetch = HwPrefetchConfig::parse(s.str()?)?;
     }
+    if let Some(s) = v.opt_field("protocol") {
+        let spec = s.str()?;
+        cfg.protocol = Protocol::parse(spec)
+            .ok_or_else(|| format!("unknown protocol {spec:?} ({})", Protocol::CHOICES))?;
+    }
     // Deadlines act at the campaign-wait level; the cell itself runs (and
     // is cached) unlimited so the key stays deadline-independent.
     cfg.wall_limit_ms = 0;
@@ -841,8 +846,15 @@ fn campaign_key(cfg: &RunConfig, cells: &[Experiment]) -> (String, String) {
     } else {
         String::new()
     };
+    // Like /hw=, appended only for non-default protocols so existing
+    // Illinois campaign journals keep their keys (and tokens) unchanged.
+    let proto = if cfg.protocol != Protocol::WriteInvalidate {
+        format!("/proto={}", cfg.protocol.key_name())
+    } else {
+        String::new()
+    };
     let key = format!(
-        "serve/p{}/r{}/s{:#x}{hw}/g{:016x}",
+        "serve/p{}/r{}/s{:#x}{hw}{proto}/g{:016x}",
         cfg.procs,
         cfg.refs_per_proc,
         cfg.seed,
@@ -1300,6 +1312,7 @@ mod tests {
             seed: None,
             deadline_ms: None,
             hw_prefetch: None,
+            protocol: None,
         };
         let first = client::submit(&addr, &req).unwrap();
         let second = client::submit(&addr, &req).unwrap();

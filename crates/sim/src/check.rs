@@ -1,32 +1,43 @@
 //! Snooping-coherence invariant checker.
 //!
-//! The machine's correctness rests on a handful of global invariants the
-//! Illinois protocol must preserve across every bus transaction. This module
+//! The machine's correctness rests on a handful of global invariants each
+//! coherence protocol must preserve across every bus transaction. This module
 //! states them as code and lets the simulator assert them after each grant
 //! and completion (see [`SimConfig::check_invariants`]), turning silent state
-//! corruption into an immediate [`SimError::InvariantViolation`]:
+//! corruption into an immediate [`SimError::InvariantViolation`].
 //!
-//! 1. **Single owner** — at most one cache holds a line in an exclusive
-//!    state (`PrivateClean` / `PrivateDirty`).
+//! Invariants common to every protocol:
+//!
+//! 1. **Single exclusive owner** — at most one cache holds a line in an
+//!    exclusive state (`PrivateClean` / `PrivateDirty`).
 //! 2. **No stale sharers** — while any cache holds a line exclusively, no
 //!    other cache may hold *any* valid copy of it; in particular a `Shared`
-//!    copy must never coexist with a dirty peer.
+//!    copy must never coexist with a private-dirty peer.
 //! 3. **No prefetch aliasing** — an outstanding prefetch-buffer entry is a
 //!    fetch for a line that is *not* resident; an entry aliasing a valid
 //!    local line means a fill or snoop path forgot to reconcile the buffer.
 //! 4. **MSHR bound** — the lockup-free buffer never tracks more outstanding
 //!    prefetches than its configured depth.
 //!
+//! Per-protocol invariants (the reason the checker takes a [`Protocol`]):
+//!
+//! 5. **Legal state set** — each protocol uses a subset of [`LineState`]:
+//!    `Owned` exists only under MOESI, `SharedModified` only under Dragon.
+//!    Any other combination is foreign corruption.
+//! 6. **Single owner-updater** — at most one cache holds a line `Owned`
+//!    (MOESI) or `SharedModified` (Dragon): exactly one copy owes memory the
+//!    write-back, so two owners would either double-write or lose an update.
+//!
 //! The checks are intentionally dumb re-derivations from raw cache state
 //! (`O(procs)` per touched line), independent of the machine's own
 //! bookkeeping — that independence is what makes them able to catch its
 //! bugs. The fault-injection tests below corrupt [`CacheArray`]s directly
-//! and prove every violation class is detected.
+//! and prove every violation class is detected under every protocol.
 //!
 //! [`SimConfig::check_invariants`]: crate::SimConfig::check_invariants
 //! [`SimError::InvariantViolation`]: crate::SimError::InvariantViolation
 
-use charlie_cache::{CacheArray, LineState};
+use charlie_cache::{CacheArray, LineState, Protocol};
 use charlie_trace::LineAddr;
 use std::fmt;
 
@@ -53,6 +64,29 @@ pub enum CoherenceViolation {
         owner: usize,
         /// The owner's state (`PrivateClean` or `PrivateDirty`).
         owner_state: LineState,
+    },
+    /// Two caches hold the same line in the owner-updater state (`Owned`
+    /// under MOESI, `SharedModified` under Dragon): the write-back
+    /// responsibility must rest with exactly one copy.
+    MultipleOwners {
+        /// The offending line.
+        line: LineAddr,
+        /// First owner found.
+        first: usize,
+        /// Second owner.
+        second: usize,
+        /// The duplicated owner state.
+        state: LineState,
+    },
+    /// A cache holds a line in a state the active protocol cannot produce
+    /// (e.g. `Owned` under Illinois, `SharedModified` under MOESI).
+    ForeignState {
+        /// The offending line.
+        line: LineAddr,
+        /// Processor holding the foreign state.
+        proc: usize,
+        /// The illegal state.
+        state: LineState,
     },
     /// An outstanding prefetch-buffer entry aliases a valid resident line.
     PrefetchAliasesResident {
@@ -88,6 +122,16 @@ impl fmt::Display for CoherenceViolation {
                      {owner_state:?}"
                 )
             }
+            CoherenceViolation::MultipleOwners { line, first, second, state } => write!(
+                f,
+                "line {line} held {state:?} by both proc {first} and proc {second} \
+                 (write-back responsibility must be unique)"
+            ),
+            CoherenceViolation::ForeignState { line, proc, state } => write!(
+                f,
+                "proc {proc} holds line {line} in {state:?}, which the active protocol \
+                 cannot produce"
+            ),
             CoherenceViolation::PrefetchAliasesResident { proc, line, state } => write!(
                 f,
                 "proc {proc} has an outstanding prefetch for line {line} already resident \
@@ -101,22 +145,52 @@ impl fmt::Display for CoherenceViolation {
     }
 }
 
-/// Checks invariants 1 and 2 for one line across all caches.
+/// `true` for the dirty-shared owner-updater state of `proto`, of which at
+/// most one copy may exist.
+fn is_owner_state(proto: Protocol, state: LineState) -> bool {
+    match proto {
+        Protocol::Moesi => state == LineState::Owned,
+        Protocol::Dragon => state == LineState::SharedModified,
+        Protocol::WriteInvalidate | Protocol::WriteUpdate => false,
+    }
+}
+
+/// Checks invariants 1, 2, 5 and 6 for one line across all caches under
+/// `proto`.
 ///
 /// # Errors
 ///
 /// Returns the first [`CoherenceViolation`] found.
-pub fn check_line(caches: &[CacheArray], line: LineAddr) -> Result<(), CoherenceViolation> {
+pub fn check_line(
+    proto: Protocol,
+    caches: &[CacheArray],
+    line: LineAddr,
+) -> Result<(), CoherenceViolation> {
     let mut exclusive: Option<(usize, LineState)> = None;
+    let mut owner: Option<(usize, LineState)> = None;
     let mut other: Option<usize> = None;
     for (p, cache) in caches.iter().enumerate() {
         let Some(state) = cache.state_of(line) else { continue };
+        if !proto.allows_state(state) {
+            return Err(CoherenceViolation::ForeignState { line, proc: p, state });
+        }
         if state.is_exclusive() {
             if let Some((first, _)) = exclusive {
                 return Err(CoherenceViolation::MultipleExclusive { line, first, second: p });
             }
             exclusive = Some((p, state));
         } else {
+            if is_owner_state(proto, state) {
+                if let Some((first, state)) = owner {
+                    return Err(CoherenceViolation::MultipleOwners {
+                        line,
+                        first,
+                        second: p,
+                        state,
+                    });
+                }
+                owner = Some((p, state));
+            }
             other = Some(p);
         }
     }
@@ -165,13 +239,13 @@ where
 /// # Errors
 ///
 /// Returns the first [`CoherenceViolation`] found.
-pub fn check_all_lines(caches: &[CacheArray]) -> Result<(), CoherenceViolation> {
+pub fn check_all_lines(proto: Protocol, caches: &[CacheArray]) -> Result<(), CoherenceViolation> {
     let mut lines: Vec<LineAddr> =
         caches.iter().flat_map(|c| c.iter_valid().map(|(l, _)| l)).collect();
     lines.sort_unstable();
     lines.dedup();
     for line in lines {
-        check_line(caches, line)?;
+        check_line(proto, caches, line)?;
     }
     Ok(())
 }
@@ -197,13 +271,13 @@ mod tests {
         let l = line(0x1000);
         c[1].fill(l, LineState::PrivateDirty, false);
         c[3].fill(l, LineState::PrivateClean, false);
-        match check_line(&c, l) {
+        match check_line(Protocol::WriteInvalidate, &c, l) {
             Err(CoherenceViolation::MultipleExclusive { line, first: 1, second: 3 }) => {
                 assert_eq!(line, l)
             }
             other => panic!("expected MultipleExclusive, got {other:?}"),
         }
-        assert!(check_all_lines(&c).is_err(), "sweep must find it too");
+        assert!(check_all_lines(Protocol::WriteInvalidate, &c).is_err(), "sweep must find it too");
     }
 
     #[test]
@@ -212,7 +286,7 @@ mod tests {
         let l = line(0x2000);
         c[0].fill(l, LineState::Shared, false);
         c[2].fill(l, LineState::PrivateDirty, false);
-        match check_line(&c, l) {
+        match check_line(Protocol::WriteInvalidate, &c, l) {
             Err(CoherenceViolation::SharedWithExclusivePeer {
                 sharer: 0,
                 owner: 2,
@@ -231,12 +305,102 @@ mod tests {
         c[0].fill(l, LineState::PrivateClean, false);
         c[1].fill(l, LineState::Shared, false);
         assert!(matches!(
-            check_line(&c, l),
+            check_line(Protocol::WriteInvalidate, &c, l),
             Err(CoherenceViolation::SharedWithExclusivePeer {
                 owner_state: LineState::PrivateClean,
                 ..
             })
         ));
+    }
+
+    // ---- seeded violations per protocol (the checker must fire) ---------
+
+    #[test]
+    fn firefly_detects_dirty_exclusive_with_sharer() {
+        // Write-update's exclusive states still promise "alone": a PD copy
+        // next to a sharer means a broadcast was lost.
+        let mut c = caches(2);
+        let l = line(0x2100);
+        c[0].fill(l, LineState::PrivateDirty, false);
+        c[1].fill(l, LineState::Shared, false);
+        assert!(matches!(
+            check_line(Protocol::WriteUpdate, &c, l),
+            Err(CoherenceViolation::SharedWithExclusivePeer { sharer: 1, owner: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn dragon_detects_two_shared_modified_owners() {
+        // Dragon: exactly one sharer is the owner-updater (Sm). Two would
+        // both claim the write-back.
+        let mut c = caches(4);
+        let l = line(0x2200);
+        c[0].fill(l, LineState::SharedModified, false);
+        c[2].fill(l, LineState::SharedModified, false);
+        match check_line(Protocol::Dragon, &c, l) {
+            Err(CoherenceViolation::MultipleOwners {
+                first: 0,
+                second: 2,
+                state: LineState::SharedModified,
+                ..
+            }) => {}
+            other => panic!("expected MultipleOwners, got {other:?}"),
+        }
+        assert!(check_all_lines(Protocol::Dragon, &c).is_err(), "sweep must find it too");
+    }
+
+    #[test]
+    fn moesi_detects_two_owned_copies() {
+        let mut c = caches(4);
+        let l = line(0x2300);
+        c[1].fill(l, LineState::Owned, false);
+        c[3].fill(l, LineState::Owned, false);
+        match check_line(Protocol::Moesi, &c, l) {
+            Err(CoherenceViolation::MultipleOwners {
+                first: 1,
+                second: 3,
+                state: LineState::Owned,
+                ..
+            }) => {}
+            other => panic!("expected MultipleOwners, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moesi_detects_owned_next_to_private_dirty() {
+        // An Owned copy promises the dirty data is *shared*; a PD peer is a
+        // contradiction (two caches each believing they are sole-dirty).
+        let mut c = caches(2);
+        let l = line(0x2400);
+        c[0].fill(l, LineState::Owned, false);
+        c[1].fill(l, LineState::PrivateDirty, false);
+        assert!(matches!(
+            check_line(Protocol::Moesi, &c, l),
+            Err(CoherenceViolation::SharedWithExclusivePeer { sharer: 0, owner: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_states_are_detected_per_protocol() {
+        // Owned exists only under MOESI, SharedModified only under Dragon.
+        for (proto, foreign) in [
+            (Protocol::WriteInvalidate, LineState::Owned),
+            (Protocol::WriteInvalidate, LineState::SharedModified),
+            (Protocol::WriteUpdate, LineState::Owned),
+            (Protocol::WriteUpdate, LineState::SharedModified),
+            (Protocol::Dragon, LineState::Owned),
+            (Protocol::Moesi, LineState::SharedModified),
+        ] {
+            let mut c = caches(2);
+            let l = line(0x2500);
+            c[1].fill(l, foreign, false);
+            match check_line(proto, &c, l) {
+                Err(CoherenceViolation::ForeignState { proc: 1, state, .. }) => {
+                    assert_eq!(state, foreign, "{proto:?}")
+                }
+                other => panic!("{proto:?}/{foreign:?}: expected ForeignState, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -277,7 +441,7 @@ mod tests {
         assert!(c[0].probe_victim(l), "setup: dirty line must sit in the victim buffer");
         c[1].fill(l, LineState::PrivateClean, false);
         assert!(matches!(
-            check_line(&c, l),
+            check_line(Protocol::WriteInvalidate, &c, l),
             Err(CoherenceViolation::MultipleExclusive { .. })
         ));
     }
@@ -296,7 +460,7 @@ mod tests {
         c[0].fill(line(0x200), LineState::PrivateClean, false);
         // One dirty owner, sole copy.
         c[1].fill(line(0x300), LineState::PrivateDirty, false);
-        assert_eq!(check_all_lines(&c), Ok(()));
+        assert_eq!(check_all_lines(Protocol::WriteInvalidate, &c), Ok(()));
         // An outstanding prefetch for a non-resident line is fine.
         assert_eq!(check_prefetch_buffer(0, &c[0], [line(0x7000)], 16), Ok(()));
         // Exactly at the depth bound is fine.
@@ -305,10 +469,31 @@ mod tests {
     }
 
     #[test]
+    fn legal_owner_configurations_pass() {
+        // MOESI: one Owned copy among sharers is the protocol working as
+        // designed; likewise Dragon's single Sm among Shared peers.
+        let mut c = caches(4);
+        let l = line(0x900);
+        c[0].fill(l, LineState::Owned, false);
+        c[1].fill(l, LineState::Shared, false);
+        c[2].fill(l, LineState::Shared, false);
+        assert_eq!(check_line(Protocol::Moesi, &c, l), Ok(()));
+        assert_eq!(check_all_lines(Protocol::Moesi, &c), Ok(()));
+
+        let mut c = caches(4);
+        c[3].fill(l, LineState::SharedModified, false);
+        c[0].fill(l, LineState::Shared, false);
+        assert_eq!(check_line(Protocol::Dragon, &c, l), Ok(()));
+        assert_eq!(check_all_lines(Protocol::Dragon, &c), Ok(()));
+    }
+
+    #[test]
     fn absent_line_passes() {
         let c = caches(2);
-        assert_eq!(check_line(&c, line(0x9000)), Ok(()));
-        assert_eq!(check_all_lines(&c), Ok(()));
+        assert_eq!(check_line(Protocol::WriteInvalidate, &c, line(0x9000)), Ok(()));
+        for proto in Protocol::ALL {
+            assert_eq!(check_all_lines(proto, &c), Ok(()));
+        }
     }
 
     #[test]
@@ -316,5 +501,19 @@ mod tests {
         let v = CoherenceViolation::MultipleExclusive { line: line(0x40), first: 0, second: 3 };
         let text = v.to_string();
         assert!(text.contains("proc 0") && text.contains("proc 3"), "{text}");
+        let v = CoherenceViolation::MultipleOwners {
+            line: line(0x40),
+            first: 1,
+            second: 2,
+            state: LineState::Owned,
+        };
+        let text = v.to_string();
+        assert!(text.contains("proc 1") && text.contains("proc 2"), "{text}");
+        let v = CoherenceViolation::ForeignState {
+            line: line(0x40),
+            proc: 0,
+            state: LineState::SharedModified,
+        };
+        assert!(v.to_string().contains("cannot produce"));
     }
 }

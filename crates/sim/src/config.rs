@@ -6,29 +6,10 @@ use charlie_prefetch::HwPrefetchConfig;
 use charlie_trace::{Addr, BarrierId, LockId};
 use std::fmt;
 
-/// Coherence policy of the simulated machine.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub enum Protocol {
-    /// The paper's Illinois write-invalidate protocol: remote writes
-    /// invalidate cached copies, producing the invalidation misses the paper
-    /// identifies as prefetching's fundamental limit.
-    #[default]
-    WriteInvalidate,
-    /// A Firefly-style write-update counterfactual: writes to shared lines
-    /// broadcast the word (and update memory), so *no invalidation misses
-    /// exist at all* — the cost moves entirely onto bus update traffic.
-    /// Exclusive prefetches degenerate to shared fills under this policy.
-    WriteUpdate,
-}
-
-impl fmt::Display for Protocol {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Protocol::WriteInvalidate => f.write_str("write-invalidate (Illinois)"),
-            Protocol::WriteUpdate => f.write_str("write-update (Firefly-style)"),
-        }
-    }
-}
+/// Coherence policy of the simulated machine. The state machines live in
+/// [`charlie_cache::protocol`]; re-exported here because the simulator's
+/// configuration is where users select one.
+pub use charlie_cache::Protocol;
 
 /// Base of the address region the simulator maps lock variables into. One
 /// cache line per lock, so locks never falsely share. Workload generators

@@ -26,7 +26,7 @@
 //!   (and the transaction is promoted to demand priority).
 
 use crate::check::{self, CoherenceViolation};
-use crate::config::{Protocol, SimConfig};
+use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{HwPrefetchStats, MissBreakdown, PrefetchStats, SimReport};
 use crate::proc::{OutstandingPrefetch, PendingAccess, Proc, ProcStatus, Purpose};
@@ -446,7 +446,8 @@ impl<'t> Machine<'t> {
         if self.checking {
             // Per-transaction checks only re-verify touched lines; a final
             // sweep covers everything once more before the report is built.
-            check::check_all_lines(&self.caches).map_err(SimError::InvariantViolation)?;
+            check::check_all_lines(self.cfg.protocol, &self.caches)
+                .map_err(SimError::InvariantViolation)?;
             for p in 0..self.cfg.num_procs {
                 check::check_prefetch_buffer(
                     p,
@@ -568,7 +569,7 @@ impl<'t> Machine<'t> {
     /// latching the first violation (converted into an error by `run`).
     fn verify_line(&mut self, line: LineAddr) {
         if self.checking && self.violation.is_none() {
-            self.violation = check::check_line(&self.caches, line).err();
+            self.violation = check::check_line(self.cfg.protocol, &self.caches, line).err();
         }
     }
 
@@ -853,11 +854,7 @@ impl<'t> Machine<'t> {
         self.charge_dispatch_cycle(p);
         self.tallies.prefetch.executed += 1;
         self.tallies.prefetch.fills += 1;
-        let op = if exclusive && self.cfg.protocol == Protocol::WriteInvalidate {
-            BusOp::ReadExclusive
-        } else {
-            BusOp::Read
-        };
+        let op = protocol::prefetch_op(self.cfg.protocol, exclusive);
         let now = self.procs[p].t;
         let priority = if self.cfg.prefetch_demand_priority {
             Priority::Demand
@@ -999,7 +996,7 @@ impl<'t> Machine<'t> {
         let now = self.procs[p].t;
 
         match self.caches[p].probe_line(line) {
-            Probe::Hit { way, state } => match protocol::local_access(state, is_write) {
+            Probe::Hit { way, state } => match protocol::local_access(self.cfg.protocol, state, is_write) {
                 LocalAction::Hit(new_state) => {
                     if self.tracer.is_some() {
                         let fr = self.caches[p].frame(line, way);
@@ -1030,15 +1027,18 @@ impl<'t> Machine<'t> {
                 }
                 LocalAction::HitNeedsUpgrade => {
                     // Write-update: once the word broadcast completed, the
-                    // store retires with the line still shared (memory was
-                    // updated in the broadcast).
+                    // store retires with the line still shared — plain
+                    // `Shared` under Firefly (memory was updated in the
+                    // broadcast), `SharedModified` under Dragon (the writer
+                    // now owes the write-back); the completion path already
+                    // set the frame state, so retire in place.
                     if pa.update_complete {
-                        debug_assert_eq!(self.cfg.protocol, Protocol::WriteUpdate);
+                        debug_assert!(self.cfg.protocol.is_update_based());
                         if self.hw.is_some() {
                             self.hw_note_useful(p, line, now);
                         }
                         let frame = self.caches[p].frame_mut(line, way);
-                        frame.record_access(word, charlie_cache::LineState::Shared);
+                        frame.record_access(word, state);
                         self.charge_access_cycles(p);
                         self.count_access(p, is_write);
                         if self.hw.is_some() && matches!(pa.purpose, Purpose::Demand) {
@@ -1050,8 +1050,8 @@ impl<'t> Machine<'t> {
                     if self.ff_ready(line) {
                         return self.ff_upgrade(p, line, word);
                     }
-                    let txn =
-                        self.bus.submit(now, ProcId(p as u8), line, BusOp::Upgrade, Priority::Demand);
+                    let op = protocol::write_shared_op(self.cfg.protocol);
+                    let txn = self.bus.submit(now, ProcId(p as u8), line, op, Priority::Demand);
                     self.register_txn(
                         txn,
                         TxnInfo {
@@ -1117,12 +1117,12 @@ impl<'t> Machine<'t> {
                 if self.ff_ready(line) {
                     return self.ff_fill(p, line, is_write, word);
                 }
-                let op = if is_write && self.cfg.protocol == Protocol::WriteInvalidate {
-                    BusOp::ReadExclusive
+                // Write-update protocols: a write miss fills like a read and
+                // then broadcasts the word (handled by the upgrade-as-update
+                // path when the retried store finds the line shared).
+                let op = if is_write {
+                    protocol::write_miss_op(self.cfg.protocol)
                 } else {
-                    // Write-update: a write miss fills shared and then
-                    // broadcasts the word (handled by the upgrade-as-update
-                    // path when the retried store finds the line shared).
                     BusOp::Read
                 };
                 let txn = self.bus.submit(now, ProcId(p as u8), line, op, Priority::Demand);
@@ -1189,10 +1189,11 @@ impl<'t> Machine<'t> {
             holders &= holders - 1;
             match op {
                 BusOp::Read => {
-                    // A dirty owner supplies the data; the reflective
-                    // memory update is free in fast-forward (no posted
-                    // write-back occupies a bus that is not being timed).
-                    if self.caches[q].snoop_downgrade(line).is_some() {
+                    // A dirty owner supplies the data; any memory update
+                    // (reflective protocols) is free in fast-forward (no
+                    // posted write-back occupies a bus that is not being
+                    // timed).
+                    if self.caches[q].snoop_downgrade(line, self.cfg.protocol).is_some() {
                         others = true;
                     }
                 }
@@ -1201,7 +1202,7 @@ impl<'t> Machine<'t> {
                         others = true;
                     }
                 }
-                BusOp::Upgrade | BusOp::WriteBack => unreachable!("fills only"),
+                BusOp::Upgrade | BusOp::Update | BusOp::WriteBack => unreachable!("fills only"),
             }
         }
         others
@@ -1211,8 +1212,8 @@ impl<'t> Machine<'t> {
     /// charge the unloaded fill latency as stall. The still-pending access
     /// re-dispatches immediately and hits.
     fn ff_fill(&mut self, p: usize, line: LineAddr, is_write: bool, word: u32) -> Flow {
-        let op = if is_write && self.cfg.protocol == Protocol::WriteInvalidate {
-            BusOp::ReadExclusive
+        let op = if is_write {
+            protocol::write_miss_op(self.cfg.protocol)
         } else {
             BusOp::Read
         };
@@ -1237,37 +1238,42 @@ impl<'t> Machine<'t> {
         proc.t += lat;
         proc.stats.stall_cycles += lat;
         let now = proc.t;
-        match self.cfg.protocol {
-            Protocol::WriteInvalidate => {
-                let mut holders = self.snoop_candidates(line) & !(1u64 << p);
-                while holders != 0 {
-                    let q = holders.trailing_zeros() as usize;
-                    holders &= holders - 1;
-                    self.invalidate_in(now, q, line, word);
-                }
-                if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
-                    self.caches[p]
-                        .frame_mut(line, way)
-                        .downgrade(charlie_cache::LineState::PrivateDirty);
+        if protocol::write_shared_op(self.cfg.protocol) == BusOp::Upgrade {
+            // Invalidation-based: every other holder drops its copy and
+            // the writer becomes sole dirty owner.
+            let mut holders = self.snoop_candidates(line) & !(1u64 << p);
+            while holders != 0 {
+                let q = holders.trailing_zeros() as usize;
+                holders &= holders - 1;
+                self.invalidate_in(now, q, line, word);
+            }
+            if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                self.caches[p]
+                    .frame_mut(line, way)
+                    .downgrade(charlie_cache::LineState::PrivateDirty);
+            }
+        } else {
+            // Update-based: peers absorb the word (Dragon owners hand the
+            // Sm role to the writer) and the writer's resulting state
+            // depends on whether anyone is left sharing.
+            let mut others = false;
+            let mut holders = self.snoop_candidates(line) & !(1u64 << p);
+            while holders != 0 {
+                let q = holders.trailing_zeros() as usize;
+                holders &= holders - 1;
+                if self.caches[q].snoop_update(line, self.cfg.protocol).is_some() {
+                    others = true;
                 }
             }
-            Protocol::WriteUpdate => {
-                let others = if self.snoop_filter {
-                    self.sharers.mask(line) & !(1u64 << p) != 0
-                } else {
-                    (0..self.cfg.num_procs)
-                        .any(|q| q != p && self.caches[q].state_of(line).is_some())
-                };
-                if others {
-                    // Sharers remain: the retried store observes the
-                    // completed broadcast and retires shared.
-                    if let Some(pa) = self.procs[p].pending.as_mut() {
-                        pa.update_complete = true;
-                    }
-                } else if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
-                    self.caches[p]
-                        .frame_mut(line, way)
-                        .downgrade(charlie_cache::LineState::PrivateDirty);
+            let result = protocol::broadcast_result(self.cfg.protocol, others);
+            if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                self.caches[p].frame_mut(line, way).downgrade(result);
+            }
+            if !result.can_write_silently() {
+                // Sharers remain: the retried store observes the
+                // completed broadcast and retires in the shared state.
+                if let Some(pa) = self.procs[p].pending.as_mut() {
+                    pa.update_complete = true;
                 }
             }
         }
@@ -1281,11 +1287,7 @@ impl<'t> Machine<'t> {
         self.charge_dispatch_cycle(p);
         self.tallies.prefetch.executed += 1;
         self.tallies.prefetch.fills += 1;
-        let op = if exclusive && self.cfg.protocol == Protocol::WriteInvalidate {
-            BusOp::ReadExclusive
-        } else {
-            BusOp::Read
-        };
+        let op = protocol::prefetch_op(self.cfg.protocol, exclusive);
         let others = self.ff_apply_snoops(p, line, op, word);
         let now = self.procs[p].t;
         if let Some(tr) = &mut self.tracer {
@@ -1601,7 +1603,9 @@ impl<'t> Machine<'t> {
                     holders &= holders - 1;
                     match op {
                         BusOp::Read => {
-                            if let Some(prev) = self.caches[q].snoop_downgrade(line) {
+                            if let Some(prev) =
+                                self.caches[q].snoop_downgrade(line, self.cfg.protocol)
+                            {
                                 others = true;
                                 if prev.is_dirty() {
                                     dirty_supplier = Some(q);
@@ -1613,12 +1617,19 @@ impl<'t> Machine<'t> {
                                 others = true;
                             }
                         }
-                        BusOp::Upgrade | BusOp::WriteBack => unreachable!("fills only"),
+                        BusOp::Upgrade | BusOp::Update | BusOp::WriteBack => {
+                            unreachable!("fills only")
+                        }
                     }
                 }
-                // Illinois: a dirty owner supplies the data and memory is
-                // updated in a reflective write — a posted write-back that
-                // occupies the bus (the supplier does not stall).
+                // Reflective memory (Illinois, Firefly): a dirty owner
+                // supplies the data and memory is updated in the same breath
+                // — a posted write-back that occupies the bus (the supplier
+                // does not stall). Dragon and MOESI keep the data dirty in
+                // the supplier's cache and defer the write-back to eviction.
+                if !protocol::posts_reflective_writeback(self.cfg.protocol) {
+                    dirty_supplier = None;
+                }
                 if let Some(q) = dirty_supplier {
                     let now = self.bus.busy_until();
                     let txn = self.bus.submit(
@@ -1647,33 +1658,33 @@ impl<'t> Machine<'t> {
                 // gone: abort (the store will retry as a miss). Cannot
                 // happen under write-update, where nothing invalidates.
                 if self.caches[proc.index()].state_of(line).is_none() {
-                    debug_assert_eq!(self.cfg.protocol, Protocol::WriteInvalidate);
+                    debug_assert!(!self.cfg.protocol.is_update_based());
                     self.tallies.upgrades_aborted += 1;
                     self.txns[id.index()].as_mut().expect("registered").aborted = true;
                     return;
                 }
-                match self.cfg.protocol {
-                    Protocol::WriteInvalidate => {
-                        let mut holders = self.snoop_candidates(line) & !(1u64 << proc.index());
-                        while holders != 0 {
-                            let q = holders.trailing_zeros() as usize;
-                            holders &= holders - 1;
-                            self.invalidate_in(now, q, line, word);
+                if protocol::write_shared_op(self.cfg.protocol) == BusOp::Upgrade {
+                    let mut holders = self.snoop_candidates(line) & !(1u64 << proc.index());
+                    while holders != 0 {
+                        let q = holders.trailing_zeros() as usize;
+                        holders &= holders - 1;
+                        self.invalidate_in(now, q, line, word);
+                    }
+                } else {
+                    // Word broadcast: sharers keep their (now updated)
+                    // copies (a Dragon Sm owner cedes ownership to the
+                    // writer); record whether any remain so the writer can
+                    // take exclusive ownership when alone.
+                    let mut others = false;
+                    let mut holders = self.snoop_candidates(line) & !(1u64 << proc.index());
+                    while holders != 0 {
+                        let q = holders.trailing_zeros() as usize;
+                        holders &= holders - 1;
+                        if self.caches[q].snoop_update(line, self.cfg.protocol).is_some() {
+                            others = true;
                         }
                     }
-                    Protocol::WriteUpdate => {
-                        // Word broadcast: sharers keep their (now updated)
-                        // copies; sample whether any remain so the writer
-                        // can take exclusive ownership when alone.
-                        let others = if self.snoop_filter {
-                            self.sharers.mask(line) & !(1u64 << proc.index()) != 0
-                        } else {
-                            (0..self.cfg.num_procs).any(|q| {
-                                q != proc.index() && self.caches[q].state_of(line).is_some()
-                            })
-                        };
-                        self.txns[id.index()].as_mut().expect("registered").others_have_copy = others;
-                    }
+                    self.txns[id.index()].as_mut().expect("registered").others_have_copy = others;
                 }
             }
         }
@@ -1755,34 +1766,22 @@ impl<'t> Machine<'t> {
             TxnAction::Upgrade { proc, line, word } => {
                 let p = proc.index();
                 if !info.aborted {
-                    match self.cfg.protocol {
-                        Protocol::WriteInvalidate => {
-                            if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
-                                // The store retires with exclusive ownership;
-                                // the retry observes private-dirty and
-                                // completes silently.
-                                let _ = word;
-                                self.caches[p]
-                                    .frame_mut(line, way)
-                                    .downgrade(charlie_cache::LineState::PrivateDirty);
-                            }
-                        }
-                        Protocol::WriteUpdate => {
-                            if info.others_have_copy {
-                                // Sharers remain: the store retires with the
-                                // line still shared (flagged so the retry
-                                // does not broadcast again).
-                                if let Some(pa) = self.procs[p].pending.as_mut() {
-                                    pa.update_complete = true;
-                                }
-                            } else if let Probe::Hit { way, .. } = self.caches[p].probe_line(line)
-                            {
-                                // Last sharer: take exclusive ownership so
-                                // further writes are silent.
-                                self.caches[p]
-                                    .frame_mut(line, way)
-                                    .downgrade(charlie_cache::LineState::PrivateDirty);
-                            }
+                    // Invalidation protocols always end private-dirty (every
+                    // peer was invalidated); write-update writers end shared
+                    // (Firefly) or shared-modified (Dragon) when sharers
+                    // remain, private-dirty when alone.
+                    let result =
+                        protocol::broadcast_result(self.cfg.protocol, info.others_have_copy);
+                    if let Probe::Hit { way, .. } = self.caches[p].probe_line(line) {
+                        let _ = word;
+                        self.caches[p].frame_mut(line, way).downgrade(result);
+                    }
+                    if !result.can_write_silently() {
+                        // Sharers remain: flag the pending store so the retry
+                        // observes the completed broadcast and does not
+                        // broadcast again.
+                        if let Some(pa) = self.procs[p].pending.as_mut() {
+                            pa.update_complete = true;
                         }
                     }
                 }
@@ -1814,7 +1813,7 @@ impl<'t> Machine<'t> {
         by_prefetch: bool,
         now: u64,
     ) {
-        let state = protocol::fill_state(op, others_have_copy);
+        let state = protocol::fill_state(self.cfg.protocol, op, others_have_copy);
         if self.tracer.as_ref().is_some_and(|t| t.wants_coherence(line)) {
             let op_s = format!("{op:?}");
             let state_s = format!("{state:?}");

@@ -1,7 +1,7 @@
 //! Property tests over the simulator: random multiprocessor access patterns
 //! must never violate machine invariants, and runs must be deterministic.
 
-use charlie::sim::{simulate, SimConfig, SimReport};
+use charlie::sim::{simulate, Protocol, SimConfig, SimReport};
 use charlie::trace::{Addr, Trace, TraceBuilder};
 use proptest::prelude::*;
 
@@ -85,6 +85,37 @@ proptest! {
         // contended resource cannot shorten the critical path.
         prop_assert!(rf.cycles <= rs.cycles,
             "fast {} > slow {}", rf.cycles, rs.cycles);
+    }
+
+    /// Coherence protocols change *when* the bus is used, never *what* the
+    /// program computes: on random contended interleavings every protocol
+    /// must retire the same demand accesses, keep the per-protocol state
+    /// invariants green, and stay deterministic.
+    #[test]
+    fn protocols_agree_on_functional_behavior(trace in arb_trace(3)) {
+        let base = SimConfig {
+            num_procs: 3,
+            check_invariants: true,
+            ..SimConfig::default()
+        };
+        let reference = simulate(&base, &trace).expect("illinois simulates");
+        for proto in Protocol::ALL {
+            let cfg = SimConfig { protocol: proto, ..base };
+            let r = simulate(&cfg, &trace).expect("every protocol simulates");
+            prop_assert_eq!(r.reads, reference.reads, "{:?}", proto);
+            prop_assert_eq!(r.writes, reference.writes, "{:?}", proto);
+            prop_assert_eq!(
+                r.demand_accesses(), reference.demand_accesses(), "{:?}", proto
+            );
+            check_invariants(&r, proto.key_name());
+            // Update-based protocols never invalidate a remote copy, so a
+            // line loaded once can never miss again for coherence reasons.
+            if proto.is_update_based() {
+                prop_assert_eq!(r.miss.invalidation(), 0, "{:?}", proto);
+                prop_assert_eq!(r.false_sharing_misses, 0, "{:?}", proto);
+            }
+            prop_assert_eq!(&r, &simulate(&cfg, &trace).unwrap(), "{:?}", proto);
+        }
     }
 
     #[test]

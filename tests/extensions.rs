@@ -28,16 +28,72 @@ fn generated_workloads_round_trip_through_the_text_format() {
 
 #[test]
 fn write_update_removes_all_invalidation_misses_on_every_workload() {
-    for w in Workload::ALL {
+    for w in Workload::EXTENDED {
         let trace = generate(w, &wcfg(3_000));
         let wi = SimConfig::paper(4, 8);
-        let wu = SimConfig { protocol: Protocol::WriteUpdate, ..wi };
         let r_wi = simulate(&wi, &trace).unwrap();
-        let r_wu = simulate(&wu, &trace).unwrap();
-        assert_eq!(r_wu.miss.invalidation(), 0, "{w}");
-        assert_eq!(r_wu.false_sharing_misses, 0, "{w}");
-        // The work still happens: same demand accesses retire.
-        assert_eq!(r_wu.demand_accesses(), r_wi.demand_accesses(), "{w}");
+        // Both update-based protocols (Firefly's block-update and Dragon's
+        // Sm-owner scheme) share the property: no copy is ever invalidated,
+        // so coherence misses vanish entirely.
+        for proto in [Protocol::WriteUpdate, Protocol::Dragon] {
+            let wu = SimConfig { protocol: proto, ..wi };
+            let r_wu = simulate(&wu, &trace).unwrap();
+            assert_eq!(r_wu.miss.invalidation(), 0, "{w} {proto:?}");
+            assert_eq!(r_wu.false_sharing_misses, 0, "{w} {proto:?}");
+            // The work still happens: every traced access retires. (Exact
+            // equality with Illinois is too strong on lock-bearing
+            // workloads: lock hand-off spin reads are timing-dependent,
+            // and protocol choice shifts timing.)
+            assert!(r_wu.demand_accesses() >= trace.total_accesses() as u64, "{w} {proto:?}");
+            assert!(
+                r_wu.demand_accesses().abs_diff(r_wi.demand_accesses()) <= 4,
+                "{w} {proto:?}: only spin-retry jitter may differ ({} vs {})",
+                r_wu.demand_accesses(),
+                r_wi.demand_accesses()
+            );
+        }
+    }
+}
+
+/// Word broadcasts are address-slot transactions, not block transfers: on a
+/// pure shared-store workload the bus-occupancy identity must account every
+/// busy cycle as either a data transfer or an invalidation-slot broadcast.
+#[test]
+fn update_broadcasts_occupy_the_invalidation_slot_not_a_transfer() {
+    use charlie::trace::{Addr, TraceBuilder};
+    let procs = 4;
+    let mut b = TraceBuilder::new(procs);
+    for p in 0..procs {
+        let mut pb = b.proc(p);
+        // Warm every shared line into all caches, rendezvous, then store.
+        for line in 0..8u64 {
+            pb.read(Addr::new(0x9000 + line * 32));
+        }
+        pb.barrier(0);
+        for pass in 0..6u64 {
+            for line in 0..8u64 {
+                pb.write(Addr::new(0x9000 + line * 32 + (pass % 8) * 4));
+            }
+        }
+    }
+    let trace = b.build();
+    for proto in [Protocol::WriteUpdate, Protocol::Dragon] {
+        let cfg = SimConfig {
+            num_procs: procs,
+            protocol: proto,
+            check_invariants: true,
+            ..SimConfig::default()
+        };
+        let r = simulate(&cfg, &trace).unwrap();
+        assert!(r.bus.updates > 0, "{proto:?}: shared stores must broadcast");
+        assert_eq!(r.bus.upgrades, 0, "{proto:?}: update protocols never invalidate");
+        let transfers = r.bus.reads + r.bus.read_exclusives + r.bus.writebacks;
+        let slots = r.bus.upgrades + r.bus.updates;
+        assert_eq!(
+            r.bus.busy_cycles,
+            transfers * cfg.bus.transfer_cycles + slots * cfg.bus.invalidate_cycles,
+            "{proto:?}: every busy cycle is a transfer or an address slot"
+        );
     }
 }
 

@@ -168,6 +168,7 @@ fn concurrent_duplicate_submits_coalesce() {
         seed: None,
         deadline_ms: None,
         hw_prefetch: None,
+        protocol: None,
     };
     let submit = |req: client::SubmitRequest, addr: String| {
         std::thread::spawn(move || client::submit(&addr, &req).unwrap())
@@ -225,6 +226,7 @@ fn deadline_exceeded_reports_progress_and_spares_others() {
         seed: None,
         deadline_ms: Some(1),
         hw_prefetch: None,
+        protocol: None,
     };
     let frames = client::submit(&addr, &impatient).unwrap();
     let exceeded = frames
@@ -278,6 +280,7 @@ fn saturated_daemon_sheds_with_retry_hint() {
         seed: None,
         deadline_ms: None,
         hw_prefetch: None,
+        protocol: None,
     };
     let occupant = {
         let (slow, addr) = (slow.clone(), addr.clone());
@@ -449,6 +452,7 @@ fn malformed_requests_never_panic_the_daemon() {
         seed: None,
         deadline_ms: None,
         hw_prefetch: None,
+        protocol: None,
     };
     let frames = client::submit(&addr, &request).unwrap();
     assert!(frames.iter().any(|f| matches!(f, client::Frame::Done { .. })));
