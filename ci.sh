@@ -339,4 +339,75 @@ wait "$serve_pid"
 rm -rf "$serve_state" "$shed_state" "$chaos_state"
 echo "daemon survives torn journal writes with byte-identical resumed output"
 
+echo "== fleet kill-matrix: 3 workers, SIGKILL mid-campaign, lease chaos =="
+# The lease-sharded fleet (DESIGN.md §19): a 3-worker paper-grid campaign
+# with one worker SIGKILL'd mid-run must still complete byte-identical to
+# the checked-in full grid, with the victim's stranded cells reclaimed by
+# the survivors under a higher generation. The same fleet must also
+# survive a torn lease-record write injected at the appender.
+fleet_state=$(mktemp -d -t charlie-ci-fleet.XXXXXX)
+"$BIN" submit --grid paper --workers 3 --state-dir "$fleet_state" \
+    --lease-ms 1500 >"$fleet_state/fleet.out" 2>"$fleet_state/fleet.err" &
+fleet_sub=$!
+# Pick a victim only once its health file shows an unpublished claim in
+# flight — SIGKILL then is guaranteed to strand a live lease.
+victim=""
+for _ in $(seq 1 1200); do
+    for hf in "$fleet_state"/workers/*.json; do
+        [[ -e "$hf" ]] || continue
+        claimed=$(grep -o '"claimed":[0-9]*' "$hf" | cut -d: -f2) || true
+        completed=$(grep -o '"completed":[0-9]*' "$hf" | cut -d: -f2) || true
+        if [[ -n "$claimed" && "$claimed" -gt "${completed:-0}" ]]; then
+            victim=$(grep -o '"pid":[0-9]*' "$hf" | cut -d: -f2) || true
+            break 2
+        fi
+    done
+    sleep 0.1
+done
+if [[ -z "$victim" ]]; then
+    echo "FAIL: no fleet worker ever reported an in-flight claim" >&2
+    cat "$fleet_state/fleet.err" >&2 || true
+    exit 1
+fi
+kill -KILL "$victim" 2>/dev/null || true
+if ! wait "$fleet_sub"; then
+    echo "FAIL: fleet campaign failed after one worker was SIGKILLed:" >&2
+    cat "$fleet_state/fleet.err" >&2
+    exit 1
+fi
+if ! cmp -s experiments_output.txt "$fleet_state/fleet.out"; then
+    echo "FAIL: fleet campaign with a SIGKILL'd worker differs from" >&2
+    echo "      experiments_output.txt" >&2
+    diff experiments_output.txt "$fleet_state/fleet.out" | head -20 >&2 || true
+    exit 1
+fi
+fleet_stats=$("$BIN" serve --stats --state-dir "$fleet_state")
+reclaimed=$(grep -o '"reclaimed":[0-9]*' <<<"$fleet_stats" \
+    | cut -d: -f2 | awk '{s += $1} END {print s}')
+if [[ "${reclaimed:-0}" -lt 1 ]]; then
+    echo "FAIL: survivors reclaimed no cells after the SIGKILL: $fleet_stats" >&2
+    exit 1
+fi
+echo "3-worker fleet survived a SIGKILL byte-identical ($reclaimed cells reclaimed)"
+
+# Torn lease-record write mid-campaign: the next appender seals the torn
+# tail, CRC framing rejects the fragment, the failed worker dies and its
+# cells are reclaimed — output still byte-identical.
+chaos_fleet=$(mktemp -d -t charlie-ci-fleetchaos.XXXXXX)
+if ! CHARLIE_CHAOS=lease:torn@900 "$BIN" submit --grid paper --workers 3 \
+    --state-dir "$chaos_fleet" --lease-ms 1500 >"$chaos_fleet/fleet.out" \
+    2>"$chaos_fleet/fleet.err"; then
+    echo "FAIL: fleet campaign failed under torn lease-write chaos:" >&2
+    cat "$chaos_fleet/fleet.err" >&2
+    exit 1
+fi
+if ! cmp -s experiments_output.txt "$chaos_fleet/fleet.out"; then
+    echo "FAIL: fleet campaign under lease chaos differs from" >&2
+    echo "      experiments_output.txt" >&2
+    diff experiments_output.txt "$chaos_fleet/fleet.out" | head -20 >&2 || true
+    exit 1
+fi
+rm -rf "$fleet_state" "$chaos_fleet"
+echo "fleet output byte-identical under torn lease-record injection"
+
 echo "== OK =="

@@ -28,8 +28,10 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Known boolean switches (flags that take no value).
-const SWITCHES: &[&str] =
-    &["json", "csv", "help", "check", "quick", "stats", "ping", "shutdown", "sampled"];
+const SWITCHES: &[&str] = &[
+    "json", "csv", "help", "check", "quick", "stats", "ping", "shutdown", "sampled", "worker",
+    "exit-when-idle",
+];
 
 impl Args {
     /// Parses a raw token stream (without the program name).

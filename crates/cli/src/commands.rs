@@ -171,7 +171,7 @@ fn simulate_prepared<W: Write>(
 
 /// Builds a [`SamplingConfig`] from `--sample-mode` plus optional knob
 /// overrides; `None` when `--sample-mode` is absent (the exact path).
-fn sampling_from_args(args: &Args) -> Result<Option<SamplingConfig>, ArgsError> {
+pub(crate) fn sampling_from_args(args: &Args) -> Result<Option<SamplingConfig>, ArgsError> {
     let Some(mode_name) = args.get("sample-mode") else { return Ok(None) };
     let mode = SamplingMode::parse(&mode_name.to_ascii_lowercase()).ok_or_else(|| {
         ArgsError(format!("unknown --sample-mode {mode_name:?} (smarts, simpoint)"))

@@ -172,6 +172,19 @@ COMMANDS:
                    --stats / --ping / --shutdown
                                      query or drain a running daemon at
                                      --addr instead of starting one
+                                     (--stats with --state-dir reads fleet
+                                     health offline, no daemon needed)
+                   --worker          run as a lease-claiming fleet peer
+                                     over --state-dir instead of listening:
+                                     claims campaign cells via fsync'd
+                                     journal leases, heartbeats them, and
+                                     reclaims cells whose holder died
+                   --worker-id ID / --lease-ms N / --poll-ms N
+                                     worker identity (default w<pid>),
+                                     lease duration (default 3000), idle
+                                     poll interval (default 100)
+                   --exit-when-idle  worker exits once every campaign in
+                                     the state dir is fully published
   submit         submit a campaign to a running daemon and render the
                  streamed cells exactly as the local commands would
                    --grid paper      the full paper grid; stdout is
@@ -184,8 +197,21 @@ COMMANDS:
                                      WallClockExceeded with progress
                                      counters and keeps simulating for the
                                      cache
+                   --workers N       no daemon: shard the campaign across N
+                                     spawned `serve --worker` processes in
+                                     --state-dir and join (0 = join
+                                     externally started workers); output
+                                     stays byte-identical even when workers
+                                     die mid-grid
+                   --sample-mode smarts|simpoint
+                                     sampled-mode campaign (CIs journal
+                                     with each cell; never coalesces with
+                                     exact runs of the same grid) [with
+                                     --sample-window/-period/-warm/-k/
+                                     -seed/-cold overrides]
                    [--addr HOST:PORT --procs N --refs N --seed N
-                    --layout … --hw-prefetch … --json]
+                    --layout … --hw-prefetch … --json --state-dir DIR
+                    --lease-ms N]
   help           print this text
 
 OPTIONS:
@@ -204,8 +230,9 @@ ENVIRONMENT:
   milliseconds (0/unset = off; the deterministic event budget stays armed
   either way).
   CHARLIE_CHAOS=tag:kind@offset[,...] injects write faults into tagged
-  persistence writers (journal, trace, report, bench) for ad-hoc durability
-  experiments; kinds: short, torn, enospc, eio, bitflip, crash.
+  persistence writers (journal, lease, trace, report, bench) for ad-hoc
+  durability experiments; kinds: short, torn, enospc, eio, bitflip, crash,
+  leasecrash, stalehb.
   CHARLIE_JOURNAL_SYNC=1 makes checkpoint-journal appends fsync (default:
   flush-only; see DESIGN.md \"Chaos testing & durability\").
   CHARLIE_SERVE_ADDR / CHARLIE_SERVE_QUEUE / CHARLIE_SERVE_DEADLINE_MS set

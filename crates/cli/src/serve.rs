@@ -13,8 +13,9 @@ use charlie::bus::BusConfig;
 use charlie::prefetch::{HwPrefetchConfig, Strategy};
 use charlie::workloads::Layout;
 use charlie::{experiments as exhibits, Experiment, Lab, RunConfig};
-use charlie_serve::{client, ServeConfig, Server};
+use charlie_serve::{client, worker, ServeConfig, Server};
 use std::io::Write;
+use std::path::PathBuf;
 
 fn addr_from(args: &Args, cfg: &ServeConfig) -> String {
     args.get("addr").map(str::to_owned).unwrap_or_else(|| cfg.addr.clone())
@@ -24,6 +25,7 @@ fn addr_from(args: &Args, cfg: &ServeConfig) -> String {
 pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "addr", "queue", "deadline-ms", "jobs", "state-dir", "stats", "ping", "shutdown",
+        "worker", "worker-id", "lease-ms", "poll-ms", "exit-when-idle",
     ])?;
     let mut cfg = ServeConfig::from_env();
     cfg.addr = addr_from(args, &cfg);
@@ -32,6 +34,48 @@ pub fn serve<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     cfg.jobs = args.get_or("jobs", cfg.jobs)?;
     if let Some(dir) = args.get("state-dir") {
         cfg.state_dir = dir.into();
+    }
+
+    // Offline fleet health: with an explicit --state-dir, --stats reads
+    // the health files and lease tables directly — no daemon required, so
+    // a dead fleet is still observable.
+    if args.switch("stats") && args.get("state-dir").is_some() {
+        let section = worker::render_workers_section(&cfg.state_dir)
+            .unwrap_or_else(|| "{\"total\":0,\"live\":0,\"detail\":[]}".to_owned());
+        let _ = writeln!(out, "{{\"workers\":{section}}}");
+        return Ok(());
+    }
+
+    // Peer worker mode: no socket, no daemon — claim cells of any
+    // campaign manifest in the state dir through fsync'd journal leases.
+    if args.switch("worker") {
+        let mut wcfg = worker::WorkerConfig::new(cfg.state_dir.clone());
+        if let Some(id) = args.get("worker-id") {
+            wcfg.id = id.to_owned();
+        }
+        wcfg.lease_ms = args.get_or("lease-ms", wcfg.lease_ms)?;
+        wcfg.poll_ms = args.get_or("poll-ms", wcfg.poll_ms)?;
+        if cfg.jobs > 0 {
+            wcfg.jobs = cfg.jobs;
+        }
+        wcfg.exit_when_idle = args.switch("exit-when-idle");
+        if wcfg.lease_ms == 0 {
+            return Err(ArgsError("--lease-ms must be at least 1".into()));
+        }
+        let _ = writeln!(out, "worker {} on {}", wcfg.id, wcfg.state_dir.display());
+        let _ = out.flush();
+        let report = worker::run_worker(&wcfg).map_err(|e| ArgsError(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "worker {}: claimed {} (reclaimed {}), completed {}, fenced {}{}",
+            wcfg.id,
+            report.claimed,
+            report.reclaimed,
+            report.completed,
+            report.fenced,
+            if report.drained { "; drained" } else { "" },
+        );
+        return Ok(());
     }
 
     // Control-plane queries against a running daemon.
@@ -87,7 +131,8 @@ fn sweep_grid(workload: charlie::Workload, layout: Layout) -> Vec<Experiment> {
 pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
     args.expect_known(&[
         "addr", "grid", "workload", "layout", "procs", "refs", "seed", "deadline-ms",
-        "hw-prefetch", "protocol", "json",
+        "hw-prefetch", "protocol", "json", "workers", "state-dir", "lease-ms", "sample-mode",
+        "sample-window", "sample-period", "sample-warm", "sample-k", "sample-seed", "sample-cold",
     ])?;
     let addr = addr_from(args, &ServeConfig::from_env());
 
@@ -120,6 +165,7 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
             Some(v.parse().map_err(|_| ArgsError(format!("--deadline-ms: cannot parse {v:?}")))?)
         }
     };
+    let sampling = crate::commands::sampling_from_args(args)?;
 
     let layout = match args.get("layout") {
         None | Some("interleaved") | Some("original") => Layout::Interleaved,
@@ -155,6 +201,7 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         deadline_ms,
         hw_prefetch,
         protocol,
+        sampling,
     };
 
     let mut lab = Lab::new(RunConfig {
@@ -163,8 +210,22 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
         seed,
         hw_prefetch: hw_prefetch.unwrap_or(HwPrefetchConfig::OFF),
         protocol: protocol.unwrap_or(charlie::Protocol::WriteInvalidate),
+        sampling,
         ..RunConfig::default()
     });
+
+    // Fleet mode: no daemon — publish a manifest into the shared state
+    // dir, spawn (or just join) lease-claiming workers, and render from
+    // the shared journal once every cell is published.
+    if let Some(n) = args.get("workers") {
+        let n: usize =
+            n.parse().map_err(|_| ArgsError(format!("--workers: cannot parse {n:?}")))?;
+        let state_dir: PathBuf =
+            args.get("state-dir").unwrap_or("charlie-serve-state").into();
+        let lease_ms: u64 = args.get_or("lease-ms", 3000)?;
+        return submit_fleet(n, &state_dir, lease_ms, &request, lab, workload, layout, args, out);
+    }
+
     let mut campaign = String::new();
     let mut restored = 0u64;
     let mut failures: Vec<String> = Vec::new();
@@ -228,6 +289,107 @@ pub fn submit<W: Write>(args: &Args, out: &mut W) -> Result<(), ArgsError> {
 
     // Render exactly what the local commands would have printed: the memo
     // is fully populated, so the exhibits below are pure lookups.
+    match workload {
+        None => render_paper_grid(&mut lab, out),
+        Some(w) => render_sweep(&mut lab, w, layout, args.switch("json"), out),
+    }
+    Ok(())
+}
+
+/// `submit --workers N`: spawn-and-join over a shared state dir. With
+/// `N == 0`, join-only — the manifest is published and externally started
+/// `serve --worker` processes (possibly on other hosts sharing the
+/// directory) drive it. Either way the joiner owns campaign end-of-life:
+/// it collects the summaries, compacts the journal, and removes the
+/// manifest once the fleet has quiesced.
+#[allow(clippy::too_many_arguments)]
+fn submit_fleet<W: Write>(
+    workers: usize,
+    state_dir: &std::path::Path,
+    lease_ms: u64,
+    request: &client::SubmitRequest,
+    mut lab: Lab,
+    workload: Option<charlie::Workload>,
+    layout: Layout,
+    args: &Args,
+    out: &mut W,
+) -> Result<(), ArgsError> {
+    let fail = |e: std::io::Error| ArgsError(e.to_string());
+    let m = worker::write_manifest(state_dir, &request.encode()).map_err(fail)?;
+    let exe = std::env::current_exe().map_err(fail)?;
+    let mut children = Vec::new();
+    for i in 0..workers {
+        let child = std::process::Command::new(&exe)
+            .arg("serve")
+            .arg("--worker")
+            .arg("--state-dir")
+            .arg(state_dir)
+            .arg("--worker-id")
+            .arg(format!("w{}-{}", std::process::id(), i + 1))
+            .arg("--lease-ms")
+            .arg(lease_ms.to_string())
+            .arg("--exit-when-idle")
+            // The fleet's stdout stays quiet: this process renders the
+            // campaign; worker banners would corrupt byte-identical output.
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(fail)?;
+        children.push(child);
+    }
+
+    let (mut published, total) = worker::campaign_progress(&m).map_err(fail)?;
+    while published < total {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        (published, _) = worker::campaign_progress(&m).map_err(fail)?;
+        let mut alive = 0;
+        for child in children.iter_mut() {
+            if matches!(child.try_wait(), Ok(None)) {
+                alive += 1;
+            }
+        }
+        if workers > 0 && alive == 0 {
+            // Workers may have published the final cell on their way out.
+            (published, _) = worker::campaign_progress(&m).map_err(fail)?;
+            if published == total {
+                break;
+            }
+            return Err(ArgsError(format!(
+                "all {workers} workers exited with {published}/{total} cells published \
+                 (campaign {} remains resumable)",
+                m.token
+            )));
+        }
+    }
+
+    let summaries = worker::collect(&m).map_err(fail)?;
+    for (exp, summary) in m.cells.iter().zip(summaries) {
+        match summary {
+            Some(s) => lab.restore(s),
+            None => return Err(ArgsError(format!("cell {exp} missing after completion"))),
+        }
+    }
+    // Quiesce before compacting: idle workers exit on their own once the
+    // grid is published; anything wedged is killed rather than left to
+    // race the compaction rename.
+    let patience = std::time::Instant::now();
+    for mut child in children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if patience.elapsed() < std::time::Duration::from_secs(10) => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+    worker::finalize(&m).map_err(fail)?;
+    eprintln!("campaign {}: {total}/{total} cells (fleet of {workers})", m.token);
+
     match workload {
         None => render_paper_grid(&mut lab, out),
         Some(w) => render_sweep(&mut lab, w, layout, args.switch("json"), out),

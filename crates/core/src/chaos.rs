@@ -20,12 +20,24 @@
 //! | `eio`     | persists up to *k*, then fails with the real `EIO` errno       |
 //! | `bitflip` | flips one bit in the byte at *k*, reports success              |
 //! | `crash`   | persists up to *k*, then the writer is frozen forever          |
+//! | `leasecrash` | persists the whole buffer crossing *k*, then freezes        |
+//! | `stalehb` | silently swallows the whole buffer crossing *k*                |
 //!
 //! `short` exercises `write_all` retry loops; `torn` grafts the next write
 //! directly after the dropped tail (a torn tail *inside* a line — exactly
 //! the corruption per-line CRCs exist to catch); `crash` leaves the file in
 //! the same state a process killed at byte *k* would, without killing the
 //! process, which is what makes an exhaustive crash-point matrix cheap.
+//!
+//! The last two model multi-worker lease failure modes at record (not byte)
+//! granularity: `leasecrash` is a worker that dies *immediately after* its
+//! claim record lands durably — the most adversarial spot for exactly-once,
+//! because the lease exists with no torn line to betray the death — and
+//! `stalehb` is a heartbeat renewal that reports success to the worker but
+//! never reaches the shared journal, so peers see the lease go stale while
+//! the worker believes it still holds the cell. Both are buffer-aligned on
+//! purpose: lease appends write one complete framed record per call, so the
+//! fault lands on exactly one record.
 //!
 //! Offsets are logical per-writer offsets: byte 0 is the first byte written
 //! through *this* wrapper, regardless of pre-existing file content.
@@ -90,21 +102,31 @@ pub enum FaultKind {
     BitFlip,
     /// Bytes up to the offset persist; every later operation fails.
     Crash,
+    /// The whole buffer crossing the offset persists (a complete record),
+    /// *then* the writer freezes — a worker dying right after its lease
+    /// claim landed durably.
+    LeaseCrash,
+    /// The whole buffer crossing the offset is silently swallowed (the
+    /// write reports success) — a heartbeat renewal that never reaches the
+    /// shared journal, leaving peers looking at a stale lease.
+    StaleHeartbeat,
 }
 
 impl FaultKind {
     /// Every kind, in spec order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::ShortWrite,
         FaultKind::TornWrite,
         FaultKind::Enospc,
         FaultKind::Eio,
         FaultKind::BitFlip,
         FaultKind::Crash,
+        FaultKind::LeaseCrash,
+        FaultKind::StaleHeartbeat,
     ];
 
     /// The spec-string name (`short`, `torn`, `enospc`, `eio`, `bitflip`,
-    /// `crash`).
+    /// `crash`, `leasecrash`, `stalehb`).
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::ShortWrite => "short",
@@ -113,6 +135,8 @@ impl FaultKind {
             FaultKind::Eio => "eio",
             FaultKind::BitFlip => "bitflip",
             FaultKind::Crash => "crash",
+            FaultKind::LeaseCrash => "leasecrash",
+            FaultKind::StaleHeartbeat => "stalehb",
         }
     }
 
@@ -404,6 +428,23 @@ impl<W: Write> Write for ChaosWriter<W> {
                 self.crashed = true;
                 Err(self.crash_error())
             }
+            FaultKind::LeaseCrash => {
+                // The record containing the offset lands in full — a clean
+                // line boundary — and only *then* does the writer die, so
+                // the surviving file shows a durable claim with no owner.
+                self.inner.write_all(buf)?;
+                let _ = self.inner.flush();
+                self.written += buf.len() as u64;
+                self.crashed = true;
+                Err(self.crash_error())
+            }
+            FaultKind::StaleHeartbeat => {
+                // Claim success without touching the file: the whole
+                // record vanishes, and unlike `torn` nothing grafts — the
+                // next write starts on the same clean boundary.
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
         }
     }
 
@@ -638,6 +679,29 @@ mod tests {
         assert!(w.write(b"more").is_err(), "stays frozen");
         assert!(w.flush().is_err());
         assert_eq!(w.get_ref(), b"abcde");
+    }
+
+    #[test]
+    fn leasecrash_persists_the_whole_record_then_freezes() {
+        let plan = FaultPlan::parse("lease:leasecrash@12").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "lease", &plan);
+        w.write_all(b"rec-one\n").unwrap();
+        assert!(w.write(b"rec-two\n").is_err(), "the fault still surfaces as an error");
+        assert!(w.crashed());
+        assert_eq!(w.get_ref(), b"rec-one\nrec-two\n", "record crossing the offset landed whole");
+        assert!(w.write(b"rec-three\n").is_err(), "frozen afterwards");
+        assert_eq!(w.get_ref(), b"rec-one\nrec-two\n");
+    }
+
+    #[test]
+    fn stale_heartbeat_swallows_exactly_one_record() {
+        let plan = FaultPlan::parse("lease:stalehb@10").unwrap();
+        let mut w = ChaosWriter::with_plan(Vec::new(), "lease", &plan);
+        w.write_all(b"rec-one\n").unwrap();
+        w.write_all(b"rec-two\n").unwrap(); // crosses offset 10: swallowed
+        w.write_all(b"rec-three\n").unwrap();
+        assert_eq!(w.get_ref(), b"rec-one\nrec-three\n", "one whole record vanished cleanly");
+        assert_eq!(w.offset(), 26, "logical offset still counts the swallowed record");
     }
 
     #[test]

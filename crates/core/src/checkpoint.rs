@@ -728,6 +728,15 @@ impl Journal {
                     for (i, &line) in records.iter().enumerate() {
                         match unframe_line(line) {
                             Ok(json) => {
+                                if is_lease_json(json) {
+                                    // Multi-worker lease/heartbeat records: a
+                                    // single-worker resume ignores them (the
+                                    // summaries alone are the resume set) but
+                                    // keeps them through compaction so a
+                                    // rejoining fleet sees its fencing history.
+                                    survivors.push(line);
+                                    continue;
+                                }
                                 let summary = decode_summary(json)
                                     .map_err(|e| invalid_data(&path, i + 2, e))?;
                                 survivors.push(line);
@@ -866,6 +875,325 @@ impl Journal {
 
 fn env_sync() -> bool {
     std::env::var("CHARLIE_JOURNAL_SYNC").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Shared (multi-worker) journals: lease records and lock-free access.
+// ---------------------------------------------------------------------------
+//
+// A multi-worker campaign coordinates *only* through its journal file: every
+// worker appends CRC-framed lease records (claim / renew / reclaim) and
+// summaries with O_APPEND + fsync, and reads the whole file back to compute
+// the current lease table. There are no locks and no compaction while the
+// fleet is live — an atomic-rename compaction under a racing O_APPEND writer
+// would strand that writer's lines in the unlinked inode. Instead:
+//
+// * appends are single `write(2)` calls of whole framed lines, so records
+//   from different processes interleave at line granularity;
+// * a worker SIGKILL'd mid-append leaves a torn tail; the next appender
+//   seals it with a leading newline, isolating the fragment into one
+//   corrupt (CRC-failed) line that scans simply drop;
+// * duplicate summaries — possible only in the narrow window between a
+//   zombie's fencing check and its append — are byte-identical re-runs of a
+//   deterministic cell, and every reader keeps the first occurrence;
+// * generation-dropping compaction ([`compact_shared`]) runs only once the
+//   fleet is quiesced (campaign complete).
+
+/// What a lease record announces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LeaseEvent {
+    /// First claim of an unowned cell: opens generation `maxgen + 1`.
+    Claim,
+    /// Heartbeat: the holder extends its deadline within its generation.
+    Renew,
+    /// Claim of a cell whose lease expired (holder SIGKILL'd, hung, or its
+    /// heartbeats went stale): opens a new generation, which *fences* the
+    /// old holder — a zombie's late result is refused at publish time.
+    Reclaim,
+}
+
+impl LeaseEvent {
+    /// The wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaseEvent::Claim => "claim",
+            LeaseEvent::Renew => "renew",
+            LeaseEvent::Reclaim => "reclaim",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<LeaseEvent> {
+        [LeaseEvent::Claim, LeaseEvent::Renew, LeaseEvent::Reclaim]
+            .into_iter()
+            .find(|e| e.name() == s)
+    }
+
+    /// `true` for events that open a generation (claim/reclaim); renewals
+    /// only extend the deadline of a generation someone else opened.
+    pub fn opens_generation(self) -> bool {
+        !matches!(self, LeaseEvent::Renew)
+    }
+}
+
+/// One lease line in a shared campaign journal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeaseRecord {
+    /// What happened.
+    pub event: LeaseEvent,
+    /// Cell index into the campaign manifest's grid (the journal does not
+    /// repeat the experiment; workers resolve indices through the manifest).
+    pub cell: u64,
+    /// The worker holding (or taking) the lease.
+    pub worker: String,
+    /// Fencing generation: claims and reclaims for one cell carry strictly
+    /// increasing generations; a publish is valid only while its generation
+    /// is still the cell's newest.
+    pub gen: u64,
+    /// Absolute wall-clock deadline (Unix milliseconds). Past it, any peer
+    /// may reclaim the cell.
+    pub deadline_ms: u64,
+}
+
+/// Encodes one lease record — unframed JSON; [`frame_line`] adds the CRC.
+/// The `{"lease":` prefix is the record-type discriminator scans dispatch
+/// on, so it must stay the first field.
+pub fn encode_lease(l: &LeaseRecord) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"lease\":\"{}\",\"cell\":{},", l.event.name(), l.cell);
+    push_str_field(&mut s, "worker", &l.worker);
+    let _ = write!(s, "\"gen\":{},\"deadline_ms\":{}}}", l.gen, l.deadline_ms);
+    s
+}
+
+/// Decodes an unframed lease payload.
+pub fn decode_lease(json: &str) -> Result<LeaseRecord, String> {
+    let v = parse_line(json)?;
+    let event_name = v.field("lease")?.str()?;
+    let event = LeaseEvent::parse(event_name)
+        .ok_or_else(|| format!("unknown lease event {event_name:?}"))?;
+    Ok(LeaseRecord {
+        event,
+        cell: v.field("cell")?.num()?,
+        worker: v.field("worker")?.str()?.to_owned(),
+        gen: v.field("gen")?.num()?,
+        deadline_ms: v.field("deadline_ms")?.num()?,
+    })
+}
+
+/// `true` when a CRC-valid payload is a lease record rather than a summary.
+/// A prefix test suffices because [`encode_lease`] pins `"lease"` as the
+/// first field and summaries always open with `"v"`.
+fn is_lease_json(json: &str) -> bool {
+    json.starts_with("{\"lease\":")
+}
+
+/// Read-only parse of a shared campaign journal: everything intact, nothing
+/// rewritten, no warnings — workers poll this in a loop.
+#[derive(Clone, Debug, Default)]
+pub struct SharedScan {
+    /// First occurrence of each cell's summary, in file order (duplicates
+    /// are byte-identical re-runs; see the module notes).
+    pub summaries: Vec<RunSummary>,
+    /// Every intact lease record, in file order — the raw material for a
+    /// lease table, and for asserting generation monotonicity in tests.
+    pub leases: Vec<LeaseRecord>,
+    /// Summary lines dropped as duplicates of an earlier cell.
+    pub duplicate_summaries: u64,
+    /// Complete lines whose CRC frame failed (torn-write grafts, bit rot).
+    pub corrupt_lines: u64,
+    /// Bytes of an unterminated final line (a writer died mid-append).
+    pub torn_tail_bytes: u64,
+}
+
+/// Scans the shared journal at `path` without modifying it. A missing file
+/// is an empty scan. Damage (torn tail, CRC-failed lines) is counted and
+/// skipped — the cells re-run — but a version mismatch, a config-key
+/// mismatch against `expected_config`, an unreadable header, or a CRC-valid
+/// line that fails to decode is a hard error: those mean the journal cannot
+/// be trusted to belong to this campaign at all.
+pub fn scan_shared(path: &Path, expected_config: Option<&str>) -> io::Result<SharedScan> {
+    let mut content = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut content)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SharedScan::default()),
+        Err(e) => return Err(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+    }
+    let complete_len = content.rfind('\n').map_or(0, |i| i + 1);
+    let mut scan = SharedScan {
+        torn_tail_bytes: (content.len() - complete_len) as u64,
+        ..SharedScan::default()
+    };
+    let lines: Vec<&str> =
+        content[..complete_len].lines().filter(|l| !l.trim().is_empty()).collect();
+    let Some((&first, records)) = lines.split_first() else {
+        return Ok(scan);
+    };
+    let json = unframe_line(first)
+        .map_err(|e| invalid_data(path, 1, format!("shared journal header unreadable: {e}")))?;
+    let (version, config) = decode_journal_header(json).map_err(|e| invalid_data(path, 1, e))?;
+    if version != VERSION {
+        return Err(invalid_data(
+            path,
+            1,
+            format!("journal version {version} (this build reads {VERSION})"),
+        ));
+    }
+    if let Some(expected) = expected_config {
+        if expected != config {
+            return Err(invalid_data(
+                path,
+                1,
+                format!(
+                    "shared journal was written for config {config:?} but this campaign \
+                     is {expected:?}; refusing to join"
+                ),
+            ));
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (i, &line) in records.iter().enumerate() {
+        match unframe_line(line) {
+            Ok(json) if is_lease_json(json) => {
+                let lease = decode_lease(json).map_err(|e| invalid_data(path, i + 2, e))?;
+                scan.leases.push(lease);
+            }
+            Ok(json) => {
+                let summary = decode_summary(json).map_err(|e| invalid_data(path, i + 2, e))?;
+                if seen.insert(summary.experiment) {
+                    scan.summaries.push(summary);
+                } else {
+                    scan.duplicate_summaries += 1;
+                }
+            }
+            Err(_) => scan.corrupt_lines += 1,
+        }
+    }
+    Ok(scan)
+}
+
+/// Creates the shared journal with a durable header if it does not exist
+/// yet. Safe to race: exactly one creator wins `create_new`, everyone else
+/// sees `AlreadyExists` and proceeds.
+pub fn ensure_shared(path: &Path, config: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                io::Error::new(e.kind(), format!("creating {}: {e}", parent.display()))
+            })?;
+        }
+    }
+    match OpenOptions::new().write(true).create_new(true).open(path) {
+        Ok(f) => {
+            let mut w = ChaosWriter::new(f, "journal");
+            let header = encode_journal_header(config);
+            w.write_all(header.as_bytes())
+                .and_then(|()| w.flush())
+                .and_then(|()| w.sync_data())
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(()),
+        Err(e) => Err(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+    }
+}
+
+/// One worker's append handle into a shared journal: O_APPEND, one
+/// `write(2)` of whole framed lines per call, fsync'd before returning —
+/// a lease that has not reached disk does not exist.
+///
+/// The handle is persistent for the worker's lifetime so chaos fault
+/// offsets accumulate across appends (a `lease:torn@k` plan tears exactly
+/// one record per process instead of every record crossing byte `k`).
+#[derive(Debug)]
+pub struct SharedAppender {
+    path: PathBuf,
+    file: ChaosWriter<File>,
+}
+
+impl SharedAppender {
+    /// Opens an append handle; `tag` names the chaos target (`lease` for
+    /// lease records, `journal` for worker-published summaries).
+    pub fn open(path: &Path, tag: &str) -> io::Result<SharedAppender> {
+        let f = OpenOptions::new().create(true).append(true).open(path).map_err(|e| {
+            io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+        })?;
+        Ok(SharedAppender { path: path.to_path_buf(), file: ChaosWriter::new(f, tag) })
+    }
+
+    /// Appends one or more already-framed lines (each ending in `\n`) in a
+    /// single write, fsync'd. If some other process died mid-append and
+    /// left the file without a trailing newline, the write leads with a
+    /// sealing `\n` so the torn fragment is isolated into one corrupt line
+    /// instead of swallowing this record too.
+    pub fn append(&mut self, framed: &str) -> io::Result<()> {
+        let sealed = tail_sealed(&self.path)?;
+        let mut buf = String::with_capacity(framed.len() + 1);
+        if !sealed {
+            buf.push('\n');
+        }
+        buf.push_str(framed);
+        self.file
+            .write_all(buf.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", self.path.display())))
+    }
+}
+
+/// `true` when the file is empty or ends with a newline.
+fn tail_sealed(path: &Path) -> io::Result<bool> {
+    use std::io::{Seek, SeekFrom};
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(true),
+        Err(e) => return Err(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+    };
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    Ok(b[0] == b'\n')
+}
+
+/// Compacts a quiesced shared journal: keeps the header, the first summary
+/// per cell, and — for cells not yet published — only the lease records of
+/// the cell's *newest* generation. Superseded generations and the lease
+/// trail of published cells are dropped; a fleet rejoining the compacted
+/// journal sees exactly the state that still matters.
+///
+/// Must only run when no worker holds an O_APPEND handle mid-claim (the
+/// campaign is complete, or a single owner remains): the atomic rename
+/// would strand a racing writer's lines in the unlinked inode.
+pub fn compact_shared(path: &Path, config: &str, cells: &[crate::lab::Experiment]) -> io::Result<()> {
+    let scan = scan_shared(path, Some(config))?;
+    let published: std::collections::HashSet<u64> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, exp)| scan.summaries.iter().any(|s| s.experiment == **exp))
+        .map(|(i, _)| i as u64)
+        .collect();
+    let mut newest_gen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for lease in &scan.leases {
+        let slot = newest_gen.entry(lease.cell).or_insert(0);
+        *slot = (*slot).max(lease.gen);
+    }
+    let mut out = String::with_capacity(4096);
+    out.push_str(&encode_journal_header(config));
+    for summary in &scan.summaries {
+        out.push_str(&frame_line(&encode_summary(summary)));
+    }
+    for lease in &scan.leases {
+        if !published.contains(&lease.cell) && Some(&lease.gen) == newest_gen.get(&lease.cell) {
+            out.push_str(&frame_line(&encode_lease(lease)));
+        }
+    }
+    chaos::write_atomic(path, out.as_bytes(), "journal")
 }
 
 #[cfg(test)]
@@ -1180,5 +1508,116 @@ mod tests {
         let line = encode_keyed_report("odd \"key\" with \\ slash", &report);
         let (key, _) = decode_keyed_report(&line).unwrap();
         assert_eq!(key, "odd \"key\" with \\ slash");
+    }
+
+    fn lease(event: LeaseEvent, cell: u64, worker: &str, gen: u64, deadline_ms: u64) -> LeaseRecord {
+        LeaseRecord { event, cell, worker: worker.to_owned(), gen, deadline_ms }
+    }
+
+    #[test]
+    fn lease_records_round_trip_and_are_recognized() {
+        for event in [LeaseEvent::Claim, LeaseEvent::Renew, LeaseEvent::Reclaim] {
+            let rec = lease(event, 42, "w-\"quoted\"-7", 3, 1_754_555_555_000);
+            let json = encode_lease(&rec);
+            assert!(is_lease_json(&json), "{json} must carry the lease discriminator");
+            assert!(!is_lease_json(&encode_summary(&sample_summary())));
+            assert_eq!(decode_lease(&json).unwrap(), rec);
+            assert_eq!(LeaseEvent::parse(event.name()), Some(event));
+        }
+        assert!(LeaseEvent::Claim.opens_generation());
+        assert!(LeaseEvent::Reclaim.opens_generation());
+        assert!(!LeaseEvent::Renew.opens_generation());
+        assert!(decode_lease("{\"lease\":\"vanish\",\"cell\":1}").is_err());
+    }
+
+    /// A single-worker resume ignores lease records but keeps them through
+    /// compaction, so a fleet rejoining the journal still sees its history.
+    #[test]
+    fn open_with_skips_and_preserves_lease_lines() {
+        let path = temp_path("lease-skip");
+        let summary = sample_summary();
+        ensure_shared(&path, "cfg").unwrap();
+        let mut app = SharedAppender::open(&path, "lease").unwrap();
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Claim, 0, "w1", 1, 500)))).unwrap();
+        app.append(&frame_line(&encode_summary(&summary))).unwrap();
+        // Torn tail: force a rewrite so compaction provably keeps the lease.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"deadbeef {\"torn").unwrap();
+        }
+        let opts = JournalOptions { config: Some("cfg".to_owned()), sync: false };
+        let (journal, restored) = Journal::open_with(&path, opts).unwrap();
+        drop(journal);
+        assert_eq!(restored, vec![summary.clone()]);
+        let scan = scan_shared(&path, Some("cfg")).unwrap();
+        assert_eq!(scan.leases.len(), 1, "compaction preserved the lease record");
+        assert_eq!(scan.summaries, vec![summary]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Compaction keeps only the newest generation of unpublished cells and
+    /// drops the whole lease trail of published ones.
+    #[test]
+    fn compact_shared_drops_superseded_generations() {
+        let path = temp_path("lease-compact");
+        let summary = sample_summary();
+        let cells = [summary.experiment, Experiment::paper(Workload::Water, Strategy::NoPrefetch, 16)];
+        ensure_shared(&path, "cfg").unwrap();
+        let mut app = SharedAppender::open(&path, "lease").unwrap();
+        // Cell 0 gets published; cell 1 is claimed, dies, and is reclaimed.
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Claim, 0, "w1", 1, 100)))).unwrap();
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Claim, 1, "w2", 1, 100)))).unwrap();
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Renew, 1, "w2", 1, 200)))).unwrap();
+        app.append(&frame_line(&encode_summary(&summary))).unwrap();
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Reclaim, 1, "w3", 2, 900)))).unwrap();
+        compact_shared(&path, "cfg", &cells).unwrap();
+        let scan = scan_shared(&path, Some("cfg")).unwrap();
+        assert_eq!(scan.summaries, vec![summary]);
+        assert_eq!(scan.leases, vec![lease(LeaseEvent::Reclaim, 1, "w3", 2, 900)]);
+        // Compacting again is a no-op fixed point.
+        compact_shared(&path, "cfg", &cells).unwrap();
+        let again = scan_shared(&path, Some("cfg")).unwrap();
+        assert_eq!(again.leases, scan.leases);
+        assert_eq!(again.summaries, scan.summaries);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A worker SIGKILL'd mid-append leaves a torn tail; the next appender
+    /// seals it so exactly one corrupt line is lost and its own record
+    /// survives, and duplicate summaries keep the first occurrence.
+    #[test]
+    fn shared_appends_seal_torn_tails_and_dedupe_summaries() {
+        let path = temp_path("lease-seal");
+        let summary = sample_summary();
+        ensure_shared(&path, "cfg").unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"0bad0bad {\"lease\":\"claim\",\"cell\":9").unwrap();
+        }
+        let mut app = SharedAppender::open(&path, "lease").unwrap();
+        app.append(&frame_line(&encode_lease(&lease(LeaseEvent::Claim, 3, "w1", 1, 50)))).unwrap();
+        app.append(&frame_line(&encode_summary(&summary))).unwrap();
+        app.append(&frame_line(&encode_summary(&summary))).unwrap();
+        let scan = scan_shared(&path, Some("cfg")).unwrap();
+        assert_eq!(scan.corrupt_lines, 1, "the torn fragment became one corrupt line");
+        assert_eq!(scan.torn_tail_bytes, 0);
+        assert_eq!(scan.leases, vec![lease(LeaseEvent::Claim, 3, "w1", 1, 50)]);
+        assert_eq!(scan.summaries.len(), 1);
+        assert_eq!(scan.duplicate_summaries, 1, "re-published cells keep the first copy");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Joining a journal written for a different campaign config is refused
+    /// outright; a missing journal scans as empty.
+    #[test]
+    fn scan_shared_rejects_foreign_configs() {
+        let path = temp_path("lease-foreign");
+        assert!(scan_shared(&path, Some("cfg")).unwrap().summaries.is_empty());
+        ensure_shared(&path, "cfg-a").unwrap();
+        ensure_shared(&path, "cfg-b").unwrap(); // second create is a no-op...
+        assert!(scan_shared(&path, Some("cfg-a")).is_ok());
+        let err = scan_shared(&path, Some("cfg-b")).unwrap_err();
+        assert!(err.to_string().contains("refusing to join"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -58,12 +58,7 @@ impl RetryPolicy {
     /// ±25% jitter.
     pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
         let exp = (self.base_ms << attempt.min(16)).min(self.cap_ms);
-        let mix = salt
-            .wrapping_add(u64::from(attempt))
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        let frac = (mix >> 33) % 512;
-        Duration::from_millis(exp * (768 + frac) / 1024)
+        Duration::from_millis(jittered_ms(exp, salt.wrapping_add(u64::from(attempt))))
     }
 
     /// Runs `op` once plus up to `attempts` retries, sleeping
@@ -94,6 +89,18 @@ impl RetryPolicy {
     }
 }
 
+/// Scales `base_ms` into `[0.75, 1.25)` of itself by one LCG step over
+/// `salt` — the ladder's jitter, exposed on its own so other backoff hints
+/// (the serve daemon's saturated `retry_after_ms`) can de-synchronize
+/// clients with exactly the same deterministic schedule.
+pub fn jittered_ms(base_ms: u64, salt: u64) -> u64 {
+    let mix = salt
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    let frac = (mix >> 33) % 512;
+    base_ms * (768 + frac) / 1024
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +122,20 @@ mod tests {
         }
         let other = RetryPolicy::salt("water/NP @16cy");
         assert_ne!(salt, other, "distinct cells seed distinct jitter streams");
+    }
+
+    /// The standalone jitter stays inside ±25%, is deterministic per salt,
+    /// and distinct salts spread across the window instead of clumping.
+    #[test]
+    fn jittered_ms_spreads_salts_within_the_window() {
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..64u64 {
+            let ms = jittered_ms(1000, RetryPolicy::salt(&format!("client-{salt}")));
+            assert!((750..1250).contains(&ms), "{ms}ms outside [750, 1250)");
+            assert_eq!(ms, jittered_ms(1000, RetryPolicy::salt(&format!("client-{salt}"))));
+            seen.insert(ms);
+        }
+        assert!(seen.len() > 16, "64 clients landed on only {} retry slots", seen.len());
     }
 
     /// `run` stops on the first success, retries only transient errors,

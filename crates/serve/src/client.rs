@@ -12,7 +12,7 @@ use std::time::Duration;
 use charlie::checkpoint::decode_summary_value;
 use charlie::prefetch::HwPrefetchConfig;
 use charlie::wire;
-use charlie::{Experiment, Protocol, RunSummary};
+use charlie::{Experiment, Protocol, RunSummary, SamplingConfig};
 
 /// Which cells a submit asks for.
 #[derive(Clone, Debug)]
@@ -40,6 +40,10 @@ pub struct SubmitRequest {
     pub hw_prefetch: Option<HwPrefetchConfig>,
     /// Coherence protocol; the daemon default (Illinois) when `None`.
     pub protocol: Option<Protocol>,
+    /// Sampled-mode simulation; exact execution when `None`. Part of the
+    /// campaign identity: sampled cells journal their CI and never share a
+    /// cache entry or journal with an exact run of the same grid.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl SubmitRequest {
@@ -53,6 +57,7 @@ impl SubmitRequest {
             deadline_ms: None,
             hw_prefetch: None,
             protocol: None,
+            sampling: None,
         }
     }
 
@@ -89,6 +94,19 @@ impl SubmitRequest {
         }
         if let Some(proto) = self.protocol {
             wire::push_str_field(&mut s, "protocol", proto.key_name());
+        }
+        if let Some(smp) = self.sampling {
+            s.push_str(&format!(
+                "\"sampling\":{{\"mode\":\"{}\",\"window\":{},\"period\":{},\"warmup\":{},\
+                 \"max_k\":{},\"seed\":{},\"cold\":{}}},",
+                smp.mode.name(),
+                smp.window_accesses,
+                smp.period,
+                smp.warmup,
+                smp.max_k,
+                smp.seed,
+                smp.cold,
+            ));
         }
         s.pop();
         s.push('}');
@@ -277,12 +295,17 @@ mod tests {
             deadline_ms: Some(5000),
             hw_prefetch: Some(HwPrefetchConfig::stride(2, 4)),
             protocol: Some(Protocol::Dragon),
+            sampling: Some(SamplingConfig::smarts()),
         };
         let v = wire::parse(&req.encode()).unwrap();
         assert_eq!(v.field("cmd").unwrap().str().unwrap(), "submit");
         assert_eq!(v.field("procs").unwrap().num().unwrap(), 2);
         assert_eq!(v.field("hw_prefetch").unwrap().str().unwrap(), "stride:2:4");
         assert_eq!(v.field("protocol").unwrap().str().unwrap(), "dragon");
+        let smp = v.field("sampling").unwrap();
+        assert_eq!(smp.field("mode").unwrap().str().unwrap(), "smarts");
+        assert_eq!(smp.field("period").unwrap().num().unwrap(), 37);
+        assert_eq!(smp.field("cold").unwrap().num().unwrap(), 8);
         let cells = v.field("cells").unwrap().arr().unwrap();
         assert_eq!(
             wire::decode_experiment(&cells[0]).unwrap(),

@@ -55,6 +55,7 @@ use charlie::wire::{self, Json};
 use charlie::{execute_cell, experiments, Experiment, Protocol, RunConfig, RunError, RunSummary};
 
 pub mod client;
+pub mod worker;
 
 /// Longest accepted request line / HTTP body: anything larger is garbage
 /// or abuse, answered with an `oversized` frame instead of unbounded
@@ -86,10 +87,10 @@ pub const MAX_TRANSFER_CYCLES: u64 = 100_000;
 const DRAINING_MSG: &str = "daemon draining; resubmit campaign to resume";
 
 /// Process-wide SIGTERM latch (the handler can only touch a static).
-static SIGTERM_DRAIN: AtomicBool = AtomicBool::new(false);
+pub(crate) static SIGTERM_DRAIN: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
-fn install_sigterm_handler() {
+pub(crate) fn install_sigterm_handler() {
     extern "C" fn on_sigterm(_sig: i32) {
         SIGTERM_DRAIN.store(true, Ordering::SeqCst);
     }
@@ -103,7 +104,7 @@ fn install_sigterm_handler() {
 }
 
 #[cfg(not(unix))]
-fn install_sigterm_handler() {}
+pub(crate) fn install_sigterm_handler() {}
 
 /// Daemon configuration, defaulted from the `CHARLIE_SERVE_*` environment.
 #[derive(Clone, Debug)]
@@ -151,7 +152,7 @@ impl ServeConfig {
 /// so one client's short deadline can never poison the shared cache.
 type CellKey = (RunConfig, Experiment);
 
-fn cell_config(cfg: &RunConfig) -> RunConfig {
+pub(crate) fn cell_config(cfg: &RunConfig) -> RunConfig {
     RunConfig { wall_limit_ms: 0, ..*cfg }
 }
 
@@ -573,6 +574,13 @@ struct Responder {
 }
 
 impl Responder {
+    /// The client's address (`ip:port`) — the salt de-synchronizing
+    /// per-client backoff hints. Empty when the socket cannot say (the
+    /// hint then degrades to one shared jitter value, never an error).
+    fn peer(&self) -> String {
+        self.stream.peer_addr().map(|a| a.to_string()).unwrap_or_default()
+    }
+
     fn status(&mut self, code: u16, reason: &str, extra_headers: &str) -> io::Result<()> {
         if self.http && !self.status_sent {
             self.status_sent = true;
@@ -738,7 +746,7 @@ fn dispatch(state: &Arc<ServerState>, request: &Json, resp: &mut Responder) {
 fn render_stats(state: &ServerState) -> String {
     let s = &state.stats;
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
-    format!(
+    let mut json = format!(
         concat!(
             "{{\"uptime_ms\":{},",
             "\"queue\":{{\"capacity\":{},\"active\":{}}},",
@@ -765,17 +773,26 @@ fn render_stats(state: &ServerState) -> String {
         g(&s.campaigns_completed),
         g(&s.campaigns_drained),
         g(&s.campaigns_deadline_exceeded),
-    )
+    );
+    // Fleet health rides along only once a worker has registered in this
+    // state dir, so a workerless daemon's stats stay byte-stable.
+    if let Some(workers) = worker::render_workers_section(&state.cfg.state_dir) {
+        json.pop();
+        json.push_str(",\"workers\":");
+        json.push_str(&workers);
+        json.push('}');
+    }
+    json
 }
 
 /// One decoded `submit` request.
-struct SubmitSpec {
-    cells: Vec<Experiment>,
-    cfg: RunConfig,
-    deadline_ms: u64,
+pub(crate) struct SubmitSpec {
+    pub(crate) cells: Vec<Experiment>,
+    pub(crate) cfg: RunConfig,
+    pub(crate) deadline_ms: u64,
 }
 
-fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
+pub(crate) fn decode_submit(default_deadline_ms: u64, v: &Json) -> Result<SubmitSpec, String> {
     let mut cfg = RunConfig::default();
     if let Some(n) = v.opt_field("procs") {
         cfg.procs = n.num()? as usize;
@@ -801,13 +818,16 @@ fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
         cfg.protocol = Protocol::parse(spec)
             .ok_or_else(|| format!("unknown protocol {spec:?} ({})", Protocol::CHOICES))?;
     }
+    if let Some(smp) = v.opt_field("sampling") {
+        cfg.sampling = Some(decode_sampling(smp)?);
+    }
     // Deadlines act at the campaign-wait level; the cell itself runs (and
     // is cached) unlimited so the key stays deadline-independent.
     cfg.wall_limit_ms = 0;
 
     let deadline_ms = match v.opt_field("deadline_ms") {
         Some(n) => n.num()?,
-        None => state.cfg.deadline_ms,
+        None => default_deadline_ms,
     };
 
     let cells: Vec<Experiment> = match (v.opt_field("grid"), v.opt_field("cells")) {
@@ -834,9 +854,44 @@ fn decode_submit(state: &ServerState, v: &Json) -> Result<SubmitSpec, String> {
     Ok(SubmitSpec { cells, cfg, deadline_ms })
 }
 
+/// Decodes the request's nested `sampling` object: the named mode's
+/// defaults with any field overridden, validated like the CLI flags. The
+/// resulting config lands in [`RunConfig::sampling`], so sampled cells get
+/// their own cache key, journal, and campaign token — they can never
+/// coalesce with (or pollute) an exact run of the same grid.
+fn decode_sampling(v: &Json) -> Result<charlie::SamplingConfig, String> {
+    let mode_name = v.field("mode")?.str()?;
+    let mode = charlie::SamplingMode::parse(mode_name)
+        .ok_or_else(|| format!("unknown sampling mode {mode_name:?} (smarts or simpoint)"))?;
+    let mut smp = match mode {
+        charlie::SamplingMode::Smarts => charlie::SamplingConfig::smarts(),
+        charlie::SamplingMode::Simpoint => charlie::SamplingConfig::simpoint(),
+    };
+    if let Some(n) = v.opt_field("window") {
+        smp.window_accesses = n.num()?;
+    }
+    if let Some(n) = v.opt_field("period") {
+        smp.period = n.num()?;
+    }
+    if let Some(n) = v.opt_field("warmup") {
+        smp.warmup = n.num()?;
+    }
+    if let Some(n) = v.opt_field("max_k") {
+        smp.max_k = n.num()?;
+    }
+    if let Some(n) = v.opt_field("seed") {
+        smp.seed = n.num()?;
+    }
+    if let Some(n) = v.opt_field("cold") {
+        smp.cold = n.num()?;
+    }
+    smp.validate()?;
+    Ok(smp)
+}
+
 /// The campaign's durable identity: config plus grid, hashed into the
 /// journal's config key and the resumable token.
-fn campaign_key(cfg: &RunConfig, cells: &[Experiment]) -> (String, String) {
+pub(crate) fn campaign_key(cfg: &RunConfig, cells: &[Experiment]) -> (String, String) {
     let mut grid = String::new();
     for exp in cells {
         grid.push_str(&wire::encode_experiment(*exp));
@@ -853,8 +908,24 @@ fn campaign_key(cfg: &RunConfig, cells: &[Experiment]) -> (String, String) {
     } else {
         String::new()
     };
+    // Sampled campaigns get distinct keys (and thus journals and tokens)
+    // from exact ones over the same grid; absent for exact mode so every
+    // pre-sampling journal keeps its key.
+    let smp = match cfg.sampling {
+        Some(s) => format!(
+            "/smp={}:{}:{}:{}:{}:{}:{}",
+            s.mode.name(),
+            s.window_accesses,
+            s.period,
+            s.warmup,
+            s.max_k,
+            s.seed,
+            s.cold
+        ),
+        None => String::new(),
+    };
     let key = format!(
-        "serve/p{}/r{}/s{:#x}{hw}{proto}/g{:016x}",
+        "serve/p{}/r{}/s{:#x}{hw}{proto}{smp}/g{:016x}",
         cfg.procs,
         cfg.refs_per_proc,
         cfg.seed,
@@ -945,7 +1016,7 @@ fn error_frame(kind: &str, detail: &str) -> String {
 }
 
 fn handle_submit(state: &Arc<ServerState>, request: &Json, resp: &mut Responder) {
-    let spec = match decode_submit(state, request) {
+    let spec = match decode_submit(state.cfg.deadline_ms, request) {
         Ok(spec) => spec,
         Err(e) => {
             state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -972,9 +1043,20 @@ fn handle_submit(state: &Arc<ServerState>, request: &Json, resp: &mut Responder)
         Some(guard) => guard,
         None => {
             state.stats.shed.fetch_add(1, Ordering::Relaxed);
-            let _ = resp.status(429, "Too Many Requests", "Retry-After: 1\r\n");
+            // Deterministic per-client jitter (same LCG as the batch retry
+            // ladder, salted by peer address): N clients shed in the same
+            // burst re-arrive spread across [0.75, 1.25) of the hint
+            // instead of stampeding back in lockstep.
+            let peer = resp.peer();
+            let retry_ms =
+                charlie::retry::jittered_ms(RETRY_AFTER_MS, RetryPolicy::salt(&peer));
+            let _ = resp.status(
+                429,
+                "Too Many Requests",
+                &format!("Retry-After: {}\r\n", retry_ms.div_ceil(1000)),
+            );
             let _ = resp.frame(&format!(
-                "{{\"error\":\"saturated\",\"retry_after_ms\":{RETRY_AFTER_MS},\
+                "{{\"error\":\"saturated\",\"retry_after_ms\":{retry_ms},\
                  \"active\":{},\"queue\":{}}}",
                 state.active.load(Ordering::SeqCst),
                 state.cfg.queue
@@ -1226,35 +1308,28 @@ mod tests {
 
     #[test]
     fn decode_submit_validates() {
-        let server_cfg = ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            queue: 2,
-            deadline_ms: 1234,
-            cell_budget: 4096,
-            jobs: 1,
-            state_dir: std::env::temp_dir().join("charlie-serve-test-unused"),
-        };
-        let state = ServerState {
-            cache: MemoCache::new(MEMO_CACHE_CAP),
-            pool: Pool::new(1),
-            registry: Mutex::new(HashMap::new()),
-            stats: Stats::default(),
-            active: AtomicUsize::new(0),
-            conns: AtomicUsize::new(0),
-            drain: AtomicBool::new(false),
-            started: Instant::now(),
-            cfg: server_cfg,
-        };
         let ok = wire::parse(
             "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"Water\",\"strategy\":\"PREF\",\
              \"transfer\":8,\"layout\":\"interleaved\"}],\"procs\":2,\"refs\":600}",
         )
         .unwrap();
-        let spec = decode_submit(&state, &ok).unwrap();
+        let spec = decode_submit(1234, &ok).unwrap();
         assert_eq!(spec.cells.len(), 1);
         assert_eq!(spec.cfg.procs, 2);
         assert_eq!(spec.deadline_ms, 1234, "server default applies when unset");
         assert_eq!(spec.cfg.wall_limit_ms, 0, "cell config is deadline-free");
+        assert_eq!(spec.cfg.sampling, None, "exact mode unless requested");
+
+        let sampled = wire::parse(
+            "{\"cmd\":\"submit\",\"grid\":\"paper\",\
+             \"sampling\":{\"mode\":\"smarts\",\"period\":41}}",
+        )
+        .unwrap();
+        let spec = decode_submit(0, &sampled).unwrap();
+        let smp = spec.cfg.sampling.expect("sampling decoded");
+        assert_eq!(smp.mode, charlie::SamplingMode::Smarts);
+        assert_eq!(smp.period, 41, "explicit field overrides the mode default");
+        assert_eq!(smp.cold, 8, "unspecified fields take the mode default");
 
         for bad in [
             "{\"cmd\":\"submit\"}",
@@ -1268,10 +1343,28 @@ mod tests {
             "{\"cmd\":\"submit\",\"grid\":\"paper\",\"refs\":99999999999}",
             "{\"cmd\":\"submit\",\"cells\":[{\"workload\":\"Water\",\"strategy\":\"PREF\",\
              \"transfer\":9999999,\"layout\":\"interleaved\"}]}",
+            "{\"cmd\":\"submit\",\"grid\":\"paper\",\"sampling\":{\"mode\":\"census\"}}",
+            "{\"cmd\":\"submit\",\"grid\":\"paper\",\
+             \"sampling\":{\"mode\":\"smarts\",\"period\":0}}",
         ] {
             let v = wire::parse(bad).unwrap();
-            assert!(decode_submit(&state, &v).is_err(), "{bad} must be rejected");
+            assert!(decode_submit(0, &v).is_err(), "{bad} must be rejected");
         }
+    }
+
+    /// Sampled campaigns live under their own journal key (and token):
+    /// they can never coalesce with an exact run of the same grid, and
+    /// exact-mode keys are unchanged from before sampling existed.
+    #[test]
+    fn campaign_key_separates_sampled_from_exact() {
+        let cells = vec![Experiment::paper(Workload::Water, Strategy::Pref, 8)];
+        let exact = tiny_cfg();
+        let sampled = RunConfig { sampling: Some(charlie::SamplingConfig::smarts()), ..exact };
+        let (key_exact, tok_exact) = campaign_key(&exact, &cells);
+        let (key_smp, tok_smp) = campaign_key(&sampled, &cells);
+        assert!(!key_exact.contains("/smp="), "exact keys are unchanged");
+        assert!(key_smp.contains("/smp=smarts:4096:37:2:0:0:8"), "{key_smp}");
+        assert_ne!(tok_exact, tok_smp);
     }
 
     /// Full in-process round trip: bind on port 0, submit a two-cell
@@ -1313,6 +1406,7 @@ mod tests {
             deadline_ms: None,
             hw_prefetch: None,
             protocol: None,
+            sampling: None,
         };
         let first = client::submit(&addr, &req).unwrap();
         let second = client::submit(&addr, &req).unwrap();

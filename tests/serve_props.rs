@@ -169,6 +169,7 @@ fn concurrent_duplicate_submits_coalesce() {
         deadline_ms: None,
         hw_prefetch: None,
         protocol: None,
+        sampling: None,
     };
     let submit = |req: client::SubmitRequest, addr: String| {
         std::thread::spawn(move || client::submit(&addr, &req).unwrap())
@@ -227,6 +228,7 @@ fn deadline_exceeded_reports_progress_and_spares_others() {
         deadline_ms: Some(1),
         hw_prefetch: None,
         protocol: None,
+        sampling: None,
     };
     let frames = client::submit(&addr, &impatient).unwrap();
     let exceeded = frames
@@ -281,6 +283,7 @@ fn saturated_daemon_sheds_with_retry_hint() {
         deadline_ms: None,
         hw_prefetch: None,
         protocol: None,
+        sampling: None,
     };
     let occupant = {
         let (slow, addr) = (slow.clone(), addr.clone());
@@ -299,7 +302,12 @@ fn saturated_daemon_sheds_with_retry_hint() {
     let shed = client::submit(&addr, &slow).unwrap();
     match shed.first().expect("a reply frame") {
         client::Frame::Saturated { retry_after_ms } => {
-            assert_eq!(*retry_after_ms, charlie_serve::RETRY_AFTER_MS);
+            // The hint is jittered per client (seeded from the peer address)
+            // to spread retry storms: base 1000ms scaled into [0.75, 1.25).
+            assert!(
+                (750..1250).contains(retry_after_ms),
+                "retry hint must be jittered around the base: {retry_after_ms}"
+            );
         }
         other => panic!("expected saturated shed, got {other:?}"),
     }
@@ -410,6 +418,98 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random worker-kill schedules never break exactly-once publication.
+    /// Each killed worker dies — heartbeats and all — immediately after a
+    /// claim lands (the adversarial boundary), stranding a durable lease
+    /// that only a generation-fenced reclaim can recover. A rescuer then
+    /// finishes the grid. The merged journal must hold exactly one summary
+    /// per cell, monotone generations per cell, and summaries byte-equal
+    /// to a serial reference run of the same cells.
+    #[test]
+    fn worker_kill_schedules_preserve_exactly_once(
+        kills in collection::vec(1u64..=3, 0..=2),
+    ) {
+        use charlie::checkpoint::{encode_summary, scan_shared};
+        use charlie_serve::worker::{self, WorkerConfig};
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = scratch(&format!("kill-schedule-{case}"));
+
+        let cells = vec![
+            Experiment::paper(Workload::Water, Strategy::NoPrefetch, 8),
+            Experiment::paper(Workload::Water, Strategy::Pref, 8),
+            Experiment::paper(Workload::Water, Strategy::Lpd, 8),
+            Experiment::paper(Workload::Water, Strategy::Pws, 8),
+        ];
+        let request = client::SubmitRequest {
+            grid: client::Grid::Cells(cells.clone()),
+            procs: Some(2),
+            refs: Some(500),
+            seed: None,
+            deadline_ms: None,
+            hw_prefetch: None,
+            protocol: None,
+            sampling: None,
+        };
+        let m = worker::write_manifest(&dir, &request.encode()).unwrap();
+
+        let base = |id: &str| {
+            let mut cfg = WorkerConfig::new(&dir);
+            cfg.id = id.to_owned();
+            cfg.lease_ms = 50;
+            cfg.poll_ms = 5;
+            cfg.exit_when_idle = true;
+            cfg
+        };
+        // The doomed workers run first, each dying mid-claim and leaving
+        // an unexpired lease the next worker must wait out.
+        for (i, claims) in kills.iter().enumerate() {
+            let mut cfg = base(&format!("k{i}"));
+            cfg.die_after_claims = Some(*claims);
+            worker::run_worker(&cfg).unwrap();
+        }
+        let report = worker::run_worker(&base("rescue")).unwrap();
+        prop_assert!(!report.drained);
+
+        let scan = scan_shared(&m.journal, Some(&m.key)).unwrap();
+        prop_assert_eq!(scan.duplicate_summaries, 0, "every cell publishes exactly once");
+        prop_assert_eq!(scan.corrupt_lines, 0);
+        let mut last_gen = std::collections::HashMap::new();
+        for lease in &scan.leases {
+            let floor = last_gen.entry(lease.cell).or_insert(0u64);
+            prop_assert!(
+                lease.gen >= *floor,
+                "generations regress for cell {}: {} after {}", lease.cell, lease.gen, *floor
+            );
+            *floor = lease.gen;
+        }
+        // The first doomed worker always dies holding a fresh grid's lease,
+        // so any nonempty schedule forces at least one reclaim somewhere.
+        if !kills.is_empty() {
+            prop_assert!(
+                scan.leases.iter().any(|l| l.gen >= 2),
+                "a stranded lease must be reclaimed under a higher generation"
+            );
+        }
+
+        let collected = worker::collect(&m).unwrap();
+        for (exp, got) in cells.iter().zip(&collected) {
+            let got = got.as_ref().expect("every cell published");
+            let reference = charlie::execute_cell(&m.cell_cfg, *exp).unwrap();
+            prop_assert_eq!(encode_summary(got), encode_summary(&reference));
+        }
+        worker::finalize(&m).unwrap();
+        let compacted = worker::collect(&m).unwrap();
+        prop_assert!(
+            compacted.iter().all(|s| s.is_some()),
+            "compaction must preserve every summary"
+        );
+    }
+}
+
 /// Malformed, oversized, or wrong-shape requests never panic the daemon:
 /// every probe gets (at most) an error frame, and the daemon stays fully
 /// serviceable afterwards.
@@ -453,6 +553,7 @@ fn malformed_requests_never_panic_the_daemon() {
         deadline_ms: None,
         hw_prefetch: None,
         protocol: None,
+        sampling: None,
     };
     let frames = client::submit(&addr, &request).unwrap();
     assert!(frames.iter().any(|f| matches!(f, client::Frame::Done { .. })));
